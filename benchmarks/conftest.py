@@ -1,0 +1,25 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every file under ``benchmarks/`` regenerates one table or figure of the
+paper and prints it in the paper's layout.  Experiments run once inside
+``benchmark.pedantic`` so ``pytest benchmarks/ --benchmark-only`` both
+times and executes them.
+
+Scale is controlled by the ``REPRO_SCALE`` env var (``quick`` default,
+``full`` for the larger configuration); see
+:mod:`repro.experiments.configs`.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def scale():
+    from repro.experiments.configs import get_scale
+
+    return get_scale()

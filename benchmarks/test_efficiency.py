@@ -1,0 +1,81 @@
+"""Section 3.3: the efficient closed form versus the naive double sum.
+
+The paper's complexity claim: evaluating the weighted second-order
+interaction costs O(k²·n²) naively and O(k²·n) with the closed form of
+Eqs. 10–11.  These benchmarks time both implementations over growing
+numbers of active features and assert the scaling gap.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.core.distances import squared_euclidean_distance
+from repro.core.efficient import (
+    pairwise_interaction_efficient,
+    pairwise_interaction_naive,
+)
+
+K = 16
+BATCH = 8
+WIDTHS = [16, 64, 256]
+
+
+def _inputs(width, seed=0):
+    rng = np.random.default_rng(seed)
+    v = Tensor(rng.normal(size=(BATCH, width, K)))
+    x = Tensor(rng.normal(size=(BATCH, width)))
+    h = Tensor(rng.normal(size=(K,)))
+    return v, x, h
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_naive_forward(benchmark, width):
+    v, x, h = _inputs(width)
+    benchmark(lambda: pairwise_interaction_naive(
+        v, v, x, h, squared_euclidean_distance))
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_efficient_forward(benchmark, width):
+    v, x, h = _inputs(width)
+    benchmark(lambda: pairwise_interaction_efficient(v, v, x, h))
+
+
+def test_scaling_gap(benchmark):
+    """Explicit sweep printing the table and asserting the scaling."""
+
+    def measure(fn, repeats=5):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    def run_sweep():
+        rows = []
+        for width in WIDTHS:
+            v, x, h = _inputs(width)
+            naive = measure(lambda: pairwise_interaction_naive(
+                v, v, x, h, squared_euclidean_distance))
+            efficient = measure(lambda: pairwise_interaction_efficient(
+                v, v, x, h))
+            rows.append((width, naive, efficient))
+        return rows
+
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    print("\nSection 3.3: forward time, naive O(k²n²) vs efficient O(k²n)")
+    print(f"{'n (active)':>10s} {'naive (ms)':>12s} {'efficient (ms)':>15s} {'speedup':>9s}")
+    for width, naive, efficient in rows:
+        print(f"{width:>10d} {naive * 1e3:>12.3f} {efficient * 1e3:>15.3f} "
+              f"{naive / efficient:>8.1f}x")
+
+    # The naive/efficient time ratio must grow with n.
+    ratios = [naive / efficient for _w, naive, efficient in rows]
+    assert ratios[-1] > ratios[0], "efficient form shows no asymptotic advantage"
+    # At the largest width the speedup is substantial.
+    assert ratios[-1] > 3.0

@@ -1,0 +1,69 @@
+"""Table 3: rating-prediction RMSE over six datasets × ten models.
+
+Paper values (test RMSE, lower is better) for reference:
+
+              MovieLens  Office  Clothing   Auto  Ticket  Books
+  MF             0.6389  0.8415    0.9619  0.9762 0.9974  0.9987
+  PMF            0.6456  0.8380    0.9417  0.9468 0.9895  0.9993
+  LibFM          0.6592  0.8686    0.9213  0.9369 0.9731  0.9688
+  NFM            0.6377  0.8584    0.9147  0.9136 0.9218  0.8847
+  AFM            0.6780  0.8663    0.9212  0.9315 0.7915  0.8260
+  TransFM        0.6617  0.8616    0.9155  0.9282 0.9725  0.9697
+  DeepFM         0.6402  0.8179    0.8940  0.9161 0.9444  0.7650
+  xDeepFM        0.6412  0.8214    0.8961  0.9126 0.9372  0.7272
+  GML-FMmd       0.6472  0.8319    0.8930  0.9050 0.7655  0.7902
+  GML-FMdnn      0.6446  0.8153    0.8861  0.8822 0.7572  0.7892
+
+The reproduced *shape*: FM-family beats plain MF on the sparse
+datasets, and the GML-FM variants sit at or near the top (the paper's
+margins are small on the dense MovieLens).
+"""
+
+import numpy as np
+
+from repro.experiments import RATING_MODELS, format_table, run_rating_table
+from conftest import run_once
+
+DATASETS = [
+    "movielens",
+    "amazon-office",
+    "amazon-clothing",
+    "amazon-auto",
+    "mercari-ticket",
+    "mercari-books",
+]
+
+
+def test_table3_rating_prediction(benchmark, scale):
+    results = run_once(
+        benchmark,
+        lambda: run_rating_table(DATASETS, RATING_MODELS, scale=scale),
+    )
+    print("\n" + format_table(
+        results, DATASETS,
+        title="Table 3: rating prediction, test RMSE (lower is better; * = best)",
+        lower_is_better=True,
+    ))
+
+    # Shape assertions (loose: quick-scale runs are noisy).
+    gml_best = {
+        d: min(results["GML-FMmd"][d], results["GML-FMdnn"][d]) for d in DATASETS
+    }
+    baseline_best = {
+        d: min(results[m][d] for m in RATING_MODELS if not m.startswith("GML"))
+        for d in DATASETS
+    }
+    # On the two sparsest datasets GML-FM must be competitive with the
+    # best baseline (within 10%).  The paper has it winning outright;
+    # at quick scale the xDeepFM baseline is stronger than in the paper
+    # and the two trade places (see EXPERIMENTS.md).
+    for d in ("mercari-ticket", "mercari-books"):
+        assert gml_best[d] <= baseline_best[d] * 1.10, (
+            f"{d}: GML {gml_best[d]:.4f} vs best baseline {baseline_best[d]:.4f}"
+        )
+        # And GML-FM must clearly beat the classic FM it generalizes.
+        assert gml_best[d] < results["LibFM"][d]
+    # Every trained model beats the trivial predictor (RMSE 1.0) on the
+    # dense MovieLens dataset.
+    for m in RATING_MODELS:
+        assert results[m]["movielens"] < 1.0

@@ -1,0 +1,62 @@
+"""Table 4: top-n recommendation (HR@10 / NDCG@10), six datasets × 11 models.
+
+Paper values (HR@10) for reference:
+
+              MovieLens  Office  Clothing   Auto  Ticket  Books
+  NCF            0.5644  0.2532    0.2737  0.2538 0.3074  0.4274
+  BPR-MF         0.6573  0.2612    0.2743  0.3740 0.1222  0.1289
+  NGCF           0.5503  0.2609    0.3012  0.3221 0.1010  0.3409
+  LibFM          0.3538  0.2100    0.2912  0.3026 0.1320  0.1080
+  NFM            0.6701  0.2599    0.2766  0.3029 0.1863  0.1711
+  AFM            0.6182  0.2540    0.2968  0.2811 0.4169  0.3328
+  TransFM        0.6584  0.2722    0.3413  0.3173 0.2285  0.2514
+  DeepFM         0.6650  0.3062    0.3086  0.3272 0.4088  0.4666
+  xDeepFM        0.6609  0.3031    0.3221  0.3300 0.4030  0.5337
+  GML-FMmd       0.6608  0.3038    0.3465  0.3463 0.5349  0.4324
+  GML-FMdnn      0.6709  0.3354    0.3794  0.4133 0.5782  0.4458
+
+Reproduced shape: GML-FM variants at/near the top on the sparse
+datasets with the largest margins on Mercari-Ticket; xDeepFM strongest
+on Mercari-Books (the paper's one exception).
+"""
+
+from repro.experiments import TOPN_MODELS, format_table, run_topn_table
+from conftest import run_once
+
+DATASETS = [
+    "movielens",
+    "amazon-office",
+    "amazon-clothing",
+    "amazon-auto",
+    "mercari-ticket",
+    "mercari-books",
+]
+
+
+def test_table4_topn_recommendation(benchmark, scale):
+    results = run_once(
+        benchmark,
+        lambda: run_topn_table(DATASETS, TOPN_MODELS, scale=scale),
+    )
+    print("\n" + format_table(
+        results, DATASETS,
+        title="Table 4: top-n recommendation, HR@10 / NDCG@10 (* = best)",
+    ))
+
+    def hr(model, dataset):
+        return results[model][dataset][0]
+
+    # Shape assertion: on the sparsest dataset pair, the best GML-FM
+    # variant is within 5% of the best model overall (the paper has it
+    # winning Ticket outright and second on Books behind xDeepFM).
+    for d in ("mercari-ticket",):
+        gml = max(hr("GML-FMmd", d), hr("GML-FMdnn", d))
+        best = max(hr(m, d) for m in TOPN_MODELS)
+        assert gml >= best * 0.95, f"{d}: GML {gml:.4f} vs best {best:.4f}"
+
+    # FM-family exploits side information: its best member beats the
+    # best id-only MF-family model on the extremely sparse datasets.
+    mf_family = ["NCF", "BPR-MF", "NGCF"]
+    fm_family = [m for m in TOPN_MODELS if m not in mf_family]
+    for d in ("mercari-ticket", "mercari-books"):
+        assert max(hr(m, d) for m in fm_family) > max(hr(m, d) for m in mf_family)

@@ -1,0 +1,103 @@
+"""Bring your own data: build a RecDataset from raw logs and train GML-FM.
+
+This example shows the full path a downstream user takes to run GML-FM
+on their own data: construct interaction arrays and side-attribute
+tables, wrap them in :class:`repro.data.RecDataset`, and hand the
+dataset to any model in the library.  It also demonstrates the distance
+variants of Section 3.5.
+
+Run:  python examples/custom_dataset.py
+"""
+
+import numpy as np
+
+from repro.core import GMLFM
+from repro.data import NegativeSampler, RecDataset
+from repro.training import (
+    TrainConfig,
+    Trainer,
+    evaluate_topn,
+    prepare_topn_protocol,
+)
+
+
+def build_bookshop_dataset(seed: int = 0) -> RecDataset:
+    """A small hand-rolled 'online bookshop' dataset.
+
+    Interactions are synthesized here for the example, but the
+    construction is exactly what you would do with real purchase logs:
+    dense integer ids, parallel arrays, and per-entity attribute tables.
+    """
+    rng = np.random.default_rng(seed)
+    n_users, n_items = 150, 400
+
+    # Item attributes: genre (strongly drives purchases here) and a
+    # binary 'hardcover' flag.
+    genre = rng.integers(0, 8, size=n_items)
+    hardcover = rng.integers(0, 2, size=n_items)
+
+    # Each user favours one genre; they buy mostly within it.
+    favourite = rng.integers(0, 8, size=n_users)
+    users, items, times = [], [], []
+    for u in range(n_users):
+        n_buys = rng.integers(5, 15)
+        in_genre = np.where(genre == favourite[u])[0]
+        out_genre = np.where(genre != favourite[u])[0]
+        n_in = int(0.8 * n_buys)
+        bought = np.concatenate([
+            rng.choice(in_genre, size=min(n_in, in_genre.size), replace=False),
+            rng.choice(out_genre, size=n_buys - min(n_in, in_genre.size),
+                       replace=False),
+        ])
+        # Shuffle the purchase order: otherwise the user's *latest*
+        # purchase (what leave-one-out holds out) would always be one of
+        # the out-of-genre buys, making the test set adversarial.
+        rng.shuffle(bought)
+        users.extend([u] * bought.size)
+        items.extend(bought.tolist())
+        times.extend(range(bought.size))
+
+    def single(column):
+        column = np.asarray(column).reshape(-1, 1)
+        return column.astype(np.int64), np.ones_like(column, dtype=np.float64)
+
+    return RecDataset(
+        name="bookshop",
+        n_users=n_users,
+        n_items=n_items,
+        users=np.array(users),
+        items=np.array(items),
+        timestamps=np.array(times),
+        item_attrs={"genre": single(genre), "hardcover": single(hardcover)},
+    )
+
+
+def main() -> None:
+    dataset = build_bookshop_dataset()
+    print(dataset)
+
+    train_index, test_users, _items, candidates = prepare_topn_protocol(
+        dataset, seed=0
+    )
+    train_view = dataset.subset(train_index)
+    sampler = NegativeSampler(train_view, seed=0)
+    users, items, labels = sampler.build_pointwise_training_set(
+        np.arange(train_view.n_interactions), n_neg=2
+    )
+
+    # Compare the generalized distance family of Section 3.5.
+    print(f"\n{'distance':12s} {'HR@10':>8s} {'NDCG@10':>9s}")
+    for distance in ("euclidean", "manhattan", "chebyshev", "cosine"):
+        mode = "efficient" if distance == "euclidean" else "naive"
+        model = GMLFM(dataset, k=16, transform="dnn", n_layers=1,
+                      distance=distance, mode=mode,
+                      rng=np.random.default_rng(0))
+        Trainer(model, TrainConfig(epochs=15, lr=0.02, weight_decay=1e-4,
+                                   seed=0)).fit_pointwise(users, items, labels)
+        result = evaluate_topn(model, dataset, test_users, candidates)
+        print(f"{distance:12s} {result.hr:8.4f} {result.ndcg:9.4f}")
+    print("\nEuclidean usually wins — the paper's Table 5 (bottom block).")
+
+
+if __name__ == "__main__":
+    main()

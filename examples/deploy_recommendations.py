@@ -1,0 +1,64 @@
+"""Deployment loop: train, persist, reload, serve top-k recommendations.
+
+Shows the post-research path a downstream user takes: train GML-FM once,
+save the parameters with ``save_model``, reload them in a fresh process
+with ``load_model``, and serve ranked lists with ``recommend``.
+
+Run:  python examples/deploy_recommendations.py
+"""
+
+import os
+import tempfile
+
+import numpy as np
+
+from repro.core import GMLFM_DNN
+from repro.data import NegativeSampler, make_dataset
+from repro.training import (
+    TrainConfig,
+    Trainer,
+    load_model,
+    recommend,
+    save_model,
+)
+
+
+def main() -> None:
+    dataset = make_dataset("amazon-office", seed=0, scale=0.5)
+    print(f"catalogue: {dataset.n_items} items, {dataset.n_users} users")
+
+    # Train.
+    sampler = NegativeSampler(dataset, seed=0)
+    users, items, labels = sampler.build_pointwise_training_set(
+        np.arange(dataset.n_interactions), n_neg=2
+    )
+    model = GMLFM_DNN(dataset, k=32, n_layers=2, rng=np.random.default_rng(0))
+    Trainer(model, TrainConfig(epochs=15, lr=0.02, weight_decay=1e-4,
+                               seed=0)).fit_pointwise(users, items, labels)
+
+    # Persist and reload into a freshly constructed model (as a serving
+    # process would).
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "gmlfm.npz")
+        save_model(model, path)
+        size_kb = os.path.getsize(path) / 1024
+        print(f"saved parameters: {size_kb:.0f} KiB")
+
+        serving = GMLFM_DNN(dataset, k=32, n_layers=2,
+                            rng=np.random.default_rng(123))
+        load_model(serving, path)
+
+    # Serve.
+    target_users = np.array([0, 1, 2])
+    lists = recommend(serving, dataset, target_users, top_k=5)
+    subcat_idx, _vals = dataset.item_attrs["subcategory"]
+    for user, ranked in zip(target_users, lists):
+        seen = sorted(dataset.positives_by_user()[user])[:5]
+        print(f"\nuser {user}: previously bought items {seen}")
+        for rank, item in enumerate(ranked, start=1):
+            print(f"  #{rank}: item {item} (subcategory "
+                  f"{subcat_idx[item, 0]})")
+
+
+if __name__ == "__main__":
+    main()

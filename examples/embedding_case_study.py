@@ -1,0 +1,72 @@
+"""Embedding case study: what do metric-learning FMs learn? (RQ6)
+
+Reproduces the analysis of the paper's Figures 5–6: train four models
+(FM, NFM, TransFM, GML-FM) on a MovieLens-like dataset, pick active
+users, project the embeddings of their interacted (positive) and random
+non-interacted (negative) items to 2-D with t-SNE, and report the
+cluster-separation score.  The paper's observation — metric-learning
+based models cluster the positives while inner-product models do not —
+appears here as a higher separation score for TransFM / GML-FM.
+
+The 2-D coordinates are written to ``tsne_<model>_<user>.csv`` so they
+can be plotted with any tool.
+
+Run:  python examples/embedding_case_study.py
+"""
+
+import csv
+
+import numpy as np
+
+from repro.analysis import item_embedding_case_study
+from repro.core import GMLFM_DNN
+from repro.data import NegativeSampler, make_dataset
+from repro.models import NFM, FactorizationMachine, TransFM
+from repro.training import TrainConfig, Trainer
+
+
+def train(model, dataset, epochs=15, lr=0.02, seed=0):
+    sampler = NegativeSampler(dataset, seed=seed)
+    users, items, labels = sampler.build_pointwise_training_set(
+        np.arange(dataset.n_interactions), n_neg=2
+    )
+    trainer = Trainer(model, TrainConfig(epochs=epochs, lr=lr,
+                                         weight_decay=1e-4, seed=seed))
+    trainer.fit_pointwise(users, items, labels)
+    return model
+
+
+def main() -> None:
+    dataset = make_dataset("movielens", seed=0, scale=0.5)
+    rng = np.random.default_rng
+    models = {
+        "FM": train(FactorizationMachine(dataset, k=32, rng=rng(0)), dataset),
+        "NFM": train(NFM(dataset, k=32, rng=rng(0)), dataset),
+        "TransFM": train(TransFM(dataset, k=32, rng=rng(0)), dataset),
+        "GML-FM": train(GMLFM_DNN(dataset, k=32, n_layers=2, rng=rng(0)), dataset),
+    }
+
+    # The paper picks two active users (IDs 709 and 1050 in ML-1M); we
+    # take the two with the most interactions here.
+    counts = dataset.interactions_per_user()
+    users = np.argsort(-counts)[:2]
+
+    print(f"{'model':10s}" + "".join(f"  user {u} sep" for u in users))
+    for name, model in models.items():
+        row = [f"{name:10s}"]
+        for user in users:
+            study = item_embedding_case_study(model, dataset, int(user), seed=0)
+            row.append(f"{study.separation:12.4f}")
+            path = f"tsne_{name.lower().replace('-', '')}_{user}.csv"
+            with open(path, "w", newline="") as handle:
+                writer = csv.writer(handle)
+                writer.writerow(["x", "y", "positive"])
+                for (x, y), label in zip(study.projection, study.labels):
+                    writer.writerow([f"{x:.5f}", f"{y:.5f}", int(label)])
+        print("".join(row))
+    print("\nHigher separation = positives form a tighter, better separated "
+          "cluster (the paper's Figures 5–6).  CSVs written for plotting.")
+
+
+if __name__ == "__main__":
+    main()

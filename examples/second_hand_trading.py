@@ -1,0 +1,91 @@
+"""Second-hand trading scenario (the paper's Mercari motivation).
+
+The paper collected the Mercari dataset to study cold-start and extreme
+sparsity: most items are bought once, so item-id embeddings carry almost
+no signal and side information (category, condition, shipping) must do
+the work.  This example reproduces that study on the Mercari-like
+generator:
+
+1. trains GML-FMdnn on the Ticket-like dataset,
+2. measures the contribution of each attribute group (paper Table 6),
+3. compares against a no-side-information baseline (BPR-MF).
+
+Run:  python examples/second_hand_trading.py
+"""
+
+import numpy as np
+
+from repro.core import GMLFM_DNN
+from repro.data import NegativeSampler, make_dataset
+from repro.models import BPRMF
+from repro.training import (
+    TrainConfig,
+    Trainer,
+    evaluate_topn,
+    prepare_topn_protocol,
+)
+
+ATTRIBUTE_SETS = {
+    "base": [],
+    "base+cty": ["category"],
+    "base+cty+cdn": ["category", "condition"],
+    "base+cty+shp": ["category", "ship_method", "ship_origin", "ship_duration"],
+    "base+all": ["category", "condition", "ship_method", "ship_origin",
+                 "ship_duration"],
+}
+
+
+def evaluate_with_attributes(dataset, attr_names, seed=0):
+    """Train GML-FMdnn on an attribute subset; return (HR, NDCG)."""
+    view = dataset.select_fields(attr_names)
+    train_index, test_users, _items, candidates = prepare_topn_protocol(
+        view, seed=seed
+    )
+    train_view = view.subset(train_index)
+    sampler = NegativeSampler(train_view, seed=seed)
+    users, items, labels = sampler.build_pointwise_training_set(
+        np.arange(train_view.n_interactions), n_neg=2
+    )
+    model = GMLFM_DNN(view, k=32, n_layers=2, rng=np.random.default_rng(seed))
+    Trainer(model, TrainConfig(epochs=20, lr=0.03, weight_decay=1e-4,
+                               seed=seed)).fit_pointwise(users, items, labels)
+    result = evaluate_topn(model, view, test_users, candidates)
+    return result.hr, result.ndcg
+
+
+def main() -> None:
+    dataset = make_dataset("mercari-ticket", seed=0, scale=0.5)
+    stats = dataset.stats()
+    print(f"Mercari-Ticket-like: {stats['users']} buyers, {stats['items']} items, "
+          f"sparsity {stats['sparsity']:.4f}")
+    counts = dataset.interactions_per_item()
+    once = (counts[counts > 0] == 1).mean()
+    print(f"{once:.0%} of purchased items were bought exactly once\n")
+
+    print("Attribute effect (paper Table 6):")
+    for name, attrs in ATTRIBUTE_SETS.items():
+        hr, ndcg = evaluate_with_attributes(dataset, attrs)
+        print(f"  {name:14s} HR@10={hr:.4f}  NDCG@10={ndcg:.4f}")
+
+    # Baseline without side information for contrast.
+    train_index, test_users, _items, candidates = prepare_topn_protocol(
+        dataset, seed=0
+    )
+    train_view = dataset.subset(train_index)
+    sampler = NegativeSampler(train_view, seed=0)
+    users, positives, negatives = sampler.build_pairwise_training_set(
+        np.arange(train_view.n_interactions), n_neg=2
+    )
+    bpr = BPRMF(dataset.n_users, dataset.n_items, k=32,
+                rng=np.random.default_rng(0))
+    Trainer(bpr, TrainConfig(epochs=20, lr=0.05, weight_decay=1e-4,
+                             seed=0)).fit_pairwise(users, positives, negatives)
+    result = evaluate_topn(bpr, dataset, test_users, candidates)
+    print(f"\nBPR-MF (no side information): HR@10={result.hr:.4f}  "
+          f"NDCG@10={result.ndcg:.4f}")
+    print("Side information is what makes extreme sparsity tractable — "
+          "the paper's core motivation.")
+
+
+if __name__ == "__main__":
+    main()

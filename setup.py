@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` requires ``wheel`` for PEP 660
+editable installs; this offline environment lacks it, so
+``python setup.py develop`` provides the equivalent legacy editable
+install. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

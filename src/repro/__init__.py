@@ -1,0 +1,29 @@
+"""GML-FM: factorization machines with generalized metric learning.
+
+A from-scratch reproduction of Guo et al., "Enhancing Factorization
+Machines with Generalized Metric Learning" (TKDE / ICDE 2023,
+arXiv:2006.11600).  See README.md for a tour and DESIGN.md for the
+system inventory.
+
+The most common entry points are re-exported here::
+
+    from repro import GMLFM, GMLFM_MD, GMLFM_DNN, make_dataset, Trainer
+"""
+
+from repro.core.gml_fm import GMLFM, GMLFM_DNN, GMLFM_MD
+from repro.data.dataset import RecDataset
+from repro.data.synthetic import make_dataset
+from repro.training.trainer import TrainConfig, Trainer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GMLFM",
+    "GMLFM_MD",
+    "GMLFM_DNN",
+    "RecDataset",
+    "make_dataset",
+    "Trainer",
+    "TrainConfig",
+    "__version__",
+]

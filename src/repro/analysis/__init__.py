@@ -1,0 +1,20 @@
+"""Analysis utilities: t-SNE projection, embedding-cluster statistics
+and cold-start user/item grouping (paper Sections 5.5–5.6)."""
+
+from repro.analysis.tsne import TSNE
+from repro.analysis.embeddings import (
+    EmbeddingCaseStudy,
+    cluster_separation,
+    item_embedding_case_study,
+)
+from repro.analysis.cold_start import ColdStartGroups, group_cold_start, cold_start_rmse_curve
+
+__all__ = [
+    "TSNE",
+    "cluster_separation",
+    "item_embedding_case_study",
+    "EmbeddingCaseStudy",
+    "ColdStartGroups",
+    "group_cold_start",
+    "cold_start_rmse_curve",
+]

@@ -1,0 +1,114 @@
+"""Exact t-SNE (van der Maaten & Hinton 2008) in numpy.
+
+Used to 2-D project item embeddings for the case study of the paper's
+Figures 5–6.  The implementation is the exact O(N²) algorithm with
+perplexity calibration via bisection, early exaggeration and momentum
+gradient descent — entirely sufficient for the few hundred points the
+figures visualize (scikit-learn is unavailable in this environment).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def _pairwise_squared_distances(x: np.ndarray) -> np.ndarray:
+    sq = (x * x).sum(axis=1)
+    d = sq[:, None] + sq[None, :] - 2.0 * (x @ x.T)
+    np.fill_diagonal(d, 0.0)
+    return np.maximum(d, 0.0)
+
+
+def _conditional_probabilities(distances: np.ndarray, perplexity: float,
+                               tol: float = 1e-5, max_iter: int = 50) -> np.ndarray:
+    """Row-wise Gaussian kernels calibrated to the target perplexity."""
+    n = distances.shape[0]
+    target_entropy = np.log(perplexity)
+    p = np.zeros((n, n))
+    for i in range(n):
+        beta_low, beta_high = 0.0, np.inf
+        beta = 1.0
+        row = np.delete(distances[i], i)
+        for _ in range(max_iter):
+            kernel = np.exp(-row * beta)
+            total = kernel.sum()
+            if total <= 0:
+                prob = np.full_like(row, 1.0 / row.size)
+            else:
+                prob = kernel / total
+            entropy = -(prob * np.log(np.maximum(prob, 1e-12))).sum()
+            error = entropy - target_entropy
+            if abs(error) < tol:
+                break
+            if error > 0:
+                beta_low = beta
+                beta = beta * 2.0 if beta_high == np.inf else (beta + beta_high) / 2.0
+            else:
+                beta_high = beta
+                beta = (beta + beta_low) / 2.0
+        p[i, np.arange(n) != i] = prob
+    return p
+
+
+class TSNE:
+    """Exact t-SNE with sensible defaults for small embedding sets.
+
+    Parameters mirror the common API: ``n_components`` (fixed to 2 here),
+    ``perplexity``, ``learning_rate``, ``n_iter`` and ``seed``.
+    """
+
+    def __init__(self, perplexity: float = 20.0, learning_rate: float = 100.0,
+                 n_iter: int = 400, early_exaggeration: float = 6.0,
+                 seed: int = 0):
+        if perplexity <= 1:
+            raise ValueError("perplexity must exceed 1")
+        if n_iter < 50:
+            raise ValueError("n_iter too small for a meaningful layout")
+        self.perplexity = perplexity
+        self.learning_rate = learning_rate
+        self.n_iter = n_iter
+        self.early_exaggeration = early_exaggeration
+        self.seed = seed
+        self.kl_history_: list[float] = []
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        """Project ``x [N, d]`` to 2-D."""
+        x = np.asarray(x, dtype=np.float64)
+        n = x.shape[0]
+        if n < 5:
+            raise ValueError("need at least 5 points")
+        perplexity = min(self.perplexity, (n - 1) / 3.0)
+        rng = np.random.default_rng(self.seed)
+
+        distances = _pairwise_squared_distances(x)
+        p_conditional = _conditional_probabilities(distances, perplexity)
+        p = (p_conditional + p_conditional.T) / (2.0 * n)
+        p = np.maximum(p, 1e-12)
+
+        y = rng.normal(0.0, 1e-4, size=(n, 2))
+        velocity = np.zeros_like(y)
+        self.kl_history_ = []
+        exaggeration_end = min(100, self.n_iter // 4)
+
+        for iteration in range(self.n_iter):
+            scale = self.early_exaggeration if iteration < exaggeration_end else 1.0
+            momentum = 0.5 if iteration < exaggeration_end else 0.8
+
+            d_low = _pairwise_squared_distances(y)
+            q_num = 1.0 / (1.0 + d_low)
+            np.fill_diagonal(q_num, 0.0)
+            q = np.maximum(q_num / q_num.sum(), 1e-12)
+
+            pq = (scale * p - q) * q_num
+            grad = 4.0 * ((np.diag(pq.sum(axis=1)) - pq) @ y)
+
+            velocity = momentum * velocity - self.learning_rate * grad
+            y = y + velocity
+            y = y - y.mean(axis=0)
+
+            if iteration % 50 == 0 or iteration == self.n_iter - 1:
+                kl = float((p * np.log(p / q)).sum())
+                self.kl_history_.append(kl)
+        return y

@@ -1,0 +1,38 @@
+"""Minimal reverse-mode automatic differentiation engine over numpy.
+
+This package is the substrate that replaces PyTorch in this reproduction
+(see DESIGN.md).  It provides:
+
+- :class:`~repro.autograd.tensor.Tensor` — a numpy-backed array with a
+  gradient tape and broadcasting-aware backward rules,
+- :mod:`~repro.autograd.ops` — functional operations (softmax, dropout,
+  concatenate, embedding lookup, ...),
+- :mod:`~repro.autograd.nn` — ``Module`` and common layers,
+- :mod:`~repro.autograd.optim` — ``SGD`` and ``Adam`` optimizers,
+- :mod:`~repro.autograd.init` — parameter initializers,
+- :mod:`~repro.autograd.sparse` — fixed-sparse-matrix × dense product used
+  by the NGCF baseline.
+
+The engine intentionally supports exactly the operations the paper's
+models require, with float64 precision for numerically trustworthy tests.
+"""
+
+from repro.autograd.tensor import Tensor, no_grad, tensor, zeros, ones
+from repro.autograd import ops
+from repro.autograd import nn
+from repro.autograd import optim
+from repro.autograd import init
+from repro.autograd.sparse import sparse_matmul
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "zeros",
+    "ones",
+    "no_grad",
+    "ops",
+    "nn",
+    "optim",
+    "init",
+    "sparse_matmul",
+]

@@ -1,0 +1,35 @@
+"""Parameter initializers.
+
+The paper initializes all parameters from N(0, 0.01) (Section 4.4); we
+expose that default plus Xavier variants used by the deeper baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import DTYPE, Tensor
+
+
+def normal(shape, std: float = 0.01, rng: np.random.Generator | None = None) -> Tensor:
+    """Gaussian init with mean 0 — the paper's default (std=0.01)."""
+    rng = rng if rng is not None else np.random.default_rng()
+    return Tensor(rng.normal(0.0, std, size=shape).astype(DTYPE), requires_grad=True)
+
+
+def xavier_uniform(shape, rng: np.random.Generator | None = None) -> Tensor:
+    """Glorot/Xavier uniform init for 2-D weight matrices."""
+    rng = rng if rng is not None else np.random.default_rng()
+    fan_in, fan_out = shape[0], shape[-1]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return Tensor(rng.uniform(-limit, limit, size=shape).astype(DTYPE), requires_grad=True)
+
+
+def zeros(shape) -> Tensor:
+    """Zero init (used for biases)."""
+    return Tensor(np.zeros(shape, dtype=DTYPE), requires_grad=True)
+
+
+def identity_matrix(k: int) -> Tensor:
+    """Identity init (used to start Mahalanobis L near Euclidean)."""
+    return Tensor(np.eye(k, dtype=DTYPE), requires_grad=True)

@@ -1,0 +1,231 @@
+"""Neural-network layers on top of the autograd engine.
+
+Provides a small ``Module`` system mirroring the PyTorch API surface the
+paper's models need: parameter registration/recursion, train/eval mode,
+``Linear``, ``Embedding``, ``Dropout``, activations and containers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.autograd import init, ops
+from repro.autograd.tensor import Tensor
+
+
+class Module:
+    """Base class with automatic parameter and submodule registration."""
+
+    def __init__(self):
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "training", True)
+
+    def __setattr__(self, name: str, value):
+        if isinstance(value, Tensor) and value.requires_grad:
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def parameters(self) -> Iterator[Tensor]:
+        """Yield every trainable tensor in this module tree."""
+        for param in self._parameters.values():
+            yield param
+        for module in self._modules.values():
+            yield from module.parameters()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Tensor]]:
+        for name, param in self._parameters.items():
+            yield prefix + name, param
+        for mod_name, module in self._modules.items():
+            yield from module.named_parameters(prefix + mod_name + ".")
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self) -> "Module":
+        object.__setattr__(self, "training", True)
+        for module in self._modules.values():
+            module.train()
+        return self
+
+    def eval(self) -> "Module":
+        object.__setattr__(self, "training", False)
+        for module in self._modules.values():
+            module.eval()
+        return self
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of all parameter arrays keyed by dotted name."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        params = dict(self.named_parameters())
+        missing = set(params) - set(state)
+        if missing:
+            raise KeyError(f"state_dict missing parameters: {sorted(missing)}")
+        for name, param in params.items():
+            value = np.asarray(state[name])
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {value.shape} vs {param.data.shape}"
+                )
+            param.data[...] = value
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+
+class ModuleList(Module):
+    """Hold an ordered list of submodules."""
+
+    def __init__(self, modules: Optional[list[Module]] = None):
+        super().__init__()
+        self._list: list[Module] = []
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> None:
+        index = len(self._list)
+        self._list.append(module)
+        self._modules[str(index)] = module
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._list)
+
+    def __len__(self) -> int:
+        return len(self._list)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._list[index]
+
+    def forward(self, *args, **kwargs):
+        raise RuntimeError("ModuleList is a container and cannot be called")
+
+
+class Linear(Module):
+    """Affine layer ``y = x W + b`` with weight shape ``[in, out]``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None, std: Optional[float] = None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        if std is not None:
+            self.weight = init.normal((in_features, out_features), std=std, rng=rng)
+        else:
+            self.weight = init.xavier_uniform((in_features, out_features), rng=rng)
+        self.bias = init.zeros((out_features,)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Lookup table of shape ``[num_embeddings, dim]``."""
+
+    def __init__(self, num_embeddings: int, dim: int, std: float = 0.01,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = init.normal((num_embeddings, dim), std=std, rng=rng)
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        return ops.embedding(self.weight, indices)
+
+
+class Dropout(Module):
+    """Inverted dropout controlled by the module's training flag."""
+
+    def __init__(self, rate: float, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = rate
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.dropout(x, self.rate, self.training, rng=self._rng)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Sequential(Module):
+    """Apply modules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._list: list[Module] = []
+        for index, module in enumerate(modules):
+            self._list.append(module)
+            self._modules[str(index)] = module
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._list)
+
+    def __len__(self) -> int:
+        return len(self._list)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self._list:
+            x = module(x)
+        return x
+
+
+ACTIVATIONS = {
+    "tanh": Tanh,
+    "relu": ReLU,
+    "sigmoid": Sigmoid,
+    "identity": Identity,
+}
+
+
+def make_mlp(dims: list[int], activation: str = "tanh", dropout: float = 0.0,
+             rng: Optional[np.random.Generator] = None, std: Optional[float] = None) -> Sequential:
+    """Build an MLP ``dims[0] -> dims[1] -> ... -> dims[-1]``.
+
+    An activation follows every linear layer and a dropout layer sits
+    between consecutive hidden layers, matching the paper's Section 3.2.2.
+    """
+    if activation not in ACTIVATIONS:
+        raise ValueError(f"unknown activation {activation!r}")
+    layers: list[Module] = []
+    for index, (d_in, d_out) in enumerate(zip(dims[:-1], dims[1:])):
+        if index > 0 and dropout > 0.0:
+            layers.append(Dropout(dropout, rng=rng))
+        layers.append(Linear(d_in, d_out, rng=rng, std=std))
+        layers.append(ACTIVATIONS[activation]())
+    return Sequential(*layers)

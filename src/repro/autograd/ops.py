@@ -1,0 +1,157 @@
+"""Functional operations on :class:`~repro.autograd.tensor.Tensor`.
+
+These complement the method-style operators on ``Tensor`` with operations
+that combine several tensors (``concatenate``, ``stack``), need state
+(``dropout``), or have dedicated efficient backward rules
+(``embedding``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import DTYPE, Tensor, unbroadcast
+
+
+def exp(x: Tensor) -> Tensor:
+    return x.exp()
+
+
+def log(x: Tensor) -> Tensor:
+    return x.log()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def identity(x: Tensor) -> Tensor:
+    return x
+
+
+def square(x: Tensor) -> Tensor:
+    return x * x
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def maximum(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise maximum; ties send the full gradient to ``a``."""
+    out = np.maximum(a.data, b.data)
+    mask = (a.data >= b.data).astype(DTYPE)
+
+    def backward(g: np.ndarray):
+        return (
+            unbroadcast(g * mask, a.data.shape),
+            unbroadcast(g * (1.0 - mask), b.data.shape),
+        )
+
+    return Tensor._make(out, (a, b), backward, "maximum")
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing."""
+    tensors = list(tensors)
+    arrays = [t.data for t in tensors]
+    out = np.concatenate(arrays, axis=axis)
+    sizes = [arr.shape[axis] for arr in arrays]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g: np.ndarray):
+        pieces = []
+        for start, stop in zip(offsets[:-1], offsets[1:]):
+            index = [slice(None)] * g.ndim
+            index[axis] = slice(int(start), int(stop))
+            pieces.append(g[tuple(index)])
+        return tuple(pieces)
+
+    return Tensor._make(out, tensors, backward, "concatenate")
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis."""
+    tensors = list(tensors)
+    out = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g: np.ndarray):
+        return tuple(np.take(g, i, axis=axis) for i in range(len(tensors)))
+
+    return Tensor._make(out, tensors, backward, "stack")
+
+
+def embedding(table: Tensor, indices: np.ndarray) -> Tensor:
+    """Look up rows of ``table`` (shape ``[V, k]``) at integer ``indices``.
+
+    ``indices`` may have any shape; the result has shape
+    ``indices.shape + (k,)``.  The backward pass scatter-adds into the
+    table, which is the operation that makes sparse FM training feasible.
+    """
+    indices = np.asarray(indices)
+    if not np.issubdtype(indices.dtype, np.integer):
+        raise TypeError("embedding indices must be integers")
+    out = table.data[indices]
+
+    def backward(g: np.ndarray):
+        full = np.zeros_like(table.data)
+        np.add.at(full, indices.reshape(-1), g.reshape(-1, table.data.shape[-1]))
+        return (full,)
+
+    return Tensor._make(out, (table,), backward, "embedding")
+
+
+def dropout(x: Tensor, rate: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout: zero a fraction ``rate`` and rescale survivors."""
+    if not training or rate <= 0.0:
+        return x
+    if rate >= 1.0:
+        raise ValueError("dropout rate must be < 1")
+    rng = rng if rng is not None else np.random.default_rng()
+    mask = (rng.random(x.data.shape) >= rate).astype(DTYPE) / (1.0 - rate)
+    out = x.data * mask
+
+    def backward(g: np.ndarray):
+        return (g * mask,)
+
+    return Tensor._make(out, (x,), backward, "dropout")
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Select from ``a`` where ``condition`` else ``b`` (condition fixed)."""
+    condition = np.asarray(condition, dtype=bool)
+    out = np.where(condition, a.data, b.data)
+
+    def backward(g: np.ndarray):
+        return (
+            unbroadcast(g * condition, a.data.shape),
+            unbroadcast(g * ~condition, b.data.shape),
+        )
+
+    return Tensor._make(out, (a, b), backward, "where")
+
+
+def sum_tensors(tensors: Sequence[Tensor]) -> Tensor:
+    """Sum a list of same-shaped tensors."""
+    total = tensors[0]
+    for t in tensors[1:]:
+        total = total + t
+    return total

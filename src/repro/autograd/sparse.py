@@ -1,0 +1,35 @@
+"""Fixed sparse-matrix × dense-tensor product.
+
+NGCF propagates embeddings with a fixed normalized adjacency matrix
+``A`` (scipy CSR).  ``A`` carries no gradient; the backward rule for
+``A @ X`` is simply ``Aᵀ @ grad``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd.tensor import Tensor
+
+
+def sparse_matmul(matrix: sp.spmatrix, x: Tensor) -> Tensor:
+    """Compute ``matrix @ x`` where ``matrix`` is a constant sparse matrix.
+
+    Parameters
+    ----------
+    matrix:
+        A scipy sparse matrix of shape ``[m, n]``; treated as a constant.
+    x:
+        A dense tensor of shape ``[n, k]``.
+    """
+    if not sp.issparse(matrix):
+        raise TypeError("sparse_matmul expects a scipy sparse matrix")
+    csr = matrix.tocsr()
+    out = np.asarray(csr @ x.data)
+    csr_t = csr.T.tocsr()
+
+    def backward(g: np.ndarray):
+        return (np.asarray(csr_t @ g),)
+
+    return Tensor._make(out, (x,), backward, "sparse_matmul")

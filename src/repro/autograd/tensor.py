@@ -1,0 +1,558 @@
+"""A numpy-backed tensor with reverse-mode automatic differentiation.
+
+The design follows the classic tape-based approach: every operation that
+produces a :class:`Tensor` records its parents and a closure computing the
+local vector-Jacobian product.  Calling :meth:`Tensor.backward` performs a
+topological sort of the recorded graph and accumulates gradients into the
+``grad`` attribute of every leaf with ``requires_grad=True``.
+
+All arithmetic supports numpy broadcasting; gradients of broadcast
+operands are reduced back to the operand's original shape by
+:func:`unbroadcast`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+DTYPE = np.float64
+
+Number = Union[int, float, np.floating]
+ArrayLike = Union[Number, Sequence, np.ndarray, "Tensor"]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables gradient recording.
+
+    Used during evaluation to avoid building (and paying for) the tape.
+    """
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def grad_enabled() -> bool:
+    """Return whether operations currently record the gradient tape."""
+    return _GRAD_ENABLED
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Reduce ``grad`` so it matches ``shape`` after numpy broadcasting.
+
+    Summation happens over the leading axes numpy prepended and over any
+    axis that was broadcast from size 1.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum away prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes broadcast from 1.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad
+
+
+def _as_array(value: ArrayLike) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=DTYPE)
+
+
+def _as_tensor(value: ArrayLike) -> "Tensor":
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(np.asarray(value, dtype=DTYPE))
+
+
+class Tensor:
+    """A differentiable numpy array.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a float64 numpy array.
+    requires_grad:
+        Whether gradients should be accumulated into ``self.grad`` when
+        :meth:`backward` is called on a downstream tensor.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_op")
+
+    __array_priority__ = 100.0  # ensure np_scalar * Tensor dispatches to us
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False):
+        self.data = np.asarray(data, dtype=DTYPE)
+        self.requires_grad = bool(requires_grad)
+        self.grad: Optional[np.ndarray] = None
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: tuple = ()
+        self._op: str = "leaf"
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Iterable["Tensor"],
+        backward: Callable[[np.ndarray], None],
+        op: str,
+    ) -> "Tensor":
+        """Create a non-leaf tensor, recording the tape when enabled."""
+        parents = tuple(p for p in parents if isinstance(p, Tensor))
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._backward = backward
+            out._parents = parents
+            out._op = op
+        return out
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_note = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({self.data!r}{grad_note})"
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def numpy(self) -> np.ndarray:
+        """Return the raw ndarray (shared, not copied)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut off from the tape."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Autograd driver
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor.
+
+        ``grad`` defaults to 1 for scalar outputs; non-scalar outputs
+        require an explicit upstream gradient.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar backward()")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=DTYPE)
+
+        order: list[Tensor] = []
+        seen: set[int] = set()
+
+        def visit(node: "Tensor") -> None:
+            stack = [(node, False)]
+            while stack:
+                current, processed = stack.pop()
+                if processed:
+                    order.append(current)
+                    continue
+                if id(current) in seen:
+                    continue
+                seen.add(id(current))
+                stack.append((current, True))
+                for parent in current._parents:
+                    if parent.requires_grad and id(parent) not in seen:
+                        stack.append((parent, False))
+
+        visit(self)
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._backward is None:
+                # Leaf: accumulate.
+                if node.grad is None:
+                    node.grad = node_grad.copy()
+                else:
+                    node.grad = node.grad + node_grad
+                continue
+            node._accumulate_parent_grads(node_grad, grads)
+
+    def _accumulate_parent_grads(
+        self, node_grad: np.ndarray, grads: dict[int, np.ndarray]
+    ) -> None:
+        parent_grads = self._backward(node_grad)
+        if not isinstance(parent_grads, tuple):
+            parent_grads = (parent_grads,)
+        for parent, pgrad in zip(self._parents, parent_grads):
+            if pgrad is None or not parent.requires_grad:
+                continue
+            key = id(parent)
+            if key in grads:
+                grads[key] = grads[key] + pgrad
+            else:
+                grads[key] = pgrad
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other_t = _as_tensor(other)
+        a, b = self.data, other_t.data
+        out = a + b
+
+        def backward(g: np.ndarray):
+            return unbroadcast(g, a.shape), unbroadcast(g, b.shape)
+
+        return Tensor._make(out, (self, other_t), backward, "add")
+
+    __radd__ = __add__
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other_t = _as_tensor(other)
+        a, b = self.data, other_t.data
+        out = a - b
+
+        def backward(g: np.ndarray):
+            return unbroadcast(g, a.shape), unbroadcast(-g, b.shape)
+
+        return Tensor._make(out, (self, other_t), backward, "sub")
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return _as_tensor(other).__sub__(self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other_t = _as_tensor(other)
+        a, b = self.data, other_t.data
+        out = a * b
+
+        def backward(g: np.ndarray):
+            return unbroadcast(g * b, a.shape), unbroadcast(g * a, b.shape)
+
+        return Tensor._make(out, (self, other_t), backward, "mul")
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other_t = _as_tensor(other)
+        a, b = self.data, other_t.data
+        out = a / b
+
+        def backward(g: np.ndarray):
+            return (
+                unbroadcast(g / b, a.shape),
+                unbroadcast(-g * a / (b * b), b.shape),
+            )
+
+        return Tensor._make(out, (self, other_t), backward, "div")
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return _as_tensor(other).__truediv__(self)
+
+    def __neg__(self) -> "Tensor":
+        out = -self.data
+
+        def backward(g: np.ndarray):
+            return (-g,)
+
+        return Tensor._make(out, (self,), backward, "neg")
+
+    def __pow__(self, exponent: Number) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        a = self.data
+        out = a ** exponent
+
+        def backward(g: np.ndarray):
+            return (g * exponent * a ** (exponent - 1),)
+
+        return Tensor._make(out, (self,), backward, "pow")
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        other_t = _as_tensor(other)
+        a, b = self.data, other_t.data
+        out = a @ b
+
+        def backward(g: np.ndarray):
+            # Promote 1-D operands to 2-D so a single rule covers every
+            # case, then squeeze the promoted axis out of the gradient.
+            a2 = a[None, :] if a.ndim == 1 else a
+            b2 = b[:, None] if b.ndim == 1 else b
+            if a.ndim == 1 and b.ndim == 1:
+                g2 = g.reshape(1, 1)
+            else:
+                g2 = g
+                if a.ndim == 1:
+                    g2 = np.expand_dims(g2, -2)
+                if b.ndim == 1:
+                    g2 = np.expand_dims(g2, -1)
+            ga = g2 @ np.swapaxes(b2, -1, -2)
+            gb = np.swapaxes(a2, -1, -2) @ g2
+            if a.ndim == 1:
+                ga = ga.reshape(ga.shape[:-2] + (ga.shape[-1],))
+                if ga.ndim > 1:
+                    ga = ga.reshape(-1, a.shape[0]).sum(axis=0)
+            if b.ndim == 1:
+                gb = gb.reshape(gb.shape[:-1])
+                if gb.ndim > 1:
+                    gb = gb.reshape(-1, b.shape[0]).sum(axis=0)
+            return unbroadcast(ga, a.shape), unbroadcast(gb, b.shape)
+
+        return Tensor._make(out, (self, other_t), backward, "matmul")
+
+    def __rmatmul__(self, other: ArrayLike) -> "Tensor":
+        return _as_tensor(other).__matmul__(self)
+
+    # ------------------------------------------------------------------
+    # Comparison (no gradient; returns plain numpy boolean arrays)
+    # ------------------------------------------------------------------
+    def __gt__(self, other: ArrayLike) -> np.ndarray:
+        return self.data > _as_array(other)
+
+    def __lt__(self, other: ArrayLike) -> np.ndarray:
+        return self.data < _as_array(other)
+
+    def __ge__(self, other: ArrayLike) -> np.ndarray:
+        return self.data >= _as_array(other)
+
+    def __le__(self, other: ArrayLike) -> np.ndarray:
+        return self.data <= _as_array(other)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        a = self.data
+        out = a.reshape(shape)
+
+        def backward(g: np.ndarray):
+            return (g.reshape(a.shape),)
+
+        return Tensor._make(out, (self,), backward, "reshape")
+
+    def transpose(self, *axes) -> "Tensor":
+        a = self.data
+        if not axes:
+            axes = tuple(reversed(range(a.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        out = a.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward(g: np.ndarray):
+            return (g.transpose(inverse),)
+
+        return Tensor._make(out, (self,), backward, "transpose")
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        a = self.data
+        out = np.swapaxes(a, axis1, axis2)
+
+        def backward(g: np.ndarray):
+            return (np.swapaxes(g, axis1, axis2),)
+
+        return Tensor._make(out, (self,), backward, "swapaxes")
+
+    def expand_dims(self, axis: int) -> "Tensor":
+        a = self.data
+        out = np.expand_dims(a, axis)
+
+        def backward(g: np.ndarray):
+            return (np.squeeze(g, axis=axis),)
+
+        return Tensor._make(out, (self,), backward, "expand_dims")
+
+    def squeeze(self, axis: Optional[int] = None) -> "Tensor":
+        a = self.data
+        out = np.squeeze(a, axis=axis)
+
+        def backward(g: np.ndarray):
+            return (g.reshape(a.shape),)
+
+        return Tensor._make(out, (self,), backward, "squeeze")
+
+    def __getitem__(self, index) -> "Tensor":
+        a = self.data
+        out = a[index]
+
+        def backward(g: np.ndarray):
+            full = np.zeros_like(a)
+            np.add.at(full, index, g)
+            return (full,)
+
+        return Tensor._make(out, (self,), backward, "getitem")
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        a = self.data
+        out = a.sum(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray):
+            if axis is None:
+                return (np.broadcast_to(g, a.shape).copy(),)
+            g_expanded = g
+            if not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                for ax in sorted(ax % a.ndim for ax in axes):
+                    g_expanded = np.expand_dims(g_expanded, ax)
+            return (np.broadcast_to(g_expanded, a.shape).copy(),)
+
+        return Tensor._make(out, (self,), backward, "sum")
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        a = self.data
+        if axis is None:
+            count = a.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([a.shape[ax] for ax in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        a = self.data
+        out = a.max(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray):
+            out_b = a.max(axis=axis, keepdims=True)
+            mask = (a == out_b).astype(DTYPE)
+            mask /= mask.sum(axis=axis, keepdims=True)
+            g_expanded = g
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                for ax in sorted(ax % a.ndim for ax in axes):
+                    g_expanded = np.expand_dims(g_expanded, ax)
+            return (mask * g_expanded,)
+
+        return Tensor._make(out, (self,), backward, "max")
+
+    # ------------------------------------------------------------------
+    # Elementwise functions
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out = np.exp(self.data)
+
+        def backward(g: np.ndarray):
+            return (g * out,)
+
+        return Tensor._make(out, (self,), backward, "exp")
+
+    def log(self) -> "Tensor":
+        a = self.data
+        out = np.log(a)
+
+        def backward(g: np.ndarray):
+            return (g / a,)
+
+        return Tensor._make(out, (self,), backward, "log")
+
+    def sqrt(self) -> "Tensor":
+        out = np.sqrt(self.data)
+
+        def backward(g: np.ndarray):
+            return (g * 0.5 / out,)
+
+        return Tensor._make(out, (self,), backward, "sqrt")
+
+    def abs(self) -> "Tensor":
+        a = self.data
+        out = np.abs(a)
+
+        def backward(g: np.ndarray):
+            return (g * np.sign(a),)
+
+        return Tensor._make(out, (self,), backward, "abs")
+
+    def tanh(self) -> "Tensor":
+        out = np.tanh(self.data)
+
+        def backward(g: np.ndarray):
+            return (g * (1.0 - out * out),)
+
+        return Tensor._make(out, (self,), backward, "tanh")
+
+    def sigmoid(self) -> "Tensor":
+        a = self.data
+        out = np.empty_like(a)
+        positive = a >= 0
+        out[positive] = 1.0 / (1.0 + np.exp(-a[positive]))
+        exp_a = np.exp(a[~positive])
+        out[~positive] = exp_a / (1.0 + exp_a)
+
+        def backward(g: np.ndarray):
+            return (g * out * (1.0 - out),)
+
+        return Tensor._make(out, (self,), backward, "sigmoid")
+
+    def relu(self) -> "Tensor":
+        a = self.data
+        out = np.maximum(a, 0.0)
+
+        def backward(g: np.ndarray):
+            return (g * (a > 0.0),)
+
+        return Tensor._make(out, (self,), backward, "relu")
+
+    def clip(self, low: Number, high: Number) -> "Tensor":
+        a = self.data
+        out = np.clip(a, low, high)
+
+        def backward(g: np.ndarray):
+            return (g * ((a >= low) & (a <= high)),)
+
+        return Tensor._make(out, (self,), backward, "clip")
+
+
+# ----------------------------------------------------------------------
+# Module-level constructors
+# ----------------------------------------------------------------------
+def tensor(data: ArrayLike, requires_grad: bool = False) -> Tensor:
+    """Create a :class:`Tensor` from array-like data."""
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def zeros(shape, requires_grad: bool = False) -> Tensor:
+    """Create a zero-filled tensor of the given shape."""
+    return Tensor(np.zeros(shape, dtype=DTYPE), requires_grad=requires_grad)
+
+
+def ones(shape, requires_grad: bool = False) -> Tensor:
+    """Create a one-filled tensor of the given shape."""
+    return Tensor(np.ones(shape, dtype=DTYPE), requires_grad=requires_grad)

@@ -1,0 +1,112 @@
+"""Command-line interface: regenerate any paper table from the shell.
+
+Usage::
+
+    python -m repro table2
+    python -m repro table3 --datasets movielens amazon-auto
+    python -m repro table4 --models GML-FMdnn BPR-MF --scale quick
+    python -m repro table6
+    python -m repro datasets          # list dataset keys
+    python -m repro models            # list model names
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from repro.data.synthetic import DATASET_BUILDERS, make_dataset
+from repro.experiments.configs import get_scale
+from repro.experiments.registry import RATING_MODELS, TOPN_MODELS
+from repro.experiments.runner import run_rating_table, run_topn_table
+from repro.experiments.tables import format_table
+
+DEFAULT_DATASETS = [
+    "movielens",
+    "amazon-office",
+    "amazon-clothing",
+    "amazon-auto",
+    "mercari-ticket",
+    "mercari-books",
+]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the GML-FM paper's evaluation tables.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list available dataset keys")
+    sub.add_parser("models", help="list model names per task")
+
+    for name, help_text in (
+        ("table2", "dataset statistics"),
+        ("table3", "rating prediction RMSE"),
+        ("table4", "top-n HR@10 / NDCG@10"),
+    ):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("--datasets", nargs="+", default=DEFAULT_DATASETS,
+                         choices=sorted(DATASET_BUILDERS))
+        cmd.add_argument("--scale", default=None, choices=["quick", "full"])
+        if name != "table2":
+            default_models = RATING_MODELS if name == "table3" else TOPN_MODELS
+            cmd.add_argument("--models", nargs="+", default=default_models)
+            cmd.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _print_table2(datasets: Sequence[str], scale_name: Optional[str]) -> None:
+    scale = get_scale(scale_name)
+    header = (f"{'dataset':18s} {'#users':>8s} {'#items':>8s} "
+              f"{'#attr-dim':>10s} {'#instances':>11s} {'sparsity':>9s}")
+    print(header)
+    print("-" * len(header))
+    for key in datasets:
+        stats = make_dataset(key, seed=0, scale=scale.dataset_scale).stats()
+        print(f"{key:18s} {stats['users']:8d} {stats['items']:8d} "
+              f"{stats['attribute_dim']:10d} {stats['instances']:11d} "
+              f"{stats['sparsity']:8.2%}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "datasets":
+        for key in sorted(DATASET_BUILDERS):
+            print(key)
+        return 0
+    if args.command == "models":
+        print("rating (Table 3):", ", ".join(RATING_MODELS))
+        print("top-n  (Table 4):", ", ".join(TOPN_MODELS))
+        return 0
+    if args.command == "table2":
+        _print_table2(args.datasets, args.scale)
+        return 0
+
+    scale = get_scale(args.scale)
+    if args.command == "table3":
+        unknown = set(args.models) - set(RATING_MODELS)
+        if unknown:
+            raise SystemExit(f"unknown rating models: {sorted(unknown)}")
+        results = run_rating_table(args.datasets, args.models, scale=scale,
+                                   seed=args.seed)
+        print(format_table(results, args.datasets,
+                           title="Rating prediction, test RMSE (* = best)",
+                           lower_is_better=True))
+        return 0
+    if args.command == "table4":
+        unknown = set(args.models) - set(TOPN_MODELS)
+        if unknown:
+            raise SystemExit(f"unknown top-n models: {sorted(unknown)}")
+        results = run_topn_table(args.datasets, args.models, scale=scale,
+                                 seed=args.seed)
+        print(format_table(results, args.datasets,
+                           title="Top-n recommendation, HR@10 / NDCG@10 (* = best)"))
+        return 0
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,48 @@
+"""The paper's primary contribution: generalized-metric-learning FMs.
+
+- :mod:`repro.core.distances` — feature-space transforms (Mahalanobis
+  ``M = LᵀL``, DNN) and the generalized distance family (squared
+  Euclidean, Manhattan, Chebyshev, Minkowski-p, cosine).
+- :mod:`repro.core.efficient` — the closed-form O(k²·n) second-order
+  interaction of Section 3.3 (Eqs. 9–11), plus the naive O((kn)²) form
+  used to validate it.
+- :mod:`repro.core.gml_fm` — the GML-FM model (Eq. 3) with the
+  transformation weight ``w_ij = hᵀ(v_i ⊙ v_j)``; factory helpers
+  ``GMLFM_MD`` and ``GMLFM_DNN`` match the paper's two variants.
+"""
+
+from repro.core.distances import (
+    DISTANCES,
+    DNNTransform,
+    IdentityTransform,
+    MahalanobisTransform,
+    chebyshev_distance,
+    cosine_distance,
+    manhattan_distance,
+    minkowski_distance,
+    squared_euclidean_distance,
+)
+from repro.core.efficient import (
+    pairwise_interaction_efficient,
+    pairwise_interaction_naive,
+    pairwise_interaction_unweighted_efficient,
+)
+from repro.core.gml_fm import GMLFM, GMLFM_DNN, GMLFM_MD
+
+__all__ = [
+    "GMLFM",
+    "GMLFM_MD",
+    "GMLFM_DNN",
+    "MahalanobisTransform",
+    "DNNTransform",
+    "IdentityTransform",
+    "squared_euclidean_distance",
+    "manhattan_distance",
+    "chebyshev_distance",
+    "minkowski_distance",
+    "cosine_distance",
+    "DISTANCES",
+    "pairwise_interaction_naive",
+    "pairwise_interaction_efficient",
+    "pairwise_interaction_unweighted_efficient",
+]

@@ -1,0 +1,113 @@
+"""Naive and closed-form second-order interactions (Section 3.3).
+
+The general weighted second-order term of GML-FM is
+
+    f(x) = Σ_{i<j} hᵀ(v_i ⊙ v_j) · D(v_i, v_j) · x_i x_j         (Eq. 9)
+
+For squared-Euclidean distances on transformed vectors,
+``D(v_i, v_j) = ‖v̂_i − v̂_j‖²``, the paper derives the closed form
+
+    f(x) = Σ_j x_j v_jᵀ diag(h) Σ_i (v̂_iᵀ v̂_i) v_i x_i
+         − Σ_j x_j v_jᵀ diag(h) (Σ_i v_i v̂_iᵀ x_i) v̂_j         (Eqs. 10–11)
+
+which replaces the nested double sum (O(k²·n²) over active features)
+with independent sums (O(k²·n)).  Both forms are implemented over the
+batched sparse encoding ``v, v̂ ∈ [B, W, k]`` and ``x ∈ [B, W]``; the
+test-suite property-checks their exact agreement, gradients included.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def _pair_indices(width: int) -> tuple[np.ndarray, np.ndarray]:
+    """Upper-triangular (i < j) index pairs over ``width`` slots."""
+    left, right = np.triu_indices(width, k=1)
+    return left, right
+
+
+def pairwise_interaction_naive(
+    v: Tensor,
+    v_hat: Tensor,
+    x: Tensor,
+    h: Optional[Tensor],
+    distance: Callable[[Tensor, Tensor], Tensor],
+) -> Tensor:
+    """Direct evaluation of Eq. 9 over all slot pairs.
+
+    Parameters
+    ----------
+    v:
+        Raw factorized embeddings ``[B, W, k]`` (used by the
+        transformation weight).
+    v_hat:
+        Transformed embeddings ``[B, W, k]`` (used by the distance).
+    x:
+        Feature values ``[B, W]``; padding slots carry 0.
+    h:
+        Transformation-weight vector ``[k]``; ``None`` disables the
+        weight (``w_ij = 1``), the paper's "w/o weight" ablation.
+    distance:
+        Pairwise distance on the last axis; any entry of
+        :data:`repro.core.distances.DISTANCES`.
+    """
+    width = v.shape[1]
+    left, right = _pair_indices(width)
+    v_i, v_j = v[:, left, :], v[:, right, :]
+    d = distance(v_hat[:, left, :], v_hat[:, right, :])  # [B, P]
+    x_pair = x[:, left] * x[:, right]  # [B, P]
+    if h is None:
+        weighted = d
+    else:
+        weighted = ((v_i * v_j) @ h) * d
+    return (weighted * x_pair).sum(axis=-1)
+
+
+def pairwise_interaction_efficient(
+    v: Tensor,
+    v_hat: Tensor,
+    x: Tensor,
+    h: Tensor,
+) -> Tensor:
+    """Closed form of Eqs. 10–11 for squared-Euclidean distances.
+
+    Computes ``term1 − term2`` where::
+
+        term1 = (Σ_j x_j v_j)ᵀ diag(h) (Σ_i ‖v̂_i‖² x_i v_i)
+        term2 = Σ_j x_j (h ⊙ v_j)ᵀ Q v̂_j,   Q = Σ_i x_i v_i v̂_iᵀ
+
+    Complexity is O(B·W·k²) versus the naive O(B·W²·k); with a dense
+    input vector (W = n) this is the paper's O(k²n) vs O(k²n²) claim.
+    """
+    xv = x.expand_dims(-1) * v                      # [B, W, k]
+    sq_norm = (v_hat * v_hat).sum(axis=-1)          # [B, W]
+    s1 = xv.sum(axis=1)                             # [B, k]
+    s2 = ((x * sq_norm).expand_dims(-1) * v).sum(axis=1)  # [B, k]
+    term1 = ((s1 * s2) * h).sum(axis=-1)            # [B]
+
+    q = xv.swapaxes(1, 2) @ v_hat                   # [B, k, k]
+    hv = v * h                                      # [B, W, k]
+    r = hv @ q                                      # [B, W, k]
+    term2 = (x * (r * v_hat).sum(axis=-1)).sum(axis=-1)  # [B]
+    return term1 - term2
+
+
+def pairwise_interaction_unweighted_efficient(
+    v_hat: Tensor,
+    x: Tensor,
+) -> Tensor:
+    """Closed form with ``w_ij = 1`` (no transformation weight).
+
+    ``f = (Σ_j x_j)(Σ_i ‖v̂_i‖² x_i) − ‖Σ_i x_i v̂_i‖²`` — the direct
+    expansion of the unweighted Eq. 9 for squared Euclidean distances.
+    """
+    sq_norm = (v_hat * v_hat).sum(axis=-1)          # [B, W]
+    x_sum = x.sum(axis=-1)                          # [B]
+    a_sum = (x * sq_norm).sum(axis=-1)              # [B]
+    pooled = (x.expand_dims(-1) * v_hat).sum(axis=1)  # [B, k]
+    return x_sum * a_sum - (pooled * pooled).sum(axis=-1)

@@ -1,0 +1,174 @@
+"""GML-FM: factorization machines with generalized metric learning (Eq. 3).
+
+    ŷ(x) = w₀ + Σᵢ wᵢxᵢ + Σ_{i<j} w_ij · D(v_i, v_j) · x_i x_j
+    w_ij = hᵀ (v_i ⊙ v_j)
+
+``D`` is a squared-Euclidean distance on transformed embeddings —
+Mahalanobis ``v̂ = Lv`` (GML-FMmd) or a small DNN (GML-FMdnn) — or one of
+the Minkowski/cosine variants of Section 3.5.  The transformation weight
+``w_ij`` restores the full real-valued range that plain (non-negative)
+distances lack.
+
+Two equivalent evaluation modes are provided: ``naive`` computes every
+slot pair directly (Eq. 9); ``efficient`` uses the closed form of
+Eqs. 10–11 with O(k²·n) cost.  They agree to machine precision (see the
+property tests), exactly as the paper's derivation requires.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import init, nn, ops
+from repro.autograd.tensor import Tensor
+from repro.core.distances import (
+    DISTANCES,
+    DNNTransform,
+    IdentityTransform,
+    MahalanobisTransform,
+)
+from repro.core.efficient import (
+    pairwise_interaction_efficient,
+    pairwise_interaction_naive,
+    pairwise_interaction_unweighted_efficient,
+)
+from repro.data.dataset import RecDataset
+from repro.models.base import FeatureRecommender
+
+_TRANSFORMS = ("identity", "mahalanobis", "dnn")
+_MODES = ("efficient", "naive")
+
+
+class GMLFM(FeatureRecommender):
+    """The paper's model with all ablation switches exposed.
+
+    Parameters
+    ----------
+    dataset:
+        Supplies the feature encoding and dimensions.
+    k:
+        Embedding size.
+    transform:
+        ``"mahalanobis"`` (GML-FMmd), ``"dnn"`` (GML-FMdnn) or
+        ``"identity"`` (plain Euclidean; the TransFM-style ablation).
+    n_layers:
+        Depth of the DNN transform (ignored otherwise).  0 layers means
+        identity — the paper's "#layers 0" row.
+    distance:
+        ``"euclidean"`` (squared; default), ``"manhattan"``,
+        ``"chebyshev"`` or ``"cosine"`` (Section 3.5).  Non-Euclidean
+        distances require ``mode="naive"`` (no closed form exists).
+    use_weight:
+        Enable the transformation weight ``w_ij`` (Eq. 2); turning it
+        off reproduces the "w/o weight" ablation rows.
+    mode:
+        ``"efficient"`` (Eqs. 10–11) or ``"naive"`` (Eq. 9).
+    dropout:
+        Dropout rate between DNN-transform layers.
+    init_std:
+        Embedding / transformation-weight init scale.  Defaults to
+        ``1/√k``: the interaction term is a product of three learned
+        factors (``h``, the embeddings, and the distance), so a tiny
+        init (e.g. the 0.01 used by inner-product FMs) leaves it with
+        vanishing signal and the model degenerates to its linear part.
+    """
+
+    def __init__(
+        self,
+        dataset: RecDataset,
+        k: int = 32,
+        transform: str = "mahalanobis",
+        n_layers: int = 1,
+        distance: str = "euclidean",
+        use_weight: bool = True,
+        mode: str = "efficient",
+        dropout: float = 0.0,
+        activation: str = "tanh",
+        init_std: Optional[float] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__(dataset)
+        if transform not in _TRANSFORMS:
+            raise ValueError(f"unknown transform {transform!r}; options: {_TRANSFORMS}")
+        if mode not in _MODES:
+            raise ValueError(f"unknown mode {mode!r}; options: {_MODES}")
+        if distance not in DISTANCES:
+            raise ValueError(f"unknown distance {distance!r}; options: {sorted(DISTANCES)}")
+        if distance != "euclidean" and mode == "efficient":
+            raise ValueError(
+                "the efficient closed form only exists for the squared "
+                "Euclidean distance family; use mode='naive'"
+            )
+        rng = rng if rng is not None else np.random.default_rng()
+        self.k = k
+        self.transform_kind = transform
+        self.distance_name = distance
+        self.use_weight = use_weight
+        self.mode = mode
+        if init_std is None:
+            init_std = k ** -0.5
+        self.init_std = init_std
+
+        self.embeddings = nn.Embedding(self.n_features, k, std=init_std, rng=rng)
+        self.linear = nn.Embedding(self.n_features, 1, std=0.01, rng=rng)
+        self.bias = init.zeros(())
+        if use_weight:
+            self.h = Tensor(rng.normal(0.0, init_std, size=(k,)), requires_grad=True)
+        else:
+            self.h = None
+
+        if transform == "identity":
+            self.transform = IdentityTransform()
+        elif transform == "mahalanobis":
+            self.transform = MahalanobisTransform(k, rng=rng)
+        else:
+            self.transform = DNNTransform(
+                k, n_layers=n_layers, activation=activation, dropout=dropout, rng=rng
+            )
+
+    # ------------------------------------------------------------------
+    def forward_features(self, indices: np.ndarray, values: np.ndarray) -> Tensor:
+        """Eq. 3 over a batch of encoded samples."""
+        x = Tensor(values)
+        v = self.embeddings(indices)                 # [B, W, k]
+        v_hat = self.transform(v)                    # [B, W, k]
+
+        linear = (self.linear(indices).squeeze(-1) * x).sum(axis=-1)
+
+        if self.mode == "naive":
+            interaction = pairwise_interaction_naive(
+                v, v_hat, x, self.h, DISTANCES[self.distance_name]
+            )
+        elif self.use_weight:
+            interaction = pairwise_interaction_efficient(v, v_hat, x, self.h)
+        else:
+            interaction = pairwise_interaction_unweighted_efficient(v_hat, x)
+
+        return self.bias + linear + interaction
+
+    # ------------------------------------------------------------------
+    def item_embeddings(self, item_ids: np.ndarray, offset: int) -> np.ndarray:
+        """Raw item-id embeddings for the t-SNE case study (Figs. 5–6)."""
+        return self.embeddings.weight.data[offset + np.asarray(item_ids)]
+
+
+def GMLFM_MD(dataset: RecDataset, k: int = 32, init_std: float = 0.1,
+             rng: Optional[np.random.Generator] = None, **kwargs) -> GMLFM:
+    """GML-FM with the Mahalanobis distance (paper's GML-FMmd).
+
+    A slightly smaller init than the DNN variant keeps the quadratic
+    metric term well-conditioned early in training.
+    """
+    return GMLFM(dataset, k=k, transform="mahalanobis", init_std=init_std,
+                 rng=rng, **kwargs)
+
+
+def GMLFM_DNN(dataset: RecDataset, k: int = 32, n_layers: int = 1, dropout: float = 0.0,
+              rng: Optional[np.random.Generator] = None, **kwargs) -> GMLFM:
+    """GML-FM with the DNN-based distance (paper's GML-FMdnn)."""
+    return GMLFM(
+        dataset, k=k, transform="dnn", n_layers=n_layers, dropout=dropout,
+        rng=rng, **kwargs,
+    )

@@ -1,0 +1,38 @@
+"""Data layer: feature schema, interaction datasets, generators, splits.
+
+The paper's input representation (Section 2.2) concatenates one-hot
+attribute blocks into a single sparse vector ``x``.  We represent every
+sample compactly as a fixed-width pair of arrays ``(indices, values)``:
+``indices[b, s]`` is a global feature index and ``values[b, s]`` its
+real value (0 for padding slots), so that all FM-family models compute
+only over active features.
+"""
+
+from repro.data.schema import FeatureField, FeatureSpace
+from repro.data.dataset import RecDataset
+from repro.data.synthetic import (
+    make_amazon_like,
+    make_mercari_like,
+    make_movielens_like,
+    make_dataset,
+    DATASET_BUILDERS,
+)
+from repro.data.splits import leave_one_out_split, random_split
+from repro.data.sampling import NegativeSampler, sample_ranking_candidates
+from repro.data.batching import minibatches
+
+__all__ = [
+    "FeatureField",
+    "FeatureSpace",
+    "RecDataset",
+    "make_movielens_like",
+    "make_amazon_like",
+    "make_mercari_like",
+    "make_dataset",
+    "DATASET_BUILDERS",
+    "random_split",
+    "leave_one_out_split",
+    "NegativeSampler",
+    "sample_ranking_candidates",
+    "minibatches",
+]

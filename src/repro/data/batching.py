@@ -1,0 +1,44 @@
+"""Mini-batch iteration over index arrays."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+
+def minibatches(
+    n: int,
+    batch_size: int,
+    rng: Optional[np.random.Generator] = None,
+    shuffle: bool = True,
+    drop_last: bool = False,
+) -> Iterator[np.ndarray]:
+    """Yield index arrays covering ``range(n)`` in batches.
+
+    Parameters
+    ----------
+    n:
+        Number of samples.
+    batch_size:
+        Maximum batch size (the paper fixes 256).
+    rng:
+        Generator used for shuffling; required when ``shuffle`` is True
+        and reproducibility matters.
+    shuffle:
+        Randomize sample order each pass.
+    drop_last:
+        Drop a trailing batch smaller than ``batch_size``.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    if shuffle:
+        rng = rng if rng is not None else np.random.default_rng()
+        order = rng.permutation(n)
+    else:
+        order = np.arange(n)
+    for start in range(0, n, batch_size):
+        batch = order[start:start + batch_size]
+        if drop_last and batch.size < batch_size:
+            return
+        yield batch

@@ -1,0 +1,229 @@
+"""The interaction dataset container used across the whole repository.
+
+A :class:`RecDataset` bundles
+
+- the positive user→item interactions (implicit feedback, timestamped),
+- static user and item side attributes, and
+- the :class:`~repro.data.schema.FeatureSpace` describing how a sample
+  ``(user, item)`` is encoded into the fixed-width ``(indices, values)``
+  pair every FM-family model consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.data.schema import FeatureField, FeatureSpace
+
+USER_FIELD = "user"
+ITEM_FIELD = "item"
+
+
+class RecDataset:
+    """Implicit-feedback dataset with side attributes.
+
+    Parameters
+    ----------
+    name:
+        Dataset name (used in reports).
+    n_users, n_items:
+        Entity counts; user and item ids are dense in ``[0, n)``.
+    users, items, timestamps:
+        Parallel arrays of positive interactions.
+    user_attrs, item_attrs:
+        Mapping from field name to ``(indices, values)`` arrays of shape
+        ``[n_entities, slots]``; ``indices`` are local to the field and
+        slots with value 0 are padding.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        n_users: int,
+        n_items: int,
+        users: np.ndarray,
+        items: np.ndarray,
+        timestamps: Optional[np.ndarray] = None,
+        user_attrs: Optional[dict[str, tuple[np.ndarray, np.ndarray]]] = None,
+        item_attrs: Optional[dict[str, tuple[np.ndarray, np.ndarray]]] = None,
+    ):
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        if users.shape != items.shape:
+            raise ValueError("users and items must be parallel arrays")
+        if users.size and (users.min() < 0 or users.max() >= n_users):
+            raise ValueError("user id out of range")
+        if items.size and (items.min() < 0 or items.max() >= n_items):
+            raise ValueError("item id out of range")
+        if timestamps is None:
+            timestamps = np.arange(users.size, dtype=np.int64)
+        timestamps = np.asarray(timestamps, dtype=np.int64)
+        if timestamps.shape != users.shape:
+            raise ValueError("timestamps must parallel interactions")
+
+        self.name = name
+        self.n_users = int(n_users)
+        self.n_items = int(n_items)
+        self.users = users
+        self.items = items
+        self.timestamps = timestamps
+        self.user_attrs = dict(user_attrs or {})
+        self.item_attrs = dict(item_attrs or {})
+        for attr_name, (idx, val) in {**self.user_attrs, **self.item_attrs}.items():
+            if idx.shape != val.shape:
+                raise ValueError(f"attr {attr_name!r}: indices/values shape mismatch")
+
+        self.feature_space = self._build_feature_space()
+        self._positives_cache: Optional[list[set[int]]] = None
+
+    # ------------------------------------------------------------------
+    # Feature space
+    # ------------------------------------------------------------------
+    def _build_feature_space(self) -> FeatureSpace:
+        fields = [
+            FeatureField(USER_FIELD, self.n_users),
+            FeatureField(ITEM_FIELD, self.n_items),
+        ]
+        for attr_name, (idx, _val) in self.user_attrs.items():
+            fields.append(
+                FeatureField(attr_name, int(idx.max()) + 1, slots=idx.shape[1])
+            )
+        for attr_name, (idx, _val) in self.item_attrs.items():
+            fields.append(
+                FeatureField(attr_name, int(idx.max()) + 1, slots=idx.shape[1])
+            )
+        return FeatureSpace(fields)
+
+    @property
+    def n_features(self) -> int:
+        """Length ``n`` of the concatenated one-hot vector (paper Table 1)."""
+        return self.feature_space.n_features
+
+    @property
+    def sample_width(self) -> int:
+        """Number of active-slot columns per encoded sample."""
+        return self.feature_space.width
+
+    @property
+    def n_interactions(self) -> int:
+        return self.users.size
+
+    def sparsity(self) -> float:
+        """1 - density of the user-item matrix (paper Table 2)."""
+        return 1.0 - self.n_interactions / (self.n_users * self.n_items)
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def encode(self, users: np.ndarray, items: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Encode (user, item) pairs into ``(indices, values)`` arrays.
+
+        Returns
+        -------
+        indices:
+            ``int64 [B, W]`` global feature indices.
+        values:
+            ``float64 [B, W]`` feature values (0 for padding slots).
+        """
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        batch = users.shape[0]
+        space = self.feature_space
+        indices = np.zeros((batch, space.width), dtype=np.int64)
+        values = np.zeros((batch, space.width), dtype=np.float64)
+
+        for field in space.fields:
+            start = space.slot_start(field.name)
+            stop = start + field.slots
+            offset = space.offset(field.name)
+            if field.name == USER_FIELD:
+                indices[:, start] = offset + users
+                values[:, start] = 1.0
+            elif field.name == ITEM_FIELD:
+                indices[:, start] = offset + items
+                values[:, start] = 1.0
+            elif field.name in self.user_attrs:
+                idx, val = self.user_attrs[field.name]
+                indices[:, start:stop] = offset + idx[users]
+                values[:, start:stop] = val[users]
+            else:
+                idx, val = self.item_attrs[field.name]
+                indices[:, start:stop] = offset + idx[items]
+                values[:, start:stop] = val[items]
+        return indices, values
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def select_fields(self, attr_names: list[str]) -> "RecDataset":
+        """Return a view keeping only the named side-attribute fields.
+
+        ``user`` and ``item`` are always retained.  Used by the
+        attribute-effect study (Table 6): ``select_fields([])`` is the
+        paper's "base" configuration.
+        """
+        unknown = [n for n in attr_names if n not in self.user_attrs and n not in self.item_attrs]
+        if unknown:
+            raise KeyError(f"unknown attribute fields: {unknown}")
+        view = RecDataset(
+            name=self.name,
+            n_users=self.n_users,
+            n_items=self.n_items,
+            users=self.users,
+            items=self.items,
+            timestamps=self.timestamps,
+            user_attrs={k: v for k, v in self.user_attrs.items() if k in attr_names},
+            item_attrs={k: v for k, v in self.item_attrs.items() if k in attr_names},
+        )
+        return view
+
+    def subset(self, index: np.ndarray, name_suffix: str = "") -> "RecDataset":
+        """Return a dataset containing only the selected interactions."""
+        return RecDataset(
+            name=self.name + name_suffix,
+            n_users=self.n_users,
+            n_items=self.n_items,
+            users=self.users[index],
+            items=self.items[index],
+            timestamps=self.timestamps[index],
+            user_attrs=self.user_attrs,
+            item_attrs=self.item_attrs,
+        )
+
+    # ------------------------------------------------------------------
+    # Interaction lookups
+    # ------------------------------------------------------------------
+    def positives_by_user(self) -> list[set[int]]:
+        """Per-user set of interacted items (cached)."""
+        if self._positives_cache is None:
+            sets: list[set[int]] = [set() for _ in range(self.n_users)]
+            for u, i in zip(self.users, self.items):
+                sets[u].add(int(i))
+            self._positives_cache = sets
+        return self._positives_cache
+
+    def interactions_per_user(self) -> np.ndarray:
+        """Count of interactions per user id."""
+        return np.bincount(self.users, minlength=self.n_users)
+
+    def interactions_per_item(self) -> np.ndarray:
+        """Count of interactions per item id."""
+        return np.bincount(self.items, minlength=self.n_items)
+
+    def stats(self) -> dict[str, float]:
+        """Dataset statistics in the shape of the paper's Table 2."""
+        return {
+            "users": self.n_users,
+            "items": self.n_items,
+            "attribute_dim": self.n_features,
+            "instances": self.n_interactions,
+            "sparsity": self.sparsity(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"RecDataset({self.name!r}, users={self.n_users}, items={self.n_items}, "
+            f"interactions={self.n_interactions}, n_features={self.n_features})"
+        )

@@ -1,0 +1,98 @@
+"""Negative sampling for training and ranking evaluation.
+
+The paper (Sections 4.3.1–4.3.2) samples two negative items per positive
+for training, labels positives +1 and negatives -1, and for top-n
+evaluation ranks the held-out positive against 99 sampled uninteracted
+items.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import RecDataset
+
+
+class NegativeSampler:
+    """Uniform negative sampler avoiding each user's interacted items."""
+
+    def __init__(self, dataset: RecDataset, seed: int = 0):
+        self.dataset = dataset
+        self.rng = np.random.default_rng(seed)
+        self._positives = dataset.positives_by_user()
+
+    def sample_for_users(self, users: np.ndarray, n_neg: int) -> np.ndarray:
+        """Sample ``n_neg`` uninteracted items for each user.
+
+        Returns an ``int64 [len(users), n_neg]`` array.  Uses rejection
+        sampling with a bounded retry count; for pathological users that
+        interacted with nearly every item, duplicates of uninteracted
+        items may appear, which matches common practice.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        n_items = self.dataset.n_items
+        out = self.rng.integers(0, n_items, size=(users.size, n_neg))
+        for _ in range(20):
+            collision = np.zeros(out.shape, dtype=bool)
+            for row, user in enumerate(users):
+                positives = self._positives[user]
+                if positives:
+                    collision[row] = [int(i) in positives for i in out[row]]
+            if not collision.any():
+                break
+            out[collision] = self.rng.integers(0, n_items, size=int(collision.sum()))
+        return out
+
+    def build_pointwise_training_set(
+        self, train_index: np.ndarray, n_neg: int = 2
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Positives (+1) plus ``n_neg`` sampled negatives (-1) each.
+
+        Returns ``(users, items, labels)`` shuffled together.  Matching
+        the paper's protocol, the sample is drawn once (with this
+        sampler's seed) so all models can train on identical instances.
+        """
+        pos_users = self.dataset.users[train_index]
+        pos_items = self.dataset.items[train_index]
+        neg_items = self.sample_for_users(pos_users, n_neg)
+        users = np.concatenate([pos_users, np.repeat(pos_users, n_neg)])
+        items = np.concatenate([pos_items, neg_items.reshape(-1)])
+        labels = np.concatenate([
+            np.ones(pos_users.size),
+            -np.ones(pos_users.size * n_neg),
+        ])
+        order = self.rng.permutation(users.size)
+        return users[order], items[order], labels[order]
+
+    def build_pairwise_training_set(
+        self, train_index: np.ndarray, n_neg: int = 1
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(user, positive item, negative item) triples for BPR."""
+        pos_users = self.dataset.users[train_index]
+        pos_items = self.dataset.items[train_index]
+        neg_items = self.sample_for_users(pos_users, n_neg)
+        users = np.repeat(pos_users, n_neg)
+        positives = np.repeat(pos_items, n_neg)
+        negatives = neg_items.reshape(-1)
+        order = self.rng.permutation(users.size)
+        return users[order], positives[order], negatives[order]
+
+
+def sample_ranking_candidates(
+    dataset: RecDataset,
+    test_users: np.ndarray,
+    test_items: np.ndarray,
+    n_candidates: int = 99,
+    seed: int = 0,
+) -> np.ndarray:
+    """Candidate lists for leave-one-out evaluation.
+
+    For each test row the returned ``int64 [n_test, n_candidates + 1]``
+    array holds the positive item in column 0 followed by
+    ``n_candidates`` sampled items the user never interacted with.
+    """
+    sampler = NegativeSampler(dataset, seed=seed)
+    negatives = sampler.sample_for_users(np.asarray(test_users), n_candidates)
+    return np.concatenate(
+        [np.asarray(test_items, dtype=np.int64).reshape(-1, 1), negatives], axis=1
+    )

@@ -1,0 +1,128 @@
+"""Feature fields and the global one-hot index space.
+
+An *attribute* in the paper (user ID, item ID, item category, ...) maps
+to a :class:`FeatureField`.  Each field reserves a contiguous block of
+the global feature index space; a :class:`FeatureSpace` is an ordered
+collection of fields and provides the local→global index arithmetic.
+
+Fields may be multi-hot (e.g. movie genres): they own ``slots`` columns
+in the fixed-width encoded sample.  Unused slots carry value 0, which
+deactivates them in every FM-style model (terms are multiplied by the
+value ``x_i``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class FeatureField:
+    """One attribute block in the concatenated one-hot input vector.
+
+    Parameters
+    ----------
+    name:
+        Unique field name, e.g. ``"user"`` or ``"category"``.
+    cardinality:
+        Number of distinct values the field can take (block width).
+    slots:
+        How many values may be active simultaneously (1 for categorical
+        fields, >1 for multi-hot fields such as genres).
+    """
+
+    name: str
+    cardinality: int
+    slots: int = 1
+
+    def __post_init__(self):
+        if self.cardinality <= 0:
+            raise ValueError(f"field {self.name!r}: cardinality must be positive")
+        if self.slots <= 0:
+            raise ValueError(f"field {self.name!r}: slots must be positive")
+
+
+class FeatureSpace:
+    """Ordered collection of fields forming the global index space.
+
+    The global space mirrors the paper's ``x ∈ R^n`` with
+    ``n = Σ cardinality``; encoded samples have fixed width
+    ``W = Σ slots``.
+    """
+
+    def __init__(self, fields: list[FeatureField]):
+        names = [f.name for f in fields]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate field names")
+        self.fields = list(fields)
+        self._by_name = {f.name: f for f in fields}
+        self._offsets: dict[str, int] = {}
+        offset = 0
+        for f in fields:
+            self._offsets[f.name] = offset
+            offset += f.cardinality
+        self.n_features = offset
+        self.width = sum(f.slots for f in fields)
+        self._slot_starts: dict[str, int] = {}
+        start = 0
+        for f in fields:
+            self._slot_starts[f.name] = start
+            start += f.slots
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self) -> Iterator[FeatureField]:
+        return iter(self.fields)
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def field(self, name: str) -> FeatureField:
+        """Return the field named ``name``."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"unknown field {name!r}") from None
+
+    def offset(self, name: str) -> int:
+        """Global index of the first value of field ``name``."""
+        self.field(name)
+        return self._offsets[name]
+
+    def slot_start(self, name: str) -> int:
+        """First encoded-sample column owned by field ``name``."""
+        self.field(name)
+        return self._slot_starts[name]
+
+    def globalize(self, name: str, local_indices):
+        """Convert local field indices to global feature indices."""
+        return self.offset(name) + local_indices
+
+    def field_of(self, global_index: int) -> FeatureField:
+        """Return the field owning a global feature index."""
+        if not 0 <= global_index < self.n_features:
+            raise IndexError(f"global index {global_index} out of range")
+        for f in self.fields:
+            start = self._offsets[f.name]
+            if start <= global_index < start + f.cardinality:
+                return f
+        raise AssertionError("unreachable")
+
+    def subspace(self, names: list[str]) -> "FeatureSpace":
+        """A new space containing only the named fields, in given order.
+
+        Used by the attribute-effect experiment (Table 6) to train on
+        attribute subsets.
+        """
+        return FeatureSpace([self.field(n) for n in names])
+
+    def describe(self) -> str:
+        """Human-readable summary used in dataset statistics tables."""
+        rows = [
+            f"  {f.name}: cardinality={f.cardinality} slots={f.slots} offset={self._offsets[f.name]}"
+            for f in self.fields
+        ]
+        header = f"FeatureSpace(n_features={self.n_features}, width={self.width})"
+        return "\n".join([header] + rows)

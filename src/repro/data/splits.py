@@ -1,0 +1,64 @@
+"""Train / validation / test splitting protocols (paper Section 4.3).
+
+- Rating prediction uses a random 70/20/10 split.
+- Top-n recommendation uses leave-one-out: the *latest* interaction of
+  each user is the test positive; everything earlier is training data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import RecDataset
+
+
+def random_split(
+    dataset: RecDataset,
+    ratios: tuple[float, float, float] = (0.7, 0.2, 0.1),
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Split interaction indices randomly into train / validation / test.
+
+    Returns three index arrays into ``dataset``'s interaction arrays.
+    """
+    if len(ratios) != 3:
+        raise ValueError("ratios must have three entries")
+    if abs(sum(ratios) - 1.0) > 1e-9:
+        raise ValueError("ratios must sum to 1")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(dataset.n_interactions)
+    n_train = int(round(ratios[0] * order.size))
+    n_valid = int(round(ratios[1] * order.size))
+    train = order[:n_train]
+    valid = order[n_train:n_train + n_valid]
+    test = order[n_train + n_valid:]
+    return train, valid, test
+
+
+def leave_one_out_split(dataset: RecDataset) -> tuple[np.ndarray, np.ndarray]:
+    """Hold out each user's latest interaction (by timestamp).
+
+    Users with a single interaction stay entirely in training (they
+    cannot be evaluated without any training signal).
+
+    Returns
+    -------
+    train_index, test_index:
+        Index arrays into the dataset's interaction arrays; the test
+        array holds at most one row per user.
+    """
+    users = dataset.users
+    times = dataset.timestamps
+    n = users.size
+    # Lexicographic sort by (user, time); the last row per user is the
+    # held-out positive.
+    order = np.lexsort((times, users))
+    sorted_users = users[order]
+    is_last = np.ones(n, dtype=bool)
+    is_last[:-1] = sorted_users[:-1] != sorted_users[1:]
+    counts = np.bincount(users, minlength=dataset.n_users)
+    eligible = counts[sorted_users] >= 2
+    test_mask_sorted = is_last & eligible
+    test_index = order[test_mask_sorted]
+    train_index = order[~test_mask_sorted]
+    return np.sort(train_index), np.sort(test_index)

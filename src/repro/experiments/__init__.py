@@ -1,0 +1,37 @@
+"""Experiment harness: model registry, scale configs, runners and
+paper-style table formatting.  Every benchmark under ``benchmarks/``
+drives these entry points."""
+
+from repro.experiments.registry import (
+    RATING_MODELS,
+    TOPN_MODELS,
+    build_model,
+    is_pairwise,
+)
+from repro.experiments.configs import ExperimentScale, get_scale
+from repro.experiments.runner import (
+    run_rating_cell,
+    run_rating_table,
+    run_topn_cell,
+    run_topn_table,
+)
+from repro.experiments.tables import format_table
+from repro.experiments.figures import ascii_chart
+from repro.experiments.significance import compare_models, paired_t_test
+
+__all__ = [
+    "RATING_MODELS",
+    "TOPN_MODELS",
+    "build_model",
+    "is_pairwise",
+    "ExperimentScale",
+    "get_scale",
+    "run_rating_cell",
+    "run_topn_cell",
+    "run_rating_table",
+    "run_topn_table",
+    "format_table",
+    "ascii_chart",
+    "compare_models",
+    "paired_t_test",
+]

@@ -1,0 +1,43 @@
+"""Experiment scale presets.
+
+All experiments run at a configurable scale so the complete benchmark
+suite finishes in minutes on a laptop ("quick", the default) while a
+fuller run ("full") tightens the comparison.  Select with the
+``REPRO_SCALE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs shared by every experiment runner."""
+
+    name: str
+    epochs: int
+    k: int
+    dataset_scale: float
+    n_candidates: int
+    n_seeds: int
+
+
+_SCALES = {
+    "quick": ExperimentScale(
+        name="quick", epochs=25, k=32, dataset_scale=0.5, n_candidates=99, n_seeds=1
+    ),
+    "full": ExperimentScale(
+        name="full", epochs=40, k=64, dataset_scale=1.0, n_candidates=99, n_seeds=3
+    ),
+}
+
+
+def get_scale(name: str | None = None) -> ExperimentScale:
+    """Resolve the experiment scale (argument > env var > "quick")."""
+    if name is None:
+        name = os.environ.get("REPRO_SCALE", "quick")
+    if name not in _SCALES:
+        raise KeyError(f"unknown scale {name!r}; options: {sorted(_SCALES)}")
+    return _SCALES[name]

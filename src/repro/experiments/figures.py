@@ -1,0 +1,67 @@
+"""Plain-text line charts for the paper's figures.
+
+The benchmarks render Figure 3 (metric vs embedding size) and Figure 4
+(RMSE vs interaction count) as ASCII charts so the *shape* of each curve
+is visible directly in test output, with no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: Mapping[str, Mapping[float, float]],
+    title: str = "",
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named series of ``{x: y}`` points as an ASCII chart.
+
+    Points are plotted at proportional positions; each series gets a
+    marker from a fixed cycle and a legend line.  Series may have
+    different x grids.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    xs = sorted({x for curve in series.values() for x in curve})
+    ys = [y for curve in series.values() for y in curve.values()]
+    if not xs or not ys:
+        raise ValueError("series contain no points")
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, curve) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in curve.items():
+            col = int((x - x_min) / x_span * (width - 1))
+            row = height - 1 - int((y - y_min) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_max:8.3f} |"
+        elif row_index == height - 1:
+            label = f"{y_min:8.3f} |"
+        else:
+            label = " " * 9 + "|"
+        lines.append(label + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(" " * 10 + f"{x_min:<10g}{x_label:^{max(width - 20, 0)}}{x_max:>10g}")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 10 + legend)
+    if y_label:
+        lines.append(" " * 10 + f"(y: {y_label})")
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Model factory keyed by the paper's model names (Tables 3–4)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.gml_fm import GMLFM_DNN, GMLFM_MD
+from repro.data.dataset import RecDataset
+from repro.models import (
+    AFM,
+    BPRMF,
+    NCF,
+    NFM,
+    NGCF,
+    MF,
+    PMF,
+    DeepFM,
+    FactorizationMachine,
+    TransFM,
+    XDeepFM,
+)
+from repro.models.base import RecommenderModel
+
+#: Models compared on the rating-prediction task (paper Table 3).
+RATING_MODELS = [
+    "MF",
+    "PMF",
+    "LibFM",
+    "NFM",
+    "AFM",
+    "TransFM",
+    "DeepFM",
+    "xDeepFM",
+    "GML-FMmd",
+    "GML-FMdnn",
+]
+
+#: Models compared on the top-n task (paper Table 4).
+TOPN_MODELS = [
+    "NCF",
+    "BPR-MF",
+    "NGCF",
+    "LibFM",
+    "NFM",
+    "AFM",
+    "TransFM",
+    "DeepFM",
+    "xDeepFM",
+    "GML-FMmd",
+    "GML-FMdnn",
+]
+
+_PAIRWISE = {"BPR-MF", "NGCF"}
+
+
+def is_pairwise(name: str) -> bool:
+    """Whether the model trains with the BPR pairwise objective."""
+    return name in _PAIRWISE
+
+
+def build_model(
+    name: str,
+    dataset: RecDataset,
+    k: int = 16,
+    seed: int = 0,
+    train_users: Optional[np.ndarray] = None,
+    train_items: Optional[np.ndarray] = None,
+) -> RecommenderModel:
+    """Instantiate a model by its paper name.
+
+    ``train_users`` / ``train_items`` feed NGCF's propagation graph
+    (training interactions only, to avoid leakage).
+    """
+    rng = np.random.default_rng(seed)
+    n_users, n_items = dataset.n_users, dataset.n_items
+    if name == "MF":
+        return MF(n_users, n_items, k=k, rng=rng)
+    if name == "PMF":
+        return PMF(n_users, n_items, k=k, rng=rng)
+    if name == "NCF":
+        return NCF(n_users, n_items, k=k, rng=rng)
+    if name == "BPR-MF":
+        return BPRMF(n_users, n_items, k=k, rng=rng)
+    if name == "NGCF":
+        return NGCF(
+            n_users, n_items, k=k, n_layers=2,
+            train_users=train_users, train_items=train_items, rng=rng,
+        )
+    if name == "LibFM":
+        return FactorizationMachine(dataset, k=k, rng=rng)
+    if name == "NFM":
+        return NFM(dataset, k=k, rng=rng)
+    if name == "AFM":
+        return AFM(dataset, k=k, rng=rng)
+    if name == "TransFM":
+        return TransFM(dataset, k=k, rng=rng)
+    if name == "DeepFM":
+        return DeepFM(dataset, k=k, rng=rng)
+    if name == "xDeepFM":
+        return XDeepFM(dataset, k=k, rng=rng)
+    if name == "GML-FMmd":
+        return GMLFM_MD(dataset, k=k, rng=rng)
+    if name == "GML-FMdnn":
+        # Two deep layers: the paper's ablation (Table 5) finds depth 2
+        # the best choice on most occasions.
+        return GMLFM_DNN(dataset, k=k, n_layers=2, rng=rng)
+    raise KeyError(f"unknown model {name!r}")

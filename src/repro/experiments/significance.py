@@ -1,0 +1,104 @@
+"""Statistical significance of model comparisons (paper Tables 3–4).
+
+The paper marks results with † (p < 0.01) and ∗ (p < 0.05) from a
+two-sided t-test against the best baseline.  This module provides that
+machinery: run a (model, dataset, task) cell over several seeds and
+compare two models with a paired two-sided t-test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+from scipy import stats
+
+from repro.data.dataset import RecDataset
+from repro.experiments.configs import ExperimentScale, get_scale
+from repro.experiments.runner import run_rating_cell, run_topn_cell
+
+
+@dataclass
+class SignificanceResult:
+    """Outcome of a paired comparison between two models."""
+
+    model_a: str
+    model_b: str
+    scores_a: list[float]
+    scores_b: list[float]
+    t_statistic: float
+    p_value: float
+
+    @property
+    def mean_a(self) -> float:
+        return float(np.mean(self.scores_a))
+
+    @property
+    def mean_b(self) -> float:
+        return float(np.mean(self.scores_b))
+
+    def marker(self) -> str:
+        """The paper's notation: '†' p<0.01, '*' p<0.05, '' otherwise."""
+        if self.p_value < 0.01:
+            return "†"
+        if self.p_value < 0.05:
+            return "*"
+        return ""
+
+
+def paired_t_test(scores_a: Sequence[float], scores_b: Sequence[float]) -> tuple[float, float]:
+    """Two-sided paired t-test; returns (t statistic, p value).
+
+    Requires at least two paired observations; identical samples return
+    (0, 1) rather than NaN so callers can treat "no evidence" uniformly.
+    """
+    a = np.asarray(scores_a, dtype=np.float64)
+    b = np.asarray(scores_b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError("paired samples must have equal length")
+    if a.size < 2:
+        raise ValueError("need at least two paired observations")
+    if np.allclose(a, b):
+        return 0.0, 1.0
+    t_stat, p_value = stats.ttest_rel(a, b)
+    return float(t_stat), float(p_value)
+
+
+def compare_models(
+    model_a: str,
+    model_b: str,
+    dataset: RecDataset,
+    task: str = "topn",
+    seeds: Optional[Sequence[int]] = None,
+    scale: Optional[ExperimentScale] = None,
+) -> SignificanceResult:
+    """Run both models over several seeds and t-test the paired scores.
+
+    ``task`` is ``"topn"`` (scores are HR@10, higher better) or
+    ``"rating"`` (scores are RMSE, lower better).  Seeds default to
+    ``range(scale.n_seeds)`` but at least 3 for a meaningful test.
+    """
+    if task not in ("topn", "rating"):
+        raise ValueError("task must be 'topn' or 'rating'")
+    scale = scale if scale is not None else get_scale()
+    if seeds is None:
+        seeds = list(range(max(scale.n_seeds, 3)))
+
+    def cell(model_name: str, seed: int) -> float:
+        if task == "rating":
+            return run_rating_cell(model_name, dataset, scale=scale, seed=seed)
+        hr, _ndcg = run_topn_cell(model_name, dataset, scale=scale, seed=seed)
+        return hr
+
+    scores_a = [cell(model_a, s) for s in seeds]
+    scores_b = [cell(model_b, s) for s in seeds]
+    t_stat, p_value = paired_t_test(scores_a, scores_b)
+    return SignificanceResult(
+        model_a=model_a,
+        model_b=model_b,
+        scores_a=scores_a,
+        scores_b=scores_b,
+        t_statistic=t_stat,
+        p_value=p_value,
+    )

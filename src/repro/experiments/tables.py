@@ -1,0 +1,72 @@
+"""Paper-style plain-text table formatting for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(
+    results: Mapping[str, Mapping[str, object]],
+    columns: Sequence[str],
+    title: str = "",
+    value_format: str = "{:.4f}",
+    highlight_best: bool = True,
+    lower_is_better: bool = False,
+) -> str:
+    """Format ``{row: {column: value}}`` results like the paper's tables.
+
+    Values may be floats or (HR, NDCG) tuples; the best value per column
+    is marked with ``*`` when ``highlight_best`` is set.
+    """
+    rows = list(results.keys())
+
+    def cell_values(value) -> list[float]:
+        if isinstance(value, tuple):
+            return list(value)
+        return [float(value)]
+
+    n_sub = max(
+        len(cell_values(results[r][c]))
+        for r in rows
+        for c in columns
+        if c in results[r]
+    )
+
+    best: dict[tuple[str, int], float] = {}
+    for c in columns:
+        for sub in range(n_sub):
+            values = [
+                cell_values(results[r][c])[sub]
+                for r in rows
+                if c in results[r] and len(cell_values(results[r][c])) > sub
+            ]
+            if not values:
+                continue
+            best[(c, sub)] = min(values) if lower_is_better else max(values)
+
+    def render(value, column: str) -> str:
+        parts = []
+        for sub, v in enumerate(cell_values(value)):
+            text = value_format.format(v)
+            if highlight_best and (column, sub) in best and v == best[(column, sub)]:
+                text += "*"
+            parts.append(text)
+        return " / ".join(parts)
+
+    name_width = max(len(r) for r in rows) + 2
+    col_width = max(12, n_sub * 8 + 3, max(len(c) for c in columns) + 2)
+    lines = []
+    if title:
+        lines.append(title)
+    header = " " * name_width + "".join(f"{c:>{col_width}}" for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in rows:
+        cells = []
+        for c in columns:
+            if c in results[r]:
+                cells.append(f"{render(results[r][c], c):>{col_width}}")
+            else:
+                cells.append(f"{'—':>{col_width}}")
+        lines.append(f"{r:<{name_width}}" + "".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""Baseline recommenders the paper compares against (Section 4.2).
+
+FM family (consume side attributes through the feature encoding):
+``FactorizationMachine`` (LibFM), ``NFM``, ``DeepFM``, ``xDeepFM``,
+``AFM``, ``TransFM``.
+
+MF family (user/item ids only): ``MF``, ``PMF``, ``NCF``, ``BPRMF``,
+``NGCF`` and the meta-learning cold-start baseline ``MAMO``.
+"""
+
+from repro.models.base import EntityRecommender, FeatureRecommender, RecommenderModel
+from repro.models.fm import FactorizationMachine
+from repro.models.nfm import NFM
+from repro.models.deepfm import DeepFM
+from repro.models.xdeepfm import XDeepFM
+from repro.models.afm import AFM
+from repro.models.transfm import TransFM
+from repro.models.mf import MF
+from repro.models.pmf import PMF
+from repro.models.ncf import NCF
+from repro.models.bprmf import BPRMF
+from repro.models.ngcf import NGCF
+from repro.models.mamo import MAMO
+
+__all__ = [
+    "RecommenderModel",
+    "FeatureRecommender",
+    "EntityRecommender",
+    "FactorizationMachine",
+    "NFM",
+    "DeepFM",
+    "XDeepFM",
+    "AFM",
+    "TransFM",
+    "MF",
+    "PMF",
+    "NCF",
+    "BPRMF",
+    "NGCF",
+    "MAMO",
+]

@@ -1,0 +1,57 @@
+"""Attentional Factorization Machine (Xiao et al. 2017).
+
+Learns a per-pair importance with a small attention network:
+
+    e_ij = (v_i ⊙ v_j) x_i x_j
+    a_ij = softmax(hₐᵀ ReLU(W e_ij + b))
+    ŷ    = w₀ + Σᵢ wᵢxᵢ + pᵀ Σ_{i<j} a_ij e_ij
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import init, nn, ops
+from repro.autograd.tensor import Tensor
+from repro.data.dataset import RecDataset
+from repro.models.base import FeatureRecommender
+
+
+class AFM(FeatureRecommender):
+    """AFM with a single attention layer over pairwise interactions."""
+
+    def __init__(self, dataset: RecDataset, k: int = 32, attention_dim: int = 16,
+                 dropout: float = 0.1, rng: Optional[np.random.Generator] = None):
+        super().__init__(dataset)
+        rng = rng if rng is not None else np.random.default_rng()
+        self.k = k
+        self.embeddings = nn.Embedding(self.n_features, k, std=0.01, rng=rng)
+        self.linear = nn.Embedding(self.n_features, 1, std=0.01, rng=rng)
+        self.bias = init.zeros(())
+        self.attention = nn.Linear(k, attention_dim, rng=rng)
+        self.attention_vector = Tensor(
+            rng.normal(0.0, 0.01, size=(attention_dim,)), requires_grad=True
+        )
+        self.projection = Tensor(
+            rng.normal(0.0, 0.01, size=(k,)), requires_grad=True
+        )
+        self.dropout = nn.Dropout(dropout, rng=rng)
+        left, right = np.triu_indices(self.sample_width, k=1)
+        self._left, self._right = left, right
+
+    def forward_features(self, indices: np.ndarray, values: np.ndarray) -> Tensor:
+        x = Tensor(values)
+        v = self.embeddings(indices)                        # [B, W, k]
+        xv = x.expand_dims(-1) * v
+        e = xv[:, self._left, :] * xv[:, self._right, :]    # [B, P, k]
+
+        logits = self.attention(e).relu() @ self.attention_vector  # [B, P]
+        weights = ops.softmax(logits, axis=-1)
+        attended = (weights.expand_dims(-1) * e).sum(axis=1)       # [B, k]
+        attended = self.dropout(attended)
+
+        interaction = attended @ self.projection
+        linear = (self.linear(indices).squeeze(-1) * x).sum(axis=-1)
+        return self.bias + linear + interaction

@@ -1,0 +1,79 @@
+"""Common recommender interfaces.
+
+Every model exposes ``score(users, items) -> Tensor[B]`` so the trainer
+and evaluators are model-agnostic.  Two families exist:
+
+- :class:`FeatureRecommender` — FM-style models that consume the full
+  attribute encoding; they hold a reference to the dataset's encoder
+  and implement ``forward_features(indices, values)``.
+- :class:`EntityRecommender` — MF-style models that look only at the
+  raw (user, item) ids and implement ``forward_entities(users, items)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import nn
+from repro.autograd.tensor import Tensor, no_grad
+from repro.data.dataset import RecDataset
+
+
+class RecommenderModel(nn.Module):
+    """Base class: a trainable scorer over (user, item) pairs."""
+
+    def score(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        """Differentiable scores for a batch of (user, item) pairs."""
+        raise NotImplementedError
+
+    def predict(self, users: np.ndarray, items: np.ndarray, batch_size: int = 4096) -> np.ndarray:
+        """Numpy predictions in eval mode without building the tape."""
+        self.eval()
+        users = np.asarray(users)
+        items = np.asarray(items)
+        chunks = []
+        with no_grad():
+            for start in range(0, users.size, batch_size):
+                stop = start + batch_size
+                chunks.append(self.score(users[start:stop], items[start:stop]).data)
+        self.train()
+        return np.concatenate(chunks) if chunks else np.empty(0)
+
+
+class FeatureRecommender(RecommenderModel):
+    """FM-family base: scores via the dataset's feature encoding."""
+
+    def __init__(self, dataset: RecDataset):
+        super().__init__()
+        self._encode = dataset.encode
+        self.n_features = dataset.n_features
+        self.sample_width = dataset.sample_width
+
+    def forward_features(self, indices: np.ndarray, values: np.ndarray) -> Tensor:
+        """Score already-encoded samples; shape ``[B, W]`` each."""
+        raise NotImplementedError
+
+    def score(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        indices, values = self._encode(users, items)
+        return self.forward_features(indices, values)
+
+    def forward(self, indices: np.ndarray, values: np.ndarray) -> Tensor:
+        return self.forward_features(indices, values)
+
+
+class EntityRecommender(RecommenderModel):
+    """MF-family base: scores directly from (user, item) ids."""
+
+    def __init__(self, n_users: int, n_items: int):
+        super().__init__()
+        self.n_users = n_users
+        self.n_items = n_items
+
+    def forward_entities(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        raise NotImplementedError
+
+    def score(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        return self.forward_entities(np.asarray(users), np.asarray(items))
+
+    def forward(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        return self.forward_entities(users, items)

@@ -1,0 +1,34 @@
+"""BPR-MF (Rendle et al. 2009): MF scored, trained with the pairwise
+Bayesian Personalized Ranking loss (see ``training.losses.bpr_loss``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import nn
+from repro.autograd.tensor import Tensor
+from repro.models.base import EntityRecommender
+
+
+class BPRMF(EntityRecommender):
+    """Inner-product MF intended for pairwise (BPR) training."""
+
+    #: Trainers check this flag to choose the pairwise loop.
+    pairwise = True
+
+    def __init__(self, n_users: int, n_items: int, k: int = 32,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(n_users, n_items)
+        rng = rng if rng is not None else np.random.default_rng()
+        self.k = k
+        self.user_factors = nn.Embedding(n_users, k, std=0.01, rng=rng)
+        self.item_factors = nn.Embedding(n_items, k, std=0.01, rng=rng)
+        self.item_bias = nn.Embedding(n_items, 1, std=0.01, rng=rng)
+
+    def forward_entities(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        p = self.user_factors(users)
+        q = self.item_factors(items)
+        return (p * q).sum(axis=-1) + self.item_bias(items).squeeze(-1)

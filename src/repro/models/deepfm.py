@@ -1,0 +1,52 @@
+"""DeepFM (Guo et al. 2017): FM component + deep component, shared embeddings.
+
+The FM component models low-order interactions (identical to the vanilla
+FM); the deep component is an MLP over the concatenated field embedding
+vectors; their outputs are summed (Wide & Deep architecture).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import init, nn
+from repro.autograd.tensor import Tensor
+from repro.data.dataset import RecDataset
+from repro.models.base import FeatureRecommender
+
+
+class DeepFM(FeatureRecommender):
+    """DeepFM with a shared embedding table."""
+
+    def __init__(self, dataset: RecDataset, k: int = 32,
+                 hidden: Optional[list[int]] = None, dropout: float = 0.1,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(dataset)
+        rng = rng if rng is not None else np.random.default_rng()
+        self.k = k
+        self.embeddings = nn.Embedding(self.n_features, k, std=0.01, rng=rng)
+        self.linear = nn.Embedding(self.n_features, 1, std=0.01, rng=rng)
+        self.bias = init.zeros(())
+        hidden = hidden if hidden is not None else [64, 32]
+        dims = [self.sample_width * k] + hidden
+        self.mlp = nn.make_mlp(dims, activation="relu", dropout=dropout, rng=rng)
+        self.head = nn.Linear(dims[-1], 1, rng=rng)
+
+    def forward_features(self, indices: np.ndarray, values: np.ndarray) -> Tensor:
+        x = Tensor(values)
+        v = self.embeddings(indices)                       # [B, W, k]
+        xv = x.expand_dims(-1) * v
+
+        # FM component.
+        sum_sq = xv.sum(axis=1) ** 2
+        sq_sum = (xv * xv).sum(axis=1)
+        fm_term = 0.5 * (sum_sq - sq_sum).sum(axis=-1)
+        linear = (self.linear(indices).squeeze(-1) * x).sum(axis=-1)
+
+        # Deep component over concatenated (value-scaled) field vectors.
+        flat = xv.reshape(xv.shape[0], self.sample_width * self.k)
+        deep = self.head(self.mlp(flat)).squeeze(-1)
+
+        return self.bias + linear + fm_term + deep

@@ -1,0 +1,204 @@
+"""MAMO-style memory-augmented meta-learning recommender (Dong et al. 2020).
+
+The cold-start comparison of the paper's Figure 4 pits GML-FM against
+MAMO.  The official MAMO couples MAML-style meta-learning with two
+memory matrices that provide *personalized* parameter initialization
+instead of one global initialization.  This implementation keeps that
+essential mechanism at laptop scale:
+
+- a **profile encoder** maps a user's side attributes to a profile
+  vector ``p_u``;
+- a **feature-specific memory** (keys ``K``, values ``V``) is addressed
+  by attention over ``p_u`` and emits a personalized user-embedding
+  initialization ``e_u = p_u + softmax(p_u Kᵀ) V``;
+- **local adaptation** runs a few gradient steps on the user's support
+  interactions, updating only the fast user embedding;
+- the **meta-update** backpropagates the post-adaptation query loss into
+  the profile encoder, the memories and the item tower (first-order
+  approximation, as in FOMAML — the adaptation delta is treated as a
+  constant).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import init, nn, ops
+from repro.autograd.tensor import Tensor, no_grad
+from repro.data.dataset import RecDataset
+from repro.models.base import RecommenderModel
+
+
+class MAMO(RecommenderModel):
+    """Memory-augmented meta-optimization for cold-start recommendation."""
+
+    def __init__(self, dataset: RecDataset, k: int = 32, n_memory: int = 8,
+                 local_lr: float = 0.05, local_steps: int = 3,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.dataset = dataset
+        self.k = k
+        self.n_memory = n_memory
+        self.local_lr = local_lr
+        self.local_steps = local_steps
+
+        # Profile encoder: one embedding table over the user-attribute
+        # feature space (user id excluded — cold users have no history,
+        # only attributes).
+        self._attr_fields = list(dataset.user_attrs.keys())
+        self._attr_sizes = {
+            name: int(idx.max()) + 1 for name, (idx, _v) in dataset.user_attrs.items()
+        }
+        total_attr = sum(self._attr_sizes.values()) if self._attr_sizes else 1
+        self._attr_offsets: dict[str, int] = {}
+        offset = 0
+        for name in self._attr_fields:
+            self._attr_offsets[name] = offset
+            offset += self._attr_sizes[name]
+        self.profile_embeddings = nn.Embedding(total_attr, k, std=0.05, rng=rng)
+
+        # Feature-specific memory.
+        self.memory_keys = Tensor(rng.normal(0.0, 0.1, size=(n_memory, k)), requires_grad=True)
+        self.memory_values = Tensor(rng.normal(0.0, 0.1, size=(n_memory, k)), requires_grad=True)
+
+        # Item tower.
+        self.item_factors = nn.Embedding(dataset.n_items, k, std=0.01, rng=rng)
+        self.item_bias = nn.Embedding(dataset.n_items, 1, std=0.01, rng=rng)
+        self.bias = init.zeros(())
+
+    # ------------------------------------------------------------------
+    def _profile_indices(self, user: int) -> np.ndarray:
+        """Global indices of a user's attribute values."""
+        indices = []
+        for name in self._attr_fields:
+            idx, val = self.dataset.user_attrs[name]
+            active = idx[user][val[user] > 0]
+            indices.append(self._attr_offsets[name] + active)
+        if not indices:
+            return np.zeros(1, dtype=np.int64)
+        return np.concatenate(indices)
+
+    def personalized_init(self, user: int) -> Tensor:
+        """Profile vector plus attention-read from the memory."""
+        profile = self.profile_embeddings(self._profile_indices(user)).mean(axis=0)
+        attention = ops.softmax((self.memory_keys @ profile), axis=-1)  # [n_memory]
+        read = attention @ self.memory_values                            # [k]
+        return profile + read
+
+    def _score_items(self, user_embedding: Tensor, items: np.ndarray) -> Tensor:
+        q = self.item_factors(items)
+        return (
+            self.bias
+            + self.item_bias(items).squeeze(-1)
+            + q @ user_embedding
+        )
+
+    # ------------------------------------------------------------------
+    def adapt(self, user: int, support_items: np.ndarray,
+              support_labels: np.ndarray) -> tuple[Tensor, np.ndarray]:
+        """Local adaptation: returns (initial embedding node, delta).
+
+        The delta is computed with detached fast weights so the
+        meta-gradient is first-order.
+        """
+        init_embedding = self.personalized_init(user)
+        fast = init_embedding.data.copy()
+        labels = np.asarray(support_labels, dtype=np.float64)
+        for _ in range(self.local_steps):
+            fast_t = Tensor(fast, requires_grad=True)
+            with_tape = self._score_items(fast_t, support_items)
+            loss = ((with_tape - labels) ** 2).mean()
+            loss.backward()
+            fast = fast - self.local_lr * fast_t.grad
+        delta = fast - init_embedding.data
+        return init_embedding, delta
+
+    def meta_fit(
+        self,
+        train_users: np.ndarray,
+        train_items: np.ndarray,
+        train_labels: np.ndarray,
+        epochs: int = 3,
+        meta_lr: float = 0.01,
+        support_fraction: float = 0.5,
+        seed: int = 0,
+        users_per_step: int = 16,
+    ) -> list[float]:
+        """First-order meta-training over users as tasks.
+
+        Returns the per-epoch mean query loss (for convergence tests).
+        """
+        from repro.autograd.optim import Adam
+
+        rng = np.random.default_rng(seed)
+        optimizer = Adam(list(self.parameters()), lr=meta_lr)
+        by_user: dict[int, np.ndarray] = {}
+        train_users = np.asarray(train_users)
+        for u in np.unique(train_users):
+            by_user[int(u)] = np.where(train_users == u)[0]
+        users = np.array(sorted(by_user), dtype=np.int64)
+        history: list[float] = []
+
+        for _epoch in range(epochs):
+            rng.shuffle(users)
+            epoch_losses: list[float] = []
+            for start in range(0, users.size, users_per_step):
+                batch_users = users[start:start + users_per_step]
+                optimizer.zero_grad()
+                total = None
+                counted = 0
+                for u in batch_users:
+                    rows = by_user[int(u)]
+                    if rows.size < 2:
+                        continue
+                    perm = rng.permutation(rows)
+                    n_support = max(1, int(support_fraction * rows.size))
+                    support, query = perm[:n_support], perm[n_support:]
+                    if query.size == 0:
+                        continue
+                    init_node, delta = self.adapt(
+                        int(u), train_items[support], train_labels[support]
+                    )
+                    adapted = init_node + Tensor(delta)
+                    scores = self._score_items(adapted, train_items[query])
+                    labels = np.asarray(train_labels[query], dtype=np.float64)
+                    loss = ((scores - labels) ** 2).mean()
+                    total = loss if total is None else total + loss
+                    counted += 1
+                if total is None:
+                    continue
+                mean_loss = total * (1.0 / counted)
+                mean_loss.backward()
+                optimizer.step()
+                epoch_losses.append(mean_loss.item())
+            history.append(float(np.mean(epoch_losses)) if epoch_losses else float("nan"))
+        return history
+
+    # ------------------------------------------------------------------
+    def predict_for_user(self, user: int, support_items: np.ndarray,
+                         support_labels: np.ndarray, query_items: np.ndarray) -> np.ndarray:
+        """Adapt on the user's support set, then score query items."""
+        support_items = np.asarray(support_items)
+        if support_items.size == 0:
+            with no_grad():
+                embedding = self.personalized_init(user)
+                return self._score_items(embedding, np.asarray(query_items)).data
+        init_node, delta = self.adapt(user, support_items, np.asarray(support_labels))
+        adapted = init_node.data + delta
+        with no_grad():
+            return self._score_items(Tensor(adapted), np.asarray(query_items)).data
+
+    def score(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        """Non-adapted scoring (personalized init only).
+
+        Used where a generic scorer is required; the cold-start harness
+        calls :meth:`predict_for_user` to include local adaptation.
+        """
+        users = np.asarray(users)
+        items = np.asarray(items)
+        rows = [self._score_items(self.personalized_init(int(u)), items[b:b + 1])
+                for b, u in enumerate(users)]
+        return ops.concatenate(rows, axis=0)

@@ -1,0 +1,40 @@
+"""Matrix factorization with biases (rating-prediction baseline).
+
+    ŷ(u, i) = μ + b_u + b_i + p_uᵀ q_i
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import init, nn
+from repro.autograd.tensor import Tensor
+from repro.models.base import EntityRecommender
+
+
+class MF(EntityRecommender):
+    """Biased matrix factorization."""
+
+    def __init__(self, n_users: int, n_items: int, k: int = 32,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(n_users, n_items)
+        rng = rng if rng is not None else np.random.default_rng()
+        self.k = k
+        self.user_factors = nn.Embedding(n_users, k, std=0.01, rng=rng)
+        self.item_factors = nn.Embedding(n_items, k, std=0.01, rng=rng)
+        self.user_bias = nn.Embedding(n_users, 1, std=0.01, rng=rng)
+        self.item_bias = nn.Embedding(n_items, 1, std=0.01, rng=rng)
+        self.bias = init.zeros(())
+
+    def forward_entities(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        p = self.user_factors(users)
+        q = self.item_factors(items)
+        dot = (p * q).sum(axis=-1)
+        return (
+            self.bias
+            + self.user_bias(users).squeeze(-1)
+            + self.item_bias(items).squeeze(-1)
+            + dot
+        )

@@ -1,0 +1,42 @@
+"""Neural Collaborative Filtering / NeuMF (He et al. 2017).
+
+Combines a GMF branch (element-wise product of user/item embeddings)
+with an MLP branch over their concatenation; the fused vector feeds a
+final linear prediction unit.  Point-wise learning to rank.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import nn, ops
+from repro.autograd.tensor import Tensor
+from repro.models.base import EntityRecommender
+
+
+class NCF(EntityRecommender):
+    """NeuMF with separate GMF and MLP embedding tables."""
+
+    def __init__(self, n_users: int, n_items: int, k: int = 32,
+                 hidden: Optional[list[int]] = None, dropout: float = 0.1,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(n_users, n_items)
+        rng = rng if rng is not None else np.random.default_rng()
+        self.k = k
+        self.gmf_user = nn.Embedding(n_users, k, std=0.01, rng=rng)
+        self.gmf_item = nn.Embedding(n_items, k, std=0.01, rng=rng)
+        self.mlp_user = nn.Embedding(n_users, k, std=0.01, rng=rng)
+        self.mlp_item = nn.Embedding(n_items, k, std=0.01, rng=rng)
+        hidden = hidden if hidden is not None else [64, 32]
+        self.mlp = nn.make_mlp([2 * k] + hidden, activation="relu",
+                               dropout=dropout, rng=rng)
+        self.head = nn.Linear(k + hidden[-1], 1, rng=rng)
+
+    def forward_entities(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        gmf = self.gmf_user(users) * self.gmf_item(items)
+        mlp_in = ops.concatenate([self.mlp_user(users), self.mlp_item(items)], axis=-1)
+        mlp_out = self.mlp(mlp_in)
+        fused = ops.concatenate([gmf, mlp_out], axis=-1)
+        return self.head(fused).squeeze(-1)

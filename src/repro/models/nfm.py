@@ -1,0 +1,59 @@
+"""Neural Factorization Machine (He & Chua 2017).
+
+    ŷ(x) = w₀ + Σᵢ wᵢxᵢ + hᵀ MLP(f_BI(Vx))
+    f_BI(Vx) = Σ_{i<j} x_i v_i ⊙ x_j v_j
+             = ½[(Σᵢ x_i v_i)² − Σᵢ (x_i v_i)²]
+
+Bi-Interaction pooling followed by fully connected layers; an
+inner-product model with non-linear transformations (paper Section 2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import init, nn
+from repro.autograd.tensor import Tensor
+from repro.data.dataset import RecDataset
+from repro.models.base import FeatureRecommender
+
+
+class NFM(FeatureRecommender):
+    """NFM with Bi-Interaction pooling and an MLP head."""
+
+    def __init__(self, dataset: RecDataset, k: int = 32, n_layers: int = 1,
+                 dropout: float = 0.1, activation: str = "relu",
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(dataset)
+        rng = rng if rng is not None else np.random.default_rng()
+        self.k = k
+        self.embeddings = nn.Embedding(self.n_features, k, std=0.01, rng=rng)
+        self.linear = nn.Embedding(self.n_features, 1, std=0.01, rng=rng)
+        self.bias = init.zeros(())
+        self.dropout = nn.Dropout(dropout, rng=rng)
+        if n_layers > 0:
+            self.mlp = nn.make_mlp([k] * (n_layers + 1), activation=activation,
+                                   dropout=dropout, rng=rng)
+        else:
+            self.mlp = nn.Identity()
+        self.head = nn.Linear(k, 1, bias=False, rng=rng)
+
+    def bi_interaction(self, indices: np.ndarray, values: np.ndarray) -> Tensor:
+        """The pooled pairwise element-wise products ``[B, k]``."""
+        x = Tensor(values)
+        v = self.embeddings(indices)
+        xv = x.expand_dims(-1) * v
+        return 0.5 * (xv.sum(axis=1) ** 2 - (xv * xv).sum(axis=1))
+
+    def forward_features(self, indices: np.ndarray, values: np.ndarray) -> Tensor:
+        x = Tensor(values)
+        pooled = self.dropout(self.bi_interaction(indices, values))
+        deep = self.head(self.mlp(pooled)).squeeze(-1)
+        linear = (self.linear(indices).squeeze(-1) * x).sum(axis=-1)
+        return self.bias + linear + deep
+
+    def item_embeddings(self, item_ids: np.ndarray, offset: int) -> np.ndarray:
+        """Raw item-id embeddings for the t-SNE case study (Figs. 5–6)."""
+        return self.embeddings.weight.data[offset + np.asarray(item_ids)]

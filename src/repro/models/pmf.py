@@ -1,0 +1,34 @@
+"""Probabilistic Matrix Factorization (Mnih & Salakhutdinov 2008).
+
+The MAP objective of PMF is the squared loss plus Gaussian priors on
+both factor matrices, i.e. plain inner-product MF with L2 regularization
+and no bias terms.  The prior precision ratio becomes the trainer's
+``weight_decay``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import nn
+from repro.autograd.tensor import Tensor
+from repro.models.base import EntityRecommender
+
+
+class PMF(EntityRecommender):
+    """Bias-free MF trained with weight decay (Gaussian priors)."""
+
+    def __init__(self, n_users: int, n_items: int, k: int = 32,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(n_users, n_items)
+        rng = rng if rng is not None else np.random.default_rng()
+        self.k = k
+        self.user_factors = nn.Embedding(n_users, k, std=0.01, rng=rng)
+        self.item_factors = nn.Embedding(n_items, k, std=0.01, rng=rng)
+
+    def forward_entities(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        p = self.user_factors(users)
+        q = self.item_factors(items)
+        return (p * q).sum(axis=-1)

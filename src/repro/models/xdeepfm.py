@@ -1,0 +1,80 @@
+"""xDeepFM (Lian et al. 2018): Compressed Interaction Network + DNN.
+
+The CIN builds explicit vector-wise high-order interactions:
+
+    X⁰ ∈ [B, W, k]                         (field embedding matrix)
+    Xˡ_{h,:} = Σ_{i,j} Wˡ_{h,ij} (Xˡ⁻¹_{i,:} ⊙ X⁰_{j,:})
+
+Each layer is sum-pooled over the embedding axis and the pooled vectors
+feed a final linear unit, alongside a plain DNN and the linear part.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import init, nn
+from repro.autograd.tensor import Tensor
+from repro.data.dataset import RecDataset
+from repro.models.base import FeatureRecommender
+
+
+class XDeepFM(FeatureRecommender):
+    """xDeepFM with a small CIN and DNN tower."""
+
+    def __init__(self, dataset: RecDataset, k: int = 32,
+                 cin_sizes: Optional[list[int]] = None,
+                 hidden: Optional[list[int]] = None, dropout: float = 0.1,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(dataset)
+        rng = rng if rng is not None else np.random.default_rng()
+        self.k = k
+        self.embeddings = nn.Embedding(self.n_features, k, std=0.01, rng=rng)
+        self.linear = nn.Embedding(self.n_features, 1, std=0.01, rng=rng)
+        self.bias = init.zeros(())
+
+        self.cin_sizes = cin_sizes if cin_sizes is not None else [8, 8]
+        width = self.sample_width
+        self.cin_weights = nn.ModuleList()
+        prev = width
+        for size in self.cin_sizes:
+            # A 1x1 "convolution" over the H_{l-1}·W outer-product rows.
+            self.cin_weights.append(nn.Linear(prev * width, size, bias=False, rng=rng))
+            prev = size
+
+        hidden = hidden if hidden is not None else [64, 32]
+        dims = [width * k] + hidden
+        self.mlp = nn.make_mlp(dims, activation="relu", dropout=dropout, rng=rng)
+        self.deep_head = nn.Linear(dims[-1], 1, rng=rng)
+        self.cin_head = nn.Linear(sum(self.cin_sizes), 1, rng=rng)
+
+    def _cin(self, x0: Tensor) -> Tensor:
+        """Compressed Interaction Network; returns pooled ``[B, ΣH]``."""
+        batch, width, k = x0.shape
+        pooled = []
+        current = x0
+        for layer in self.cin_weights:
+            h_prev = current.shape[1]
+            # Outer products along the embedding axis:
+            # z[b, i, j, d] = current[b, i, d] * x0[b, j, d]
+            z = current.expand_dims(2) * x0.expand_dims(1)        # [B, H, W, k]
+            z = z.reshape(batch, h_prev * width, k)               # [B, H*W, k]
+            # Compress rows with the layer weights: [B, k, H*W] @ [H*W, H'].
+            compressed = (z.swapaxes(1, 2) @ layer.weight).swapaxes(1, 2)
+            current = compressed                                   # [B, H', k]
+            pooled.append(current.sum(axis=-1))                    # [B, H']
+        from repro.autograd import ops
+        return ops.concatenate(pooled, axis=-1)
+
+    def forward_features(self, indices: np.ndarray, values: np.ndarray) -> Tensor:
+        x = Tensor(values)
+        v = self.embeddings(indices)
+        xv = x.expand_dims(-1) * v
+
+        linear = (self.linear(indices).squeeze(-1) * x).sum(axis=-1)
+        cin_out = self.cin_head(self._cin(xv)).squeeze(-1)
+        flat = xv.reshape(xv.shape[0], self.sample_width * self.k)
+        deep = self.deep_head(self.mlp(flat)).squeeze(-1)
+        return self.bias + linear + cin_out + deep

@@ -1,0 +1,34 @@
+"""Training loops, losses, metrics and the paper's evaluation protocols."""
+
+from repro.training.losses import bpr_loss, squared_loss
+from repro.training.metrics import hit_ratio, ndcg, rmse
+from repro.training.trainer import TrainConfig, Trainer
+from repro.training.persistence import load_model, save_model
+from repro.training.recommend import recommend
+from repro.training.evaluation import (
+    RatingEvaluation,
+    TopNEvaluation,
+    build_rating_instances,
+    evaluate_rating,
+    evaluate_topn,
+    prepare_topn_protocol,
+)
+
+__all__ = [
+    "squared_loss",
+    "bpr_loss",
+    "rmse",
+    "hit_ratio",
+    "ndcg",
+    "Trainer",
+    "TrainConfig",
+    "build_rating_instances",
+    "evaluate_rating",
+    "evaluate_topn",
+    "RatingEvaluation",
+    "TopNEvaluation",
+    "prepare_topn_protocol",
+    "save_model",
+    "load_model",
+    "recommend",
+]

@@ -1,0 +1,145 @@
+"""The paper's two evaluation protocols (Section 4.3).
+
+Rating prediction
+    The positive interactions are augmented with 2 sampled negatives per
+    positive (labels +1 / -1), split randomly 70/20/10, and RMSE is
+    reported on the test portion.
+
+Top-n recommendation
+    Leave-one-out: each user's latest interaction is the test positive;
+    it is ranked against 99 sampled uninteracted items and HR@10 /
+    NDCG@10 are averaged over users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import RecDataset
+from repro.data.sampling import NegativeSampler, sample_ranking_candidates
+from repro.data.splits import leave_one_out_split, random_split
+from repro.models.base import RecommenderModel
+from repro.training.metrics import hit_ratio, ndcg, rmse
+
+
+@dataclass
+class RatingInstances:
+    """±1-labelled instances split for the rating-prediction task."""
+
+    users: np.ndarray
+    items: np.ndarray
+    labels: np.ndarray
+    train: np.ndarray
+    valid: np.ndarray
+    test: np.ndarray
+
+    def split(self, name: str) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        index = {"train": self.train, "valid": self.valid, "test": self.test}[name]
+        return self.users[index], self.items[index], self.labels[index]
+
+
+@dataclass
+class RatingEvaluation:
+    """RMSE on validation and test splits."""
+
+    valid_rmse: float
+    test_rmse: float
+
+
+@dataclass
+class TopNEvaluation:
+    """HR@K and NDCG@K from leave-one-out ranking."""
+
+    hr: float
+    ndcg: float
+    top_k: int = 10
+
+
+def build_rating_instances(
+    dataset: RecDataset,
+    n_negatives: int = 2,
+    ratios: tuple[float, float, float] = (0.7, 0.2, 0.1),
+    seed: int = 0,
+) -> RatingInstances:
+    """Create the shared ±1 instance set and its random split.
+
+    Sampling once (then splitting) matches the paper's protocol of using
+    identical instances across all compared models.
+    """
+    sampler = NegativeSampler(dataset, seed=seed)
+    pos_users = dataset.users
+    pos_items = dataset.items
+    negatives = sampler.sample_for_users(pos_users, n_negatives)
+    users = np.concatenate([pos_users, np.repeat(pos_users, n_negatives)])
+    items = np.concatenate([pos_items, negatives.reshape(-1)])
+    labels = np.concatenate(
+        [np.ones(pos_users.size), -np.ones(pos_users.size * n_negatives)]
+    )
+
+    rng = np.random.default_rng(seed + 1)
+    order = rng.permutation(users.size)
+    n_train = int(round(ratios[0] * order.size))
+    n_valid = int(round(ratios[1] * order.size))
+    return RatingInstances(
+        users=users,
+        items=items,
+        labels=labels,
+        train=order[:n_train],
+        valid=order[n_train:n_train + n_valid],
+        test=order[n_train + n_valid:],
+    )
+
+
+def evaluate_rating(model: RecommenderModel, instances: RatingInstances) -> RatingEvaluation:
+    """RMSE of a trained model on the validation and test splits."""
+    users_v, items_v, labels_v = instances.split("valid")
+    users_t, items_t, labels_t = instances.split("test")
+    return RatingEvaluation(
+        valid_rmse=rmse(model.predict(users_v, items_v), labels_v),
+        test_rmse=rmse(model.predict(users_t, items_t), labels_t),
+    )
+
+
+def evaluate_topn(
+    model: RecommenderModel,
+    dataset: RecDataset,
+    test_users: np.ndarray,
+    candidates: np.ndarray,
+    top_k: int = 10,
+) -> TopNEvaluation:
+    """Rank each user's candidate row and average HR@K / NDCG@K.
+
+    ``candidates[r]`` holds the positive item in column 0 followed by 99
+    sampled negatives (see
+    :func:`repro.data.sampling.sample_ranking_candidates`).
+    """
+    test_users = np.asarray(test_users)
+    n_rows, n_cols = candidates.shape
+    flat_users = np.repeat(test_users, n_cols)
+    flat_items = candidates.reshape(-1)
+    scores = model.predict(flat_users, flat_items).reshape(n_rows, n_cols)
+    return TopNEvaluation(
+        hr=hit_ratio(scores, top_k=top_k),
+        ndcg=ndcg(scores, top_k=top_k),
+        top_k=top_k,
+    )
+
+
+def prepare_topn_protocol(
+    dataset: RecDataset,
+    n_candidates: int = 99,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Leave-one-out split plus ranking candidates.
+
+    Returns ``(train_index, test_users, test_items, candidates)``.
+    """
+    train_index, test_index = leave_one_out_split(dataset)
+    test_users = dataset.users[test_index]
+    test_items = dataset.items[test_index]
+    candidates = sample_ranking_candidates(
+        dataset, test_users, test_items, n_candidates=n_candidates, seed=seed
+    )
+    return train_index, test_users, test_items, candidates

@@ -1,0 +1,25 @@
+"""Training objectives.
+
+The paper trains every model with the squared (regression) loss on ±1
+implicit targets (Eq. 13); BPR-MF and NGCF use the pairwise Bayesian
+Personalized Ranking objective instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def squared_loss(predictions: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean squared error ``mean((ŷ − y)²)`` (Eq. 13, batch-averaged)."""
+    diff = predictions - np.asarray(targets, dtype=np.float64)
+    return (diff * diff).mean()
+
+
+def bpr_loss(positive_scores: Tensor, negative_scores: Tensor) -> Tensor:
+    """Pairwise BPR loss ``−mean(log σ(ŷ⁺ − ŷ⁻))``."""
+    margin = positive_scores - negative_scores
+    # -log(sigmoid(m)) = softplus(-m); use the sigmoid op (stable form).
+    return -(margin.sigmoid() + 1e-12).log().mean()

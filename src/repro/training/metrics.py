@@ -1,0 +1,41 @@
+"""Evaluation metrics: RMSE, HR@K and NDCG@K (paper Section 4.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rmse(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Root mean square error."""
+    predictions = np.asarray(predictions, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    if predictions.shape != targets.shape:
+        raise ValueError("predictions and targets must have equal shapes")
+    if predictions.size == 0:
+        raise ValueError("cannot compute RMSE of an empty array")
+    return float(np.sqrt(np.mean((predictions - targets) ** 2)))
+
+
+def _positive_ranks(scores: np.ndarray) -> np.ndarray:
+    """Rank (0-based) of column 0 within each candidate row.
+
+    ``scores[r, 0]`` is the positive item's score; the rank counts how
+    many negatives strictly beat it (ties resolved pessimistically
+    against the positive, which avoids inflated metrics for constant
+    scorers).
+    """
+    positive = scores[:, :1]
+    return (scores[:, 1:] >= positive).sum(axis=1)
+
+
+def hit_ratio(scores: np.ndarray, top_k: int = 10) -> float:
+    """HR@K over candidate rows with the positive in column 0."""
+    ranks = _positive_ranks(np.asarray(scores))
+    return float((ranks < top_k).mean())
+
+
+def ndcg(scores: np.ndarray, top_k: int = 10) -> float:
+    """NDCG@K with a single relevant item per row (reduces to 1/log2(rank+2))."""
+    ranks = _positive_ranks(np.asarray(scores))
+    gains = np.where(ranks < top_k, 1.0 / np.log2(ranks + 2.0), 0.0)
+    return float(gains.mean())

@@ -1,0 +1,32 @@
+"""Model persistence: save and load parameters as ``.npz`` archives.
+
+Only parameter arrays are stored (keyed by the dotted names of
+``Module.named_parameters``); architecture is reconstructed by the
+caller, which keeps the format trivially portable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.nn import Module
+
+
+def save_model(model: Module, path: str) -> None:
+    """Write a model's parameters to ``path`` (``.npz``)."""
+    state = model.state_dict()
+    if not state:
+        raise ValueError("model has no parameters to save")
+    np.savez(path, **state)
+
+
+def load_model(model: Module, path: str) -> Module:
+    """Load parameters saved by :func:`save_model` into ``model``.
+
+    The model must already be constructed with matching architecture;
+    shape mismatches raise ``ValueError`` (from ``load_state_dict``).
+    """
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    model.load_state_dict(state)
+    return model

@@ -1,0 +1,73 @@
+"""User-facing recommendation: score all items and return the top-k.
+
+This is the deployment-side API a downstream user calls after training:
+given a model and the dataset (for encoding and seen-item filtering),
+produce ranked item lists per user.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import RecDataset
+from repro.models.base import RecommenderModel
+
+
+def recommend(
+    model: RecommenderModel,
+    dataset: RecDataset,
+    users: np.ndarray,
+    top_k: int = 10,
+    exclude_seen: bool = True,
+    batch_items: int = 8192,
+) -> np.ndarray:
+    """Top-k item ids per user, highest score first.
+
+    Parameters
+    ----------
+    model:
+        Any trained :class:`RecommenderModel`.
+    dataset:
+        Supplies the item universe, the encoding, and (when
+        ``exclude_seen``) each user's interaction history.
+    users:
+        User ids to recommend for.
+    top_k:
+        List length; must not exceed the number of candidate items.
+    exclude_seen:
+        Drop items the user already interacted with (the usual setting
+        for implicit feedback).
+    batch_items:
+        Item-axis batch size used when scoring the full catalogue.
+
+    Returns
+    -------
+    ``int64 [len(users), top_k]`` ranked item ids.
+    """
+    users = np.asarray(users, dtype=np.int64)
+    n_items = dataset.n_items
+    if top_k <= 0:
+        raise ValueError("top_k must be positive")
+    seen = dataset.positives_by_user() if exclude_seen else None
+    if exclude_seen:
+        max_seen = max((len(s) for s in seen), default=0)
+        if top_k > n_items - max_seen:
+            raise ValueError("top_k exceeds the number of unseen items")
+    elif top_k > n_items:
+        raise ValueError("top_k exceeds the number of items")
+
+    all_items = np.arange(n_items, dtype=np.int64)
+    out = np.empty((users.size, top_k), dtype=np.int64)
+    for row, user in enumerate(users):
+        scores = np.empty(n_items)
+        for start in range(0, n_items, batch_items):
+            stop = min(start + batch_items, n_items)
+            batch = all_items[start:stop]
+            scores[start:stop] = model.predict(
+                np.full(batch.size, user, dtype=np.int64), batch
+            )
+        if exclude_seen and seen[user]:
+            scores[list(seen[user])] = -np.inf
+        top = np.argpartition(-scores, top_k - 1)[:top_k]
+        out[row] = top[np.argsort(-scores[top])]
+    return out

@@ -1,0 +1,187 @@
+"""Mini-batch trainer for point-wise and pairwise objectives.
+
+Mirrors the paper's setup (Section 4.4): Adam optimizer, batch size 256,
+normal(0, 0.01) initialization (done by the models), squared loss on ±1
+targets for point-wise models and BPR for the pairwise rankers, with
+early stopping on a validation metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.autograd.optim import Adam, Optimizer, SGD
+from repro.data.batching import minibatches
+from repro.models.base import RecommenderModel
+from repro.training.losses import bpr_loss, squared_loss
+
+_OPTIMIZERS: dict[str, Callable[..., Optimizer]] = {
+    "adam": Adam,
+    "sgd": SGD,
+}
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters of one training run."""
+
+    epochs: int = 10
+    batch_size: int = 256
+    lr: float = 0.01
+    weight_decay: float = 0.0
+    optimizer: str = "adam"
+    seed: int = 0
+    patience: int = 3
+    min_delta: float = 1e-5
+    verbose: bool = False
+
+    def __post_init__(self):
+        if self.optimizer not in _OPTIMIZERS:
+            raise ValueError(
+                f"unknown optimizer {self.optimizer!r}; options: {sorted(_OPTIMIZERS)}"
+            )
+
+
+@dataclass
+class TrainResult:
+    """Loss trajectory and early-stopping bookkeeping."""
+
+    train_losses: list[float] = field(default_factory=list)
+    valid_scores: list[float] = field(default_factory=list)
+    best_epoch: int = -1
+    stopped_early: bool = False
+
+
+class Trainer:
+    """Drives gradient-descent training of any :class:`RecommenderModel`."""
+
+    def __init__(self, model: RecommenderModel, config: Optional[TrainConfig] = None):
+        self.model = model
+        self.config = config if config is not None else TrainConfig()
+        self._optimizer = _OPTIMIZERS[self.config.optimizer](
+            list(model.parameters()),
+            lr=self.config.lr,
+            weight_decay=self.config.weight_decay,
+        )
+        self._rng = np.random.default_rng(self.config.seed)
+
+    # ------------------------------------------------------------------
+    def fit_pointwise(
+        self,
+        users: np.ndarray,
+        items: np.ndarray,
+        labels: np.ndarray,
+        validate: Optional[Callable[[RecommenderModel], float]] = None,
+        higher_is_better: bool = False,
+    ) -> TrainResult:
+        """Train with the squared loss on (user, item, ±1 label) triples.
+
+        ``validate`` returns a scalar score after each epoch; training
+        stops when it fails to improve for ``patience`` epochs and the
+        best parameters are restored.
+        """
+        users = np.asarray(users)
+        items = np.asarray(items)
+        labels = np.asarray(labels, dtype=np.float64)
+        result = TrainResult()
+        best_state: Optional[dict] = None
+        best_score = -np.inf if higher_is_better else np.inf
+        stale = 0
+
+        for epoch in range(self.config.epochs):
+            self.model.train()
+            losses = []
+            for batch in minibatches(users.size, self.config.batch_size, rng=self._rng):
+                self._optimizer.zero_grad()
+                scores = self.model.score(users[batch], items[batch])
+                loss = squared_loss(scores, labels[batch])
+                loss.backward()
+                self._optimizer.step()
+                losses.append(loss.item())
+            result.train_losses.append(float(np.mean(losses)))
+            if self.config.verbose:
+                print(f"epoch {epoch}: loss={result.train_losses[-1]:.4f}")
+
+            if validate is None:
+                continue
+            score = float(validate(self.model))
+            result.valid_scores.append(score)
+            improved = (
+                score > best_score + self.config.min_delta
+                if higher_is_better
+                else score < best_score - self.config.min_delta
+            )
+            if improved:
+                best_score = score
+                best_state = self.model.state_dict()
+                result.best_epoch = epoch
+                stale = 0
+            else:
+                stale += 1
+                if stale > self.config.patience:
+                    result.stopped_early = True
+                    break
+
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        return result
+
+    # ------------------------------------------------------------------
+    def fit_pairwise(
+        self,
+        users: np.ndarray,
+        positives: np.ndarray,
+        negatives: np.ndarray,
+        validate: Optional[Callable[[RecommenderModel], float]] = None,
+        higher_is_better: bool = True,
+    ) -> TrainResult:
+        """Train with BPR on (user, positive, negative) triples."""
+        users = np.asarray(users)
+        positives = np.asarray(positives)
+        negatives = np.asarray(negatives)
+        result = TrainResult()
+        best_state: Optional[dict] = None
+        best_score = -np.inf if higher_is_better else np.inf
+        stale = 0
+
+        for epoch in range(self.config.epochs):
+            self.model.train()
+            losses = []
+            for batch in minibatches(users.size, self.config.batch_size, rng=self._rng):
+                self._optimizer.zero_grad()
+                pos_scores = self.model.score(users[batch], positives[batch])
+                neg_scores = self.model.score(users[batch], negatives[batch])
+                loss = bpr_loss(pos_scores, neg_scores)
+                loss.backward()
+                self._optimizer.step()
+                losses.append(loss.item())
+            result.train_losses.append(float(np.mean(losses)))
+            if self.config.verbose:
+                print(f"epoch {epoch}: bpr={result.train_losses[-1]:.4f}")
+
+            if validate is None:
+                continue
+            score = float(validate(self.model))
+            result.valid_scores.append(score)
+            improved = (
+                score > best_score + self.config.min_delta
+                if higher_is_better
+                else score < best_score - self.config.min_delta
+            )
+            if improved:
+                best_score = score
+                best_state = self.model.state_dict()
+                result.best_epoch = epoch
+                stale = 0
+            else:
+                stale += 1
+                if stale > self.config.patience:
+                    result.stopped_early = True
+                    break
+
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        return result

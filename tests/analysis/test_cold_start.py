@@ -1,0 +1,87 @@
+"""Tests for cold-start grouping (Figure 4 protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cold_start import (
+    SCENARIOS,
+    cold_start_rmse_curve,
+    group_cold_start,
+)
+from tests.helpers import make_tiny_dataset
+
+
+class TestGrouping:
+    def test_masks_shapes(self):
+        ds = make_tiny_dataset()
+        groups = group_cold_start(ds)
+        assert groups.warm_users.shape == (ds.n_users,)
+        assert groups.warm_items.shape == (ds.n_items,)
+
+    def test_user_quantile_split(self):
+        ds = make_tiny_dataset(n_users=40, n_items=60)
+        groups = group_cold_start(ds, user_quantile=0.5)
+        warm_fraction = groups.warm_users.mean()
+        assert 0.3 < warm_fraction < 0.7
+
+    def test_item_threshold(self):
+        ds = make_tiny_dataset()
+        groups = group_cold_start(ds, item_min_interactions=1)
+        counts = ds.interactions_per_item()
+        np.testing.assert_array_equal(groups.warm_items, counts >= 1)
+
+    def test_scenario_masks_partition(self):
+        ds = make_tiny_dataset()
+        groups = group_cold_start(ds)
+        users, items = ds.users, ds.items
+        total = sum(
+            groups.scenario_mask(s, users, items).sum() for s in SCENARIOS
+        )
+        assert total == ds.n_interactions
+
+    def test_unknown_scenario(self):
+        ds = make_tiny_dataset()
+        groups = group_cold_start(ds)
+        with pytest.raises(ValueError):
+            groups.scenario_mask("X-Y", ds.users, ds.items)
+
+    def test_ww_selects_warm_pairs(self):
+        ds = make_tiny_dataset()
+        groups = group_cold_start(ds, item_min_interactions=1)
+        mask = groups.scenario_mask("W-W", ds.users, ds.items)
+        assert np.all(groups.warm_users[ds.users[mask]])
+        assert np.all(groups.warm_items[ds.items[mask]])
+
+
+class TestRmseCurve:
+    def test_buckets_by_train_count(self):
+        rng = np.random.default_rng(0)
+        test_users = np.array([0, 0, 1, 1, 2])
+        test_items = np.array([0, 1, 2, 3, 4])
+        labels = np.array([1.0, -1.0, 1.0, 1.0, -1.0])
+        train_counts = np.array([3, 7, 15])
+
+        def predict(users, items):
+            return np.zeros(users.size)
+
+        curve = cold_start_rmse_curve(predict, test_users, test_items, labels,
+                                      train_counts)
+        assert set(curve) == {3, 7, 15}
+        assert curve[3] == pytest.approx(1.0)
+
+    def test_empty_buckets_omitted(self):
+        curve = cold_start_rmse_curve(
+            lambda u, i: np.zeros(u.size),
+            np.array([0]), np.array([0]), np.array([1.0]),
+            np.array([4]), max_interactions=15,
+        )
+        assert list(curve) == [4]
+
+    def test_perfect_predictor_zero_rmse(self):
+        labels = np.array([1.0, -1.0, 1.0])
+        curve = cold_start_rmse_curve(
+            lambda u, i: labels,
+            np.array([0, 1, 2]), np.array([0, 1, 2]), labels,
+            np.array([2, 2, 2]),
+        )
+        assert curve[2] == 0.0

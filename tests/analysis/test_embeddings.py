@@ -1,0 +1,71 @@
+"""Tests for the embedding case study of Figures 5–6."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.embeddings import cluster_separation, item_embedding_case_study
+from repro.models.fm import FactorizationMachine
+from tests.helpers import make_tiny_dataset
+
+
+class TestClusterSeparation:
+    def test_well_separated_clusters_near_one(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0.0, 0.05, size=(15, 2))
+        b = rng.normal(10.0, 0.05, size=(15, 2))
+        points = np.vstack([a, b])
+        labels = np.array([True] * 15 + [False] * 15)
+        assert cluster_separation(points, labels) > 0.9
+
+    def test_mixed_points_near_zero(self):
+        rng = np.random.default_rng(1)
+        points = rng.normal(size=(40, 2))
+        labels = rng.random(40) < 0.5
+        if labels.all() or (~labels).all():
+            labels[0] = not labels[0]
+        assert abs(cluster_separation(points, labels)) < 0.2
+
+    def test_requires_both_groups(self):
+        points = np.zeros((5, 2))
+        with pytest.raises(ValueError):
+            cluster_separation(points, np.ones(5, dtype=bool))
+
+    def test_parallel_shape_check(self):
+        with pytest.raises(ValueError):
+            cluster_separation(np.zeros((5, 2)), np.ones(4, dtype=bool))
+
+    def test_bounded(self):
+        rng = np.random.default_rng(2)
+        points = rng.normal(size=(20, 2))
+        labels = np.arange(20) < 10
+        score = cluster_separation(points, labels)
+        assert -1.0 <= score <= 1.0
+
+
+class TestCaseStudy:
+    def test_returns_projection_and_labels(self):
+        ds = make_tiny_dataset(n_users=12, n_items=30)
+        model = FactorizationMachine(ds, k=6, rng=np.random.default_rng(0))
+        user = int(np.argmax(ds.interactions_per_user()))
+        study = item_embedding_case_study(model, ds, user, seed=0,
+                                          tsne_iterations=80)
+        n_points = study.labels.size
+        assert study.projection.shape == (n_points, 2)
+        assert study.labels.sum() * 2 == n_points  # balanced groups
+        assert -1.0 <= study.separation <= 1.0
+
+    def test_rejects_user_with_too_few_interactions(self):
+        ds = make_tiny_dataset()
+        model = FactorizationMachine(ds, k=4, rng=np.random.default_rng(0))
+        sparse_user = int(np.argmin(ds.interactions_per_user()))
+        if ds.interactions_per_user()[sparse_user] < 5:
+            with pytest.raises(ValueError):
+                item_embedding_case_study(model, ds, sparse_user)
+
+    def test_negatives_not_in_positives(self):
+        ds = make_tiny_dataset(n_users=12, n_items=30)
+        model = FactorizationMachine(ds, k=4, rng=np.random.default_rng(0))
+        user = int(np.argmax(ds.interactions_per_user()))
+        study = item_embedding_case_study(model, ds, user, seed=0,
+                                          tsne_iterations=80)
+        assert study.user == user

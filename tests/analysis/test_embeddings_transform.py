@@ -1,0 +1,56 @@
+"""Tests for the transformed-space option of the embedding case study."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.embeddings import item_embedding_case_study
+from repro.core.gml_fm import GMLFM_DNN, GMLFM_MD
+from repro.models.fm import FactorizationMachine
+from tests.helpers import make_tiny_dataset
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return make_tiny_dataset(n_users=12, n_items=30)
+
+
+@pytest.fixture(scope="module")
+def active_user(ds):
+    return int(np.argmax(ds.interactions_per_user()))
+
+
+class TestTransformOption:
+    def test_gml_fm_transform_changes_projection(self, ds, active_user):
+        model = GMLFM_MD(ds, k=6, rng=np.random.default_rng(0))
+        # Make the transform clearly non-identity.
+        model.transform.L.data += np.random.default_rng(1).normal(
+            0, 0.5, size=(6, 6)
+        )
+        raw = item_embedding_case_study(model, ds, active_user, seed=0,
+                                        tsne_iterations=80,
+                                        use_transform=False)
+        transformed = item_embedding_case_study(model, ds, active_user, seed=0,
+                                                tsne_iterations=80,
+                                                use_transform=True)
+        assert not np.allclose(raw.projection, transformed.projection)
+
+    def test_fm_without_transform_unaffected(self, ds, active_user):
+        model = FactorizationMachine(ds, k=6, rng=np.random.default_rng(0))
+        a = item_embedding_case_study(model, ds, active_user, seed=0,
+                                      tsne_iterations=80, use_transform=True)
+        b = item_embedding_case_study(model, ds, active_user, seed=0,
+                                      tsne_iterations=80, use_transform=False)
+        np.testing.assert_allclose(a.projection, b.projection)
+
+    def test_dropout_disabled_during_study(self, ds, active_user):
+        model = GMLFM_DNN(ds, k=6, n_layers=2, dropout=0.5,
+                          rng=np.random.default_rng(0))
+        model.train()
+        a = item_embedding_case_study(model, ds, active_user, seed=0,
+                                      tsne_iterations=80)
+        b = item_embedding_case_study(model, ds, active_user, seed=0,
+                                      tsne_iterations=80)
+        # Dropout must be switched off inside the study: deterministic.
+        np.testing.assert_allclose(a.projection, b.projection)
+        # And the training flag restored afterwards.
+        assert model.training

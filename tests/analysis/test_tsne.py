@@ -1,0 +1,81 @@
+"""Tests for the exact t-SNE implementation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tsne import (
+    TSNE,
+    _conditional_probabilities,
+    _pairwise_squared_distances,
+)
+
+
+class TestHelpers:
+    def test_pairwise_distances_match_bruteforce(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(10, 4))
+        d = _pairwise_squared_distances(x)
+        for i in range(10):
+            for j in range(10):
+                expected = ((x[i] - x[j]) ** 2).sum()
+                assert d[i, j] == pytest.approx(expected, abs=1e-9)
+
+    def test_pairwise_distances_zero_diagonal(self):
+        x = np.random.default_rng(0).normal(size=(8, 3))
+        assert np.all(np.diag(_pairwise_squared_distances(x)) == 0.0)
+
+    def test_conditional_probabilities_rows_sum_to_one(self):
+        x = np.random.default_rng(0).normal(size=(15, 4))
+        p = _conditional_probabilities(_pairwise_squared_distances(x), 5.0)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_perplexity_calibration(self):
+        x = np.random.default_rng(0).normal(size=(30, 4))
+        p = _conditional_probabilities(_pairwise_squared_distances(x), 10.0)
+        entropies = -(p * np.log(np.maximum(p, 1e-12))).sum(axis=1)
+        np.testing.assert_allclose(np.exp(entropies), 10.0, rtol=0.05)
+
+
+class TestTSNE:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TSNE(perplexity=0.5)
+        with pytest.raises(ValueError):
+            TSNE(n_iter=10)
+        with pytest.raises(ValueError):
+            TSNE().fit_transform(np.zeros((3, 4)))
+
+    def test_output_shape(self):
+        x = np.random.default_rng(0).normal(size=(25, 6))
+        y = TSNE(n_iter=100, seed=0).fit_transform(x)
+        assert y.shape == (25, 2)
+        assert np.all(np.isfinite(y))
+
+    def test_centered_output(self):
+        x = np.random.default_rng(0).normal(size=(20, 5))
+        y = TSNE(n_iter=100, seed=0).fit_transform(x)
+        np.testing.assert_allclose(y.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_kl_divergence_decreases(self):
+        x = np.random.default_rng(0).normal(size=(30, 5))
+        tsne = TSNE(n_iter=300, seed=0)
+        tsne.fit_transform(x)
+        assert tsne.kl_history_[-1] < tsne.kl_history_[1]
+
+    def test_separates_well_separated_clusters(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0.0, 0.1, size=(20, 8))
+        b = rng.normal(5.0, 0.1, size=(20, 8))
+        y = TSNE(n_iter=400, seed=0).fit_transform(np.vstack([a, b]))
+        centroid_a = y[:20].mean(axis=0)
+        centroid_b = y[20:].mean(axis=0)
+        spread_a = np.linalg.norm(y[:20] - centroid_a, axis=1).mean()
+        spread_b = np.linalg.norm(y[20:] - centroid_b, axis=1).mean()
+        gap = np.linalg.norm(centroid_a - centroid_b)
+        assert gap > 2.0 * max(spread_a, spread_b)
+
+    def test_reproducible_given_seed(self):
+        x = np.random.default_rng(2).normal(size=(15, 4))
+        y1 = TSNE(n_iter=100, seed=7).fit_transform(x)
+        y2 = TSNE(n_iter=100, seed=7).fit_transform(x)
+        np.testing.assert_allclose(y1, y2)

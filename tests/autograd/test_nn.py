@@ -1,0 +1,194 @@
+"""Tests for the Module system and layers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import nn
+from repro.autograd.tensor import Tensor
+
+
+class TestModuleRegistration:
+    def test_parameters_found(self):
+        lin = nn.Linear(3, 2)
+        params = list(lin.parameters())
+        assert len(params) == 2  # weight + bias
+
+    def test_nested_modules(self):
+        class Net(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.a = nn.Linear(3, 2)
+                self.b = nn.Linear(2, 1, bias=False)
+
+        net = Net()
+        assert len(list(net.parameters())) == 3
+
+    def test_named_parameters(self):
+        class Net(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.layer = nn.Linear(3, 2)
+
+        names = dict(Net().named_parameters())
+        assert "layer.weight" in names and "layer.bias" in names
+
+    def test_num_parameters(self):
+        lin = nn.Linear(3, 2)
+        assert lin.num_parameters() == 3 * 2 + 2
+
+    def test_zero_grad(self):
+        lin = nn.Linear(2, 2)
+        out = lin(Tensor(np.ones((1, 2)))).sum()
+        out.backward()
+        assert lin.weight.grad is not None
+        lin.zero_grad()
+        assert lin.weight.grad is None
+
+    def test_train_eval_propagates(self):
+        seq = nn.Sequential(nn.Linear(2, 2), nn.Dropout(0.5))
+        seq.eval()
+        assert not seq._list[1].training
+        seq.train()
+        assert seq._list[1].training
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            nn.Module()(1)
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a = nn.Linear(3, 2)
+        b = nn.Linear(3, 2)
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+
+    def test_state_dict_is_a_copy(self):
+        a = nn.Linear(3, 2)
+        state = a.state_dict()
+        state["weight"][...] = 99.0
+        assert not np.any(a.weight.data == 99.0)
+
+    def test_missing_key_raises(self):
+        a = nn.Linear(3, 2)
+        with pytest.raises(KeyError):
+            a.load_state_dict({})
+
+    def test_shape_mismatch_raises(self):
+        a = nn.Linear(3, 2)
+        state = a.state_dict()
+        state["weight"] = np.zeros((5, 5))
+        with pytest.raises(ValueError):
+            a.load_state_dict(state)
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        lin = nn.Linear(4, 3)
+        assert lin(Tensor(np.zeros((5, 4)))).shape == (5, 3)
+
+    def test_no_bias(self):
+        lin = nn.Linear(4, 3, bias=False)
+        assert lin.bias is None
+        out = lin(Tensor(np.zeros((2, 4))))
+        np.testing.assert_allclose(out.data, 0.0)
+
+    def test_batched_input(self):
+        lin = nn.Linear(4, 3)
+        assert lin(Tensor(np.zeros((2, 5, 4)))).shape == (2, 5, 3)
+
+    def test_normal_std_init(self):
+        rng = np.random.default_rng(0)
+        lin = nn.Linear(100, 100, std=0.01, rng=rng)
+        assert abs(lin.weight.data.std() - 0.01) < 0.002
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = nn.Embedding(10, 4)
+        assert emb(np.array([[1, 2], [3, 4]])).shape == (2, 2, 4)
+
+    def test_gradient_reaches_table(self):
+        emb = nn.Embedding(10, 4)
+        emb(np.array([3])).sum().backward()
+        assert emb.weight.grad is not None
+        assert np.any(emb.weight.grad[3] != 0)
+        assert np.all(emb.weight.grad[0] == 0)
+
+
+class TestDropoutModule:
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.5)
+
+    def test_respects_training_flag(self):
+        drop = nn.Dropout(0.9, rng=np.random.default_rng(0))
+        x = Tensor(np.ones(1000))
+        drop.eval()
+        np.testing.assert_allclose(drop(x).data, 1.0)
+        drop.train()
+        assert (drop(x).data == 0).sum() > 500
+
+
+class TestContainers:
+    def test_sequential_applies_in_order(self):
+        seq = nn.Sequential(nn.Linear(3, 3), nn.ReLU(), nn.Linear(3, 1))
+        assert seq(Tensor(np.zeros((2, 3)))).shape == (2, 1)
+        assert len(seq) == 3
+
+    def test_module_list(self):
+        ml = nn.ModuleList([nn.Linear(2, 2), nn.Linear(2, 2)])
+        assert len(ml) == 2
+        assert len(list(ml)) == 2
+        assert isinstance(ml[0], nn.Linear)
+        # Parameters of contained modules are discovered.
+        assert len(list(ml.parameters())) == 4
+
+    def test_module_list_append(self):
+        ml = nn.ModuleList()
+        ml.append(nn.Linear(2, 2))
+        assert len(list(ml.parameters())) == 2
+
+    def test_module_list_not_callable(self):
+        with pytest.raises(RuntimeError):
+            nn.ModuleList([])(None)
+
+
+class TestActivations:
+    def test_tanh_module(self):
+        x = Tensor(np.array([0.5]))
+        np.testing.assert_allclose(nn.Tanh()(x).data, np.tanh(0.5))
+
+    def test_relu_module(self):
+        x = Tensor(np.array([-1.0, 1.0]))
+        np.testing.assert_allclose(nn.ReLU()(x).data, [0.0, 1.0])
+
+    def test_sigmoid_module(self):
+        x = Tensor(np.array([0.0]))
+        np.testing.assert_allclose(nn.Sigmoid()(x).data, 0.5)
+
+    def test_identity_module(self):
+        x = Tensor(np.array([1.0]))
+        assert nn.Identity()(x) is x
+
+
+class TestMakeMlp:
+    def test_depth(self):
+        mlp = nn.make_mlp([4, 4, 4], activation="tanh")
+        # Two Linear + two activation modules, no dropout.
+        assert len(mlp) == 4
+
+    def test_with_dropout_between_layers(self):
+        mlp = nn.make_mlp([4, 4, 4], activation="tanh", dropout=0.5)
+        kinds = [type(m).__name__ for m in mlp]
+        assert "Dropout" in kinds
+        # Dropout only *between* layers, never before the first.
+        assert kinds[0] == "Linear"
+
+    def test_unknown_activation(self):
+        with pytest.raises(ValueError):
+            nn.make_mlp([4, 4], activation="swish")
+
+    def test_forward_shape(self):
+        mlp = nn.make_mlp([6, 5, 4], activation="relu")
+        assert mlp(Tensor(np.zeros((3, 6)))).shape == (3, 4)

@@ -1,0 +1,154 @@
+"""Tests for functional ops: softmax, concat, stack, embedding, dropout."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from tests.helpers import assert_grad_matches
+
+
+def _param(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(size=shape), requires_grad=True)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        s = ops.softmax(_param((4, 5)))
+        np.testing.assert_allclose(s.data.sum(axis=-1), 1.0)
+
+    def test_stable_for_large_logits(self):
+        x = Tensor(np.array([[1000.0, 1000.0, -1000.0]]), requires_grad=True)
+        s = ops.softmax(x)
+        assert np.all(np.isfinite(s.data))
+        np.testing.assert_allclose(s.data[0, :2], 0.5, atol=1e-9)
+
+    def test_axis_argument(self):
+        s = ops.softmax(_param((3, 4)), axis=0)
+        np.testing.assert_allclose(s.data.sum(axis=0), 1.0)
+
+    def test_gradient(self):
+        a = _param((3, 4))
+        assert_grad_matches(lambda: (ops.softmax(a) ** 2).sum(), a)
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        a = _param((3, 4))
+        np.testing.assert_allclose(
+            ops.log_softmax(a).data, np.log(ops.softmax(a).data), atol=1e-12
+        )
+
+    def test_log_softmax_gradient(self):
+        a = _param((2, 3))
+        assert_grad_matches(lambda: (ops.log_softmax(a) * ops.log_softmax(a)).sum(), a)
+
+
+class TestConcatenateStack:
+    def test_concatenate_forward(self):
+        a, b = _param((2, 3)), _param((2, 2), seed=1)
+        out = ops.concatenate([a, b], axis=1)
+        assert out.shape == (2, 5)
+        np.testing.assert_allclose(out.data[:, :3], a.data)
+
+    def test_concatenate_gradient(self):
+        a, b = _param((2, 3)), _param((2, 2), seed=1)
+        assert_grad_matches(lambda: (ops.concatenate([a, b], axis=1) ** 2).sum(), a)
+        assert_grad_matches(lambda: (ops.concatenate([a, b], axis=1) ** 2).sum(), b)
+
+    def test_concatenate_axis0(self):
+        a, b = _param((2, 3)), _param((4, 3), seed=1)
+        assert ops.concatenate([a, b], axis=0).shape == (6, 3)
+
+    def test_stack_forward(self):
+        a, b = _param((2, 3)), _param((2, 3), seed=1)
+        assert ops.stack([a, b], axis=0).shape == (2, 2, 3)
+        assert ops.stack([a, b], axis=1).shape == (2, 2, 3)
+
+    def test_stack_gradient(self):
+        a, b = _param((2, 3)), _param((2, 3), seed=1)
+        assert_grad_matches(lambda: (ops.stack([a, b], axis=1) ** 2).sum(), b)
+
+
+class TestEmbedding:
+    def test_forward_shape(self):
+        table = _param((10, 4))
+        idx = np.array([[1, 2], [3, 3]])
+        assert ops.embedding(table, idx).shape == (2, 2, 4)
+
+    def test_rejects_float_indices(self):
+        with pytest.raises(TypeError):
+            ops.embedding(_param((10, 4)), np.array([1.0, 2.0]))
+
+    def test_duplicate_index_grad_accumulates(self):
+        table = _param((5, 3))
+        idx = np.array([2, 2, 2])
+        out = ops.embedding(table, idx).sum()
+        out.backward()
+        np.testing.assert_allclose(table.grad[2], 3.0)
+        np.testing.assert_allclose(table.grad[0], 0.0)
+
+    def test_gradient_numerical(self):
+        table = _param((6, 3))
+        idx = np.array([[0, 5, 2], [2, 2, 1]])
+        assert_grad_matches(lambda: (ops.embedding(table, idx) ** 2).sum(), table)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        x = _param((100,))
+        out = ops.dropout(x, 0.5, training=False)
+        assert out is x
+
+    def test_zero_rate_is_identity(self):
+        x = _param((100,))
+        assert ops.dropout(x, 0.0, training=True) is x
+
+    def test_rejects_rate_one(self):
+        with pytest.raises(ValueError):
+            ops.dropout(_param((10,)), 1.0, training=True)
+
+    def test_scaling_preserves_expectation(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones(20000))
+        out = ops.dropout(x, 0.3, training=True, rng=rng)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_gradient_matches_mask(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones(50), requires_grad=True)
+        out = ops.dropout(x, 0.5, training=True, rng=rng)
+        out.sum().backward()
+        dropped = out.data == 0
+        np.testing.assert_allclose(x.grad[dropped], 0.0)
+        np.testing.assert_allclose(x.grad[~dropped], 2.0)
+
+
+class TestMiscOps:
+    def test_maximum_forward(self):
+        a, b = Tensor([1.0, 5.0]), Tensor([3.0, 2.0])
+        np.testing.assert_allclose(ops.maximum(a, b).data, [3.0, 5.0])
+
+    def test_maximum_gradient(self):
+        a = Tensor(np.array([1.0, 5.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 2.0, 7.0]), requires_grad=True)
+        assert_grad_matches(lambda: (ops.maximum(a, b) ** 2).sum(), a)
+        assert_grad_matches(lambda: (ops.maximum(a, b) ** 2).sum(), b)
+
+    def test_where(self):
+        cond = np.array([True, False, True])
+        a = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        b = Tensor(np.array([10.0, 20.0, 30.0]), requires_grad=True)
+        out = ops.where(cond, a, b)
+        np.testing.assert_allclose(out.data, [1.0, 20.0, 3.0])
+        assert_grad_matches(lambda: (ops.where(cond, a, b) ** 2).sum(), a)
+        assert_grad_matches(lambda: (ops.where(cond, a, b) ** 2).sum(), b)
+
+    def test_sum_tensors(self):
+        parts = [_param((2, 2), seed=s) for s in range(3)]
+        total = ops.sum_tensors(parts)
+        np.testing.assert_allclose(total.data, sum(p.data for p in parts))
+
+    def test_square_and_identity(self):
+        a = _param((3,))
+        np.testing.assert_allclose(ops.square(a).data, a.data ** 2)
+        assert ops.identity(a) is a

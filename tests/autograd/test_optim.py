@@ -1,0 +1,123 @@
+"""Tests for SGD and Adam."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import nn, optim
+from repro.autograd.tensor import Tensor
+
+
+def _quadratic(param: Tensor) -> Tensor:
+    # Minimum at [1, -2].
+    target = np.array([1.0, -2.0])
+    return ((param - target) ** 2).sum()
+
+
+class TestValidation:
+    def test_empty_parameters(self):
+        with pytest.raises(ValueError):
+            optim.SGD([], lr=0.1)
+
+    def test_nonpositive_lr(self):
+        p = Tensor([0.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            optim.SGD([p], lr=0.0)
+
+    def test_negative_weight_decay(self):
+        p = Tensor([0.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            optim.SGD([p], lr=0.1, weight_decay=-1.0)
+
+    def test_bad_momentum(self):
+        p = Tensor([0.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            optim.SGD([p], lr=0.1, momentum=1.0)
+
+    def test_bad_betas(self):
+        p = Tensor([0.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            optim.Adam([p], betas=(1.0, 0.9))
+
+    def test_skips_non_grad_tensors(self):
+        p = Tensor([0.0], requires_grad=True)
+        frozen = Tensor([0.0], requires_grad=False)
+        opt = optim.SGD([p, frozen], lr=0.1)
+        assert len(opt.parameters) == 1
+
+
+class TestConvergence:
+    def test_sgd_quadratic(self):
+        p = Tensor(np.zeros(2), requires_grad=True)
+        opt = optim.SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            _quadratic(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, [1.0, -2.0], atol=1e-4)
+
+    def test_sgd_momentum_quadratic(self):
+        p = Tensor(np.zeros(2), requires_grad=True)
+        opt = optim.SGD([p], lr=0.05, momentum=0.9)
+        for _ in range(200):
+            opt.zero_grad()
+            _quadratic(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, [1.0, -2.0], atol=1e-3)
+
+    def test_adam_quadratic(self):
+        p = Tensor(np.zeros(2), requires_grad=True)
+        opt = optim.Adam([p], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            _quadratic(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, [1.0, -2.0], atol=1e-3)
+
+    def test_adam_first_step_magnitude(self):
+        # With bias correction, the first Adam step has magnitude ≈ lr.
+        p = Tensor(np.array([10.0]), requires_grad=True)
+        opt = optim.Adam([p], lr=0.5)
+        opt.zero_grad()
+        (p * 3.0).sum().backward()
+        opt.step()
+        assert p.data[0] == pytest.approx(10.0 - 0.5, abs=1e-6)
+
+    def test_linear_regression_fit(self):
+        rng = np.random.default_rng(0)
+        lin = nn.Linear(2, 1, rng=rng)
+        opt = optim.Adam(lin.parameters(), lr=0.05)
+        X = rng.normal(size=(128, 2))
+        y = X @ np.array([[1.5], [-0.5]]) + 0.3
+        for _ in range(300):
+            opt.zero_grad()
+            loss = ((lin(Tensor(X)) - Tensor(y)) ** 2).mean()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(lin.weight.data.ravel(), [1.5, -0.5], atol=1e-3)
+        np.testing.assert_allclose(lin.bias.data, [0.3], atol=1e-3)
+
+
+class TestBehaviour:
+    def test_step_skips_params_without_grad(self):
+        p = Tensor(np.zeros(2), requires_grad=True)
+        q = Tensor(np.ones(2), requires_grad=True)
+        opt = optim.SGD([p, q], lr=0.1)
+        (p.sum() * 2).backward()
+        opt.step()
+        np.testing.assert_allclose(q.data, 1.0)  # untouched
+        assert np.all(p.data != 0.0)
+
+    def test_weight_decay_shrinks_params(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = optim.SGD([p], lr=0.1, weight_decay=0.5)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()  # zero data gradient
+        opt.step()
+        assert p.data[0] == pytest.approx(1.0 - 0.1 * 0.5)
+
+    def test_zero_grad_clears(self):
+        p = Tensor(np.zeros(2), requires_grad=True)
+        opt = optim.SGD([p], lr=0.1)
+        (p.sum() * 2).backward()
+        opt.zero_grad()
+        assert p.grad is None

@@ -1,0 +1,123 @@
+"""Hypothesis property-based tests for the autograd engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.autograd.tensor import Tensor, unbroadcast
+
+_FLOATS = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, width=64)
+
+
+def _arrays(min_dims=1, max_dims=3):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=min_dims, max_dims=max_dims, min_side=1, max_side=4),
+        elements=_FLOATS,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(_arrays())
+def test_add_commutative(a):
+    x = Tensor(a)
+    np.testing.assert_allclose((x + x).data, (2.0 * x).data)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_arrays(), _FLOATS)
+def test_scalar_mul_matches_numpy(a, c):
+    np.testing.assert_allclose((Tensor(a) * c).data, a * c)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_arrays())
+def test_sum_gradient_is_ones(a):
+    x = Tensor(a, requires_grad=True)
+    x.sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones_like(a))
+
+
+@settings(max_examples=60, deadline=None)
+@given(_arrays())
+def test_mean_gradient_is_uniform(a):
+    x = Tensor(a, requires_grad=True)
+    x.mean().backward()
+    np.testing.assert_allclose(x.grad, np.full_like(a, 1.0 / a.size))
+
+
+@settings(max_examples=60, deadline=None)
+@given(_arrays())
+def test_mul_gradient_product_rule(a):
+    x = Tensor(a, requires_grad=True)
+    (x * x).sum().backward()
+    np.testing.assert_allclose(x.grad, 2.0 * a, atol=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_arrays())
+def test_tanh_bounded(a):
+    out = Tensor(a).tanh().data
+    assert np.all(out >= -1.0) and np.all(out <= 1.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_arrays())
+def test_sigmoid_in_unit_interval(a):
+    out = Tensor(a).sigmoid().data
+    assert np.all(out >= 0.0) and np.all(out <= 1.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_arrays())
+def test_relu_nonnegative_and_idempotent(a):
+    r1 = Tensor(a).relu()
+    r2 = r1.relu()
+    assert np.all(r1.data >= 0)
+    np.testing.assert_allclose(r1.data, r2.data)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_arrays())
+def test_reshape_roundtrip_preserves_grad(a):
+    x = Tensor(a, requires_grad=True)
+    (x.reshape(-1).reshape(a.shape) * 3.0).sum().backward()
+    np.testing.assert_allclose(x.grad, 3.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_arrays(min_dims=2, max_dims=3))
+def test_transpose_involution(a):
+    x = Tensor(a)
+    np.testing.assert_allclose(x.T.T.data, a)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    arrays(dtype=np.float64, shape=st.tuples(st.integers(1, 4), st.integers(1, 4)),
+           elements=_FLOATS),
+)
+def test_unbroadcast_after_broadcast_recovers_shape(a):
+    broadcast = np.broadcast_to(a, (3,) + a.shape)
+    out = unbroadcast(np.ascontiguousarray(broadcast), a.shape)
+    assert out.shape == a.shape
+    np.testing.assert_allclose(out, 3.0 * a)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(2, 5), st.integers(2, 5), st.integers(2, 5), st.data())
+def test_matmul_matches_numpy(n, m, k, data):
+    a = data.draw(arrays(np.float64, (n, m), elements=_FLOATS))
+    b = data.draw(arrays(np.float64, (m, k), elements=_FLOATS))
+    np.testing.assert_allclose((Tensor(a) @ Tensor(b)).data, a @ b, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(2, 5), st.data())
+def test_linear_combination_gradient(n, data):
+    a = data.draw(arrays(np.float64, (n,), elements=_FLOATS))
+    weights = data.draw(arrays(np.float64, (n,), elements=_FLOATS))
+    x = Tensor(a, requires_grad=True)
+    (x * weights).sum().backward()
+    np.testing.assert_allclose(x.grad, weights)

@@ -1,0 +1,45 @@
+"""Tests for the sparse-matrix × dense bridge used by NGCF."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.autograd.sparse import sparse_matmul
+from repro.autograd.tensor import Tensor
+from tests.helpers import assert_grad_matches
+
+
+def _random_sparse(rows, cols, density=0.3, seed=0):
+    rng = np.random.default_rng(seed)
+    dense = rng.normal(size=(rows, cols)) * (rng.random((rows, cols)) < density)
+    return sp.csr_matrix(dense)
+
+
+class TestSparseMatmul:
+    def test_forward_matches_dense(self):
+        A = _random_sparse(5, 4)
+        x = Tensor(np.random.default_rng(1).normal(size=(4, 3)))
+        out = sparse_matmul(A, x)
+        np.testing.assert_allclose(out.data, A.toarray() @ x.data)
+
+    def test_rejects_dense_matrix(self):
+        with pytest.raises(TypeError):
+            sparse_matmul(np.eye(3), Tensor(np.zeros((3, 2))))
+
+    def test_gradient_is_transpose_product(self):
+        A = _random_sparse(5, 4)
+        x = Tensor(np.random.default_rng(1).normal(size=(4, 3)), requires_grad=True)
+        sparse_matmul(A, x).sum().backward()
+        expected = A.toarray().T @ np.ones((5, 3))
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_gradient_numerical(self):
+        A = _random_sparse(4, 4, seed=2)
+        x = Tensor(np.random.default_rng(3).normal(size=(4, 2)), requires_grad=True)
+        assert_grad_matches(lambda: (sparse_matmul(A, x) ** 2).sum(), x)
+
+    def test_coo_input_accepted(self):
+        A = _random_sparse(3, 3).tocoo()
+        x = Tensor(np.ones((3, 2)))
+        out = sparse_matmul(A, x)
+        np.testing.assert_allclose(out.data, A.toarray() @ x.data)

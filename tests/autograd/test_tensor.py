@@ -1,0 +1,352 @@
+"""Unit tests for the Tensor class: forward values and gradients."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor, no_grad, ones, tensor, unbroadcast, zeros
+from tests.helpers import assert_grad_matches
+
+
+class TestConstruction:
+    def test_tensor_from_list(self):
+        t = tensor([1.0, 2.0, 3.0])
+        assert t.shape == (3,)
+        assert t.data.dtype == np.float64
+
+    def test_zeros_and_ones(self):
+        assert np.all(zeros((2, 3)).data == 0.0)
+        assert np.all(ones((2, 3)).data == 1.0)
+
+    def test_requires_grad_default_false(self):
+        assert not tensor([1.0]).requires_grad
+
+    def test_item_scalar(self):
+        assert tensor(3.5).item() == 3.5
+
+    def test_len_and_size(self):
+        t = tensor(np.arange(6.0).reshape(2, 3))
+        assert len(t) == 2
+        assert t.size == 6
+        assert t.ndim == 2
+
+    def test_detach_cuts_graph(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = (a * 2).detach()
+        assert not b.requires_grad
+        assert np.all(b.data == [2.0, 4.0])
+
+    def test_repr_mentions_requires_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+
+
+class TestArithmeticForward:
+    def test_add(self):
+        assert np.all((tensor([1.0]) + tensor([2.0])).data == 3.0)
+
+    def test_add_scalar(self):
+        assert np.all((tensor([1.0]) + 2.0).data == 3.0)
+
+    def test_radd(self):
+        assert np.all((2.0 + tensor([1.0])).data == 3.0)
+
+    def test_sub(self):
+        assert np.all((tensor([5.0]) - tensor([2.0])).data == 3.0)
+
+    def test_rsub(self):
+        assert np.all((5.0 - tensor([2.0])).data == 3.0)
+
+    def test_mul(self):
+        assert np.all((tensor([3.0]) * tensor([4.0])).data == 12.0)
+
+    def test_div(self):
+        assert np.all((tensor([8.0]) / tensor([2.0])).data == 4.0)
+
+    def test_rdiv(self):
+        assert np.all((8.0 / tensor([2.0])).data == 4.0)
+
+    def test_neg(self):
+        assert np.all((-tensor([3.0])).data == -3.0)
+
+    def test_pow(self):
+        assert np.all((tensor([3.0]) ** 2).data == 9.0)
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            tensor([2.0]) ** tensor([2.0])
+
+    def test_matmul_2d(self):
+        a = tensor(np.eye(2))
+        b = tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert np.allclose((a @ b).data, b.data)
+
+    def test_comparisons_return_numpy(self):
+        a = tensor([1.0, 3.0])
+        assert np.all((a > 2.0) == [False, True])
+        assert np.all((a < 2.0) == [True, False])
+        assert np.all((a >= 1.0) == [True, True])
+        assert np.all((a <= 1.0) == [True, False])
+
+
+class TestBackwardBasics:
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            tensor([1.0]).backward()
+
+    def test_backward_nonscalar_needs_grad_argument(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+
+    def test_backward_explicit_grad(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        (a * 3).backward(np.array([1.0, 1.0]))
+        assert np.allclose(a.grad, [3.0, 3.0])
+
+    def test_grad_accumulates_across_backwards(self):
+        a = Tensor([2.0], requires_grad=True)
+        (a * a).sum().backward()
+        (a * a).sum().backward()
+        assert np.allclose(a.grad, [8.0])
+
+    def test_zero_grad(self):
+        a = Tensor([2.0], requires_grad=True)
+        (a * a).sum().backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_diamond_graph_accumulation(self):
+        # f = (a*2) + (a*3): gradient must be 5, not 2 or 3.
+        a = Tensor([1.0], requires_grad=True)
+        ((a * 2) + (a * 3)).sum().backward()
+        assert np.allclose(a.grad, [5.0])
+
+    def test_reused_node_accumulation(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = a * 3
+        (b * b).sum().backward()
+        assert np.allclose(a.grad, [2 * 3 * 2.0 * 3])
+
+    def test_no_grad_context(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            b = a * 2
+        assert not b.requires_grad
+
+    def test_no_grad_restores_state(self):
+        a = Tensor([1.0], requires_grad=True)
+        try:
+            with no_grad():
+                raise ValueError
+        except ValueError:
+            pass
+        assert (a * 2).requires_grad
+
+
+class TestUnbroadcast:
+    def test_identity(self):
+        g = np.ones((2, 3))
+        assert unbroadcast(g, (2, 3)).shape == (2, 3)
+
+    def test_prepended_axis(self):
+        g = np.ones((4, 2, 3))
+        assert unbroadcast(g, (2, 3)).shape == (2, 3)
+        assert np.all(unbroadcast(g, (2, 3)) == 4.0)
+
+    def test_size_one_axis(self):
+        g = np.ones((2, 3))
+        out = unbroadcast(g, (2, 1))
+        assert out.shape == (2, 1)
+        assert np.all(out == 3.0)
+
+    def test_combined(self):
+        g = np.ones((5, 2, 3))
+        out = unbroadcast(g, (1, 3))
+        assert out.shape == (1, 3)
+        assert np.all(out == 10.0)
+
+
+class TestGradientsNumerical:
+    """Every op's gradient versus central finite differences."""
+
+    def _param(self, shape, seed=0):
+        rng = np.random.default_rng(seed)
+        return Tensor(rng.normal(0.5, 1.0, size=shape), requires_grad=True)
+
+    def test_add_broadcast(self):
+        a = self._param((3, 4))
+        b = self._param((4,), seed=1)
+        assert_grad_matches(lambda: ((a + b) ** 2).sum(), a)
+        assert_grad_matches(lambda: ((a + b) ** 2).sum(), b)
+
+    def test_sub(self):
+        a = self._param((3, 4))
+        b = self._param((3, 4), seed=1)
+        assert_grad_matches(lambda: ((a - b) ** 3).sum(), b)
+
+    def test_mul_broadcast(self):
+        a = self._param((2, 3, 4))
+        b = self._param((3, 1), seed=1)
+        assert_grad_matches(lambda: (a * b).sum(), b)
+
+    def test_div(self):
+        a = self._param((3,))
+        b = Tensor(np.array([1.5, 2.5, 3.5]), requires_grad=True)
+        assert_grad_matches(lambda: (a / b).sum(), a)
+        assert_grad_matches(lambda: (a / b).sum(), b)
+
+    def test_pow(self):
+        a = Tensor(np.array([1.2, 2.3, 0.7]), requires_grad=True)
+        assert_grad_matches(lambda: (a ** 3).sum(), a)
+
+    def test_matmul_2d(self):
+        a = self._param((3, 4))
+        b = self._param((4, 2), seed=1)
+        assert_grad_matches(lambda: (a @ b).sum(), a)
+        assert_grad_matches(lambda: (a @ b).sum(), b)
+
+    def test_matmul_batched(self):
+        a = self._param((2, 3, 4))
+        b = self._param((2, 4, 5), seed=1)
+        assert_grad_matches(lambda: ((a @ b) ** 2).sum(), a)
+        assert_grad_matches(lambda: ((a @ b) ** 2).sum(), b)
+
+    def test_matmul_broadcast_batch(self):
+        a = self._param((2, 3, 4))
+        b = self._param((4, 5), seed=1)
+        assert_grad_matches(lambda: (a @ b).sum(), a)
+        assert_grad_matches(lambda: (a @ b).sum(), b)
+
+    def test_matmul_vector_right(self):
+        a = self._param((3, 4))
+        b = self._param((4,), seed=1)
+        assert_grad_matches(lambda: ((a @ b) ** 2).sum(), a)
+        assert_grad_matches(lambda: ((a @ b) ** 2).sum(), b)
+
+    def test_matmul_vector_left(self):
+        a = self._param((4,))
+        b = self._param((4, 3), seed=1)
+        assert_grad_matches(lambda: ((a @ b) ** 2).sum(), a)
+        assert_grad_matches(lambda: ((a @ b) ** 2).sum(), b)
+
+    def test_matmul_vector_both(self):
+        a = self._param((4,))
+        b = self._param((4,), seed=1)
+        assert_grad_matches(lambda: (a @ b) * (a @ b), a)
+
+    def test_matmul_vector_batched_right(self):
+        a = self._param((2, 3, 4))
+        b = self._param((4,), seed=1)
+        assert_grad_matches(lambda: ((a @ b) ** 2).sum(), b)
+
+    def test_sum_all(self):
+        a = self._param((3, 4))
+        assert_grad_matches(lambda: (a.sum() ** 2), a)
+
+    def test_sum_axis(self):
+        a = self._param((3, 4))
+        assert_grad_matches(lambda: (a.sum(axis=1) ** 2).sum(), a)
+
+    def test_sum_axis_keepdims(self):
+        a = self._param((3, 4))
+        assert_grad_matches(lambda: (a.sum(axis=0, keepdims=True) ** 2).sum(), a)
+
+    def test_sum_tuple_axes(self):
+        a = self._param((2, 3, 4))
+        assert_grad_matches(lambda: (a.sum(axis=(0, 2)) ** 2).sum(), a)
+
+    def test_mean(self):
+        a = self._param((3, 4))
+        assert_grad_matches(lambda: (a.mean(axis=1) ** 2).sum(), a)
+
+    def test_max_all(self):
+        rng = np.random.default_rng(3)
+        a = Tensor(rng.permutation(12).astype(float).reshape(3, 4), requires_grad=True)
+        assert_grad_matches(lambda: a.max() * 2, a)
+
+    def test_max_axis(self):
+        rng = np.random.default_rng(3)
+        a = Tensor(rng.permutation(12).astype(float).reshape(3, 4), requires_grad=True)
+        assert_grad_matches(lambda: (a.max(axis=1) ** 2).sum(), a)
+
+    def test_exp(self):
+        a = self._param((3,))
+        assert_grad_matches(lambda: a.exp().sum(), a)
+
+    def test_log(self):
+        a = Tensor(np.array([0.5, 1.5, 2.5]), requires_grad=True)
+        assert_grad_matches(lambda: a.log().sum(), a)
+
+    def test_sqrt(self):
+        a = Tensor(np.array([0.5, 1.5, 2.5]), requires_grad=True)
+        assert_grad_matches(lambda: a.sqrt().sum(), a)
+
+    def test_abs(self):
+        a = Tensor(np.array([-1.5, 2.5, -0.5]), requires_grad=True)
+        assert_grad_matches(lambda: a.abs().sum(), a)
+
+    def test_tanh(self):
+        a = self._param((3, 4))
+        assert_grad_matches(lambda: a.tanh().sum(), a)
+
+    def test_sigmoid(self):
+        a = self._param((3, 4))
+        assert_grad_matches(lambda: a.sigmoid().sum(), a)
+
+    def test_sigmoid_extreme_values_stable(self):
+        a = Tensor(np.array([-800.0, 800.0]), requires_grad=True)
+        out = a.sigmoid()
+        assert np.all(np.isfinite(out.data))
+        assert out.data[0] == pytest.approx(0.0, abs=1e-12)
+        assert out.data[1] == pytest.approx(1.0, abs=1e-12)
+
+    def test_relu(self):
+        a = Tensor(np.array([-1.5, 2.5, -0.5, 3.0]), requires_grad=True)
+        assert_grad_matches(lambda: (a.relu() ** 2).sum(), a)
+
+    def test_clip(self):
+        a = Tensor(np.array([-2.0, 0.5, 3.0]), requires_grad=True)
+        assert_grad_matches(lambda: a.clip(-1.0, 1.0).sum(), a)
+
+
+class TestShapeOps:
+    def _param(self, shape, seed=0):
+        rng = np.random.default_rng(seed)
+        return Tensor(rng.normal(size=shape), requires_grad=True)
+
+    def test_reshape_forward(self):
+        a = self._param((2, 6))
+        assert a.reshape(3, 4).shape == (3, 4)
+        assert a.reshape((3, 4)).shape == (3, 4)
+
+    def test_reshape_grad(self):
+        a = self._param((2, 6))
+        assert_grad_matches(lambda: (a.reshape(3, 4) ** 2).sum(), a)
+
+    def test_transpose_default(self):
+        a = self._param((2, 3))
+        assert a.T.shape == (3, 2)
+        assert_grad_matches(lambda: (a.T @ a).sum(), a)
+
+    def test_transpose_axes(self):
+        a = self._param((2, 3, 4))
+        assert a.transpose(1, 0, 2).shape == (3, 2, 4)
+        assert_grad_matches(lambda: (a.transpose(2, 0, 1) ** 2).sum(), a)
+
+    def test_swapaxes(self):
+        a = self._param((2, 3, 4))
+        assert a.swapaxes(1, 2).shape == (2, 4, 3)
+        assert_grad_matches(lambda: (a.swapaxes(0, 2) ** 2).sum(), a)
+
+    def test_expand_dims_and_squeeze(self):
+        a = self._param((3, 4))
+        assert a.expand_dims(1).shape == (3, 1, 4)
+        assert a.expand_dims(1).squeeze(1).shape == (3, 4)
+        assert_grad_matches(lambda: (a.expand_dims(0) ** 2).sum(), a)
+
+    def test_getitem_rows(self):
+        a = self._param((5, 3))
+        assert_grad_matches(lambda: (a[np.array([0, 2, 2])] ** 2).sum(), a)
+
+    def test_getitem_slice(self):
+        a = self._param((5, 3))
+        assert_grad_matches(lambda: (a[1:4] ** 2).sum(), a)

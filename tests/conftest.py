@@ -1,0 +1,16 @@
+"""Shared pytest fixtures."""
+
+import numpy as np
+import pytest
+
+from tests.helpers import make_tiny_dataset
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def tiny_dataset():
+    return make_tiny_dataset(seed=0)

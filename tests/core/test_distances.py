@@ -1,0 +1,183 @@
+"""Tests for transforms and distance functions (Sections 3.2, 3.5)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.core.distances import (
+    DISTANCES,
+    DNNTransform,
+    IdentityTransform,
+    MahalanobisTransform,
+    chebyshev_distance,
+    cosine_distance,
+    manhattan_distance,
+    minkowski_distance,
+    squared_euclidean_distance,
+)
+from tests.helpers import assert_grad_matches
+
+
+def _pair(shape=(6, 4), seed=0):
+    rng = np.random.default_rng(seed)
+    a = Tensor(rng.normal(size=shape), requires_grad=True)
+    b = Tensor(rng.normal(size=shape), requires_grad=True)
+    return a, b
+
+
+class TestTransforms:
+    def test_identity_is_noop(self):
+        a, _ = _pair()
+        assert IdentityTransform()(a) is a
+
+    def test_mahalanobis_initializes_near_identity(self):
+        t = MahalanobisTransform(4, rng=np.random.default_rng(0), noise=0.0)
+        v = Tensor(np.random.default_rng(1).normal(size=(3, 4)))
+        np.testing.assert_allclose(t(v).data, v.data)
+
+    def test_mahalanobis_metric_matrix_is_psd(self):
+        t = MahalanobisTransform(6, rng=np.random.default_rng(0), noise=0.5)
+        # Even with large random perturbations, M = LᵀL stays PSD.
+        t.L.data += np.random.default_rng(1).normal(0, 1.0, size=(6, 6))
+        eigenvalues = np.linalg.eigvalsh(t.metric_matrix())
+        assert np.all(eigenvalues >= -1e-10)
+
+    def test_mahalanobis_distance_equals_metric_form(self):
+        # ‖L(a-b)‖² must equal (a-b)ᵀ M (a-b) with M = LᵀL (Eq. 4–6).
+        t = MahalanobisTransform(4, rng=np.random.default_rng(0), noise=0.3)
+        a, b = _pair(shape=(5, 4), seed=2)
+        d_transform = squared_euclidean_distance(t(a), t(b)).data
+        m = t.metric_matrix()
+        diff = a.data - b.data
+        d_metric = np.einsum("ij,jk,ik->i", diff, m, diff)
+        np.testing.assert_allclose(d_transform, d_metric, atol=1e-10)
+
+    def test_mahalanobis_gradient(self):
+        t = MahalanobisTransform(3, rng=np.random.default_rng(0))
+        a, b = _pair(shape=(4, 3), seed=1)
+        assert_grad_matches(
+            lambda: squared_euclidean_distance(t(a), t(b)).sum(), t.L
+        )
+
+    def test_dnn_zero_layers_is_identity(self):
+        t = DNNTransform(4, n_layers=0)
+        v = Tensor(np.random.default_rng(0).normal(size=(3, 4)))
+        assert t(v) is v
+
+    def test_dnn_output_shape_preserved(self):
+        t = DNNTransform(4, n_layers=2, rng=np.random.default_rng(0))
+        v = Tensor(np.random.default_rng(1).normal(size=(3, 5, 4)))
+        assert t(v).shape == (3, 5, 4)
+
+    def test_dnn_tanh_bounded(self):
+        t = DNNTransform(4, n_layers=1, activation="tanh",
+                         rng=np.random.default_rng(0))
+        v = Tensor(np.random.default_rng(1).normal(0, 100, size=(10, 4)))
+        out = t(v).data
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_dnn_rejects_negative_layers(self):
+        with pytest.raises(ValueError):
+            DNNTransform(4, n_layers=-1)
+
+    def test_dnn_parameter_count(self):
+        t = DNNTransform(4, n_layers=2, rng=np.random.default_rng(0))
+        assert t.num_parameters() == 2 * (4 * 4 + 4)
+
+
+class TestDistances:
+    def test_squared_euclidean_matches_numpy(self):
+        a, b = _pair()
+        expected = ((a.data - b.data) ** 2).sum(axis=-1)
+        np.testing.assert_allclose(squared_euclidean_distance(a, b).data, expected)
+
+    def test_manhattan_matches_numpy(self):
+        a, b = _pair()
+        expected = np.abs(a.data - b.data).sum(axis=-1)
+        np.testing.assert_allclose(manhattan_distance(a, b).data, expected)
+
+    def test_chebyshev_matches_numpy(self):
+        a, b = _pair()
+        expected = np.abs(a.data - b.data).max(axis=-1)
+        np.testing.assert_allclose(chebyshev_distance(a, b).data, expected)
+
+    def test_self_distance_is_zero(self):
+        a, _ = _pair()
+        for name in ("euclidean", "manhattan", "chebyshev"):
+            np.testing.assert_allclose(DISTANCES[name](a, a).data, 0.0, atol=1e-12)
+
+    def test_symmetry(self):
+        a, b = _pair()
+        for name in ("euclidean", "manhattan", "chebyshev", "cosine"):
+            np.testing.assert_allclose(
+                DISTANCES[name](a, b).data, DISTANCES[name](b, a).data, atol=1e-12
+            )
+
+    def test_non_negative(self):
+        a, b = _pair()
+        for name in ("euclidean", "manhattan", "chebyshev"):
+            assert np.all(DISTANCES[name](a, b).data >= 0.0)
+
+    def test_triangle_inequality_euclidean_sqrt(self):
+        # The *square root* of the squared distance obeys the triangle
+        # inequality (the paper's footnote 2).
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(size=(20, 5)))
+        y = Tensor(rng.normal(size=(20, 5)))
+        z = Tensor(rng.normal(size=(20, 5)))
+        d_xy = np.sqrt(squared_euclidean_distance(x, y).data)
+        d_yz = np.sqrt(squared_euclidean_distance(y, z).data)
+        d_xz = np.sqrt(squared_euclidean_distance(x, z).data)
+        assert np.all(d_yz <= d_xy + d_xz + 1e-12)
+
+    def test_triangle_inequality_manhattan(self):
+        rng = np.random.default_rng(1)
+        x = Tensor(rng.normal(size=(20, 5)))
+        y = Tensor(rng.normal(size=(20, 5)))
+        z = Tensor(rng.normal(size=(20, 5)))
+        d_xy = manhattan_distance(x, y).data
+        d_yz = manhattan_distance(y, z).data
+        d_xz = manhattan_distance(x, z).data
+        assert np.all(d_yz <= d_xy + d_xz + 1e-12)
+
+    def test_minkowski_special_cases(self):
+        a, b = _pair()
+        np.testing.assert_allclose(
+            minkowski_distance(a, b, 1.0).data, manhattan_distance(a, b).data
+        )
+        np.testing.assert_allclose(
+            minkowski_distance(a, b, 2.0).data,
+            np.sqrt(squared_euclidean_distance(a, b).data),
+        )
+
+    def test_minkowski_large_p_approaches_chebyshev(self):
+        a, b = _pair()
+        approx = minkowski_distance(a, b, 64.0).data
+        np.testing.assert_allclose(approx, chebyshev_distance(a, b).data, rtol=0.1)
+
+    def test_minkowski_invalid_p(self):
+        a, b = _pair()
+        with pytest.raises(ValueError):
+            minkowski_distance(a, b, 0.0)
+
+    def test_cosine_bounded(self):
+        a, b = _pair()
+        out = cosine_distance(a, b).data
+        assert np.all(out >= -1.0 - 1e-9) and np.all(out <= 1.0 + 1e-9)
+
+    def test_cosine_self_similarity_one(self):
+        a, _ = _pair()
+        np.testing.assert_allclose(cosine_distance(a, a).data, 1.0, atol=1e-9)
+
+    def test_cosine_zero_vector_stable(self):
+        a = Tensor(np.zeros((2, 4)))
+        b = Tensor(np.ones((2, 4)))
+        assert np.all(np.isfinite(cosine_distance(a, b).data))
+
+    def test_gradients(self):
+        a, b = _pair(shape=(3, 4))
+        assert_grad_matches(lambda: squared_euclidean_distance(a, b).sum(), a)
+        assert_grad_matches(lambda: cosine_distance(a, b).sum(), a)
+        a2 = Tensor(np.random.default_rng(5).normal(size=(3, 4)) + 0.1,
+                    requires_grad=True)
+        assert_grad_matches(lambda: manhattan_distance(a2, b).sum(), a2)

@@ -1,0 +1,215 @@
+"""The paper's central derivation: naive Eq. 9 == closed form Eqs. 10–11.
+
+These tests validate the simplification exactly — values *and*
+gradients — for the Mahalanobis, DNN and identity transforms, including
+hypothesis-generated inputs with zero values (padding) and duplicate
+feature vectors.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd.tensor import Tensor
+from repro.core.distances import (
+    DNNTransform,
+    MahalanobisTransform,
+    squared_euclidean_distance,
+)
+from repro.core.efficient import (
+    pairwise_interaction_efficient,
+    pairwise_interaction_naive,
+    pairwise_interaction_unweighted_efficient,
+)
+
+
+def _inputs(batch=4, width=6, k=5, seed=0, with_zeros=True):
+    rng = np.random.default_rng(seed)
+    v = Tensor(rng.normal(size=(batch, width, k)), requires_grad=True)
+    x_data = rng.normal(size=(batch, width))
+    if with_zeros:
+        x_data[rng.random((batch, width)) < 0.3] = 0.0
+    x = Tensor(x_data)
+    h = Tensor(rng.normal(size=(k,)), requires_grad=True)
+    return v, x, h
+
+
+class TestEquivalenceValues:
+    def test_identity_transform(self):
+        v, x, h = _inputs()
+        naive = pairwise_interaction_naive(v, v, x, h, squared_euclidean_distance)
+        efficient = pairwise_interaction_efficient(v, v, x, h)
+        np.testing.assert_allclose(naive.data, efficient.data, atol=1e-10)
+
+    def test_mahalanobis_transform(self):
+        v, x, h = _inputs(seed=1)
+        t = MahalanobisTransform(5, rng=np.random.default_rng(2), noise=0.4)
+        v_hat = t(v)
+        naive = pairwise_interaction_naive(v, v_hat, x, h, squared_euclidean_distance)
+        efficient = pairwise_interaction_efficient(v, v_hat, x, h)
+        np.testing.assert_allclose(naive.data, efficient.data, atol=1e-10)
+
+    def test_dnn_transform(self):
+        v, x, h = _inputs(seed=2)
+        t = DNNTransform(5, n_layers=2, rng=np.random.default_rng(3))
+        v_hat = t(v)
+        naive = pairwise_interaction_naive(v, v_hat, x, h, squared_euclidean_distance)
+        efficient = pairwise_interaction_efficient(v, v_hat, x, h)
+        np.testing.assert_allclose(naive.data, efficient.data, atol=1e-10)
+
+    def test_unweighted_form(self):
+        v, x, _h = _inputs(seed=3)
+        naive = pairwise_interaction_naive(v, v, x, None, squared_euclidean_distance)
+        efficient = pairwise_interaction_unweighted_efficient(v, x)
+        np.testing.assert_allclose(naive.data, efficient.data, atol=1e-10)
+
+    def test_duplicate_vectors_contribute_zero(self):
+        # D(v, v) = 0, so duplicated features must not change the sum.
+        rng = np.random.default_rng(4)
+        base = rng.normal(size=(2, 3, 4))
+        v_dup = np.concatenate([base, base[:, :1, :]], axis=1)  # repeat slot 0
+        x_base = np.abs(rng.normal(size=(2, 3)))
+        h = Tensor(rng.normal(size=(4,)))
+
+        # With the duplicate's value moved onto the original slot, the
+        # weighted pairwise sums agree (the duplicate only pairs with
+        # others identically).
+        v1, x1 = Tensor(base), Tensor(x_base)
+        x_dup = np.concatenate([x_base, x_base[:, :1]], axis=1)
+        x_dup2 = x_dup.copy()
+        x_dup2[:, 0] = 0.0  # zero the original; duplicate carries value
+        v2, x2 = Tensor(v_dup), Tensor(x_dup2)
+        f1 = pairwise_interaction_efficient(v1, v1, x1, h)
+        f2 = pairwise_interaction_efficient(v2, v2, x2, h)
+        np.testing.assert_allclose(f1.data, f2.data, atol=1e-10)
+
+    def test_zero_values_kill_all_interactions(self):
+        v, _x, h = _inputs()
+        x = Tensor(np.zeros((4, 6)))
+        out = pairwise_interaction_efficient(v, v, x, h)
+        np.testing.assert_allclose(out.data, 0.0, atol=1e-12)
+
+    def test_single_active_feature_no_interaction(self):
+        rng = np.random.default_rng(5)
+        v = Tensor(rng.normal(size=(3, 5, 4)))
+        x_data = np.zeros((3, 5))
+        x_data[:, 2] = 1.0
+        x = Tensor(x_data)
+        h = Tensor(rng.normal(size=(4,)))
+        out = pairwise_interaction_efficient(v, v, x, h)
+        np.testing.assert_allclose(out.data, 0.0, atol=1e-10)
+
+
+class TestEquivalenceGradients:
+    def _grads(self, fn, v, x, h):
+        v.zero_grad()
+        if h is not None:
+            h.zero_grad()
+        out = fn().sum()
+        out.backward()
+        return v.grad.copy(), None if h is None else h.grad.copy()
+
+    def test_gradients_match_identity(self):
+        v, x, h = _inputs(seed=6)
+        h.requires_grad = True
+        gv_naive, gh_naive = self._grads(
+            lambda: pairwise_interaction_naive(v, v, x, h, squared_euclidean_distance),
+            v, x, h,
+        )
+        gv_eff, gh_eff = self._grads(
+            lambda: pairwise_interaction_efficient(v, v, x, h), v, x, h
+        )
+        np.testing.assert_allclose(gv_naive, gv_eff, atol=1e-9)
+        np.testing.assert_allclose(gh_naive, gh_eff, atol=1e-9)
+
+    def test_gradients_match_through_mahalanobis(self):
+        v, x, h = _inputs(seed=7)
+        t = MahalanobisTransform(5, rng=np.random.default_rng(8), noise=0.3)
+
+        def run(fn):
+            v.zero_grad()
+            t.L.zero_grad()
+            fn().sum().backward()
+            return v.grad.copy(), t.L.grad.copy()
+
+        gv_n, gl_n = run(lambda: pairwise_interaction_naive(
+            v, t(v), x, h, squared_euclidean_distance))
+        gv_e, gl_e = run(lambda: pairwise_interaction_efficient(v, t(v), x, h))
+        np.testing.assert_allclose(gv_n, gv_e, atol=1e-9)
+        np.testing.assert_allclose(gl_n, gl_e, atol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    batch=st.integers(1, 4),
+    width=st.integers(2, 7),
+    k=st.integers(1, 6),
+    seed=st.integers(0, 10_000),
+)
+def test_equivalence_property(batch, width, k, seed):
+    """Naive Eq. 9 == Eqs. 10–11 for arbitrary shapes and values."""
+    rng = np.random.default_rng(seed)
+    v = Tensor(rng.normal(size=(batch, width, k)))
+    x_data = rng.normal(size=(batch, width))
+    x_data[rng.random((batch, width)) < 0.25] = 0.0
+    x = Tensor(x_data)
+    h = Tensor(rng.normal(size=(k,)))
+    naive = pairwise_interaction_naive(v, v, x, h, squared_euclidean_distance)
+    efficient = pairwise_interaction_efficient(v, v, x, h)
+    np.testing.assert_allclose(naive.data, efficient.data, atol=1e-8, rtol=1e-8)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    batch=st.integers(1, 3),
+    width=st.integers(2, 6),
+    k=st.integers(1, 5),
+    seed=st.integers(0, 10_000),
+)
+def test_unweighted_equivalence_property(batch, width, k, seed):
+    rng = np.random.default_rng(seed)
+    v = Tensor(rng.normal(size=(batch, width, k)))
+    x = Tensor(rng.normal(size=(batch, width)))
+    naive = pairwise_interaction_naive(v, v, x, None, squared_euclidean_distance)
+    efficient = pairwise_interaction_unweighted_efficient(v, x)
+    np.testing.assert_allclose(naive.data, efficient.data, atol=1e-8, rtol=1e-8)
+
+
+class TestComplexityScaling:
+    def test_efficient_cost_grows_linearly_with_width(self):
+        """The closed form touches O(W) pair terms, the naive form O(W²).
+
+        We check operation-count scaling indirectly through timing at two
+        widths; the ratio for the naive form must grow markedly faster.
+        This is the paper's complexity claim at test scale (the full
+        sweep lives in benchmarks/test_efficiency.py).
+        """
+        import time
+
+        def measure(fn, repeat=3):
+            best = float("inf")
+            for _ in range(repeat):
+                start = time.perf_counter()
+                fn()
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        rng = np.random.default_rng(0)
+        k = 8
+        times = {}
+        for width in (32, 128):
+            v = Tensor(rng.normal(size=(4, width, k)))
+            x = Tensor(rng.normal(size=(4, width)))
+            h = Tensor(rng.normal(size=(k,)))
+            times[("naive", width)] = measure(
+                lambda: pairwise_interaction_naive(
+                    v, v, x, h, squared_euclidean_distance)
+            )
+            times[("efficient", width)] = measure(
+                lambda: pairwise_interaction_efficient(v, v, x, h)
+            )
+        naive_ratio = times[("naive", 128)] / times[("naive", 32)]
+        efficient_ratio = times[("efficient", 128)] / times[("efficient", 32)]
+        # 4x width: naive work grows ~16x, efficient ~4x.  Allow slack.
+        assert naive_ratio > 2.0 * efficient_ratio

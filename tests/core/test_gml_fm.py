@@ -1,0 +1,189 @@
+"""Tests for the GML-FM model (Eq. 3) and its theoretical relations."""
+
+import numpy as np
+import pytest
+
+from repro.core.gml_fm import GMLFM, GMLFM_DNN, GMLFM_MD
+from repro.models.fm import FactorizationMachine
+from tests.helpers import make_tiny_dataset
+
+
+@pytest.fixture
+def ds():
+    return make_tiny_dataset()
+
+
+class TestConstruction:
+    def test_unknown_transform(self, ds):
+        with pytest.raises(ValueError):
+            GMLFM(ds, transform="fourier")
+
+    def test_unknown_mode(self, ds):
+        with pytest.raises(ValueError):
+            GMLFM(ds, mode="fast")
+
+    def test_unknown_distance(self, ds):
+        with pytest.raises(ValueError):
+            GMLFM(ds, distance="hamming")
+
+    def test_non_euclidean_requires_naive(self, ds):
+        with pytest.raises(ValueError):
+            GMLFM(ds, distance="manhattan", mode="efficient")
+        GMLFM(ds, distance="manhattan", mode="naive")  # fine
+
+    def test_factories(self, ds):
+        assert GMLFM_MD(ds).transform_kind == "mahalanobis"
+        assert GMLFM_DNN(ds).transform_kind == "dnn"
+
+    def test_no_weight_has_no_h(self, ds):
+        model = GMLFM(ds, use_weight=False)
+        assert model.h is None
+
+    def test_parameter_counts_differ_by_transform(self, ds):
+        k = 8
+        base = GMLFM(ds, k=k, transform="identity").num_parameters()
+        md = GMLFM(ds, k=k, transform="mahalanobis").num_parameters()
+        dnn = GMLFM(ds, k=k, transform="dnn", n_layers=2).num_parameters()
+        assert md == base + k * k
+        assert dnn == base + 2 * (k * k + k)
+
+
+class TestForward:
+    def test_output_shape(self, ds):
+        model = GMLFM_MD(ds, k=8, rng=np.random.default_rng(0))
+        scores = model.score(ds.users[:9], ds.items[:9])
+        assert scores.shape == (9,)
+
+    def test_naive_equals_efficient_md(self, ds):
+        seed = np.random.default_rng
+        a = GMLFM(ds, k=8, transform="mahalanobis", mode="naive", rng=seed(3))
+        b = GMLFM(ds, k=8, transform="mahalanobis", mode="efficient", rng=seed(3))
+        sa = a.predict(ds.users[:20], ds.items[:20])
+        sb = b.predict(ds.users[:20], ds.items[:20])
+        np.testing.assert_allclose(sa, sb, atol=1e-10)
+
+    def test_naive_equals_efficient_dnn(self, ds):
+        seed = np.random.default_rng
+        a = GMLFM(ds, k=8, transform="dnn", n_layers=2, mode="naive", rng=seed(4))
+        b = GMLFM(ds, k=8, transform="dnn", n_layers=2, mode="efficient", rng=seed(4))
+        sa = a.predict(ds.users[:20], ds.items[:20])
+        sb = b.predict(ds.users[:20], ds.items[:20])
+        np.testing.assert_allclose(sa, sb, atol=1e-10)
+
+    def test_naive_equals_efficient_unweighted(self, ds):
+        seed = np.random.default_rng
+        a = GMLFM(ds, k=8, use_weight=False, mode="naive", rng=seed(5))
+        b = GMLFM(ds, k=8, use_weight=False, mode="efficient", rng=seed(5))
+        sa = a.predict(ds.users[:20], ds.items[:20])
+        sb = b.predict(ds.users[:20], ds.items[:20])
+        np.testing.assert_allclose(sa, sb, atol=1e-10)
+
+    def test_predict_deterministic_in_eval(self, ds):
+        model = GMLFM_DNN(ds, k=8, dropout=0.5, rng=np.random.default_rng(0))
+        a = model.predict(ds.users[:10], ds.items[:10])
+        b = model.predict(ds.users[:10], ds.items[:10])
+        np.testing.assert_array_equal(a, b)
+
+    def test_gradients_reach_all_parameters(self, ds):
+        model = GMLFM_MD(ds, k=4, rng=np.random.default_rng(0))
+        loss = (model.score(ds.users[:16], ds.items[:16]) ** 2).sum()
+        loss.backward()
+        for name, param in model.named_parameters():
+            assert param.grad is not None, name
+            assert np.any(param.grad != 0) or param.size == 0, name
+
+
+class TestTheoreticalRelations:
+    def test_euclidean_special_case_of_mahalanobis(self, ds):
+        """Setting M = I (L = I) recovers the Euclidean distance (Sec. 3.2.1)."""
+        rng_a, rng_b = np.random.default_rng(7), np.random.default_rng(7)
+        md = GMLFM(ds, k=8, transform="mahalanobis", rng=rng_a)
+        eu = GMLFM(ds, k=8, transform="identity", rng=rng_b)
+        # Force L to the exact identity and align the other parameters.
+        md.transform.L.data[...] = np.eye(8)
+        eu.embeddings.weight.data[...] = md.embeddings.weight.data
+        eu.linear.weight.data[...] = md.linear.weight.data
+        eu.h.data[...] = md.h.data
+        np.testing.assert_allclose(
+            md.predict(ds.users[:15], ds.items[:15]),
+            eu.predict(ds.users[:15], ds.items[:15]),
+            atol=1e-12,
+        )
+
+    def test_dnn_identity_layers_recover_euclidean(self, ds):
+        """Identity weights + zero bias + identity activation = Euclidean
+        (the paper's remark after Eq. 8)."""
+        from repro.autograd import nn as ag_nn
+        rng_a, rng_b = np.random.default_rng(9), np.random.default_rng(9)
+        dnn = GMLFM(ds, k=6, transform="dnn", n_layers=1, activation="identity",
+                    rng=rng_a)
+        eu = GMLFM(ds, k=6, transform="identity", rng=rng_b)
+        linear_layer = dnn.transform.mlp._list[0]
+        assert isinstance(linear_layer, ag_nn.Linear)
+        linear_layer.weight.data[...] = np.eye(6)
+        linear_layer.bias.data[...] = 0.0
+        eu.embeddings.weight.data[...] = dnn.embeddings.weight.data
+        eu.linear.weight.data[...] = dnn.linear.weight.data
+        eu.h.data[...] = dnn.h.data
+        np.testing.assert_allclose(
+            dnn.predict(ds.users[:15], ds.items[:15]),
+            eu.predict(ds.users[:15], ds.items[:15]),
+            atol=1e-12,
+        )
+
+    def test_generalizes_vanilla_fm(self, ds):
+        """Section 3.6: with w_ij = 1, D = Euclidean and ‖v_i‖² = 1, GML-FM's
+        interaction equals a constant-affine function of the FM's:
+
+            Σ (v_i − v_j)² x_i x_j = −2 Σ ⟨v_i,v_j⟩ x_i x_j + 2 Σ x_i x_j
+        """
+        rng = np.random.default_rng(11)
+        gml = GMLFM(ds, k=6, transform="identity", use_weight=False,
+                    mode="naive", rng=np.random.default_rng(12))
+        fm = FactorizationMachine(ds, k=6, rng=np.random.default_rng(12))
+
+        # Shared, unit-norm embeddings; zero the first-order terms so only
+        # the pairwise interactions remain.
+        emb = rng.normal(size=gml.embeddings.weight.shape)
+        emb /= np.linalg.norm(emb, axis=1, keepdims=True)
+        for model in (gml, fm):
+            model.embeddings.weight.data[...] = emb
+            model.linear.weight.data[...] = 0.0
+            model.bias.data[...] = 0.0
+
+        users, items = ds.users[:25], ds.items[:25]
+        gml_scores = gml.predict(users, items)
+        fm_scores = fm.predict(users, items)
+
+        idx, val = ds.encode(users, items)
+        left, right = np.triu_indices(val.shape[1], k=1)
+        pair_sum = (val[:, left] * val[:, right]).sum(axis=1)
+
+        np.testing.assert_allclose(
+            gml_scores, -2.0 * fm_scores + 2.0 * pair_sum, atol=1e-10
+        )
+
+    def test_item_embeddings_accessor(self, ds):
+        model = GMLFM_MD(ds, k=5, rng=np.random.default_rng(0))
+        offset = ds.feature_space.offset("item")
+        vectors = model.item_embeddings(np.array([0, 3]), offset)
+        np.testing.assert_allclose(
+            vectors, model.embeddings.weight.data[[offset, offset + 3]]
+        )
+
+
+class TestDistanceVariants:
+    @pytest.mark.parametrize("distance", ["manhattan", "chebyshev", "cosine"])
+    def test_variants_forward(self, ds, distance):
+        model = GMLFM(ds, k=6, transform="dnn", n_layers=1, distance=distance,
+                      mode="naive", rng=np.random.default_rng(0))
+        scores = model.predict(ds.users[:10], ds.items[:10])
+        assert np.all(np.isfinite(scores))
+
+    @pytest.mark.parametrize("distance", ["manhattan", "cosine"])
+    def test_variants_trainable(self, ds, distance):
+        model = GMLFM(ds, k=6, transform="dnn", n_layers=1, distance=distance,
+                      mode="naive", rng=np.random.default_rng(0))
+        loss = (model.score(ds.users[:16], ds.items[:16]) ** 2).mean()
+        loss.backward()
+        assert model.h.grad is not None

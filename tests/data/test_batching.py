@@ -1,0 +1,43 @@
+"""Tests for the mini-batch iterator."""
+
+import numpy as np
+import pytest
+
+from repro.data.batching import minibatches
+
+
+class TestMinibatches:
+    def test_covers_all_indices(self):
+        batches = list(minibatches(10, 3, shuffle=False))
+        merged = np.concatenate(batches)
+        np.testing.assert_array_equal(np.sort(merged), np.arange(10))
+
+    def test_batch_sizes(self):
+        sizes = [b.size for b in minibatches(10, 3, shuffle=False)]
+        assert sizes == [3, 3, 3, 1]
+
+    def test_drop_last(self):
+        sizes = [b.size for b in minibatches(10, 3, shuffle=False, drop_last=True)]
+        assert sizes == [3, 3, 3]
+
+    def test_exact_division_with_drop_last(self):
+        sizes = [b.size for b in minibatches(9, 3, shuffle=False, drop_last=True)]
+        assert sizes == [3, 3, 3]
+
+    def test_shuffle_changes_order(self):
+        rng = np.random.default_rng(0)
+        shuffled = np.concatenate(list(minibatches(100, 10, rng=rng)))
+        assert not np.array_equal(shuffled, np.arange(100))
+        np.testing.assert_array_equal(np.sort(shuffled), np.arange(100))
+
+    def test_shuffle_reproducible_with_rng(self):
+        a = np.concatenate(list(minibatches(50, 7, rng=np.random.default_rng(3))))
+        b = np.concatenate(list(minibatches(50, 7, rng=np.random.default_rng(3))))
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            list(minibatches(10, 0))
+
+    def test_empty(self):
+        assert list(minibatches(0, 5, shuffle=False)) == []

@@ -1,0 +1,168 @@
+"""Tests for the RecDataset container."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import RecDataset
+from tests.helpers import make_tiny_dataset
+
+
+class TestConstruction:
+    def test_mismatched_arrays(self):
+        with pytest.raises(ValueError):
+            RecDataset("x", 2, 2, users=np.array([0]), items=np.array([0, 1]))
+
+    def test_user_out_of_range(self):
+        with pytest.raises(ValueError):
+            RecDataset("x", 2, 2, users=np.array([5]), items=np.array([0]))
+
+    def test_item_out_of_range(self):
+        with pytest.raises(ValueError):
+            RecDataset("x", 2, 2, users=np.array([0]), items=np.array([-1]))
+
+    def test_default_timestamps(self):
+        ds = RecDataset("x", 2, 2, users=np.array([0, 1]), items=np.array([0, 1]))
+        assert list(ds.timestamps) == [0, 1]
+
+    def test_timestamp_shape_check(self):
+        with pytest.raises(ValueError):
+            RecDataset("x", 2, 2, users=np.array([0]), items=np.array([0]),
+                       timestamps=np.array([1, 2]))
+
+    def test_attr_shape_mismatch(self):
+        idx = np.zeros((2, 1), dtype=np.int64)
+        val = np.ones((2, 2))
+        with pytest.raises(ValueError):
+            RecDataset("x", 2, 2, users=np.array([0]), items=np.array([0]),
+                       item_attrs={"c": (idx, val)})
+
+    def test_repr(self):
+        ds = make_tiny_dataset()
+        assert "tiny" in repr(ds)
+
+
+class TestFeatureSpace:
+    def test_fields_order(self):
+        ds = make_tiny_dataset()
+        names = [f.name for f in ds.feature_space]
+        assert names[0] == "user" and names[1] == "item"
+        assert set(names[2:]) == {"gender", "category", "tags"}
+
+    def test_n_features(self):
+        ds = make_tiny_dataset()
+        expected = ds.n_users + ds.n_items + 2 + 4 + 5
+        assert ds.n_features == expected
+
+    def test_sample_width(self):
+        ds = make_tiny_dataset()
+        # user + item + gender + category + 2 tag slots
+        assert ds.sample_width == 6
+
+
+class TestEncode:
+    def test_shapes(self):
+        ds = make_tiny_dataset()
+        idx, val = ds.encode(ds.users[:7], ds.items[:7])
+        assert idx.shape == (7, ds.sample_width)
+        assert val.shape == (7, ds.sample_width)
+
+    def test_user_item_columns(self):
+        ds = make_tiny_dataset()
+        idx, val = ds.encode(np.array([3]), np.array([7]))
+        assert idx[0, 0] == 3
+        assert idx[0, 1] == ds.feature_space.offset("item") + 7
+        assert val[0, 0] == 1.0 and val[0, 1] == 1.0
+
+    def test_indices_within_field_blocks(self):
+        ds = make_tiny_dataset()
+        idx, val = ds.encode(ds.users, ds.items)
+        space = ds.feature_space
+        for field in space.fields:
+            start = space.slot_start(field.name)
+            stop = start + field.slots
+            block = idx[:, start:stop]
+            offset = space.offset(field.name)
+            assert block.min() >= offset
+            assert block.max() < offset + field.cardinality
+
+    def test_padding_slots_have_zero_value(self):
+        ds = make_tiny_dataset()
+        _idx, val = ds.encode(ds.users, ds.items)
+        tags_start = ds.feature_space.slot_start("tags")
+        tag_vals = val[:, tags_start:tags_start + 2]
+        assert set(np.unique(tag_vals)) <= {0.0, 1.0}
+
+    def test_deterministic(self):
+        ds = make_tiny_dataset()
+        a = ds.encode(ds.users[:5], ds.items[:5])
+        b = ds.encode(ds.users[:5], ds.items[:5])
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+
+class TestViews:
+    def test_select_fields_empty(self):
+        ds = make_tiny_dataset()
+        base = ds.select_fields([])
+        assert base.n_features == ds.n_users + ds.n_items
+        assert base.sample_width == 2
+
+    def test_select_fields_subset(self):
+        ds = make_tiny_dataset()
+        view = ds.select_fields(["category"])
+        assert "category" in view.item_attrs
+        assert "tags" not in view.item_attrs
+        assert "gender" not in view.user_attrs
+
+    def test_select_fields_unknown(self):
+        ds = make_tiny_dataset()
+        with pytest.raises(KeyError):
+            ds.select_fields(["brand"])
+
+    def test_select_fields_keeps_interactions(self):
+        ds = make_tiny_dataset()
+        view = ds.select_fields([])
+        assert view.n_interactions == ds.n_interactions
+
+    def test_subset(self):
+        ds = make_tiny_dataset()
+        sub = ds.subset(np.array([0, 1, 2]))
+        assert sub.n_interactions == 3
+        assert sub.n_users == ds.n_users  # entity spaces preserved
+
+    def test_subset_keeps_attrs(self):
+        ds = make_tiny_dataset()
+        sub = ds.subset(np.arange(4))
+        assert sub.n_features == ds.n_features
+
+
+class TestLookups:
+    def test_positives_by_user(self):
+        ds = make_tiny_dataset()
+        positives = ds.positives_by_user()
+        assert len(positives) == ds.n_users
+        total = sum(len(s) for s in positives)
+        assert total == ds.n_interactions  # generator avoids duplicates
+
+    def test_positives_cached(self):
+        ds = make_tiny_dataset()
+        assert ds.positives_by_user() is ds.positives_by_user()
+
+    def test_interactions_per_user(self):
+        ds = make_tiny_dataset()
+        counts = ds.interactions_per_user()
+        assert counts.sum() == ds.n_interactions
+        assert counts.shape == (ds.n_users,)
+
+    def test_interactions_per_item(self):
+        ds = make_tiny_dataset()
+        counts = ds.interactions_per_item()
+        assert counts.sum() == ds.n_interactions
+
+    def test_sparsity_in_unit_interval(self):
+        ds = make_tiny_dataset()
+        assert 0.0 < ds.sparsity() < 1.0
+
+    def test_stats_keys(self):
+        stats = make_tiny_dataset().stats()
+        assert set(stats) == {"users", "items", "attribute_dim", "instances", "sparsity"}

@@ -1,0 +1,86 @@
+"""Tests for the real-file MovieLens loader (using synthesized files)."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.data.movielens import GENRES, load_movielens_1m
+
+
+@pytest.fixture
+def ml_dir(tmp_path):
+    """Write a miniature ML-1M-format dataset to a temp directory."""
+    users = [
+        "1::F::1::10::48067",
+        "2::M::56::16::70072",
+        "3::M::25::15::55117",
+    ]
+    movies = [
+        "10::Movie A (1995)::Comedy|Romance",
+        "20::Movie B (1995)::Action",
+        "30::Movie C (1997)::Drama|Thriller|War|Western",
+    ]
+    ratings = [
+        "1::10::5::978300760",
+        "1::20::4::978302109",
+        "1::30::2::978301968",   # below min_rating -> dropped
+        "2::20::5::978298413",
+        "2::30::4::978220179",
+        "3::10::4::978199279",
+        "3::30::1::978158471",   # dropped
+    ]
+    (tmp_path / "users.dat").write_text("\n".join(users), encoding="latin-1")
+    (tmp_path / "movies.dat").write_text("\n".join(movies), encoding="latin-1")
+    (tmp_path / "ratings.dat").write_text("\n".join(ratings), encoding="latin-1")
+    return str(tmp_path)
+
+
+class TestLoader:
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_movielens_1m(str(tmp_path))
+
+    def test_implicit_threshold(self, ml_dir):
+        ds = load_movielens_1m(ml_dir, min_rating=4.0)
+        assert ds.n_interactions == 5
+
+    def test_entity_counts(self, ml_dir):
+        ds = load_movielens_1m(ml_dir)
+        assert ds.n_users == 3
+        assert ds.n_items == 3
+
+    def test_attributes_present(self, ml_dir):
+        ds = load_movielens_1m(ml_dir)
+        assert set(ds.user_attrs) == {"gender", "age", "occupation"}
+        assert set(ds.item_attrs) == {"genre"}
+
+    def test_gender_mapping(self, ml_dir):
+        ds = load_movielens_1m(ml_dir)
+        gender_idx, _val = ds.user_attrs["gender"]
+        assert gender_idx[0, 0] == 0  # user 1 is F
+        assert gender_idx[1, 0] == 1  # user 2 is M
+
+    def test_genre_multi_hot(self, ml_dir):
+        ds = load_movielens_1m(ml_dir)
+        genre_idx, genre_val = ds.item_attrs["genre"]
+        # Movie A (item 0): Comedy|Romance -> two active slots.
+        assert genre_val[0].sum() == 2.0
+        assert genre_idx[0, 0] == GENRES.index("Comedy")
+        assert genre_idx[0, 1] == GENRES.index("Romance")
+
+    def test_genre_truncation_to_max_slots(self, ml_dir):
+        ds = load_movielens_1m(ml_dir)
+        _idx, genre_val = ds.item_attrs["genre"]
+        # Movie C has 4 genres but only 3 slots.
+        assert genre_val[2].sum() == 3.0
+
+    def test_timestamps_preserved(self, ml_dir):
+        ds = load_movielens_1m(ml_dir)
+        assert ds.timestamps.max() == 978302109
+
+    def test_encoding_works(self, ml_dir):
+        ds = load_movielens_1m(ml_dir)
+        idx, val = ds.encode(ds.users, ds.items)
+        assert idx.shape[0] == ds.n_interactions
+        assert np.all(idx >= 0) and np.all(idx < ds.n_features)

@@ -1,0 +1,100 @@
+"""Hypothesis property tests for the data layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import RecDataset
+from repro.data.schema import FeatureField, FeatureSpace
+from repro.data.splits import leave_one_out_split, random_split
+
+
+@st.composite
+def feature_spaces(draw):
+    n_fields = draw(st.integers(1, 5))
+    fields = []
+    for index in range(n_fields):
+        fields.append(FeatureField(
+            name=f"f{index}",
+            cardinality=draw(st.integers(1, 50)),
+            slots=draw(st.integers(1, 3)),
+        ))
+    return FeatureSpace(fields)
+
+
+@settings(max_examples=50, deadline=None)
+@given(feature_spaces())
+def test_offsets_partition_feature_space(space):
+    """Field blocks tile [0, n_features) without gaps or overlaps."""
+    covered = 0
+    for field in space.fields:
+        assert space.offset(field.name) == covered
+        covered += field.cardinality
+    assert covered == space.n_features
+
+
+@settings(max_examples=50, deadline=None)
+@given(feature_spaces())
+def test_slot_starts_partition_width(space):
+    covered = 0
+    for field in space.fields:
+        assert space.slot_start(field.name) == covered
+        covered += field.slots
+    assert covered == space.width
+
+
+@settings(max_examples=50, deadline=None)
+@given(feature_spaces(), st.integers(0, 10_000))
+def test_field_of_inverts_globalize(space, raw):
+    global_index = raw % space.n_features
+    field = space.field_of(global_index)
+    offset = space.offset(field.name)
+    assert offset <= global_index < offset + field.cardinality
+
+
+@st.composite
+def small_datasets(draw):
+    n_users = draw(st.integers(2, 10))
+    n_items = draw(st.integers(2, 12))
+    n_rows = draw(st.integers(1, 40))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    users = rng.integers(0, n_users, size=n_rows)
+    items = rng.integers(0, n_items, size=n_rows)
+    times = rng.permutation(n_rows)
+    return RecDataset("prop", n_users, n_items, users=users, items=items,
+                      timestamps=times)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_datasets())
+def test_encode_indices_always_in_range(ds):
+    idx, val = ds.encode(ds.users, ds.items)
+    assert idx.min() >= 0
+    assert idx.max() < ds.n_features
+    assert np.all((val == 0.0) | (val == 1.0))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_datasets())
+def test_random_split_is_partition(ds):
+    train, valid, test = random_split(ds, seed=0)
+    merged = np.sort(np.concatenate([train, valid, test]))
+    np.testing.assert_array_equal(merged, np.arange(ds.n_interactions))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_datasets())
+def test_leave_one_out_is_partition_with_unique_test_users(ds):
+    train, test = leave_one_out_split(ds)
+    merged = np.sort(np.concatenate([train, test]))
+    np.testing.assert_array_equal(merged, np.arange(ds.n_interactions))
+    test_users = ds.users[test]
+    assert len(np.unique(test_users)) == test_users.size
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_datasets())
+def test_per_user_counts_sum_to_interactions(ds):
+    assert ds.interactions_per_user().sum() == ds.n_interactions
+    assert ds.interactions_per_item().sum() == ds.n_interactions

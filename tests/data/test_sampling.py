@@ -1,0 +1,84 @@
+"""Tests for negative sampling."""
+
+import numpy as np
+import pytest
+
+from repro.data.sampling import NegativeSampler, sample_ranking_candidates
+from tests.helpers import make_tiny_dataset
+
+
+class TestNegativeSampler:
+    def test_negatives_avoid_positives(self):
+        ds = make_tiny_dataset()
+        sampler = NegativeSampler(ds, seed=0)
+        users = ds.users[:30]
+        negatives = sampler.sample_for_users(users, 3)
+        positives = ds.positives_by_user()
+        for row, user in enumerate(users):
+            for item in negatives[row]:
+                assert int(item) not in positives[user]
+
+    def test_shape(self):
+        ds = make_tiny_dataset()
+        out = NegativeSampler(ds, seed=0).sample_for_users(ds.users[:8], 4)
+        assert out.shape == (8, 4)
+
+    def test_reproducible(self):
+        ds = make_tiny_dataset()
+        a = NegativeSampler(ds, seed=1).sample_for_users(ds.users[:10], 2)
+        b = NegativeSampler(ds, seed=1).sample_for_users(ds.users[:10], 2)
+        np.testing.assert_array_equal(a, b)
+
+    def test_pointwise_training_set_labels(self):
+        ds = make_tiny_dataset()
+        sampler = NegativeSampler(ds, seed=0)
+        users, items, labels = sampler.build_pointwise_training_set(
+            np.arange(ds.n_interactions), n_neg=2
+        )
+        assert users.size == 3 * ds.n_interactions
+        assert (labels == 1).sum() == ds.n_interactions
+        assert (labels == -1).sum() == 2 * ds.n_interactions
+
+    def test_pointwise_training_set_shuffled(self):
+        ds = make_tiny_dataset()
+        sampler = NegativeSampler(ds, seed=0)
+        _users, _items, labels = sampler.build_pointwise_training_set(
+            np.arange(ds.n_interactions), n_neg=2
+        )
+        # Positives must not all be at the front after shuffling.
+        first_third = labels[: ds.n_interactions]
+        assert (first_third == 1).sum() < ds.n_interactions
+
+    def test_pairwise_training_set(self):
+        ds = make_tiny_dataset()
+        sampler = NegativeSampler(ds, seed=0)
+        users, positives, negatives = sampler.build_pairwise_training_set(
+            np.arange(ds.n_interactions), n_neg=2
+        )
+        assert users.size == 2 * ds.n_interactions
+        pos_sets = ds.positives_by_user()
+        for u, p, n in zip(users[:50], positives[:50], negatives[:50]):
+            assert int(p) in pos_sets[u]
+            assert int(n) not in pos_sets[u]
+
+
+class TestRankingCandidates:
+    def test_positive_in_column_zero(self):
+        ds = make_tiny_dataset()
+        test_users = ds.users[:5]
+        test_items = ds.items[:5]
+        candidates = sample_ranking_candidates(ds, test_users, test_items,
+                                               n_candidates=7, seed=0)
+        assert candidates.shape == (5, 8)
+        np.testing.assert_array_equal(candidates[:, 0], test_items)
+
+    def test_negative_candidates_uninteracted(self):
+        ds = make_tiny_dataset()
+        test_users = ds.users[:5]
+        test_items = ds.items[:5]
+        candidates = sample_ranking_candidates(ds, test_users, test_items,
+                                               n_candidates=5, seed=0)
+        positives = ds.positives_by_user()
+        for row, user in enumerate(test_users):
+            for item in candidates[row, 1:]:
+                assert int(item) not in positives[user]

@@ -1,0 +1,95 @@
+"""Tests for FeatureField and FeatureSpace."""
+
+import pytest
+
+from repro.data.schema import FeatureField, FeatureSpace
+
+
+class TestFeatureField:
+    def test_valid(self):
+        f = FeatureField("user", 10)
+        assert f.slots == 1
+
+    def test_rejects_nonpositive_cardinality(self):
+        with pytest.raises(ValueError):
+            FeatureField("user", 0)
+
+    def test_rejects_nonpositive_slots(self):
+        with pytest.raises(ValueError):
+            FeatureField("genre", 5, slots=0)
+
+    def test_frozen(self):
+        f = FeatureField("user", 10)
+        with pytest.raises(AttributeError):
+            f.cardinality = 20
+
+
+class TestFeatureSpace:
+    @pytest.fixture
+    def space(self):
+        return FeatureSpace([
+            FeatureField("user", 10),
+            FeatureField("item", 20),
+            FeatureField("genre", 5, slots=3),
+        ])
+
+    def test_total_features(self, space):
+        assert space.n_features == 35
+
+    def test_width(self, space):
+        assert space.width == 5
+
+    def test_offsets(self, space):
+        assert space.offset("user") == 0
+        assert space.offset("item") == 10
+        assert space.offset("genre") == 30
+
+    def test_slot_starts(self, space):
+        assert space.slot_start("user") == 0
+        assert space.slot_start("item") == 1
+        assert space.slot_start("genre") == 2
+
+    def test_globalize(self, space):
+        import numpy as np
+        out = space.globalize("item", np.array([0, 5]))
+        assert list(out) == [10, 15]
+
+    def test_field_lookup(self, space):
+        assert space.field("genre").slots == 3
+
+    def test_unknown_field_raises(self, space):
+        with pytest.raises(KeyError):
+            space.field("brand")
+        with pytest.raises(KeyError):
+            space.offset("brand")
+
+    def test_contains_and_iter(self, space):
+        assert "user" in space
+        assert "brand" not in space
+        assert [f.name for f in space] == ["user", "item", "genre"]
+        assert len(space) == 3
+
+    def test_field_of(self, space):
+        assert space.field_of(0).name == "user"
+        assert space.field_of(9).name == "user"
+        assert space.field_of(10).name == "item"
+        assert space.field_of(34).name == "genre"
+
+    def test_field_of_out_of_range(self, space):
+        with pytest.raises(IndexError):
+            space.field_of(35)
+        with pytest.raises(IndexError):
+            space.field_of(-1)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureSpace([FeatureField("a", 2), FeatureField("a", 3)])
+
+    def test_subspace(self, space):
+        sub = space.subspace(["user", "genre"])
+        assert sub.n_features == 15
+        assert sub.offset("genre") == 10
+
+    def test_describe_mentions_fields(self, space):
+        text = space.describe()
+        assert "user" in text and "genre" in text and "35" in text

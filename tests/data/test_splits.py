@@ -1,0 +1,81 @@
+"""Tests for random and leave-one-out splits."""
+
+import numpy as np
+import pytest
+
+from repro.data.splits import leave_one_out_split, random_split
+from tests.helpers import make_tiny_dataset
+
+
+class TestRandomSplit:
+    def test_partition_is_complete_and_disjoint(self):
+        ds = make_tiny_dataset()
+        train, valid, test = random_split(ds, seed=0)
+        merged = np.concatenate([train, valid, test])
+        assert merged.size == ds.n_interactions
+        assert len(np.unique(merged)) == ds.n_interactions
+
+    def test_ratios_respected(self):
+        ds = make_tiny_dataset(n_users=40, n_items=60)
+        train, valid, test = random_split(ds, ratios=(0.5, 0.3, 0.2), seed=0)
+        n = ds.n_interactions
+        assert abs(train.size / n - 0.5) < 0.05
+        assert abs(valid.size / n - 0.3) < 0.05
+
+    def test_reproducible(self):
+        ds = make_tiny_dataset()
+        a = random_split(ds, seed=5)
+        b = random_split(ds, seed=5)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_seed_changes_split(self):
+        ds = make_tiny_dataset()
+        a, _, _ = random_split(ds, seed=1)
+        b, _, _ = random_split(ds, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_invalid_ratios(self):
+        ds = make_tiny_dataset()
+        with pytest.raises(ValueError):
+            random_split(ds, ratios=(0.5, 0.5, 0.5))
+        with pytest.raises(ValueError):
+            random_split(ds, ratios=(0.5, 0.5))
+
+
+class TestLeaveOneOut:
+    def test_one_test_row_per_eligible_user(self):
+        ds = make_tiny_dataset()
+        _train, test = leave_one_out_split(ds)
+        test_users = ds.users[test]
+        assert len(np.unique(test_users)) == test_users.size
+        eligible = (ds.interactions_per_user() >= 2).sum()
+        assert test_users.size == eligible
+
+    def test_held_out_is_latest(self):
+        ds = make_tiny_dataset()
+        _train, test = leave_one_out_split(ds)
+        for row in test:
+            u = ds.users[row]
+            user_times = ds.timestamps[ds.users == u]
+            assert ds.timestamps[row] == user_times.max()
+
+    def test_partition(self):
+        ds = make_tiny_dataset()
+        train, test = leave_one_out_split(ds)
+        merged = np.concatenate([train, test])
+        assert len(np.unique(merged)) == ds.n_interactions
+
+    def test_single_interaction_user_stays_in_train(self):
+        from repro.data.dataset import RecDataset
+        ds = RecDataset(
+            "x", 2, 3,
+            users=np.array([0, 0, 1]),
+            items=np.array([0, 1, 2]),
+            timestamps=np.array([10, 20, 5]),
+        )
+        train, test = leave_one_out_split(ds)
+        assert test.size == 1           # only user 0 is eligible
+        assert ds.users[test[0]] == 0
+        assert ds.timestamps[test[0]] == 20
+        assert train.size == 2

@@ -1,0 +1,158 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    DATASET_BUILDERS,
+    SyntheticConfig,
+    _attribute_from_clusters,
+    _correlated_metric,
+    _draw_interaction_counts,
+    _multi_hot,
+    _zipf_popularity,
+    make_amazon_like,
+    make_dataset,
+    make_mercari_like,
+    make_movielens_like,
+)
+
+
+class TestHelpers:
+    def test_zipf_is_distribution(self):
+        p = _zipf_popularity(100, 1.0, np.random.default_rng(0))
+        assert p.shape == (100,)
+        assert p.sum() == pytest.approx(1.0)
+        assert np.all(p > 0)
+
+    def test_zipf_long_tail(self):
+        p = _zipf_popularity(1000, 1.0, np.random.default_rng(0))
+        top = np.sort(p)[::-1]
+        assert top[:10].sum() > 10 * top[500:510].sum()
+
+    def test_correlated_metric_is_psd(self):
+        m = _correlated_metric(8, np.random.default_rng(0))
+        eigenvalues = np.linalg.eigvalsh(m)
+        assert np.all(eigenvalues > 0)
+
+    def test_correlated_metric_not_diagonal(self):
+        m = _correlated_metric(8, np.random.default_rng(0))
+        off_diag = m - np.diag(np.diag(m))
+        assert np.abs(off_diag).max() > 0.05
+
+    def test_attribute_informativeness_extremes(self):
+        rng = np.random.default_rng(0)
+        clusters = rng.integers(0, 4, size=2000)
+        fully = _attribute_from_clusters(clusters, 4, 1.0, rng)
+        np.testing.assert_array_equal(fully, clusters % 4)
+        noisy = _attribute_from_clusters(clusters, 4, 0.0, rng)
+        agreement = (noisy == clusters % 4).mean()
+        assert agreement < 0.5
+
+    def test_multi_hot_primary_always_active(self):
+        rng = np.random.default_rng(0)
+        primary = rng.integers(0, 5, size=50)
+        idx, val = _multi_hot(primary, 5, max_slots=3, extra_prob=0.5, rng=rng)
+        np.testing.assert_array_equal(idx[:, 0], primary)
+        np.testing.assert_array_equal(val[:, 0], 1.0)
+
+    def test_multi_hot_padding_is_zero_valued(self):
+        rng = np.random.default_rng(0)
+        idx, val = _multi_hot(np.zeros(50, dtype=np.int64), 5, 3, 0.0, rng)
+        np.testing.assert_array_equal(val[:, 1:], 0.0)
+
+    def test_interaction_counts_respect_minimum(self):
+        counts = _draw_interaction_counts(500, 8.0, 5, np.random.default_rng(0))
+        assert counts.min() >= 5
+
+
+class TestGenerators:
+    def test_movielens_reproducible(self):
+        a = make_movielens_like(n_users=50, n_items=40, seed=3)
+        b = make_movielens_like(n_users=50, n_items=40, seed=3)
+        np.testing.assert_array_equal(a.users, b.users)
+        np.testing.assert_array_equal(a.items, b.items)
+
+    def test_movielens_different_seed_differs(self):
+        a = make_movielens_like(n_users=50, n_items=40, seed=3)
+        b = make_movielens_like(n_users=50, n_items=40, seed=4)
+        assert not np.array_equal(a.items, b.items)
+
+    def test_movielens_attributes(self):
+        ds = make_movielens_like(n_users=50, n_items=40, seed=0)
+        assert set(ds.user_attrs) == {"gender", "age", "occupation"}
+        assert set(ds.item_attrs) == {"genre"}
+        assert ds.item_attrs["genre"][0].shape[1] == 3  # multi-hot slots
+
+    def test_amazon_unknown_category(self):
+        with pytest.raises(ValueError):
+            make_amazon_like("garden")
+
+    def test_amazon_has_subcategory(self):
+        ds = make_amazon_like("auto", seed=0, scale=0.2)
+        assert set(ds.item_attrs) == {"subcategory"}
+
+    def test_amazon_five_core(self):
+        ds = make_amazon_like("auto", seed=0, scale=0.3)
+        assert ds.interactions_per_user().min() >= 5
+
+    def test_mercari_unknown_category(self):
+        with pytest.raises(ValueError):
+            make_mercari_like("cars")
+
+    def test_mercari_attributes(self):
+        ds = make_mercari_like("ticket", seed=0, scale=0.2)
+        expected = {"category", "condition", "ship_method", "ship_origin", "ship_duration"}
+        assert set(ds.item_attrs) == expected
+
+    def test_mercari_mostly_single_purchase_items(self):
+        ds = make_mercari_like("ticket", seed=0, scale=0.5)
+        counts = ds.interactions_per_item()
+        interacted = counts[counts > 0]
+        assert (interacted == 1).mean() > 0.4  # "most items purchased once"
+
+    def test_sparsity_ordering_matches_paper(self):
+        # MovieLens is the densest; Mercari the sparsest (paper Table 2).
+        ml = make_dataset("movielens", seed=0, scale=0.5)
+        office = make_dataset("amazon-office", seed=0, scale=0.5)
+        ticket = make_dataset("mercari-ticket", seed=0, scale=0.5)
+        assert ml.sparsity() < office.sparsity() < ticket.sparsity()
+
+    def test_no_duplicate_interactions(self):
+        ds = make_dataset("amazon-auto", seed=0, scale=0.3)
+        pairs = set(zip(ds.users.tolist(), ds.items.tolist()))
+        assert len(pairs) == ds.n_interactions
+
+    def test_timestamps_unique_within_user(self):
+        ds = make_dataset("amazon-auto", seed=0, scale=0.3)
+        for u in range(min(ds.n_users, 20)):
+            mask = ds.users == u
+            times = ds.timestamps[mask]
+            assert len(np.unique(times)) == times.size
+
+
+class TestMakeDataset:
+    def test_all_keys_build(self):
+        for key in DATASET_BUILDERS:
+            ds = make_dataset(key, seed=0, scale=0.15)
+            assert ds.n_interactions > 0, key
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError):
+            make_dataset("netflix")
+
+    def test_scale_shrinks(self):
+        small = make_dataset("amazon-auto", seed=0, scale=0.3)
+        large = make_dataset("amazon-auto", seed=0, scale=1.0)
+        assert small.n_users < large.n_users
+
+    def test_movielens_scale(self):
+        small = make_dataset("movielens", seed=0, scale=0.3)
+        assert small.n_users == 180
+
+
+class TestConfig:
+    def test_frozen(self):
+        config = SyntheticConfig(10, 10, 5.0, 5, 2, 0.5, 1.0, 1.0, False)
+        with pytest.raises(AttributeError):
+            config.n_users = 20

@@ -1,0 +1,59 @@
+"""Tests for experiment scales and table formatting."""
+
+import pytest
+
+from repro.experiments.configs import get_scale
+from repro.experiments.tables import format_table
+
+
+class TestScales:
+    def test_default_is_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert get_scale().name == "quick"
+
+    def test_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "full")
+        assert get_scale().name == "full"
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "full")
+        assert get_scale("quick").name == "quick"
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError):
+            get_scale("gigantic")
+
+    def test_full_is_larger(self):
+        quick, full = get_scale("quick"), get_scale("full")
+        assert full.epochs > quick.epochs
+        assert full.k > quick.k
+
+
+class TestFormatTable:
+    def test_scalar_values(self):
+        results = {"A": {"d1": 0.5, "d2": 0.7}, "B": {"d1": 0.6, "d2": 0.4}}
+        text = format_table(results, ["d1", "d2"], title="T")
+        assert "T" in text
+        assert "0.5000" in text and "0.7000*" in text
+
+    def test_lower_is_better(self):
+        results = {"A": {"d": 0.5}, "B": {"d": 0.6}}
+        text = format_table(results, ["d"], lower_is_better=True)
+        assert "0.5000*" in text
+        assert "0.6000*" not in text
+
+    def test_tuple_values(self):
+        results = {"A": {"d": (0.5, 0.2)}, "B": {"d": (0.6, 0.1)}}
+        text = format_table(results, ["d"])
+        assert "0.6000*" in text and "0.2000*" in text
+        assert "/" in text
+
+    def test_missing_cell_rendered_as_dash(self):
+        results = {"A": {"d1": 0.5}, "B": {}}
+        text = format_table(results, ["d1"])
+        assert "—" in text
+
+    def test_no_highlight(self):
+        results = {"A": {"d": 0.5}}
+        text = format_table(results, ["d"], highlight_best=False)
+        assert "*" not in text

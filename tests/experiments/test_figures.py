@@ -1,0 +1,85 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments.figures import ascii_chart
+
+
+@pytest.fixture
+def simple_series():
+    return {
+        "A": {1.0: 0.1, 2.0: 0.5, 3.0: 0.9},
+        "B": {1.0: 0.9, 2.0: 0.5, 3.0: 0.1},
+    }
+
+
+class TestAsciiChart:
+    def test_contains_title_and_legend(self, simple_series):
+        out = ascii_chart(simple_series, title="My chart")
+        assert "My chart" in out
+        assert "o A" in out and "x B" in out
+
+    def test_axis_limits_printed(self, simple_series):
+        out = ascii_chart(simple_series)
+        assert "0.900" in out
+        assert "0.100" in out
+
+    def test_markers_present(self, simple_series):
+        out = ascii_chart(simple_series)
+        assert out.count("o") >= 3
+        assert out.count("x") >= 3
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"A": {}})
+
+    def test_constant_series_handled(self):
+        out = ascii_chart({"A": {1.0: 0.5, 2.0: 0.5}})
+        assert "A" in out
+
+    def test_single_point(self):
+        out = ascii_chart({"A": {1.0: 0.5}})
+        assert "o" in out
+
+    def test_dimensions_respected(self, simple_series):
+        out = ascii_chart(simple_series, width=30, height=8)
+        chart_lines = [l for l in out.splitlines() if "|" in l]
+        assert len(chart_lines) == 8
+
+    def test_labels(self, simple_series):
+        out = ascii_chart(simple_series, x_label="k", y_label="HR@10")
+        assert "HR@10" in out
+
+
+class TestCli:
+    def test_datasets_command(self, capsys):
+        from repro.cli import main
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "movielens" in out and "mercari-books" in out
+
+    def test_models_command(self, capsys):
+        from repro.cli import main
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "GML-FMdnn" in out
+
+    def test_table2_command(self, capsys):
+        from repro.cli import main
+        assert main(["table2", "--datasets", "amazon-auto"]) == 0
+        out = capsys.readouterr().out
+        assert "amazon-auto" in out and "sparsity" in out
+
+    def test_unknown_model_rejected(self):
+        from repro.cli import main
+        with pytest.raises(SystemExit):
+            main(["table3", "--models", "SVD++", "--datasets", "amazon-auto"])
+
+    def test_unknown_dataset_rejected(self):
+        from repro.cli import main
+        with pytest.raises(SystemExit):
+            main(["table3", "--datasets", "netflix"])

@@ -1,0 +1,64 @@
+"""Tests for the model registry."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.registry import (
+    RATING_MODELS,
+    TOPN_MODELS,
+    build_model,
+    is_pairwise,
+)
+from tests.helpers import make_tiny_dataset
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return make_tiny_dataset()
+
+
+class TestRegistry:
+    def test_all_rating_models_build(self, ds):
+        for name in RATING_MODELS:
+            model = build_model(name, ds, k=4, seed=0)
+            scores = model.predict(ds.users[:5], ds.items[:5])
+            assert np.all(np.isfinite(scores)), name
+
+    def test_all_topn_models_build(self, ds):
+        for name in TOPN_MODELS:
+            model = build_model(name, ds, k=4, seed=0,
+                                train_users=ds.users, train_items=ds.items)
+            scores = model.predict(ds.users[:5], ds.items[:5])
+            assert np.all(np.isfinite(scores)), name
+
+    def test_unknown_model(self, ds):
+        with pytest.raises(KeyError):
+            build_model("SVD++", ds)
+
+    def test_pairwise_flags(self):
+        assert is_pairwise("BPR-MF")
+        assert is_pairwise("NGCF")
+        assert not is_pairwise("LibFM")
+        assert not is_pairwise("GML-FMdnn")
+
+    def test_gml_variants_distinct(self, ds):
+        md = build_model("GML-FMmd", ds, k=4, seed=0)
+        dnn = build_model("GML-FMdnn", ds, k=4, seed=0)
+        assert md.transform_kind == "mahalanobis"
+        assert dnn.transform_kind == "dnn"
+
+    def test_seed_controls_init(self, ds):
+        a = build_model("LibFM", ds, k=4, seed=1)
+        b = build_model("LibFM", ds, k=4, seed=1)
+        c = build_model("LibFM", ds, k=4, seed=2)
+        np.testing.assert_allclose(
+            a.embeddings.weight.data, b.embeddings.weight.data
+        )
+        assert not np.allclose(
+            a.embeddings.weight.data, c.embeddings.weight.data
+        )
+
+    def test_model_lists_cover_paper_tables(self):
+        assert len(RATING_MODELS) == 10
+        assert len(TOPN_MODELS) == 11
+        assert "GML-FMmd" in RATING_MODELS and "GML-FMdnn" in TOPN_MODELS

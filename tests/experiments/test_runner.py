@@ -1,0 +1,64 @@
+"""Tests for the experiment runner (tiny scale)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.configs import ExperimentScale
+from repro.experiments.runner import (
+    run_rating_cell,
+    run_rating_table,
+    run_topn_cell,
+    run_topn_table,
+)
+from tests.helpers import make_tiny_dataset
+
+TINY = ExperimentScale(name="tiny", epochs=3, k=8, dataset_scale=0.15,
+                       n_candidates=20, n_seeds=1)
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return make_tiny_dataset(n_users=20, n_items=25)
+
+
+class TestRatingCell:
+    def test_returns_finite_rmse(self, ds):
+        value = run_rating_cell("LibFM", ds, scale=TINY, seed=0)
+        assert np.isfinite(value)
+        assert 0.0 < value < 2.0
+
+    def test_reproducible(self, ds):
+        a = run_rating_cell("MF", ds, scale=TINY, seed=0)
+        b = run_rating_cell("MF", ds, scale=TINY, seed=0)
+        assert a == b
+
+    def test_gml_fm_runs(self, ds):
+        value = run_rating_cell("GML-FMmd", ds, scale=TINY, seed=0)
+        assert np.isfinite(value)
+
+
+class TestTopNCell:
+    def test_returns_hr_ndcg(self, ds):
+        hr, ndcg = run_topn_cell("LibFM", ds, scale=TINY, seed=0)
+        assert 0.0 <= hr <= 1.0
+        assert 0.0 <= ndcg <= hr + 1e-9
+
+    def test_pairwise_model(self, ds):
+        hr, ndcg = run_topn_cell("BPR-MF", ds, scale=TINY, seed=0)
+        assert 0.0 <= hr <= 1.0
+
+    def test_ngcf_uses_training_graph(self, ds):
+        hr, ndcg = run_topn_cell("NGCF", ds, scale=TINY, seed=0)
+        assert 0.0 <= hr <= 1.0
+
+
+class TestTables:
+    def test_rating_table_structure(self):
+        results = run_rating_table(["amazon-auto"], ["MF", "LibFM"], scale=TINY)
+        assert set(results) == {"MF", "LibFM"}
+        assert "amazon-auto" in results["MF"]
+
+    def test_topn_table_structure(self):
+        results = run_topn_table(["amazon-auto"], ["BPR-MF"], scale=TINY)
+        hr, ndcg = results["BPR-MF"]["amazon-auto"]
+        assert 0.0 <= hr <= 1.0

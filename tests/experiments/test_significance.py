@@ -1,0 +1,83 @@
+"""Tests for the paired significance machinery."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.configs import ExperimentScale
+from repro.experiments.significance import (
+    SignificanceResult,
+    compare_models,
+    paired_t_test,
+)
+from tests.helpers import make_tiny_dataset
+
+TINY = ExperimentScale(name="tiny", epochs=2, k=8, dataset_scale=0.15,
+                       n_candidates=20, n_seeds=1)
+
+
+class TestPairedTTest:
+    def test_identical_samples_not_significant(self):
+        t, p = paired_t_test([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+        assert t == 0.0 and p == 1.0
+
+    def test_clearly_different_samples_significant(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0.0, 0.01, size=10)
+        b = rng.normal(1.0, 0.01, size=10)
+        _t, p = paired_t_test(a, b)
+        assert p < 0.001
+
+    def test_symmetric(self):
+        a = [0.1, 0.3, 0.2, 0.4]
+        b = [0.2, 0.5, 0.1, 0.6]
+        t_ab, p_ab = paired_t_test(a, b)
+        t_ba, p_ba = paired_t_test(b, a)
+        assert t_ab == pytest.approx(-t_ba)
+        assert p_ab == pytest.approx(p_ba)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            paired_t_test([1.0], [1.0, 2.0])
+
+    def test_too_few_observations(self):
+        with pytest.raises(ValueError):
+            paired_t_test([1.0], [2.0])
+
+
+class TestMarkers:
+    def _result(self, p):
+        return SignificanceResult("A", "B", [0.0], [0.0], 0.0, p)
+
+    def test_dagger_below_001(self):
+        assert self._result(0.005).marker() == "†"
+
+    def test_star_below_005(self):
+        assert self._result(0.03).marker() == "*"
+
+    def test_empty_otherwise(self):
+        assert self._result(0.2).marker() == ""
+
+    def test_means(self):
+        result = SignificanceResult("A", "B", [0.2, 0.4], [0.5, 0.7], 0.0, 1.0)
+        assert result.mean_a == pytest.approx(0.3)
+        assert result.mean_b == pytest.approx(0.6)
+
+
+class TestCompareModels:
+    def test_runs_end_to_end(self):
+        ds = make_tiny_dataset(n_users=20, n_items=25)
+        result = compare_models("MF", "LibFM", ds, task="topn",
+                                seeds=[0, 1, 2], scale=TINY)
+        assert len(result.scores_a) == 3
+        assert 0.0 <= result.p_value <= 1.0
+
+    def test_rating_task(self):
+        ds = make_tiny_dataset(n_users=20, n_items=25)
+        result = compare_models("MF", "PMF", ds, task="rating",
+                                seeds=[0, 1], scale=TINY)
+        assert all(s > 0 for s in result.scores_a)
+
+    def test_unknown_task(self):
+        ds = make_tiny_dataset()
+        with pytest.raises(ValueError):
+            compare_models("MF", "PMF", ds, task="ranking")

@@ -1,0 +1,75 @@
+"""Tests for the vanilla FM: the O(kn) identity versus brute force."""
+
+import numpy as np
+import pytest
+
+from repro.models.fm import FactorizationMachine
+from tests.helpers import make_tiny_dataset
+
+
+@pytest.fixture
+def ds():
+    return make_tiny_dataset()
+
+
+class TestFactorizationMachine:
+    def test_output_shape(self, ds):
+        model = FactorizationMachine(ds, k=8, rng=np.random.default_rng(0))
+        assert model.score(ds.users[:7], ds.items[:7]).shape == (7,)
+
+    def test_matches_bruteforce_pairwise(self, ds):
+        """½[(Σxv)² − Σ(xv)²] must equal Σ_{i<j} ⟨v_i,v_j⟩ x_i x_j."""
+        model = FactorizationMachine(ds, k=6, rng=np.random.default_rng(1))
+        users, items = ds.users[:20], ds.items[:20]
+        scores = model.predict(users, items)
+
+        idx, val = ds.encode(users, items)
+        V = model.embeddings.weight.data
+        w = model.linear.weight.data[:, 0]
+        left, right = np.triu_indices(val.shape[1], k=1)
+        expected = np.full(users.size, model.bias.data.item())
+        for b in range(users.size):
+            expected[b] += (w[idx[b]] * val[b]).sum()
+            for i, j in zip(left, right):
+                expected[b] += (
+                    V[idx[b, i]] @ V[idx[b, j]] * val[b, i] * val[b, j]
+                )
+        np.testing.assert_allclose(scores, expected, atol=1e-10)
+
+    def test_padding_slots_inert(self, ds):
+        """Changing the embedding of a zero-valued slot's index must not
+        change the score (beyond that index's other appearances)."""
+        model = FactorizationMachine(ds, k=4, rng=np.random.default_rng(2))
+        # Find a sample with a padded tag slot.
+        idx, val = ds.encode(ds.users, ds.items)
+        tags_start = ds.feature_space.slot_start("tags")
+        padded_rows = np.where(val[:, tags_start + 1] == 0.0)[0]
+        assert padded_rows.size > 0
+        row = padded_rows[0]
+        before = model.predict(ds.users[row:row + 1], ds.items[row:row + 1])
+
+        padded_index = idx[row, tags_start + 1]
+        # Only safe if that index is not active elsewhere in this sample.
+        active = idx[row][val[row] > 0]
+        if padded_index not in active:
+            model.embeddings.weight.data[padded_index] += 100.0
+            after = model.predict(ds.users[row:row + 1], ds.items[row:row + 1])
+            np.testing.assert_allclose(before, after, atol=1e-9)
+
+    def test_trainable(self, ds):
+        from repro.training import Trainer, TrainConfig
+        from repro.data.sampling import NegativeSampler
+        model = FactorizationMachine(ds, k=8, rng=np.random.default_rng(3))
+        sampler = NegativeSampler(ds, seed=0)
+        users, items, labels = sampler.build_pointwise_training_set(
+            np.arange(ds.n_interactions), n_neg=1
+        )
+        trainer = Trainer(model, TrainConfig(epochs=20, lr=0.05, seed=0))
+        result = trainer.fit_pointwise(users, items, labels)
+        assert result.train_losses[-1] < result.train_losses[0] * 0.8
+
+    def test_item_embeddings_accessor(self, ds):
+        model = FactorizationMachine(ds, k=4, rng=np.random.default_rng(0))
+        offset = ds.feature_space.offset("item")
+        out = model.item_embeddings(np.array([1, 2]), offset)
+        assert out.shape == (2, 4)

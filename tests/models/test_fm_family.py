@@ -1,0 +1,153 @@
+"""Shared behaviour tests for all FM-family baselines plus
+model-specific checks (NFM, DeepFM, xDeepFM, AFM, TransFM)."""
+
+import numpy as np
+import pytest
+
+from repro.models import AFM, NFM, DeepFM, FactorizationMachine, TransFM, XDeepFM
+from tests.helpers import make_tiny_dataset
+
+MODEL_CLASSES = [FactorizationMachine, NFM, DeepFM, XDeepFM, AFM, TransFM]
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return make_tiny_dataset()
+
+
+@pytest.mark.parametrize("cls", MODEL_CLASSES)
+class TestCommonBehaviour:
+    def test_forward_shape(self, ds, cls):
+        model = cls(ds, k=6, rng=np.random.default_rng(0))
+        assert model.score(ds.users[:9], ds.items[:9]).shape == (9,)
+
+    def test_finite_outputs(self, ds, cls):
+        model = cls(ds, k=6, rng=np.random.default_rng(0))
+        scores = model.predict(ds.users, ds.items)
+        assert np.all(np.isfinite(scores))
+
+    def test_all_parameters_receive_gradients(self, ds, cls):
+        model = cls(ds, k=6, rng=np.random.default_rng(1))
+        model.train()
+        loss = (model.score(ds.users[:20], ds.items[:20]) ** 2).mean()
+        loss.backward()
+        missing = [
+            name for name, p in model.named_parameters() if p.grad is None
+        ]
+        assert not missing, f"{cls.__name__} params without grad: {missing}"
+
+    def test_seeded_reproducibility(self, ds, cls):
+        a = cls(ds, k=6, rng=np.random.default_rng(7))
+        b = cls(ds, k=6, rng=np.random.default_rng(7))
+        sa = a.predict(ds.users[:10], ds.items[:10])
+        sb = b.predict(ds.users[:10], ds.items[:10])
+        np.testing.assert_allclose(sa, sb)
+
+    def test_loss_decreases_when_training(self, ds, cls):
+        from repro.data.sampling import NegativeSampler
+        from repro.training import TrainConfig, Trainer
+
+        model = cls(ds, k=6, rng=np.random.default_rng(2))
+        sampler = NegativeSampler(ds, seed=0)
+        users, items, labels = sampler.build_pointwise_training_set(
+            np.arange(ds.n_interactions), n_neg=1
+        )
+        trainer = Trainer(model, TrainConfig(epochs=12, lr=0.02, seed=0))
+        result = trainer.fit_pointwise(users, items, labels)
+        assert result.train_losses[-1] < result.train_losses[0]
+
+
+class TestNFM:
+    def test_bi_interaction_matches_bruteforce(self, ds):
+        model = NFM(ds, k=5, rng=np.random.default_rng(0))
+        users, items = ds.users[:10], ds.items[:10]
+        idx, val = ds.encode(users, items)
+        pooled = model.bi_interaction(idx, val).data
+
+        V = model.embeddings.weight.data
+        left, right = np.triu_indices(val.shape[1], k=1)
+        expected = np.zeros((10, 5))
+        for b in range(10):
+            for i, j in zip(left, right):
+                expected[b] += (
+                    val[b, i] * V[idx[b, i]] * val[b, j] * V[idx[b, j]]
+                )
+        np.testing.assert_allclose(pooled, expected, atol=1e-10)
+
+    def test_zero_layers_allowed(self, ds):
+        model = NFM(ds, k=5, n_layers=0, rng=np.random.default_rng(0))
+        assert np.all(np.isfinite(model.predict(ds.users[:5], ds.items[:5])))
+
+
+class TestDeepFM:
+    def test_contains_fm_term(self, ds):
+        """With the deep tower zeroed, DeepFM must reduce to vanilla FM."""
+        rng = np.random.default_rng(3)
+        deep = DeepFM(ds, k=5, rng=np.random.default_rng(4))
+        fm = FactorizationMachine(ds, k=5, rng=np.random.default_rng(4))
+        fm.embeddings.weight.data[...] = deep.embeddings.weight.data
+        fm.linear.weight.data[...] = deep.linear.weight.data
+        fm.bias.data[...] = deep.bias.data
+        # Zero the deep head.
+        deep.head.weight.data[...] = 0.0
+        deep.head.bias.data[...] = 0.0
+        np.testing.assert_allclose(
+            deep.predict(ds.users[:10], ds.items[:10]),
+            fm.predict(ds.users[:10], ds.items[:10]),
+            atol=1e-10,
+        )
+
+
+class TestXDeepFM:
+    def test_cin_layer_sizes(self, ds):
+        model = XDeepFM(ds, k=4, cin_sizes=[3, 2], rng=np.random.default_rng(0))
+        idx, val = ds.encode(ds.users[:6], ds.items[:6])
+        from repro.autograd.tensor import Tensor
+        xv = Tensor(val).expand_dims(-1) * model.embeddings(idx)
+        pooled = model._cin(xv)
+        assert pooled.shape == (6, 5)  # 3 + 2 pooled features
+
+    def test_custom_cin_sizes(self, ds):
+        model = XDeepFM(ds, k=4, cin_sizes=[2], rng=np.random.default_rng(0))
+        assert np.all(np.isfinite(model.predict(ds.users[:5], ds.items[:5])))
+
+
+class TestAFM:
+    def test_attention_weights_sum_to_one(self, ds):
+        from repro.autograd import ops
+        from repro.autograd.tensor import Tensor
+
+        model = AFM(ds, k=5, rng=np.random.default_rng(0))
+        idx, val = ds.encode(ds.users[:6], ds.items[:6])
+        x = Tensor(val)
+        xv = x.expand_dims(-1) * model.embeddings(idx)
+        e = xv[:, model._left, :] * xv[:, model._right, :]
+        logits = model.attention(e).relu() @ model.attention_vector
+        weights = ops.softmax(logits, axis=-1)
+        np.testing.assert_allclose(weights.data.sum(axis=-1), 1.0)
+
+
+class TestTransFM:
+    def test_translation_vectors_change_scores(self, ds):
+        model = TransFM(ds, k=5, rng=np.random.default_rng(0))
+        before = model.predict(ds.users[:10], ds.items[:10])
+        model.translations.weight.data += 1.0
+        after = model.predict(ds.users[:10], ds.items[:10])
+        assert not np.allclose(before, after)
+
+    def test_interaction_is_translated_distance(self, ds):
+        """Score must equal the explicit Σ d(v_i + v'_i, v_j) x_i x_j."""
+        model = TransFM(ds, k=4, rng=np.random.default_rng(1))
+        users, items = ds.users[:8], ds.items[:8]
+        idx, val = ds.encode(users, items)
+        V = model.embeddings.weight.data
+        T = model.translations.weight.data
+        w = model.linear.weight.data[:, 0]
+        left, right = np.triu_indices(val.shape[1], k=1)
+        expected = np.full(8, model.bias.data.item())
+        for b in range(8):
+            expected[b] += (w[idx[b]] * val[b]).sum()
+            for i, j in zip(left, right):
+                diff = V[idx[b, i]] + T[idx[b, i]] - V[idx[b, j]]
+                expected[b] += diff @ diff * val[b, i] * val[b, j]
+        np.testing.assert_allclose(model.predict(users, items), expected, atol=1e-10)

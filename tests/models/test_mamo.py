@@ -1,0 +1,87 @@
+"""Tests for the MAMO meta-learning cold-start baseline."""
+
+import numpy as np
+import pytest
+
+from repro.models.mamo import MAMO
+from tests.helpers import make_tiny_dataset
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return make_tiny_dataset()
+
+
+@pytest.fixture
+def model(ds):
+    return MAMO(ds, k=6, n_memory=4, local_lr=0.1, local_steps=2,
+                rng=np.random.default_rng(0))
+
+
+class TestPersonalizedInit:
+    def test_shape(self, model):
+        assert model.personalized_init(0).shape == (6,)
+
+    def test_differs_across_users_with_different_attrs(self, ds, model):
+        gender_idx, _ = ds.user_attrs["gender"]
+        a = np.where(gender_idx[:, 0] == 0)[0][0]
+        b = np.where(gender_idx[:, 0] == 1)[0][0]
+        ea = model.personalized_init(int(a)).data
+        eb = model.personalized_init(int(b)).data
+        assert not np.allclose(ea, eb)
+
+    def test_no_user_attrs_fallback(self):
+        ds = make_tiny_dataset()
+        bare = ds.select_fields(["category"])  # drops gender
+        model = MAMO(bare, k=4, rng=np.random.default_rng(0))
+        assert model.personalized_init(0).shape == (4,)
+
+
+class TestAdaptation:
+    def test_adapt_reduces_support_loss(self, ds, model):
+        user = 0
+        items = ds.items[ds.users == user]
+        labels = np.ones(items.size)
+        init_node, delta = model.adapt(user, items, labels)
+
+        def support_loss(embedding):
+            from repro.autograd.tensor import Tensor, no_grad
+            with no_grad():
+                scores = model._score_items(Tensor(embedding), items)
+            return float(((scores.data - labels) ** 2).mean())
+
+        before = support_loss(init_node.data)
+        after = support_loss(init_node.data + delta)
+        assert after <= before
+
+    def test_predict_for_user_without_support(self, ds, model):
+        scores = model.predict_for_user(0, np.empty(0), np.empty(0),
+                                        np.array([0, 1, 2]))
+        assert scores.shape == (3,)
+        assert np.all(np.isfinite(scores))
+
+    def test_predict_for_user_with_support(self, ds, model):
+        items = ds.items[ds.users == 1]
+        scores = model.predict_for_user(
+            1, items[:2], np.ones(2), np.array([0, 1, 2])
+        )
+        assert scores.shape == (3,)
+
+
+class TestMetaTraining:
+    def test_meta_fit_reduces_query_loss(self, ds):
+        model = MAMO(ds, k=6, n_memory=4, local_lr=0.1, local_steps=2,
+                     rng=np.random.default_rng(1))
+        rng = np.random.default_rng(2)
+        # Balanced ±1 labels over the training interactions.
+        users = ds.users
+        items = ds.items
+        labels = rng.choice([-1.0, 1.0], users.size)
+        history = model.meta_fit(users, items, labels, epochs=4, meta_lr=0.05,
+                                 seed=0)
+        assert len(history) == 4
+        assert history[-1] < history[0]
+
+    def test_score_batch_interface(self, ds, model):
+        scores = model.score(ds.users[:4], ds.items[:4])
+        assert scores.shape == (4,)

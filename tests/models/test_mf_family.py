@@ -1,0 +1,104 @@
+"""Tests for the MF-family baselines: MF, PMF, NCF, BPR-MF."""
+
+import numpy as np
+import pytest
+
+from repro.models import BPRMF, MF, NCF, PMF
+from tests.helpers import make_tiny_dataset
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return make_tiny_dataset()
+
+
+@pytest.mark.parametrize("cls", [MF, PMF, NCF, BPRMF])
+class TestCommonBehaviour:
+    def test_shape(self, ds, cls):
+        model = cls(ds.n_users, ds.n_items, k=6, rng=np.random.default_rng(0))
+        assert model.score(ds.users[:7], ds.items[:7]).shape == (7,)
+
+    def test_finite(self, ds, cls):
+        model = cls(ds.n_users, ds.n_items, k=6, rng=np.random.default_rng(0))
+        assert np.all(np.isfinite(model.predict(ds.users, ds.items)))
+
+    def test_gradients_flow(self, ds, cls):
+        model = cls(ds.n_users, ds.n_items, k=6, rng=np.random.default_rng(1))
+        (model.score(ds.users[:10], ds.items[:10]) ** 2).mean().backward()
+        grads = [p.grad for p in model.parameters()]
+        assert any(g is not None for g in grads)
+
+
+class TestMF:
+    def test_score_formula(self, ds):
+        model = MF(ds.n_users, ds.n_items, k=4, rng=np.random.default_rng(0))
+        u, i = np.array([2]), np.array([3])
+        p = model.user_factors.weight.data[2]
+        q = model.item_factors.weight.data[3]
+        expected = (
+            model.bias.data.item()
+            + model.user_bias.weight.data[2, 0]
+            + model.item_bias.weight.data[3, 0]
+            + p @ q
+        )
+        np.testing.assert_allclose(model.predict(u, i), [expected], atol=1e-12)
+
+    def test_fits_ratings(self, ds):
+        from repro.training import TrainConfig, Trainer
+        model = MF(ds.n_users, ds.n_items, k=8, rng=np.random.default_rng(0))
+        rng = np.random.default_rng(1)
+        users = rng.integers(0, ds.n_users, 200)
+        items = rng.integers(0, ds.n_items, 200)
+        labels = rng.choice([-1.0, 1.0], 200)
+        trainer = Trainer(model, TrainConfig(epochs=30, lr=0.05, seed=0))
+        result = trainer.fit_pointwise(users, items, labels)
+        assert result.train_losses[-1] < result.train_losses[0] * 0.5
+
+
+class TestPMF:
+    def test_no_bias_parameters(self, ds):
+        model = PMF(ds.n_users, ds.n_items, k=4, rng=np.random.default_rng(0))
+        names = [n for n, _ in model.named_parameters()]
+        assert all("bias" not in n for n in names)
+
+    def test_score_is_pure_inner_product(self, ds):
+        model = PMF(ds.n_users, ds.n_items, k=4, rng=np.random.default_rng(0))
+        p = model.user_factors.weight.data[1]
+        q = model.item_factors.weight.data[2]
+        np.testing.assert_allclose(
+            model.predict(np.array([1]), np.array([2])), [p @ q], atol=1e-12
+        )
+
+
+class TestNCF:
+    def test_separate_embedding_tables(self, ds):
+        model = NCF(ds.n_users, ds.n_items, k=4, rng=np.random.default_rng(0))
+        assert not np.shares_memory(
+            model.gmf_user.weight.data, model.mlp_user.weight.data
+        )
+
+    def test_custom_hidden(self, ds):
+        model = NCF(ds.n_users, ds.n_items, k=4, hidden=[8],
+                    rng=np.random.default_rng(0))
+        assert np.all(np.isfinite(model.predict(ds.users[:5], ds.items[:5])))
+
+
+class TestBPRMF:
+    def test_pairwise_flag(self, ds):
+        model = BPRMF(ds.n_users, ds.n_items, k=4)
+        assert model.pairwise is True
+
+    def test_bpr_training_ranks_positives_higher(self, ds):
+        from repro.data.sampling import NegativeSampler
+        from repro.training import TrainConfig, Trainer
+
+        model = BPRMF(ds.n_users, ds.n_items, k=8, rng=np.random.default_rng(0))
+        sampler = NegativeSampler(ds, seed=0)
+        users, positives, negatives = sampler.build_pairwise_training_set(
+            np.arange(ds.n_interactions), n_neg=3
+        )
+        trainer = Trainer(model, TrainConfig(epochs=30, lr=0.05, seed=0))
+        trainer.fit_pairwise(users, positives, negatives)
+        pos_scores = model.predict(users, positives)
+        neg_scores = model.predict(users, negatives)
+        assert (pos_scores > neg_scores).mean() > 0.8

@@ -1,0 +1,77 @@
+"""Tests for NGCF and its graph construction."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.models.ngcf import NGCF, build_normalized_adjacency
+from tests.helpers import make_tiny_dataset
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return make_tiny_dataset()
+
+
+class TestAdjacency:
+    def test_shape(self, ds):
+        A = build_normalized_adjacency(ds.n_users, ds.n_items, ds.users, ds.items)
+        n = ds.n_users + ds.n_items
+        assert A.shape == (n, n)
+
+    def test_symmetric(self, ds):
+        A = build_normalized_adjacency(ds.n_users, ds.n_items, ds.users, ds.items)
+        diff = (A - A.T)
+        assert abs(diff).max() < 1e-12
+
+    def test_bipartite_blocks_empty(self, ds):
+        A = build_normalized_adjacency(ds.n_users, ds.n_items, ds.users, ds.items).toarray()
+        nu = ds.n_users
+        assert np.all(A[:nu, :nu] == 0)      # no user-user edges
+        assert np.all(A[nu:, nu:] == 0)      # no item-item edges
+
+    def test_spectral_radius_bounded(self, ds):
+        A = build_normalized_adjacency(ds.n_users, ds.n_items, ds.users, ds.items)
+        eigenvalues = np.linalg.eigvalsh(A.toarray())
+        assert eigenvalues.max() <= 1.0 + 1e-9
+
+    def test_isolated_node_handled(self):
+        A = build_normalized_adjacency(3, 3, np.array([0]), np.array([0]))
+        assert np.all(np.isfinite(A.toarray()))
+
+
+class TestNGCF:
+    def test_forward_shape(self, ds):
+        model = NGCF(ds.n_users, ds.n_items, k=4, n_layers=2,
+                     train_users=ds.users, train_items=ds.items,
+                     rng=np.random.default_rng(0))
+        assert model.score(ds.users[:6], ds.items[:6]).shape == (6,)
+
+    def test_representation_concatenates_layers(self, ds):
+        model = NGCF(ds.n_users, ds.n_items, k=4, n_layers=2,
+                     train_users=ds.users, train_items=ds.items,
+                     rng=np.random.default_rng(0))
+        reps = model.propagate()
+        assert reps.shape == (ds.n_users + ds.n_items, 4 * 3)
+
+    def test_empty_graph_allowed(self, ds):
+        model = NGCF(ds.n_users, ds.n_items, k=4, rng=np.random.default_rng(0))
+        assert np.all(np.isfinite(model.predict(ds.users[:5], ds.items[:5])))
+
+    def test_set_training_graph(self, ds):
+        model = NGCF(ds.n_users, ds.n_items, k=4, rng=np.random.default_rng(0))
+        before = model.predict(ds.users[:5], ds.items[:5])
+        model.set_training_graph(ds.users, ds.items)
+        after = model.predict(ds.users[:5], ds.items[:5])
+        assert not np.allclose(before, after)
+
+    def test_gradients_flow_to_embeddings(self, ds):
+        model = NGCF(ds.n_users, ds.n_items, k=4, n_layers=1,
+                     train_users=ds.users, train_items=ds.items,
+                     rng=np.random.default_rng(0))
+        model.score(ds.users[:8], ds.items[:8]).sum().backward()
+        assert model.embeddings.weight.grad is not None
+        assert np.any(model.embeddings.weight.grad != 0)
+
+    def test_pairwise_flag(self, ds):
+        assert NGCF(ds.n_users, ds.n_items, k=2).pairwise is True

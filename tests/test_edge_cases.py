@@ -1,0 +1,121 @@
+"""Edge-case and failure-injection tests across module boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.data.dataset import RecDataset
+from repro.data.splits import leave_one_out_split, random_split
+from repro.models import MF
+from repro.training import TrainConfig, Trainer
+from tests.helpers import make_tiny_dataset
+
+
+class TestEmptyDataset:
+    @pytest.fixture
+    def empty(self):
+        return RecDataset("empty", 4, 5,
+                          users=np.empty(0, dtype=np.int64),
+                          items=np.empty(0, dtype=np.int64))
+
+    def test_construction(self, empty):
+        assert empty.n_interactions == 0
+        assert empty.sparsity() == 1.0
+
+    def test_encode_empty_batch(self, empty):
+        idx, val = empty.encode(np.empty(0, dtype=np.int64),
+                                np.empty(0, dtype=np.int64))
+        assert idx.shape == (0, 2)
+
+    def test_splits_handle_empty(self, empty):
+        train, valid, test = random_split(empty, seed=0)
+        assert train.size == valid.size == test.size == 0
+        train, test = leave_one_out_split(empty)
+        assert train.size == test.size == 0
+
+    def test_positives_all_empty(self, empty):
+        assert all(len(s) == 0 for s in empty.positives_by_user())
+
+
+class TestTrainerEdges:
+    def test_zero_epochs(self):
+        ds = make_tiny_dataset()
+        model = MF(ds.n_users, ds.n_items, k=4, rng=np.random.default_rng(0))
+        trainer = Trainer(model, TrainConfig(epochs=0, lr=0.01))
+        result = trainer.fit_pointwise(ds.users, ds.items,
+                                       np.ones(ds.n_interactions))
+        assert result.train_losses == []
+        assert result.best_epoch == -1
+
+    def test_single_sample_batch(self):
+        ds = make_tiny_dataset()
+        model = MF(ds.n_users, ds.n_items, k=4, rng=np.random.default_rng(0))
+        trainer = Trainer(model, TrainConfig(epochs=2, lr=0.01, batch_size=1024))
+        result = trainer.fit_pointwise(
+            ds.users[:1], ds.items[:1], np.ones(1)
+        )
+        assert len(result.train_losses) == 2
+
+    def test_training_with_nan_labels_propagates_visibly(self):
+        """NaN labels must surface as NaN losses, not silently succeed."""
+        ds = make_tiny_dataset()
+        model = MF(ds.n_users, ds.n_items, k=4, rng=np.random.default_rng(0))
+        trainer = Trainer(model, TrainConfig(epochs=1, lr=0.01))
+        labels = np.full(ds.n_interactions, np.nan)
+        result = trainer.fit_pointwise(ds.users, ds.items, labels)
+        assert np.isnan(result.train_losses[0])
+
+
+class TestAutogradEdges:
+    def test_embedding_out_of_range_raises(self):
+        table = Tensor(np.zeros((5, 3)), requires_grad=True)
+        with pytest.raises(IndexError):
+            ops.embedding(table, np.array([7]))
+
+    def test_empty_batch_forward(self):
+        ds = make_tiny_dataset()
+        model = MF(ds.n_users, ds.n_items, k=4, rng=np.random.default_rng(0))
+        out = model.predict(np.empty(0, dtype=np.int64),
+                            np.empty(0, dtype=np.int64))
+        assert out.shape == (0,)
+
+    def test_deep_graph_backward_no_recursion_limit(self):
+        # 3000 chained ops would blow Python's recursion limit if the
+        # topological sort were recursive.
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y * 1.0001
+        y.sum().backward()
+        assert x.grad is not None and np.isfinite(x.grad[0])
+
+    def test_backward_twice_from_same_node(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = (x * x).sum()
+        y.backward()
+        y.backward()
+        np.testing.assert_allclose(x.grad, [8.0])
+
+    def test_mixed_grad_and_nograd_operands(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=False)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, 1.0)
+        assert b.grad is None
+
+
+class TestEncodingConsistency:
+    def test_subset_and_parent_encode_identically(self):
+        ds = make_tiny_dataset()
+        sub = ds.subset(np.arange(5))
+        a = ds.encode(ds.users[:5], ds.items[:5])
+        b = sub.encode(ds.users[:5], ds.items[:5])
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_select_fields_reindexes_globals(self):
+        ds = make_tiny_dataset()
+        view = ds.select_fields(["category"])
+        idx, _val = view.encode(ds.users[:5], ds.items[:5])
+        assert idx.max() < view.n_features

@@ -1,0 +1,61 @@
+"""The documented public API surface stays importable and coherent."""
+
+import pytest
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        import repro
+        assert repro.__version__ == "1.0.0"
+
+    def test_headline_exports(self):
+        from repro import (GMLFM, GMLFM_DNN, GMLFM_MD, RecDataset,
+                           TrainConfig, Trainer, make_dataset)
+        assert callable(GMLFM) and callable(make_dataset)
+
+    def test_all_matches_exports(self):
+        import repro
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+
+class TestSubpackageExports:
+    def test_autograd(self):
+        from repro.autograd import Tensor, nn, ops, optim, sparse_matmul
+        assert Tensor is not None
+
+    def test_data(self):
+        from repro.data import (DATASET_BUILDERS, FeatureSpace, NegativeSampler,
+                                RecDataset, leave_one_out_split, minibatches,
+                                random_split)
+        assert len(DATASET_BUILDERS) == 6
+
+    def test_core(self):
+        from repro.core import (DISTANCES, GMLFM, MahalanobisTransform,
+                                pairwise_interaction_efficient)
+        assert set(DISTANCES) == {"euclidean", "manhattan", "chebyshev", "cosine"}
+
+    def test_models(self):
+        import repro.models as models
+        for name in models.__all__:
+            assert hasattr(models, name), name
+
+    def test_training(self):
+        from repro.training import (bpr_loss, evaluate_topn, hit_ratio,
+                                    load_model, ndcg, recommend, rmse,
+                                    save_model, squared_loss)
+        assert callable(recommend)
+
+    def test_experiments(self):
+        from repro.experiments import (RATING_MODELS, TOPN_MODELS, ascii_chart,
+                                       compare_models, format_table)
+        assert len(TOPN_MODELS) == len(RATING_MODELS) + 1
+
+    def test_analysis(self):
+        from repro.analysis import (TSNE, cluster_separation, group_cold_start,
+                                    item_embedding_case_study)
+        assert callable(cluster_separation)
+
+    def test_cli_module(self):
+        from repro.cli import main
+        assert callable(main)

@@ -1,0 +1,150 @@
+"""Tests for the paper's evaluation protocols."""
+
+import numpy as np
+import pytest
+
+from repro.models import MF
+from repro.training.evaluation import (
+    build_rating_instances,
+    evaluate_rating,
+    evaluate_topn,
+    prepare_topn_protocol,
+)
+from tests.helpers import make_tiny_dataset
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return make_tiny_dataset()
+
+
+class TestRatingInstances:
+    def test_counts(self, ds):
+        instances = build_rating_instances(ds, n_negatives=2, seed=0)
+        assert instances.users.size == 3 * ds.n_interactions
+        assert (instances.labels == 1).sum() == ds.n_interactions
+
+    def test_split_partitions(self, ds):
+        instances = build_rating_instances(ds, seed=0)
+        merged = np.concatenate([instances.train, instances.valid, instances.test])
+        assert len(np.unique(merged)) == instances.users.size
+
+    def test_split_ratios(self, ds):
+        instances = build_rating_instances(ds, seed=0)
+        n = instances.users.size
+        assert abs(instances.train.size / n - 0.7) < 0.02
+        assert abs(instances.valid.size / n - 0.2) < 0.02
+
+    def test_split_accessor(self, ds):
+        instances = build_rating_instances(ds, seed=0)
+        users, items, labels = instances.split("test")
+        assert users.size == instances.test.size
+
+    def test_reproducible(self, ds):
+        a = build_rating_instances(ds, seed=3)
+        b = build_rating_instances(ds, seed=3)
+        np.testing.assert_array_equal(a.users, b.users)
+        np.testing.assert_array_equal(a.train, b.train)
+
+    def test_negatives_are_uninteracted(self, ds):
+        instances = build_rating_instances(ds, seed=0)
+        positives = ds.positives_by_user()
+        negative_rows = instances.labels == -1
+        for u, i in zip(instances.users[negative_rows][:100],
+                        instances.items[negative_rows][:100]):
+            assert int(i) not in positives[u]
+
+
+class TestEvaluateRating:
+    def test_perfect_oracle_gets_zero_rmse(self, ds):
+        instances = build_rating_instances(ds, seed=0)
+
+        class Oracle:
+            def __init__(self, inst):
+                self._lookup = {
+                    (u, i): y for u, i, y in zip(inst.users, inst.items, inst.labels)
+                }
+
+            def predict(self, users, items):
+                return np.array([self._lookup[(u, i)] for u, i in zip(users, items)])
+
+        result = evaluate_rating(Oracle(instances), instances)
+        assert result.test_rmse == 0.0
+        assert result.valid_rmse == 0.0
+
+    def test_constant_zero_rmse_is_one(self, ds):
+        instances = build_rating_instances(ds, seed=0)
+
+        class Zero:
+            def predict(self, users, items):
+                return np.zeros(len(users))
+
+        result = evaluate_rating(Zero(), instances)
+        assert result.test_rmse == pytest.approx(1.0)
+
+    def test_untrained_model_evaluates(self, ds):
+        instances = build_rating_instances(ds, seed=0)
+        model = MF(ds.n_users, ds.n_items, k=4, rng=np.random.default_rng(0))
+        result = evaluate_rating(model, instances)
+        # Near-zero init predicts ~0 -> RMSE near 1 on ±1 labels.
+        assert 0.9 < result.test_rmse < 1.1
+
+
+class TestTopNProtocol:
+    def test_prepare_shapes(self, ds):
+        train_index, test_users, test_items, candidates = prepare_topn_protocol(
+            ds, n_candidates=9, seed=0
+        )
+        assert candidates.shape == (test_users.size, 10)
+        np.testing.assert_array_equal(candidates[:, 0], test_items)
+        assert train_index.size + test_users.size == ds.n_interactions
+
+    def test_oracle_scores_perfect(self, ds):
+        _train, test_users, test_items, candidates = prepare_topn_protocol(
+            ds, n_candidates=9, seed=0
+        )
+
+        class Oracle:
+            def __init__(self, items):
+                self._positives = set(zip(test_users.tolist(), items.tolist()))
+
+            def predict(self, users, items):
+                return np.array([
+                    1.0 if (u, i) in self._positives else 0.0
+                    for u, i in zip(users, items)
+                ])
+
+        result = evaluate_topn(Oracle(test_items), ds, test_users, candidates)
+        assert result.hr == 1.0
+        assert result.ndcg == pytest.approx(1.0)
+
+    def test_constant_model_scores_zero(self, ds):
+        _train, test_users, _test_items, candidates = prepare_topn_protocol(
+            ds, n_candidates=9, seed=0
+        )
+
+        class Constant:
+            def predict(self, users, items):
+                return np.ones(len(users))
+
+        # top_k must be below the candidate count, otherwise every row is
+        # trivially a hit; pessimistic tie-breaking then yields HR = 0.
+        result = evaluate_topn(Constant(), ds, test_users, candidates, top_k=5)
+        assert result.hr == 0.0
+
+    def test_random_model_hr_near_k_over_candidates(self, ds):
+        _train, test_users, _test_items, candidates = prepare_topn_protocol(
+            ds, n_candidates=9, seed=0
+        )
+
+        class Random:
+            def __init__(self):
+                self._rng = np.random.default_rng(0)
+
+            def predict(self, users, items):
+                return self._rng.random(len(users))
+
+        result = evaluate_topn(Random(), ds, test_users, candidates, top_k=5)
+        # Expectation is 0.5 with 10 candidates; the tiny dataset has only
+        # ~12 test users so allow generous sampling noise.
+        assert 0.05 < result.hr < 0.95

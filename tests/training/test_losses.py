@@ -1,0 +1,57 @@
+"""Tests for the squared and BPR losses."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.training.losses import bpr_loss, squared_loss
+from tests.helpers import assert_grad_matches
+
+
+class TestSquaredLoss:
+    def test_zero_when_exact(self):
+        pred = Tensor(np.array([1.0, -1.0]))
+        assert squared_loss(pred, np.array([1.0, -1.0])).item() == 0.0
+
+    def test_value(self):
+        pred = Tensor(np.array([2.0, 0.0]))
+        loss = squared_loss(pred, np.array([1.0, -1.0]))
+        assert loss.item() == pytest.approx((1.0 + 1.0) / 2.0)
+
+    def test_gradient(self):
+        pred = Tensor(np.array([0.3, -0.7, 1.4]), requires_grad=True)
+        targets = np.array([1.0, -1.0, 1.0])
+        assert_grad_matches(lambda: squared_loss(pred, targets), pred)
+
+    def test_gradient_direction(self):
+        pred = Tensor(np.array([2.0]), requires_grad=True)
+        squared_loss(pred, np.array([1.0])).backward()
+        assert pred.grad[0] > 0  # over-prediction pushes score down
+
+
+class TestBPRLoss:
+    def test_positive_margin_gives_small_loss(self):
+        pos = Tensor(np.array([5.0, 5.0]))
+        neg = Tensor(np.array([-5.0, -5.0]))
+        assert bpr_loss(pos, neg).item() < 0.01
+
+    def test_negative_margin_gives_large_loss(self):
+        pos = Tensor(np.array([-5.0]))
+        neg = Tensor(np.array([5.0]))
+        assert bpr_loss(pos, neg).item() > 5.0
+
+    def test_zero_margin(self):
+        pos = Tensor(np.array([0.0]))
+        neg = Tensor(np.array([0.0]))
+        assert bpr_loss(pos, neg).item() == pytest.approx(np.log(2.0), rel=1e-6)
+
+    def test_gradient(self):
+        pos = Tensor(np.array([0.4, -0.2]), requires_grad=True)
+        neg = Tensor(np.array([0.1, 0.3]), requires_grad=True)
+        assert_grad_matches(lambda: bpr_loss(pos, neg), pos, atol=1e-5)
+        assert_grad_matches(lambda: bpr_loss(pos, neg), neg, atol=1e-5)
+
+    def test_stable_for_extreme_margins(self):
+        pos = Tensor(np.array([1000.0]))
+        neg = Tensor(np.array([-1000.0]))
+        assert np.isfinite(bpr_loss(pos, neg).item())

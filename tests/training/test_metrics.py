@@ -1,0 +1,69 @@
+"""Tests for RMSE, HR@K and NDCG@K."""
+
+import numpy as np
+import pytest
+
+from repro.training.metrics import hit_ratio, ndcg, rmse
+
+
+class TestRMSE:
+    def test_zero_for_perfect(self):
+        assert rmse(np.array([1.0, 2.0]), np.array([1.0, 2.0])) == 0.0
+
+    def test_known_value(self):
+        assert rmse(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            rmse(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            rmse(np.array([]), np.array([]))
+
+
+class TestRanking:
+    def test_hit_when_positive_ranked_first(self):
+        scores = np.array([[10.0, 1.0, 2.0, 3.0]])
+        assert hit_ratio(scores, top_k=1) == 1.0
+        assert ndcg(scores, top_k=1) == pytest.approx(1.0)
+
+    def test_miss_when_positive_ranked_last(self):
+        scores = np.array([[0.0, 1.0, 2.0, 3.0]])
+        assert hit_ratio(scores, top_k=3) == 0.0
+        assert ndcg(scores, top_k=3) == 0.0
+
+    def test_rank_within_k(self):
+        # Positive is beaten by exactly 2 negatives -> rank 2 (0-based).
+        scores = np.array([[5.0, 9.0, 8.0, 1.0, 0.0]])
+        assert hit_ratio(scores, top_k=3) == 1.0
+        assert ndcg(scores, top_k=3) == pytest.approx(1.0 / np.log2(4.0))
+
+    def test_averaging_over_rows(self):
+        scores = np.array([
+            [10.0, 1.0, 2.0],   # hit at rank 0
+            [0.0, 1.0, 2.0],    # miss
+        ])
+        assert hit_ratio(scores, top_k=2) == 0.5
+
+    def test_ties_count_against_positive(self):
+        # A constant scorer must not earn HR=1.
+        scores = np.ones((1, 100))
+        assert hit_ratio(scores, top_k=10) == 0.0
+
+    def test_ndcg_monotone_in_rank(self):
+        def row(n_better):
+            scores = np.zeros(11)
+            scores[0] = 0.5
+            scores[1:1 + n_better] = 1.0
+            return scores.reshape(1, -1)
+
+        values = [ndcg(row(n), top_k=10) for n in range(5)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_hr_upper_bounds_ndcg(self):
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=(50, 100))
+        assert ndcg(scores, top_k=10) <= hit_ratio(scores, top_k=10)

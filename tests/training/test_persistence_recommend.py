@@ -1,0 +1,94 @@
+"""Tests for model persistence and the top-k recommendation API."""
+
+import numpy as np
+import pytest
+
+from repro.core.gml_fm import GMLFM_DNN
+from repro.models import MF
+from repro.models.fm import FactorizationMachine
+from repro.training.persistence import load_model, save_model
+from repro.training.recommend import recommend
+from tests.helpers import make_tiny_dataset
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return make_tiny_dataset(n_users=15, n_items=25)
+
+
+class TestPersistence:
+    def test_roundtrip_preserves_predictions(self, ds, tmp_path):
+        model = GMLFM_DNN(ds, k=8, rng=np.random.default_rng(0))
+        before = model.predict(ds.users[:10], ds.items[:10])
+        path = str(tmp_path / "model.npz")
+        save_model(model, path)
+
+        fresh = GMLFM_DNN(ds, k=8, rng=np.random.default_rng(99))
+        assert not np.allclose(fresh.predict(ds.users[:10], ds.items[:10]), before)
+        load_model(fresh, path)
+        np.testing.assert_allclose(
+            fresh.predict(ds.users[:10], ds.items[:10]), before
+        )
+
+    def test_shape_mismatch_raises(self, ds, tmp_path):
+        model = FactorizationMachine(ds, k=8, rng=np.random.default_rng(0))
+        path = str(tmp_path / "fm.npz")
+        save_model(model, path)
+        other = FactorizationMachine(ds, k=4, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            load_model(other, path)
+
+    def test_missing_parameter_raises(self, ds, tmp_path):
+        fm = FactorizationMachine(ds, k=8, rng=np.random.default_rng(0))
+        path = str(tmp_path / "fm.npz")
+        save_model(fm, path)
+        gml = GMLFM_DNN(ds, k=8, rng=np.random.default_rng(0))
+        with pytest.raises(KeyError):
+            load_model(gml, path)
+
+
+class TestRecommend:
+    def test_shape_and_range(self, ds):
+        model = MF(ds.n_users, ds.n_items, k=8, rng=np.random.default_rng(0))
+        out = recommend(model, ds, np.array([0, 1, 2]), top_k=5)
+        assert out.shape == (3, 5)
+        assert out.min() >= 0 and out.max() < ds.n_items
+
+    def test_no_duplicates_in_list(self, ds):
+        model = MF(ds.n_users, ds.n_items, k=8, rng=np.random.default_rng(0))
+        out = recommend(model, ds, np.array([0]), top_k=10)
+        assert len(np.unique(out[0])) == 10
+
+    def test_excludes_seen_items(self, ds):
+        model = MF(ds.n_users, ds.n_items, k=8, rng=np.random.default_rng(0))
+        positives = ds.positives_by_user()
+        out = recommend(model, ds, np.arange(5), top_k=5, exclude_seen=True)
+        for row, user in enumerate(range(5)):
+            assert not positives[user].intersection(out[row].tolist())
+
+    def test_include_seen_allows_positives(self, ds):
+        model = MF(ds.n_users, ds.n_items, k=8, rng=np.random.default_rng(0))
+        # Push one seen item's score very high for user 0.
+        target = next(iter(ds.positives_by_user()[0]))
+        model.item_bias.weight.data[target] = 100.0
+        out = recommend(model, ds, np.array([0]), top_k=3, exclude_seen=False)
+        assert target in out[0]
+
+    def test_ranked_by_score(self, ds):
+        model = MF(ds.n_users, ds.n_items, k=8, rng=np.random.default_rng(0))
+        out = recommend(model, ds, np.array([3]), top_k=8, exclude_seen=False)
+        scores = model.predict(np.full(8, 3), out[0])
+        assert np.all(np.diff(scores) <= 1e-12)
+
+    def test_top_k_validation(self, ds):
+        model = MF(ds.n_users, ds.n_items, k=8, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            recommend(model, ds, np.array([0]), top_k=0)
+        with pytest.raises(ValueError):
+            recommend(model, ds, np.array([0]), top_k=ds.n_items + 1,
+                      exclude_seen=False)
+
+    def test_works_with_feature_model(self, ds):
+        model = GMLFM_DNN(ds, k=8, rng=np.random.default_rng(0))
+        out = recommend(model, ds, np.array([0, 1]), top_k=4)
+        assert out.shape == (2, 4)
