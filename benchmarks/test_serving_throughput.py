@@ -1,0 +1,135 @@
+"""Serving throughput: the seed per-user loop vs the batched scorer.
+
+The seed-era ``recommend`` re-scored the whole catalogue through
+``model.predict`` once per user; the serving subsystem scores
+``[users, catalogue]`` grids against precomputed item-side state
+(:mod:`repro.serving.scorer`).  This benchmark measures users/sec for
+both paths on the quick-scale MovieLens-like dataset, asserts the
+ranked lists stay identical and the batched path is ≥5× faster, and
+emits one JSON record per model (the BENCH trajectory seed) — printed,
+and written to ``benchmarks/results/serving_throughput.json`` or the
+``REPRO_BENCH_JSON`` path when set.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_dataset
+from repro.experiments.registry import build_model
+from repro.serving.index import TopKIndex
+from repro.serving.scorer import BatchScorer
+
+pytestmark = pytest.mark.serving
+
+MODELS = ["BPR-MF", "GML-FMmd"]
+TOP_K = 10
+
+
+def legacy_recommend(model, dataset, users, top_k, batch_items=8192):
+    """The seed implementation, kept verbatim as the baseline."""
+    users = np.asarray(users, dtype=np.int64)
+    n_items = dataset.n_items
+    seen = dataset.positives_by_user()
+    all_items = np.arange(n_items, dtype=np.int64)
+    out = np.empty((users.size, top_k), dtype=np.int64)
+    for row, user in enumerate(users):
+        scores = np.empty(n_items)
+        for start in range(0, n_items, batch_items):
+            stop = min(start + batch_items, n_items)
+            batch = all_items[start:stop]
+            scores[start:stop] = model.predict(
+                np.full(batch.size, user, dtype=np.int64), batch
+            )
+        if seen[user]:
+            scores[list(seen[user])] = -np.inf
+        top = np.argpartition(-scores, top_k - 1)[:top_k]
+        out[row] = top[np.argsort(-scores[top])]
+    return out
+
+
+def batched_recommend(scorer, index, users, top_k):
+    """The serving path: one grid scoring pass, vectorized mask + rank."""
+    scores = scorer.score(users)
+    index.mask_seen(scores, users)
+    return index.topk(scores, top_k)
+
+
+def _record_path():
+    if "REPRO_BENCH_JSON" in os.environ:
+        return os.environ["REPRO_BENCH_JSON"]
+    return os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "results", "serving_throughput.json")
+
+
+def _emit(records):
+    path = _record_path()
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(records, fh, indent=2)
+    for record in records:
+        print("BENCH " + json.dumps(record))
+    print(f"records written to {path}")
+
+
+def test_serving_throughput(benchmark, scale):
+    dataset = make_dataset("movielens", seed=0, scale=scale.dataset_scale)
+    users = np.arange(min(100, dataset.n_users), dtype=np.int64)
+
+    def measure(fn, repeats=3):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - start)
+        return result, best
+
+    def run_sweep():
+        records = []
+        for name in MODELS:
+            model = build_model(name, dataset, k=scale.k, seed=0,
+                                train_users=dataset.users,
+                                train_items=dataset.items)
+            scorer = BatchScorer(model, dataset)
+            index = TopKIndex.from_dataset(dataset)
+            assert scorer.uses_fast_path, f"{name} lost its grid fast path"
+
+            legacy_lists, legacy_time = measure(
+                lambda: legacy_recommend(model, dataset, users, TOP_K), repeats=1)
+            batched_lists, batched_time = measure(
+                lambda: batched_recommend(scorer, index, users, TOP_K))
+            np.testing.assert_array_equal(
+                batched_lists, legacy_lists,
+                err_msg=f"{name}: batched top-{TOP_K} diverged from the seed loop")
+            records.append({
+                "benchmark": "serving_throughput",
+                "scale": scale.name,
+                "model": name,
+                "k": scale.k,
+                "n_users": int(users.size),
+                "n_items": int(dataset.n_items),
+                "top_k": TOP_K,
+                "users_per_sec_loop": users.size / legacy_time,
+                "users_per_sec_batched": users.size / batched_time,
+                "speedup": legacy_time / batched_time,
+            })
+        return records
+
+    records = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    _emit(records)
+
+    print(f"\nServing throughput, {len(records[0]) and records[0]['n_users']} "
+          f"users × {records[0]['n_items']} items (scale={records[0]['scale']})")
+    print(f"{'model':>10s} {'loop u/s':>10s} {'batched u/s':>12s} {'speedup':>9s}")
+    for record in records:
+        print(f"{record['model']:>10s} {record['users_per_sec_loop']:>10.1f} "
+              f"{record['users_per_sec_batched']:>12.1f} "
+              f"{record['speedup']:>8.1f}x")
+
+    for record in records:
+        assert record["speedup"] >= 5.0, (
+            f"{record['model']}: batched scorer only {record['speedup']:.1f}x "
+            "faster than the per-user loop")

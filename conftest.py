@@ -1,0 +1,9 @@
+"""Repository-level pytest configuration."""
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "serving: online serving subsystem tests (repro.serving); "
+        "run with `pytest -m serving`",
+    )

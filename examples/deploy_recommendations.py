@@ -1,8 +1,12 @@
-"""Deployment loop: train, persist, reload, serve top-k recommendations.
+"""Deployment loop: train, bundle an artifact, boot a serving process.
 
-Shows the post-research path a downstream user takes: train GML-FM once,
-save the parameters with ``save_model``, reload them in a fresh process
-with ``load_model``, and serve ranked lists with ``recommend``.
+Shows the post-research path a downstream user takes with the serving
+subsystem: train GML-FM once, write one self-describing artifact with
+``save_artifact``, then boot a :class:`RecommendationService` from the
+bundle alone in a fresh process — architecture, encoding metadata and
+parameters all travel inside the archive.  The service batch-scores the
+catalogue through the model's closed-form fast path, masks seen items,
+and caches ranked lists until an interaction update invalidates them.
 
 Run:  python examples/deploy_recommendations.py
 """
@@ -14,13 +18,8 @@ import numpy as np
 
 from repro.core import GMLFM_DNN
 from repro.data import NegativeSampler, make_dataset
-from repro.training import (
-    TrainConfig,
-    Trainer,
-    load_model,
-    recommend,
-    save_model,
-)
+from repro.serving import RecommendationService, save_artifact
+from repro.training import TrainConfig, Trainer
 
 
 def main() -> None:
@@ -36,28 +35,39 @@ def main() -> None:
     Trainer(model, TrainConfig(epochs=15, lr=0.02, weight_decay=1e-4,
                                seed=0)).fit_pointwise(users, items, labels)
 
-    # Persist and reload into a freshly constructed model (as a serving
-    # process would).
     with tempfile.TemporaryDirectory() as tmp:
-        path = os.path.join(tmp, "gmlfm.npz")
-        save_model(model, path)
+        # Bundle everything a serving process needs into one archive.
+        path = save_artifact(model, dataset, os.path.join(tmp, "gmlfm"),
+                             "GML-FMdnn", {"k": 32, "seed": 0})
         size_kb = os.path.getsize(path) / 1024
-        print(f"saved parameters: {size_kb:.0f} KiB")
+        print(f"saved artifact: {size_kb:.0f} KiB at {os.path.basename(path)}")
 
-        serving = GMLFM_DNN(dataset, k=32, n_layers=2,
-                            rng=np.random.default_rng(123))
-        load_model(serving, path)
+        # A fresh serving process reconstructs model + dataset from the
+        # bundle alone — no training code, no architecture guessing.
+        service = RecommendationService.from_artifact(path, top_k=5,
+                                                      cache_size=256)
 
-    # Serve.
-    target_users = np.array([0, 1, 2])
-    lists = recommend(serving, dataset, target_users, top_k=5)
-    subcat_idx, _vals = dataset.item_attrs["subcategory"]
-    for user, ranked in zip(target_users, lists):
-        seen = sorted(dataset.positives_by_user()[user])[:5]
-        print(f"\nuser {user}: previously bought items {seen}")
-        for rank, item in enumerate(ranked, start=1):
-            print(f"  #{rank}: item {item} (subcategory "
-                  f"{subcat_idx[item, 0]})")
+    # Serve a micro-batched multi-user query.
+    target_users = [0, 1, 2]
+    recs = service.recommend_batch(target_users)
+    subcat_idx, _vals = service.dataset.item_attrs["subcategory"]
+    for rec in recs:
+        seen = sorted(service.index.seen(rec.user).tolist())[:5]
+        print(f"\nuser {rec.user}: previously bought items {seen}")
+        for rank, (item, score) in enumerate(zip(rec.items, rec.scores), start=1):
+            print(f"  #{rank}: item {item} (subcategory {subcat_idx[item, 0]}, "
+                  f"score {score:+.3f})")
+
+    # Repeat queries come from the LRU cache; a new interaction
+    # invalidates that user's lists.
+    service.recommend_batch(target_users)
+    service.add_interaction(0, int(recs[0].items[0]))
+    refreshed = service.recommend(0)
+    print(f"\nafter user 0 bought item {recs[0].items[0]}: "
+          f"new top-5 {refreshed.items.tolist()}")
+    stats = service.stats()
+    print(f"served {stats['requests']} requests, cache hit rate "
+          f"{stats['cache']['hit_rate']:.0%}, fast path: {stats['fast_path']}")
 
 
 if __name__ == "__main__":

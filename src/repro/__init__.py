@@ -5,14 +5,28 @@ Machines with Generalized Metric Learning" (TKDE / ICDE 2023,
 arXiv:2006.11600).  See README.md for a tour and DESIGN.md for the
 system inventory.
 
+Subsystem map::
+
+    autograd/     reverse-mode tensors, ops, optimizers
+    data/         datasets, encodings, splits, sampling
+    core/         GML-FM itself (distances, closed forms)
+    models/       baseline recommenders (MF ... xDeepFM)
+    training/     trainers, losses, metrics, evaluation protocols
+    experiments/  paper tables and figures (registry, runner)
+    analysis/     embeddings, cold-start, t-SNE case studies
+    serving/      online serving (artifacts, batch scorer, cache,
+                  RecommendationService, `repro serve` HTTP endpoint)
+
 The most common entry points are re-exported here::
 
     from repro import GMLFM, GMLFM_MD, GMLFM_DNN, make_dataset, Trainer
+    from repro import RecommendationService, save_artifact, load_artifact
 """
 
 from repro.core.gml_fm import GMLFM, GMLFM_DNN, GMLFM_MD
 from repro.data.dataset import RecDataset
 from repro.data.synthetic import make_dataset
+from repro.serving import RecommendationService, load_artifact, save_artifact
 from repro.training.trainer import TrainConfig, Trainer
 
 __version__ = "1.0.0"
@@ -25,5 +39,8 @@ __all__ = [
     "make_dataset",
     "Trainer",
     "TrainConfig",
+    "RecommendationService",
+    "save_artifact",
+    "load_artifact",
     "__version__",
 ]

@@ -1,4 +1,4 @@
-"""Command-line interface: regenerate any paper table from the shell.
+"""Command-line interface: regenerate paper tables or serve a model.
 
 Usage::
 
@@ -8,6 +8,12 @@ Usage::
     python -m repro table6
     python -m repro datasets          # list dataset keys
     python -m repro models            # list model names
+
+    # Online serving (repro.serving): JSON endpoints /recommend,
+    # /healthz and /stats over stdlib http.server.
+    python -m repro serve --artifact bundle.npz --port 8765
+    python -m repro serve --dataset movielens --model GML-FMmd --epochs 5
+    python -m repro serve --selfcheck # boot + one query + exit 0 (CI gate)
 """
 
 from __future__ import annotations
@@ -54,6 +60,32 @@ def _build_parser() -> argparse.ArgumentParser:
             default_models = RATING_MODELS if name == "table3" else TOPN_MODELS
             cmd.add_argument("--models", nargs="+", default=default_models)
             cmd.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser(
+        "serve", help="serve top-k recommendations over HTTP (repro.serving)")
+    source = serve.add_mutually_exclusive_group()
+    source.add_argument("--artifact", default=None,
+                        help="serving bundle written by save_artifact")
+    source.add_argument("--dataset", default="movielens",
+                        choices=sorted(DATASET_BUILDERS),
+                        help="synthetic dataset to build a model on")
+    serve.add_argument("--model", default="GML-FMmd",
+                       choices=sorted(set(RATING_MODELS) | set(TOPN_MODELS)),
+                       help="registry model name (ignored with --artifact)")
+    serve.add_argument("--scale", default=None, choices=["quick", "full"])
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--k", type=int, default=16, help="embedding size")
+    serve.add_argument("--epochs", type=int, default=0,
+                       help="quick-train this many epochs before serving")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="0 binds an ephemeral port (printed at startup)")
+    serve.add_argument("--top-k", type=int, default=10, dest="top_k")
+    serve.add_argument("--cache-size", type=int, default=1024, dest="cache_size")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request")
+    serve.add_argument("--selfcheck", action="store_true",
+                       help="boot on a synthetic dataset, issue one query, exit")
     return parser
 
 
@@ -84,6 +116,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "table2":
         _print_table2(args.datasets, args.scale)
         return 0
+    if args.command == "serve":
+        from repro.serving.server import serve_main
+
+        return serve_main(args)
 
     scale = get_scale(args.scale)
     if args.command == "table3":

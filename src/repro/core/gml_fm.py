@@ -153,6 +153,85 @@ class GMLFM(FeatureRecommender):
         """Raw item-id embeddings for the t-SNE case study (Figs. 5–6)."""
         return self.embeddings.weight.data[offset + np.asarray(item_ids)]
 
+    # ------------------------------------------------------------------
+    # Batch-serving fast path (Section 3.3 cashed in at inference time)
+    # ------------------------------------------------------------------
+    # The closed form of Eqs. 10–11 is built from sums over active
+    # slots, and every slot belongs to either the user half (user id +
+    # user attributes) or the item half of the encoding.  Splitting each
+    # sum, the score of a (user, item) pair decomposes into
+    #
+    #     per-user terms + per-item terms + cross terms,
+    #
+    # where every cross term is a dot product between a per-user and a
+    # per-item vector of size k or k².  A whole [U, I] grid is then a
+    # handful of matmuls over precomputed per-entity summaries — no
+    # per-pair encoding or forward pass at all.
+    def _half_state(self, dataset: RecDataset, side: str, ids: np.ndarray) -> dict:
+        """Per-entity summaries of one side of the encoding."""
+        from repro.autograd.tensor import no_grad
+
+        indices, x = dataset.encode_half(side, ids)
+        v = self.embeddings.weight.data[indices]             # [N, W, k]
+        self.eval()
+        with no_grad():
+            v_hat = self.transform(Tensor(v)).data           # [N, W, k]
+        self.train()
+        linear = (self.linear.weight.data[indices][..., 0] * x).sum(axis=-1)
+
+        xv = x[..., None] * v
+        sq_norm = (v_hat * v_hat).sum(axis=-1)               # [N, W]
+        s1 = xv.sum(axis=1)                                  # [N, k]
+        s2 = ((x * sq_norm)[..., None] * v).sum(axis=1)      # [N, k]
+
+        if self.h is not None:
+            h = self.h.data
+            q = np.einsum("nw,nwk,nwl->nkl", x, v, v_hat)    # Σ x_j v_j v̂_jᵀ
+            r = np.einsum("nw,nwk,nwl->nkl", x, v * h, v_hat)
+            const = (linear
+                     + ((s1 * s2) * h).sum(axis=-1)
+                     - (r * q).sum(axis=(-2, -1)))
+            n = ids.shape[0]
+            return {"s1": s1, "s2": s2, "q": q.reshape(n, -1),
+                    "r": r.reshape(n, -1), "const": const}
+
+        # Unweighted ablation: f = (Σx_j)(Σ x_i ‖v̂_i‖² x_i) − ‖Σ x_i v̂_i‖².
+        sx = x.sum(axis=-1)                                  # [N]
+        sn = (x * sq_norm).sum(axis=-1)                      # [N]
+        pooled = (x[..., None] * v_hat).sum(axis=1)          # [N, k]
+        const = linear + sx * sn - (pooled * pooled).sum(axis=-1)
+        return {"sx": sx, "sn": sn, "pooled": pooled, "const": const}
+
+    def item_state(self, dataset: RecDataset):
+        """Item-half summaries for the whole catalogue.
+
+        Only the squared-Euclidean distance family decomposes (the same
+        restriction as ``mode='efficient'``); other distances fall back
+        to pairwise scoring.
+        """
+        if self.distance_name != "euclidean":
+            return None
+        items = np.arange(dataset.n_items, dtype=np.int64)
+        state = self._half_state(dataset, "item", items)
+        state["dataset"] = dataset
+        return state
+
+    def score_grid(self, users: np.ndarray, state) -> np.ndarray:
+        u = self._half_state(state["dataset"], "user",
+                             np.asarray(users, dtype=np.int64))
+        const = (self.bias.data + u["const"][:, None]) + state["const"][None, :]
+        if self.h is not None:
+            h = self.h.data
+            # term1 cross parts: hᵀ(s1ᵘ ∘ s2ⁱ) + hᵀ(s2ᵘ ∘ s1ⁱ)
+            term1 = (u["s1"] * h) @ state["s2"].T + (u["s2"] * h) @ state["s1"].T
+            # term2 cross parts: ⟨Rᵘ, Qⁱ⟩_F + ⟨Rⁱ, Qᵘ⟩_F
+            term2 = u["r"] @ state["q"].T + u["q"] @ state["r"].T
+            return const + term1 - term2
+        cross = (u["sx"][:, None] * state["sn"][None, :]
+                 + u["sn"][:, None] * state["sx"][None, :]
+                 - 2.0 * (u["pooled"] @ state["pooled"].T))
+        return const + cross
+
 
 def GMLFM_MD(dataset: RecDataset, k: int = 32, init_std: float = 0.1,
              rng: Optional[np.random.Generator] = None, **kwargs) -> GMLFM:

@@ -154,6 +154,53 @@ class RecDataset:
                 values[:, start:stop] = val[items]
         return indices, values
 
+    def encode_half(self, side: str, ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Encode only the user-side or item-side feature slots.
+
+        The full encoding of a pair splits cleanly into slots that
+        depend on the user (``user`` id + user attributes) and slots
+        that depend on the item (``item`` id + item attributes).  Batch
+        scorers exploit this to precompute item-side representations
+        once and reuse them for every user (see
+        :mod:`repro.serving.scorer`).
+
+        Parameters
+        ----------
+        side:
+            ``"user"`` or ``"item"``.
+        ids:
+            Entity ids for that side.
+
+        Returns
+        -------
+        ``(indices, values)`` of shape ``[len(ids), W_side]`` using the
+        same *global* feature indices as :meth:`encode`, so embeddings
+        looked up from the half encoding match the full encoding.
+        """
+        if side not in (USER_FIELD, ITEM_FIELD):
+            raise ValueError(f"side must be 'user' or 'item', got {side!r}")
+        ids = np.asarray(ids, dtype=np.int64)
+        space = self.feature_space
+        own_attrs = self.user_attrs if side == USER_FIELD else self.item_attrs
+        fields = [f for f in space.fields
+                  if f.name == side or f.name in own_attrs]
+        width = sum(f.slots for f in fields)
+        indices = np.zeros((ids.shape[0], width), dtype=np.int64)
+        values = np.zeros((ids.shape[0], width), dtype=np.float64)
+        start = 0
+        for field in fields:
+            stop = start + field.slots
+            offset = space.offset(field.name)
+            if field.name == side:
+                indices[:, start] = offset + ids
+                values[:, start] = 1.0
+            else:
+                idx, val = own_attrs[field.name]
+                indices[:, start:stop] = offset + idx[ids]
+                values[:, start:stop] = val[ids]
+            start = stop
+        return indices, values
+
     # ------------------------------------------------------------------
     # Views
     # ------------------------------------------------------------------

@@ -39,6 +39,29 @@ class RecommenderModel(nn.Module):
         self.train()
         return np.concatenate(chunks) if chunks else np.empty(0)
 
+    # -- batch-serving hooks -------------------------------------------
+    # Models that can score a whole [users, catalogue] grid without
+    # evaluating every (user, item) pair through ``score`` override
+    # these two methods; ``repro.serving.scorer.BatchScorer`` falls back
+    # to chunked ``predict`` calls when ``item_state`` returns None.
+
+    def item_state(self, dataset: RecDataset):
+        """Precompute item-side representations for grid scoring.
+
+        Returns an opaque state object covering the dataset's full item
+        catalogue, or ``None`` when the model has no fast grid path.
+        The state is only valid while the parameters are unchanged.
+        """
+        return None
+
+    def score_grid(self, users: np.ndarray, state) -> np.ndarray:
+        """Score ``[len(users), n_items]`` against a precomputed state.
+
+        Only called when :meth:`item_state` returned a state; the caller
+        is responsible for eval mode and chunking the user axis.
+        """
+        raise NotImplementedError(f"{type(self).__name__} has no grid scorer")
+
 
 class FeatureRecommender(RecommenderModel):
     """FM-family base: scores via the dataset's feature encoding."""

@@ -32,3 +32,12 @@ class BPRMF(EntityRecommender):
         p = self.user_factors(users)
         q = self.item_factors(items)
         return (p * q).sum(axis=-1) + self.item_bias(items).squeeze(-1)
+
+    # -- batch-serving fast path ---------------------------------------
+    def item_state(self, dataset=None):
+        return (self.item_factors.weight.data, self.item_bias.weight.data[:, 0])
+
+    def score_grid(self, users: np.ndarray, state) -> np.ndarray:
+        q, item_bias = state
+        p = self.user_factors.weight.data[np.asarray(users, dtype=np.int64)]
+        return p @ q.T + item_bias[None, :]

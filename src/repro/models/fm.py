@@ -43,3 +43,30 @@ class FactorizationMachine(FeatureRecommender):
     def item_embeddings(self, item_ids: np.ndarray, offset: int) -> np.ndarray:
         """Raw item-id embeddings for the t-SNE case study (Figs. 5–6)."""
         return self.embeddings.weight.data[offset + np.asarray(item_ids)]
+
+    # -- batch-serving fast path ---------------------------------------
+    # The O(k·n) identity splits across the user/item feature halves:
+    # with s = s_u + s_i (value-weighted embedding sums) the interaction
+    # is [per-user const] + [per-item const] + s_u·s_i, so a whole
+    # [U, I] grid is one matmul plus broadcast constants.
+    def _half_state(self, dataset, side: str, ids: np.ndarray):
+        indices, values = dataset.encode_half(side, ids)
+        v = self.embeddings.weight.data[indices]            # [N, W, k]
+        xv = values[..., None] * v
+        s = xv.sum(axis=1)                                  # [N, k]
+        const = (
+            (self.linear.weight.data[indices][..., 0] * values).sum(axis=-1)
+            + 0.5 * ((s * s).sum(axis=-1) - (xv * xv).sum(axis=(1, 2)))
+        )
+        return s, const
+
+    def item_state(self, dataset):
+        items = np.arange(dataset.n_items, dtype=np.int64)
+        s_i, const_i = self._half_state(dataset, "item", items)
+        return {"dataset": dataset, "s_i": s_i, "const_i": const_i}
+
+    def score_grid(self, users: np.ndarray, state) -> np.ndarray:
+        s_u, const_u = self._half_state(state["dataset"], "user",
+                                        np.asarray(users, dtype=np.int64))
+        cross = s_u @ state["s_i"].T                        # [U, I]
+        return (self.bias.data + const_u[:, None]) + state["const_i"][None, :] + cross

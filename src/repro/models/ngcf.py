@@ -22,7 +22,7 @@ import scipy.sparse as sp
 
 from repro.autograd import nn, ops
 from repro.autograd.sparse import sparse_matmul
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, no_grad
 from repro.models.base import EntityRecommender
 
 
@@ -89,3 +89,19 @@ class NGCF(EntityRecommender):
         user_repr = representations[np.asarray(users)]
         item_repr = representations[np.asarray(items) + self.n_users]
         return (user_repr * item_repr).sum(axis=-1)
+
+    # -- batch-serving fast path ---------------------------------------
+    # ``forward_entities`` re-propagates the whole graph for every
+    # batch; for serving the propagated representations are computed
+    # once and reused across all user queries.
+    def item_state(self, dataset=None):
+        self.eval()
+        with no_grad():
+            representations = self.propagate().data
+        self.train()
+        return representations
+
+    def score_grid(self, users: np.ndarray, state) -> np.ndarray:
+        user_repr = state[np.asarray(users, dtype=np.int64)]
+        item_repr = state[self.n_users:]
+        return user_repr @ item_repr.T

@@ -32,3 +32,11 @@ class PMF(EntityRecommender):
         p = self.user_factors(users)
         q = self.item_factors(items)
         return (p * q).sum(axis=-1)
+
+    # -- batch-serving fast path ---------------------------------------
+    def item_state(self, dataset=None):
+        return self.item_factors.weight.data
+
+    def score_grid(self, users: np.ndarray, state) -> np.ndarray:
+        p = self.user_factors.weight.data[np.asarray(users, dtype=np.int64)]
+        return p @ state.T

@@ -1,0 +1,219 @@
+"""Self-describing model bundles for serving processes.
+
+``training.persistence`` stores bare parameter arrays and leaves the
+architecture to the caller; that is fine inside one script but useless
+for a serving process that only receives a file.  An *artifact* bundles
+everything a fresh process needs into a single ``.npz`` archive:
+
+- the model's registry name and hyperparameters,
+- the dataset encoding metadata (entity counts, attribute tables and
+  their field order, so the rebuilt :class:`FeatureSpace` assigns the
+  exact same global feature indices),
+- the interaction log (drives seen-item masking) plus the training
+  interactions graph models built their propagation graph from, and
+- the parameter arrays themselves.
+
+``load_artifact`` reconstructs model + dataset without touching any
+training code.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.data.dataset import RecDataset
+from repro.models.base import RecommenderModel
+from repro.training.persistence import normalize_npz_path
+
+#: Bumped when the archive layout changes incompatibly.
+ARTIFACT_VERSION = 1
+
+_META_KEY = "__meta__"
+_PARAM_PREFIX = "param::"
+_ATTR_TEMPLATE = "attr::{side}::{name}::{part}"
+
+
+@dataclass
+class LoadedArtifact:
+    """Everything :func:`load_artifact` reconstructs from one archive."""
+
+    model: RecommenderModel
+    dataset: RecDataset
+    model_name: str
+    hyperparams: dict = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+
+def _known_model_names() -> set[str]:
+    from repro.experiments.registry import RATING_MODELS, TOPN_MODELS
+
+    return set(RATING_MODELS) | set(TOPN_MODELS)
+
+
+def save_artifact(
+    model: RecommenderModel,
+    dataset: RecDataset,
+    path: str,
+    model_name: str,
+    hyperparams: Optional[dict] = None,
+    train_interactions: Optional[tuple[np.ndarray, np.ndarray]] = None,
+) -> str:
+    """Write a self-describing serving bundle; returns the real path.
+
+    The rebuild recipe is validated *at save time*: a skeleton model is
+    constructed from ``(model_name, hyperparams)`` and its parameter
+    shapes checked against ``model``, so a bundle that cannot be loaded
+    fails here — while the training run still exists — rather than in
+    the serving process.
+
+    Parameters
+    ----------
+    model:
+        The trained model whose parameters are bundled.
+    dataset:
+        Supplies the encoding metadata and the interaction log.
+    path:
+        Target file; ``.npz`` is appended when missing.
+    model_name:
+        The model's :mod:`repro.experiments.registry` name (e.g.
+        ``"GML-FMmd"``) — the recipe ``load_artifact`` uses to rebuild
+        the architecture.
+    hyperparams:
+        Keyword arguments forwarded to ``registry.build_model`` at load
+        time (``k``, ``seed``); defaults to the model's own ``k`` and
+        seed 0.
+    train_interactions:
+        ``(users, items)`` the model's propagation graph was built from
+        — only meaningful for graph models (NGCF).  Defaults to the
+        dataset's full interaction log; pass the actual training split
+        so the rebuilt model scores identically to the evaluated one.
+    """
+    known = _known_model_names()
+    if model_name not in known:
+        raise KeyError(f"unknown model {model_name!r}; options: {sorted(known)}")
+    if hyperparams is None:
+        hyperparams = {}
+    hyperparams = {"k": getattr(model, "k", 16), "seed": 0, **hyperparams}
+    if train_interactions is None:
+        graph_users, graph_items = dataset.users, dataset.items
+    else:
+        graph_users = np.asarray(train_interactions[0], dtype=np.int64)
+        graph_items = np.asarray(train_interactions[1], dtype=np.int64)
+
+    state = model.state_dict()
+    if not state:
+        raise ValueError("model has no parameters to save")
+
+    # Dry-run the load-time rebuild: unknown hyperparams raise here
+    # (TypeError from build_model) and architecture drift is reported
+    # as a shape diff instead of a load_state_dict failure later.
+    from repro.experiments.registry import build_model
+
+    skeleton = build_model(model_name, dataset,
+                           train_users=graph_users, train_items=graph_items,
+                           **hyperparams)
+    skeleton_state = skeleton.state_dict()
+    mismatches = sorted(
+        set(state) ^ set(skeleton_state)
+    ) + sorted(
+        name for name in set(state) & set(skeleton_state)
+        if state[name].shape != skeleton_state[name].shape
+    )
+    if mismatches:
+        raise ValueError(
+            f"{model_name!r} with hyperparams {hyperparams} does not rebuild "
+            f"this model's architecture; mismatched parameters: {mismatches}")
+
+    meta = {
+        "format": "repro-artifact",
+        "version": ARTIFACT_VERSION,
+        "model": model_name,
+        "hyperparams": hyperparams,
+        "dataset": {
+            "name": dataset.name,
+            "n_users": dataset.n_users,
+            "n_items": dataset.n_items,
+            "user_attrs": list(dataset.user_attrs),
+            "item_attrs": list(dataset.item_attrs),
+        },
+        "parameters": sorted(state),
+    }
+
+    arrays: dict[str, np.ndarray] = {
+        _META_KEY: np.array(json.dumps(meta)),
+        "interactions::users": dataset.users,
+        "interactions::items": dataset.items,
+        "interactions::timestamps": dataset.timestamps,
+        "graph::users": graph_users,
+        "graph::items": graph_items,
+    }
+    for side, attrs in (("user", dataset.user_attrs), ("item", dataset.item_attrs)):
+        for name, (idx, val) in attrs.items():
+            arrays[_ATTR_TEMPLATE.format(side=side, name=name, part="indices")] = idx
+            arrays[_ATTR_TEMPLATE.format(side=side, name=name, part="values")] = val
+    for name, value in state.items():
+        arrays[_PARAM_PREFIX + name] = value
+
+    path = normalize_npz_path(path)
+    np.savez(path, **arrays)
+    return path
+
+
+def _read_attrs(archive, side: str, names: list[str]) -> dict:
+    attrs = {}
+    for name in names:
+        idx = archive[_ATTR_TEMPLATE.format(side=side, name=name, part="indices")]
+        val = archive[_ATTR_TEMPLATE.format(side=side, name=name, part="values")]
+        attrs[name] = (idx, val)
+    return attrs
+
+
+def load_artifact(path: str) -> LoadedArtifact:
+    """Rebuild model + dataset from a :func:`save_artifact` bundle."""
+    with np.load(normalize_npz_path(path)) as archive:
+        if _META_KEY not in archive.files:
+            raise ValueError(f"{path!r} is not a repro artifact (no metadata); "
+                             "bare parameter dumps load with training.load_model")
+        meta = json.loads(str(archive[_META_KEY]))
+        if meta.get("version", 0) > ARTIFACT_VERSION:
+            raise ValueError(f"artifact version {meta['version']} is newer than "
+                             f"supported version {ARTIFACT_VERSION}")
+        ds_meta = meta["dataset"]
+        dataset = RecDataset(
+            name=ds_meta["name"],
+            n_users=ds_meta["n_users"],
+            n_items=ds_meta["n_items"],
+            users=archive["interactions::users"],
+            items=archive["interactions::items"],
+            timestamps=archive["interactions::timestamps"],
+            user_attrs=_read_attrs(archive, "user", ds_meta["user_attrs"]),
+            item_attrs=_read_attrs(archive, "item", ds_meta["item_attrs"]),
+        )
+        state = {name[len(_PARAM_PREFIX):]: archive[name]
+                 for name in archive.files if name.startswith(_PARAM_PREFIX)}
+        if "graph::users" in archive.files:
+            graph_users = archive["graph::users"]
+            graph_items = archive["graph::items"]
+        else:
+            graph_users, graph_items = dataset.users, dataset.items
+
+    # Deferred import: the registry pulls in every model family.
+    from repro.experiments.registry import build_model
+
+    model = build_model(
+        meta["model"], dataset,
+        train_users=graph_users, train_items=graph_items,
+        **meta["hyperparams"],
+    )
+    model.load_state_dict(state)
+    return LoadedArtifact(
+        model=model,
+        dataset=dataset,
+        model_name=meta["model"],
+        hyperparams=meta["hyperparams"],
+        meta=meta,
+    )

@@ -1,0 +1,125 @@
+"""Top-K retrieval over scored catalogues with seen-item masking.
+
+Holds the user→seen-items relation in CSR form (one ``indices`` array
+plus ``indptr`` offsets, deduplicated and sorted) so masking a whole
+batch of score rows is a single fancy-indexed assignment, and ranks the
+masked rows with ``argpartition`` — O(n + k log k) per row instead of a
+full sort.  Interaction updates land in a per-user overlay so serving
+can mask newly observed items without rebuilding the base structure.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Optional
+
+import numpy as np
+
+from repro.data.dataset import RecDataset
+
+#: Shared read-only index per dataset (see :meth:`TopKIndex.for_dataset`).
+_SHARED_INDEXES: "weakref.WeakKeyDictionary[RecDataset, TopKIndex]" = (
+    weakref.WeakKeyDictionary())
+
+
+class TopKIndex:
+    """Seen-item masking + top-k ranking for score matrices."""
+
+    def __init__(self, n_users: int, n_items: int,
+                 users: Optional[np.ndarray] = None,
+                 items: Optional[np.ndarray] = None):
+        self.n_users = int(n_users)
+        self.n_items = int(n_items)
+        users = np.asarray(users if users is not None else [], dtype=np.int64)
+        items = np.asarray(items if items is not None else [], dtype=np.int64)
+        # Deduplicate pairs and sort by (user, item): CSR construction.
+        keys = np.unique(users * self.n_items + items)
+        csr_users = keys // self.n_items
+        self._indices = keys % self.n_items
+        self._indptr = np.searchsorted(
+            csr_users, np.arange(self.n_users + 1, dtype=np.int64))
+        # Interactions observed after construction, per user.
+        self._extra: dict[int, set[int]] = {}
+        # Running max seen count, maintained by add() so per-request
+        # feasibility checks stay O(1).
+        self._max_seen = int(np.diff(self._indptr).max(initial=0))
+
+    @classmethod
+    def from_dataset(cls, dataset: RecDataset) -> "TopKIndex":
+        """A fresh, privately owned index over the dataset's log."""
+        return cls(dataset.n_users, dataset.n_items,
+                   dataset.users, dataset.items)
+
+    @classmethod
+    def for_dataset(cls, dataset: RecDataset) -> "TopKIndex":
+        """The shared per-dataset index (built once, weakly cached).
+
+        For read-only use (``mask_seen``/``topk``/``max_seen``) such as
+        repeated :func:`repro.training.recommend.recommend` calls; do
+        not :meth:`add` to it — owners of a mutable overlay (e.g. the
+        serving service) build a private copy with :meth:`from_dataset`.
+        """
+        index = _SHARED_INDEXES.get(dataset)
+        if index is None:
+            index = cls.from_dataset(dataset)
+            _SHARED_INDEXES[dataset] = index
+        return index
+
+    # ------------------------------------------------------------------
+    def seen(self, user: int) -> np.ndarray:
+        """Item ids the user has interacted with (base + overlay)."""
+        base = self._indices[self._indptr[user]:self._indptr[user + 1]]
+        extra = self._extra.get(int(user))
+        if not extra:
+            return base
+        return np.union1d(base, np.fromiter(extra, dtype=np.int64))
+
+    def seen_count(self, user: int) -> int:
+        """O(1): base CSR degree plus overlay size (kept disjoint)."""
+        user = int(user)
+        base = int(self._indptr[user + 1] - self._indptr[user])
+        extra = self._extra.get(user)
+        return base + (len(extra) if extra else 0)
+
+    def max_seen(self) -> int:
+        """Largest per-user seen count (bounds the feasible top-k)."""
+        return self._max_seen
+
+    def add(self, user: int, item: int) -> bool:
+        """Record a new interaction; returns False if already seen."""
+        user, item = int(user), int(item)
+        if not 0 <= user < self.n_users:
+            raise ValueError("user id out of range")
+        if not 0 <= item < self.n_items:
+            raise ValueError("item id out of range")
+        base = self._indices[self._indptr[user]:self._indptr[user + 1]]
+        pos = np.searchsorted(base, item)
+        if pos < base.size and base[pos] == item:
+            return False
+        extra = self._extra.setdefault(user, set())
+        if item in extra:
+            return False
+        extra.add(item)
+        self._max_seen = max(self._max_seen, self.seen_count(user))
+        return True
+
+    # ------------------------------------------------------------------
+    def mask_seen(self, scores: np.ndarray, users: np.ndarray) -> np.ndarray:
+        """Set each row's seen-item entries to ``-inf`` (in place)."""
+        users = np.asarray(users, dtype=np.int64)
+        cols = [self.seen(u) for u in users]
+        lengths = [c.size for c in cols]
+        if sum(lengths) == 0:
+            return scores
+        rows = np.repeat(np.arange(users.size), lengths)
+        scores[rows, np.concatenate(cols)] = -np.inf
+        return scores
+
+    def topk(self, scores: np.ndarray, k: int) -> np.ndarray:
+        """``int64 [rows, k]`` item ids per row, highest score first."""
+        if not 0 < k <= scores.shape[1]:
+            raise ValueError("k must be in (0, n_items]")
+        neg = -scores
+        part = np.argpartition(neg, k - 1, axis=1)[:, :k]
+        order = np.argsort(np.take_along_axis(neg, part, axis=1), axis=1)
+        return np.take_along_axis(part, order, axis=1).astype(np.int64)

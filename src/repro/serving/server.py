@@ -1,0 +1,190 @@
+"""Stdlib HTTP front-end and the ``repro serve`` entry point.
+
+Endpoints (JSON over ``http.server``; no third-party dependencies):
+
+- ``GET /recommend?user=<id>&k=<n>[&exclude_seen=0|1]`` — ranked list
+- ``GET /healthz`` — liveness probe
+- ``GET /stats`` — service counters (requests, cache hit rate, …)
+
+``serve_main`` backs the CLI subcommand: it boots a service from an
+artifact bundle or a freshly built (optionally quick-trained) model and
+blocks in ``serve_forever``.  ``--selfcheck`` instead boots on a small
+synthetic dataset, issues one query over real HTTP and exits 0 — a CI
+smoke gate.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib.parse import parse_qs, urlsplit
+
+import numpy as np
+
+from repro.serving.service import RecommendationService
+
+
+class RecommendHandler(BaseHTTPRequestHandler):
+    """Routes GET requests onto the server's attached service."""
+
+    server: "RecommendationServer"
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        url = urlsplit(self.path)
+        try:
+            if url.path == "/healthz":
+                self._reply(200, {"status": "ok"})
+            elif url.path == "/stats":
+                self._reply(200, self.server.service.stats())
+            elif url.path == "/recommend":
+                self._recommend(parse_qs(url.query))
+            else:
+                self._reply(404, {"error": f"unknown path {url.path!r}"})
+        except ValueError as exc:
+            self._reply(400, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - defensive
+            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def _recommend(self, query: dict) -> None:
+        if "user" not in query:
+            raise ValueError("missing required query parameter 'user'")
+        try:
+            user = int(query["user"][0])
+            k = int(query["k"][0]) if "k" in query else None
+        except ValueError:
+            raise ValueError("'user' and 'k' must be integers") from None
+        exclude_seen = None
+        if "exclude_seen" in query:
+            exclude_seen = (query["exclude_seen"][0].strip().lower()
+                            not in ("0", "false", "no"))
+        rec = self.server.service.recommend(user, k=k, exclude_seen=exclude_seen)
+        self._reply(200, rec.to_dict())
+
+    def log_message(self, format: str, *args) -> None:
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+
+class RecommendationServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the service for its handlers."""
+
+    daemon_threads = True
+
+    def __init__(self, service: RecommendationService,
+                 host: str = "127.0.0.1", port: int = 0,
+                 verbose: bool = False):
+        super().__init__((host, port), RecommendHandler)
+        self.service = service
+        self.verbose = verbose
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def build_server(service: RecommendationService, host: str = "127.0.0.1",
+                 port: int = 0, verbose: bool = False) -> RecommendationServer:
+    """Bind (port 0 = ephemeral) without starting the accept loop."""
+    return RecommendationServer(service, host=host, port=port, verbose=verbose)
+
+
+# ----------------------------------------------------------------------
+# CLI backing
+# ----------------------------------------------------------------------
+def _build_service(args) -> RecommendationService:
+    from repro.data.sampling import NegativeSampler
+    from repro.data.synthetic import make_dataset
+    from repro.experiments.configs import get_scale
+    from repro.experiments.registry import build_model, is_pairwise
+    from repro.training.trainer import TrainConfig, Trainer
+
+    if args.artifact:
+        return RecommendationService.from_artifact(
+            args.artifact, top_k=args.top_k, cache_size=args.cache_size)
+
+    scale = get_scale(args.scale)
+    dataset = make_dataset(args.dataset, seed=args.seed,
+                           scale=scale.dataset_scale)
+    model = build_model(args.model, dataset, k=args.k, seed=args.seed,
+                        train_users=dataset.users, train_items=dataset.items)
+    if args.epochs > 0:
+        sampler = NegativeSampler(dataset, seed=args.seed)
+        trainer = Trainer(model, TrainConfig(epochs=args.epochs, seed=args.seed))
+        index = np.arange(dataset.n_interactions)
+        if is_pairwise(args.model):
+            users, pos, neg = sampler.build_pairwise_training_set(index)
+            trainer.fit_pairwise(users, pos, neg)
+        else:
+            users, items, labels = sampler.build_pointwise_training_set(index, n_neg=2)
+            trainer.fit_pointwise(users, items, labels)
+    service = RecommendationService(model, dataset, top_k=args.top_k,
+                                    cache_size=args.cache_size)
+    service.model_name = args.model
+    return service
+
+
+def selfcheck(verbose: bool = True) -> int:
+    """Boot on a synthetic dataset, issue one HTTP query, exit 0 on success."""
+    import urllib.request
+
+    from repro.data.synthetic import make_dataset
+    from repro.experiments.registry import build_model
+
+    dataset = make_dataset("amazon-auto", seed=0, scale=0.1)
+    model = build_model("GML-FMmd", dataset, k=8, seed=0)
+    service = RecommendationService(model, dataset, top_k=5, cache_size=64)
+    service.model_name = "GML-FMmd"
+    server = build_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        with urllib.request.urlopen(server.url + "/healthz", timeout=10) as resp:
+            health = json.loads(resp.read())
+        with urllib.request.urlopen(server.url + "/recommend?user=0&k=5",
+                                    timeout=10) as resp:
+            rec = json.loads(resp.read())
+        ok = (health.get("status") == "ok"
+              and rec.get("user") == 0
+              and len(rec.get("items", [])) == 5
+              and len(set(rec["items"])) == 5)
+        if verbose:
+            state = "ok" if ok else f"FAILED (health={health}, rec={rec})"
+            print(f"selfcheck {state}: served user 0 top-5 {rec.get('items')} "
+                  f"on {server.url}")
+        return 0 if ok else 1
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def serve_main(args) -> int:
+    """Entry point behind ``python -m repro serve``."""
+    if args.selfcheck:
+        return selfcheck()
+    service = _build_service(args)
+    server = build_server(service, host=args.host, port=args.port,
+                          verbose=args.verbose)
+    # Printed (and flushed) before blocking so callers binding port 0
+    # can discover the ephemeral port.
+    print(f"serving {service.stats()['model']} on {server.url} "
+          f"(dataset={service.dataset.name}, items={service.dataset.n_items})",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+    return 0

@@ -1,0 +1,215 @@
+"""The online serving facade: scorer + index + cache behind one object.
+
+A :class:`RecommendationService` owns the full query path
+
+    cache lookup → micro-batched grid scoring → seen masking →
+    top-k ranking → cache fill
+
+and keeps request counters so operators can watch hit rates.  It is
+transport-agnostic: the HTTP layer (:mod:`repro.serving.server`) and
+any in-process caller share the same entry points.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.data.dataset import RecDataset
+from repro.models.base import RecommenderModel
+from repro.serving.cache import LRUCache
+from repro.serving.index import TopKIndex
+from repro.serving.scorer import BatchScorer
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One ranked list: parallel item ids and scores, best first."""
+
+    user: int
+    items: np.ndarray
+    scores: np.ndarray
+
+    def to_dict(self) -> dict:
+        return {
+            "user": self.user,
+            "items": [int(i) for i in self.items],
+            "scores": [float(s) for s in self.scores],
+        }
+
+
+class RecommendationService:
+    """Serves ranked item lists for users of one trained model.
+
+    Parameters
+    ----------
+    model, dataset:
+        The scoring model and the catalogue/interaction source.
+    top_k:
+        Default list length when a query does not specify one.
+    exclude_seen:
+        Default seen-item filtering behavior.
+    cache_size:
+        LRU entries kept (0 disables caching).
+    user_batch:
+        Users scored per grid block inside a multi-user query.
+    scorer_mode:
+        Forwarded to :class:`BatchScorer` (``"auto"``/``"exact"``).
+    """
+
+    def __init__(
+        self,
+        model: RecommenderModel,
+        dataset: RecDataset,
+        top_k: int = 10,
+        exclude_seen: bool = True,
+        cache_size: int = 1024,
+        user_batch: int = 32,
+        scorer_mode: str = "auto",
+    ):
+        if top_k <= 0:
+            raise ValueError("top_k must be positive")
+        self.model = model
+        self.dataset = dataset
+        self.top_k = top_k
+        self.exclude_seen = exclude_seen
+        self.user_batch = user_batch
+        self.scorer = BatchScorer(model, dataset, mode=scorer_mode,
+                                  user_batch=user_batch)
+        # Private (not the shared per-dataset instance): add_interaction
+        # mutates the overlay, which must stay local to this service.
+        self.index = TopKIndex.from_dataset(dataset)
+        self.cache = LRUCache(cache_size)
+        # One coarse lock covers cache + index + counters: the HTTP
+        # front-end is a ThreadingHTTPServer, and the OrderedDict/
+        # overlay mutations are not thread-safe on their own.
+        self._lock = threading.RLock()
+        self.requests = 0
+        self.users_scored = 0
+        self.interactions_added = 0
+
+    @classmethod
+    def from_artifact(cls, path: str, **kwargs) -> "RecommendationService":
+        """Boot a service straight from a saved artifact bundle."""
+        from repro.serving.artifact import load_artifact
+
+        loaded = load_artifact(path)
+        service = cls(loaded.model, loaded.dataset, **kwargs)
+        service.model_name = loaded.model_name
+        return service
+
+    # ------------------------------------------------------------------
+    def _validate_k(self, k: int, exclude_seen: bool,
+                    users: np.ndarray) -> None:
+        n_items = self.dataset.n_items
+        if k <= 0:
+            raise ValueError("top_k must be positive")
+        if exclude_seen:
+            # Per queried user, not the global max: one heavy user must
+            # not make every other user's request infeasible.
+            for user in users.tolist():
+                if k > n_items - self.index.seen_count(user):
+                    raise ValueError(
+                        f"top_k exceeds the number of unseen items for "
+                        f"user {user}")
+        elif k > n_items:
+            raise ValueError("top_k exceeds the number of items")
+
+    def recommend(self, user: int, k: Optional[int] = None,
+                  exclude_seen: Optional[bool] = None) -> Recommendation:
+        """Ranked top-k for one user (cached)."""
+        return self.recommend_batch([user], k=k, exclude_seen=exclude_seen)[0]
+
+    def recommend_batch(
+        self,
+        users: Sequence[int],
+        k: Optional[int] = None,
+        exclude_seen: Optional[bool] = None,
+    ) -> list[Recommendation]:
+        """Ranked top-k lists for many users in one micro-batched pass.
+
+        Cache hits are answered immediately; the remaining users are
+        scored together through the batch scorer, so a cold multi-user
+        query costs one grid evaluation rather than one per user.
+        """
+        users_arr = np.asarray(users, dtype=np.int64)
+        if users_arr.ndim != 1:
+            raise ValueError("users must be a 1-d sequence")
+        if users_arr.size and (users_arr.min() < 0
+                               or users_arr.max() >= self.dataset.n_users):
+            raise ValueError("user id out of range")
+        k = self.top_k if k is None else int(k)
+        exclude_seen = self.exclude_seen if exclude_seen is None else exclude_seen
+        with self._lock:
+            self._validate_k(k, exclude_seen, users_arr)
+            self.requests += users_arr.size
+
+            results: dict[int, Recommendation] = {}
+            missing: list[int] = []
+            pending: set[int] = set()
+            for user in users_arr.tolist():
+                if user in results or user in pending:
+                    continue
+                cached = self.cache.get((user, k, exclude_seen))
+                if cached is not None:
+                    results[user] = cached
+                else:
+                    missing.append(user)
+                    pending.add(user)
+
+            # Blocks of ``user_batch`` bound peak memory: each block's
+            # [user_batch, n_items] score matrix is ranked and freed
+            # before the next is scored.
+            for start in range(0, len(missing), self.user_batch):
+                block_users = missing[start:start + self.user_batch]
+                block = np.asarray(block_users, dtype=np.int64)
+                scores = self.scorer.score(block)
+                if exclude_seen:
+                    self.index.mask_seen(scores, block)
+                ranked = self.index.topk(scores, k)
+                ranked_scores = np.take_along_axis(scores, ranked, axis=1)
+                self.users_scored += block.size
+                for row, user in enumerate(block_users):
+                    rec = Recommendation(user=user, items=ranked[row],
+                                         scores=ranked_scores[row])
+                    self.cache.put((user, k, exclude_seen), rec)
+                    results[user] = rec
+
+        return [results[user] for user in users_arr.tolist()]
+
+    # ------------------------------------------------------------------
+    def add_interaction(self, user: int, item: int) -> bool:
+        """Record that ``user`` interacted with ``item``.
+
+        Updates the seen-item mask and invalidates the user's cached
+        lists; model parameters are unchanged (retraining is an offline
+        concern).  Returns False when the pair was already known.
+        """
+        with self._lock:
+            novel = self.index.add(user, item)
+            if novel:
+                self.interactions_added += 1
+                self.cache.invalidate(lambda key: key[0] == int(user))
+            return novel
+
+    def stats(self) -> dict:
+        """Operational counters for the ``/stats`` endpoint."""
+        with self._lock:
+            return self._stats_locked()
+
+    def _stats_locked(self) -> dict:
+        return {
+            "model": getattr(self, "model_name", type(self.model).__name__),
+            "dataset": self.dataset.name,
+            "n_users": self.dataset.n_users,
+            "n_items": self.dataset.n_items,
+            "top_k_default": self.top_k,
+            "requests": self.requests,
+            "users_scored": self.users_scored,
+            "interactions_added": self.interactions_added,
+            "fast_path": self.scorer.uses_fast_path,
+            "cache": self.cache.stats(),
+        }

@@ -2,7 +2,9 @@
 
 Only parameter arrays are stored (keyed by the dotted names of
 ``Module.named_parameters``); architecture is reconstructed by the
-caller, which keeps the format trivially portable.
+caller, which keeps the format trivially portable.  For a
+self-describing bundle that also reconstructs the architecture, see
+:mod:`repro.serving.artifact`.
 """
 
 from __future__ import annotations
@@ -12,12 +14,25 @@ import numpy as np
 from repro.autograd.nn import Module
 
 
-def save_model(model: Module, path: str) -> None:
-    """Write a model's parameters to ``path`` (``.npz``)."""
+def normalize_npz_path(path: str) -> str:
+    """Append ``.npz`` when missing, matching ``np.savez``'s behavior.
+
+    ``np.savez`` silently appends the extension on write; normalizing on
+    both the save and load side keeps ``save_model(m, "weights")`` and
+    ``load_model(m, "weights")`` pointing at the same file.
+    """
+    return path if path.endswith(".npz") else path + ".npz"
+
+
+def save_model(model: Module, path: str) -> str:
+    """Write a model's parameters to ``path`` and return the real path
+    (with the ``.npz`` extension ``np.savez`` would have appended)."""
     state = model.state_dict()
     if not state:
         raise ValueError("model has no parameters to save")
+    path = normalize_npz_path(path)
     np.savez(path, **state)
+    return path
 
 
 def load_model(model: Module, path: str) -> Module:
@@ -26,7 +41,7 @@ def load_model(model: Module, path: str) -> Module:
     The model must already be constructed with matching architecture;
     shape mismatches raise ``ValueError`` (from ``load_state_dict``).
     """
-    with np.load(path) as archive:
+    with np.load(normalize_npz_path(path)) as archive:
         state = {name: archive[name] for name in archive.files}
     model.load_state_dict(state)
     return model

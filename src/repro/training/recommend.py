@@ -3,9 +3,18 @@
 This is the deployment-side API a downstream user calls after training:
 given a model and the dataset (for encoding and seen-item filtering),
 produce ranked item lists per user.
+
+Scoring delegates to :mod:`repro.serving.scorer`, which evaluates whole
+``[users, catalogue]`` grids (using the model's item-side precompute
+fast path when it has one) instead of a per-user Python scan; masking
+and ranking delegate to :class:`repro.serving.index.TopKIndex`.  For a
+long-lived process, :class:`repro.serving.service.RecommendationService`
+adds caching and counters on top of the same machinery.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 import numpy as np
 
@@ -20,6 +29,7 @@ def recommend(
     top_k: int = 10,
     exclude_seen: bool = True,
     batch_items: int = 8192,
+    scorer: Optional["BatchScorer"] = None,
 ) -> np.ndarray:
     """Top-k item ids per user, highest score first.
 
@@ -38,36 +48,37 @@ def recommend(
         Drop items the user already interacted with (the usual setting
         for implicit feedback).
     batch_items:
-        Item-axis batch size used when scoring the full catalogue.
+        Pair-batch size used when the model has no grid fast path.
+    scorer:
+        Reuse a prebuilt :class:`~repro.serving.scorer.BatchScorer`
+        (skips re-precomputing item state across calls).
 
     Returns
     -------
     ``int64 [len(users), top_k]`` ranked item ids.
     """
+    from repro.serving.index import TopKIndex
+    from repro.serving.scorer import BatchScorer
+
     users = np.asarray(users, dtype=np.int64)
     n_items = dataset.n_items
     if top_k <= 0:
         raise ValueError("top_k must be positive")
-    seen = dataset.positives_by_user() if exclude_seen else None
+    index = TopKIndex.for_dataset(dataset)  # shared, read-only use
     if exclude_seen:
-        max_seen = max((len(s) for s in seen), default=0)
-        if top_k > n_items - max_seen:
+        if top_k > n_items - index.max_seen():
             raise ValueError("top_k exceeds the number of unseen items")
     elif top_k > n_items:
         raise ValueError("top_k exceeds the number of items")
 
-    all_items = np.arange(n_items, dtype=np.int64)
+    if scorer is None:
+        scorer = BatchScorer(model, dataset, batch_pairs=max(batch_items, n_items))
     out = np.empty((users.size, top_k), dtype=np.int64)
-    for row, user in enumerate(users):
-        scores = np.empty(n_items)
-        for start in range(0, n_items, batch_items):
-            stop = min(start + batch_items, n_items)
-            batch = all_items[start:stop]
-            scores[start:stop] = model.predict(
-                np.full(batch.size, user, dtype=np.int64), batch
-            )
-        if exclude_seen and seen[user]:
-            scores[list(seen[user])] = -np.inf
-        top = np.argpartition(-scores, top_k - 1)[:top_k]
-        out[row] = top[np.argsort(-scores[top])]
+    chunk = 256  # bounds the [chunk, n_items] score block
+    for start in range(0, users.size, chunk):
+        block = users[start:start + chunk]
+        scores = scorer.score(block)
+        if exclude_seen:
+            index.mask_seen(scores, block)
+        out[start:start + chunk] = index.topk(scores, top_k)
     return out

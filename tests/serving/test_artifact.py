@@ -1,0 +1,114 @@
+"""Artifact bundles reconstruct model + dataset in a fresh process."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.registry import RATING_MODELS, TOPN_MODELS, build_model
+from repro.serving.artifact import load_artifact, save_artifact
+from tests.helpers import make_tiny_dataset
+
+pytestmark = pytest.mark.serving
+
+ALL_MODELS = sorted(set(RATING_MODELS) | set(TOPN_MODELS))
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return make_tiny_dataset(n_users=14, n_items=22)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", ALL_MODELS)
+    def test_every_registry_model(self, name, ds, tmp_path):
+        model = build_model(name, ds, k=8, seed=0,
+                           train_users=ds.users, train_items=ds.items)
+        path = save_artifact(model, ds, str(tmp_path / "bundle"), name, {"k": 8})
+        loaded = load_artifact(path)
+
+        assert loaded.model_name == name
+        assert loaded.dataset.n_users == ds.n_users
+        assert loaded.dataset.n_items == ds.n_items
+        users, items = ds.users[:30], ds.items[:30]
+        np.testing.assert_allclose(
+            loaded.model.predict(users, items), model.predict(users, items),
+            rtol=1e-12, atol=1e-12,
+        )
+
+    def test_dataset_encoding_survives(self, ds, tmp_path):
+        model = build_model("LibFM", ds, k=8, seed=0)
+        path = save_artifact(model, ds, str(tmp_path / "b"), "LibFM")
+        loaded = load_artifact(path)
+        assert loaded.dataset.n_features == ds.n_features
+        assert list(loaded.dataset.item_attrs) == list(ds.item_attrs)
+        idx_a, val_a = ds.encode(ds.users[:10], ds.items[:10])
+        idx_b, val_b = loaded.dataset.encode(ds.users[:10], ds.items[:10])
+        np.testing.assert_array_equal(idx_a, idx_b)
+        np.testing.assert_array_equal(val_a, val_b)
+
+    def test_interactions_survive_for_seen_masking(self, ds, tmp_path):
+        model = build_model("MF", ds, k=8, seed=0)
+        path = save_artifact(model, ds, str(tmp_path / "b"), "MF")
+        loaded = load_artifact(path)
+        np.testing.assert_array_equal(loaded.dataset.users, ds.users)
+        np.testing.assert_array_equal(loaded.dataset.items, ds.items)
+        assert loaded.dataset.positives_by_user() == ds.positives_by_user()
+
+
+class TestValidation:
+    def test_path_normalization(self, ds, tmp_path):
+        model = build_model("MF", ds, k=8, seed=0)
+        path = save_artifact(model, ds, str(tmp_path / "noext"), "MF")
+        assert path.endswith("noext.npz")
+        # Loading by the extensionless name the caller used also works.
+        assert load_artifact(str(tmp_path / "noext")).model_name == "MF"
+
+    def test_unknown_model_name_rejected_at_save(self, ds, tmp_path):
+        model = build_model("MF", ds, k=8, seed=0)
+        with pytest.raises(KeyError):
+            save_artifact(model, ds, str(tmp_path / "b"), "NotAModel")
+
+    def test_bare_npz_rejected_with_hint(self, ds, tmp_path):
+        from repro.training.persistence import save_model
+
+        model = build_model("MF", ds, k=8, seed=0)
+        path = save_model(model, str(tmp_path / "bare"))
+        with pytest.raises(ValueError, match="not a repro artifact"):
+            load_artifact(path)
+
+    def test_hyperparams_recorded(self, ds, tmp_path):
+        model = build_model("GML-FMmd", ds, k=8, seed=3)
+        path = save_artifact(model, ds, str(tmp_path / "b"), "GML-FMmd",
+                             {"k": 8, "seed": 3})
+        loaded = load_artifact(path)
+        assert loaded.hyperparams == {"k": 8, "seed": 3}
+        assert loaded.meta["version"] >= 1
+
+    def test_unrebuildable_bundle_fails_at_save(self, ds, tmp_path):
+        model = build_model("GML-FMdnn", ds, k=8, seed=0)
+        # Unknown hyperparameter keys surface immediately, not at load.
+        with pytest.raises(TypeError):
+            save_artifact(model, ds, str(tmp_path / "b"), "GML-FMdnn",
+                          {"n_layers": 1})
+        # A recipe that rebuilds the wrong shapes is rejected too.
+        with pytest.raises(ValueError, match="does not rebuild"):
+            save_artifact(model, ds, str(tmp_path / "b"), "GML-FMdnn", {"k": 4})
+        # And a recipe naming the wrong architecture entirely.
+        with pytest.raises(ValueError, match="does not rebuild"):
+            save_artifact(model, ds, str(tmp_path / "b"), "LibFM", {"k": 8})
+
+    def test_graph_model_round_trips_its_training_split(self, ds, tmp_path):
+        # NGCF's scores depend on the propagation graph, not just the
+        # parameters; the artifact must carry the training split the
+        # graph was built from.
+        half = ds.n_interactions // 2
+        model = build_model("NGCF", ds, k=8, seed=0,
+                            train_users=ds.users[:half],
+                            train_items=ds.items[:half])
+        path = save_artifact(
+            model, ds, str(tmp_path / "b"), "NGCF", {"k": 8},
+            train_interactions=(ds.users[:half], ds.items[:half]))
+        loaded = load_artifact(path)
+        users, items = ds.users[:30], ds.items[:30]
+        np.testing.assert_allclose(loaded.model.predict(users, items),
+                                   model.predict(users, items),
+                                   rtol=1e-12, atol=1e-12)

@@ -1,0 +1,128 @@
+"""LRU cache semantics and the top-K retrieval index."""
+
+import numpy as np
+import pytest
+
+from repro.serving.cache import LRUCache
+from repro.serving.index import TopKIndex
+from tests.helpers import make_tiny_dataset
+
+pytestmark = pytest.mark.serving
+
+
+class TestLRUCache:
+    def test_hit_and_miss_counters(self):
+        cache = LRUCache(4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+        assert cache.stats()["hit_rate"] == 0.5
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh "a" → "b" is now least recent
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.stats()["evictions"] == 1
+
+    def test_put_refreshes_existing_key(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)      # refresh, no eviction
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_predicate_invalidation(self):
+        cache = LRUCache(8)
+        for user in range(4):
+            for k in (5, 10):
+                cache.put((user, k), user * k)
+        dropped = cache.invalidate(lambda key: key[0] == 2)
+        assert dropped == 2
+        assert (2, 5) not in cache and (2, 10) not in cache
+        assert (1, 5) in cache
+        assert cache.stats()["invalidations"] == 2
+
+    def test_invalidate_all(self):
+        cache = LRUCache(8)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.invalidate() == 2
+        assert len(cache) == 0
+
+    def test_zero_capacity_disables(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+
+class TestTopKIndex:
+    @pytest.fixture(scope="class")
+    def ds(self):
+        return make_tiny_dataset(n_users=10, n_items=20)
+
+    def test_seen_matches_positives(self, ds):
+        index = TopKIndex.from_dataset(ds)
+        positives = ds.positives_by_user()
+        for user in range(ds.n_users):
+            assert set(index.seen(user).tolist()) == positives[user]
+        assert index.max_seen() == max(len(s) for s in positives)
+
+    def test_mask_seen_sets_neg_inf(self, ds):
+        index = TopKIndex.from_dataset(ds)
+        users = np.arange(4, dtype=np.int64)
+        scores = np.zeros((4, ds.n_items))
+        index.mask_seen(scores, users)
+        for row, user in enumerate(users):
+            seen = index.seen(user)
+            assert np.all(np.isneginf(scores[row, seen]))
+            unseen = np.setdiff1d(np.arange(ds.n_items), seen)
+            assert np.all(scores[row, unseen] == 0.0)
+
+    def test_topk_ranks_by_score(self):
+        index = TopKIndex(2, 6)
+        scores = np.array([[0.1, 5.0, 3.0, -1.0, 4.0, 0.0],
+                           [9.0, 1.0, 2.0, 8.0, 0.0, 7.0]])
+        np.testing.assert_array_equal(index.topk(scores, 3),
+                                      [[1, 4, 2], [0, 3, 5]])
+        with pytest.raises(ValueError):
+            index.topk(scores, 0)
+        with pytest.raises(ValueError):
+            index.topk(scores, 7)
+
+    def test_add_updates_overlay(self, ds):
+        index = TopKIndex.from_dataset(ds)
+        unseen = np.setdiff1d(np.arange(ds.n_items), index.seen(0))
+        target = int(unseen[0])
+        assert index.add(0, target) is True
+        assert index.add(0, target) is False        # already in overlay
+        already = int(index.seen(1)[0])
+        assert index.add(1, already) is False       # already in base CSR
+        assert target in index.seen(0).tolist()
+        scores = np.zeros((1, ds.n_items))
+        index.mask_seen(scores, np.array([0]))
+        assert np.isneginf(scores[0, target])
+
+    def test_add_range_checks(self, ds):
+        index = TopKIndex.from_dataset(ds)
+        with pytest.raises(ValueError):
+            index.add(ds.n_users, 0)
+        with pytest.raises(ValueError):
+            index.add(0, ds.n_items)
+
+    def test_empty_index(self):
+        index = TopKIndex(3, 5)
+        assert index.max_seen() == 0
+        assert index.seen(0).size == 0
+        scores = np.random.default_rng(0).normal(size=(3, 5))
+        index.mask_seen(scores, np.arange(3))       # no-op, no crash
+        assert np.isfinite(scores).all()

@@ -1,0 +1,146 @@
+"""BatchScorer equivalence against per-pair ``model.predict``."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.registry import build_model
+from repro.core.gml_fm import GMLFM
+from repro.serving.scorer import BatchScorer
+from repro.training.recommend import recommend
+from tests.helpers import make_tiny_dataset
+
+pytestmark = pytest.mark.serving
+
+#: Models with an item-side precompute fast path.
+FAST_PATH_MODELS = ["MF", "PMF", "BPR-MF", "NGCF", "LibFM", "GML-FMmd", "GML-FMdnn"]
+#: Models served through the exact chunked-predict fallback.
+FALLBACK_MODELS = ["NCF", "NFM", "DeepFM"]
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return make_tiny_dataset(n_users=16, n_items=28)
+
+
+def reference_grid(model, dataset, users):
+    grid_u = np.repeat(users, dataset.n_items)
+    grid_i = np.tile(np.arange(dataset.n_items, dtype=np.int64), users.size)
+    return model.predict(grid_u, grid_i).reshape(users.size, dataset.n_items)
+
+
+def legacy_recommend(model, dataset, users, top_k, exclude_seen=True):
+    """The seed-era per-user loop, kept verbatim as the oracle."""
+    users = np.asarray(users, dtype=np.int64)
+    n_items = dataset.n_items
+    seen = dataset.positives_by_user() if exclude_seen else None
+    all_items = np.arange(n_items, dtype=np.int64)
+    out = np.empty((users.size, top_k), dtype=np.int64)
+    for row, user in enumerate(users):
+        scores = model.predict(np.full(n_items, user, dtype=np.int64), all_items)
+        if exclude_seen and seen[user]:
+            scores[list(seen[user])] = -np.inf
+        top = np.argpartition(-scores, top_k - 1)[:top_k]
+        out[row] = top[np.argsort(-scores[top])]
+    return out
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("name", FAST_PATH_MODELS)
+    def test_fast_path_matches_predict(self, name, ds):
+        model = build_model(name, ds, k=8, seed=0,
+                            train_users=ds.users, train_items=ds.items)
+        scorer = BatchScorer(model, ds)
+        assert scorer.uses_fast_path, f"{name} lost its grid fast path"
+        users = np.arange(ds.n_users, dtype=np.int64)
+        np.testing.assert_allclose(scorer.score(users),
+                                   reference_grid(model, ds, users),
+                                   rtol=1e-9, atol=1e-9)
+
+    @pytest.mark.parametrize("name", ["MF", "PMF", "BPR-MF", "NGCF"])
+    def test_entity_fast_path_tight_tolerance(self, name, ds):
+        # Entity models go through one BLAS matmul; only the dot-product
+        # summation order differs from ``predict``.
+        model = build_model(name, ds, k=8, seed=0,
+                            train_users=ds.users, train_items=ds.items)
+        users = np.arange(ds.n_users, dtype=np.int64)
+        np.testing.assert_allclose(BatchScorer(model, ds).score(users),
+                                   reference_grid(model, ds, users),
+                                   rtol=1e-12, atol=1e-12)
+
+    @pytest.mark.parametrize("name", FALLBACK_MODELS)
+    def test_fallback_is_bit_exact(self, name, ds):
+        model = build_model(name, ds, k=8, seed=0)
+        scorer = BatchScorer(model, ds)
+        assert not scorer.uses_fast_path
+        users = np.arange(ds.n_users, dtype=np.int64)
+        np.testing.assert_array_equal(scorer.score(users),
+                                      reference_grid(model, ds, users))
+
+    def test_exact_mode_forces_fallback(self, ds):
+        model = build_model("MF", ds, k=8, seed=0)
+        scorer = BatchScorer(model, ds, mode="exact")
+        assert not scorer.uses_fast_path
+        users = np.arange(5, dtype=np.int64)
+        np.testing.assert_array_equal(scorer.score(users),
+                                      reference_grid(model, ds, users))
+
+    def test_gmlfm_unweighted_decomposition(self, ds):
+        model = GMLFM(ds, k=8, use_weight=False, rng=np.random.default_rng(0))
+        scorer = BatchScorer(model, ds)
+        assert scorer.uses_fast_path
+        users = np.arange(ds.n_users, dtype=np.int64)
+        np.testing.assert_allclose(scorer.score(users),
+                                   reference_grid(model, ds, users),
+                                   rtol=1e-9, atol=1e-9)
+
+    def test_gmlfm_non_euclidean_falls_back(self, ds):
+        model = GMLFM(ds, k=8, distance="manhattan", mode="naive",
+                      rng=np.random.default_rng(0))
+        scorer = BatchScorer(model, ds)
+        assert not scorer.uses_fast_path
+        users = np.arange(4, dtype=np.int64)
+        np.testing.assert_array_equal(scorer.score(users),
+                                      reference_grid(model, ds, users))
+
+
+class TestRecommendDelegation:
+    """The public ``recommend`` stays equivalent to the seed-era loop."""
+
+    @pytest.mark.parametrize("name", FAST_PATH_MODELS + FALLBACK_MODELS)
+    @pytest.mark.parametrize("exclude_seen", [True, False])
+    def test_topk_lists_identical_to_legacy(self, name, exclude_seen, ds):
+        model = build_model(name, ds, k=8, seed=0,
+                            train_users=ds.users, train_items=ds.items)
+        users = np.arange(ds.n_users, dtype=np.int64)
+        np.testing.assert_array_equal(
+            recommend(model, ds, users, top_k=6, exclude_seen=exclude_seen),
+            legacy_recommend(model, ds, users, top_k=6, exclude_seen=exclude_seen),
+        )
+
+    def test_scorer_reuse_across_calls(self, ds):
+        model = build_model("GML-FMmd", ds, k=8, seed=0)
+        scorer = BatchScorer(model, ds)
+        first = recommend(model, ds, np.arange(4), top_k=5, scorer=scorer)
+        second = recommend(model, ds, np.arange(4), top_k=5, scorer=scorer)
+        np.testing.assert_array_equal(first, second)
+
+
+class TestValidation:
+    def test_user_out_of_range(self, ds):
+        model = build_model("MF", ds, k=8, seed=0)
+        with pytest.raises(ValueError):
+            BatchScorer(model, ds).score(np.array([ds.n_users]))
+
+    def test_bad_mode(self, ds):
+        model = build_model("MF", ds, k=8, seed=0)
+        with pytest.raises(ValueError):
+            BatchScorer(model, ds, mode="turbo")
+
+    def test_refresh_picks_up_new_parameters(self, ds):
+        model = build_model("MF", ds, k=8, seed=0)
+        scorer = BatchScorer(model, ds)
+        before = scorer.score(np.array([0]))
+        model.item_bias.weight.data[:] += 1.0
+        scorer.refresh()
+        after = scorer.score(np.array([0]))
+        np.testing.assert_allclose(after, before + 1.0)

@@ -1,0 +1,188 @@
+"""RecommendationService: micro-batching, caching, invalidation, stats."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.registry import build_model
+from repro.serving.artifact import save_artifact
+from repro.serving.service import RecommendationService
+from tests.helpers import make_tiny_dataset
+
+pytestmark = pytest.mark.serving
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return make_tiny_dataset(n_users=15, n_items=25)
+
+
+@pytest.fixture
+def service(ds):
+    model = build_model("GML-FMmd", ds, k=8, seed=0)
+    svc = RecommendationService(model, ds, top_k=5, cache_size=64)
+    svc.model_name = "GML-FMmd"
+    return svc
+
+
+class TestQueries:
+    def test_single_user_shape(self, service, ds):
+        rec = service.recommend(0)
+        assert rec.user == 0
+        assert rec.items.shape == (5,) and rec.scores.shape == (5,)
+        assert len(set(rec.items.tolist())) == 5
+        assert np.all(np.diff(rec.scores) <= 1e-12)
+        assert not set(rec.items.tolist()) & ds.positives_by_user()[0]
+
+    def test_matches_recommend_function(self, service, ds):
+        from repro.training.recommend import recommend
+
+        users = np.arange(6)
+        recs = service.recommend_batch(users, k=5)
+        expected = recommend(service.model, ds, users, top_k=5)
+        np.testing.assert_array_equal(np.stack([r.items for r in recs]), expected)
+
+    def test_batch_scores_each_user_once(self, service):
+        recs = service.recommend_batch([0, 1, 2, 1, 0])
+        assert [r.user for r in recs] == [0, 1, 2, 1, 0]
+        assert service.users_scored == 3
+        np.testing.assert_array_equal(recs[0].items, recs[4].items)
+
+    def test_include_seen_option(self, service, ds):
+        rec = service.recommend(0, k=ds.n_items, exclude_seen=False)
+        assert set(rec.items.tolist()) == set(range(ds.n_items))
+
+    def test_to_dict_is_json_friendly(self, service):
+        import json
+
+        payload = service.recommend(3).to_dict()
+        parsed = json.loads(json.dumps(payload))
+        assert parsed["user"] == 3 and len(parsed["items"]) == 5
+
+
+class TestCaching:
+    def test_repeat_query_hits_cache(self, service):
+        first = service.recommend(2)
+        assert service.cache.stats()["hits"] == 0
+        second = service.recommend(2)
+        assert service.cache.stats()["hits"] == 1
+        assert service.users_scored == 1
+        np.testing.assert_array_equal(first.items, second.items)
+
+    def test_different_k_is_distinct_entry(self, service):
+        service.recommend(2, k=3)
+        service.recommend(2, k=4)
+        assert service.users_scored == 2
+
+    def test_interaction_update_invalidates_user(self, service):
+        rec = service.recommend(4)
+        top = int(rec.items[0])
+        assert service.add_interaction(4, top) is True
+        refreshed = service.recommend(4)
+        assert top not in refreshed.items.tolist()
+        assert service.users_scored == 2            # user 4 re-scored
+        assert service.interactions_added == 1
+
+    def test_known_interaction_is_noop(self, service, ds):
+        seen = next(iter(ds.positives_by_user()[5]))
+        service.recommend(5)
+        assert service.add_interaction(5, seen) is False
+        service.recommend(5)
+        assert service.users_scored == 1            # cache survived
+
+
+class TestValidationAndStats:
+    def test_user_range(self, service, ds):
+        with pytest.raises(ValueError):
+            service.recommend(ds.n_users)
+        with pytest.raises(ValueError):
+            service.recommend(-1)
+
+    def test_k_range_is_per_queried_user(self, service, ds):
+        seen_0 = service.index.seen_count(0)
+        with pytest.raises(ValueError, match="unseen items for user 0"):
+            service.recommend(0, k=ds.n_items - seen_0 + 1)
+        # The same k is fine when not filtering seen items.
+        service.recommend(0, k=ds.n_items - seen_0 + 1, exclude_seen=False)
+        with pytest.raises(ValueError):
+            service.recommend(0, k=ds.n_items + 1, exclude_seen=False)
+        with pytest.raises(ValueError):
+            service.recommend(0, k=0)
+
+    def test_heavy_user_does_not_break_other_users(self, ds):
+        # One user interacting with almost the whole catalogue must not
+        # make every other user's request infeasible.
+        model = build_model("MF", ds, k=8, seed=0)
+        svc = RecommendationService(model, ds, top_k=5)
+        for item in range(ds.n_items - 2):
+            svc.add_interaction(0, item)
+        rec = svc.recommend(1)                      # light user still fine
+        assert rec.items.shape == (5,)
+        with pytest.raises(ValueError, match="for user 0"):
+            svc.recommend(0, k=5)                   # only 2 unseen left
+
+    def test_stats_shape(self, service, ds):
+        service.recommend_batch([0, 1])
+        stats = service.stats()
+        assert stats["model"] == "GML-FMmd"
+        assert stats["dataset"] == ds.name
+        assert stats["requests"] == 2
+        assert stats["fast_path"] is True
+        assert 0.0 <= stats["cache"]["hit_rate"] <= 1.0
+
+
+class TestConcurrencyAndSharing:
+    def test_concurrent_queries_and_updates(self, ds):
+        # The HTTP layer is threaded; hammer the service from several
+        # threads mixing reads and interaction updates.
+        from concurrent.futures import ThreadPoolExecutor
+
+        model = build_model("BPR-MF", ds, k=8, seed=0)
+        svc = RecommendationService(model, ds, top_k=3, cache_size=8)
+
+        def worker(seed):
+            rng = np.random.default_rng(seed)
+            for _ in range(40):
+                user = int(rng.integers(0, ds.n_users))
+                rec = svc.recommend(user)
+                if rng.random() < 0.3:
+                    svc.add_interaction(user, int(rec.items[0]))
+            return True
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            assert all(pool.map(worker, range(8)))
+        stats = svc.stats()
+        assert stats["requests"] == 8 * 40
+
+    def test_service_updates_do_not_leak_into_shared_index(self, ds):
+        from repro.serving.index import TopKIndex
+        from repro.training.recommend import recommend
+
+        model = build_model("MF", ds, k=8, seed=0)
+        svc = RecommendationService(model, ds, top_k=3)
+        before = recommend(model, ds, np.array([0]), top_k=3)
+        svc.add_interaction(0, int(before[0, 0]))
+        # recommend() uses the shared read-only index: unaffected.
+        np.testing.assert_array_equal(
+            recommend(model, ds, np.array([0]), top_k=3), before)
+        assert TopKIndex.for_dataset(ds) is TopKIndex.for_dataset(ds)
+
+    def test_large_batch_is_chunked(self, ds):
+        model = build_model("MF", ds, k=8, seed=0)
+        svc = RecommendationService(model, ds, top_k=3, user_batch=4,
+                                    cache_size=0)
+        users = np.arange(ds.n_users)
+        recs = svc.recommend_batch(users)
+        assert [r.user for r in recs] == users.tolist()
+        assert svc.users_scored == ds.n_users
+
+
+class TestFromArtifact:
+    def test_boot_from_bundle(self, ds, tmp_path):
+        model = build_model("BPR-MF", ds, k=8, seed=0)
+        path = save_artifact(model, ds, str(tmp_path / "b"), "BPR-MF", {"k": 8})
+        service = RecommendationService.from_artifact(path, top_k=4)
+        rec = service.recommend(1)
+        assert rec.items.shape == (4,)
+        assert service.stats()["model"] == "BPR-MF"
+        expected = model.predict(np.full(4, 1), rec.items)
+        np.testing.assert_allclose(rec.scores, expected, rtol=1e-9)
