@@ -8,6 +8,7 @@ setup) versus the pairwise BPR objective, on the top-n task.
 """
 
 import numpy as np
+import pytest
 
 from repro.core.gml_fm import GMLFM_DNN
 from repro.data import NegativeSampler, make_dataset
@@ -18,6 +19,8 @@ from repro.training import (
     prepare_topn_protocol,
 )
 from conftest import run_once
+
+pytestmark = pytest.mark.slow
 
 DATASETS = ["mercari-ticket", "amazon-clothing"]
 

@@ -6,11 +6,15 @@ at large k.  At repo scale we sweep k ∈ {4, 8, 16, 32, 64} over two
 datasets (four at full scale) with a representative model subset.
 """
 
+import pytest
+
 from repro.data import make_dataset
 from repro.experiments.configs import ExperimentScale
 from repro.experiments.registry import build_model, is_pairwise
 from repro.experiments.runner import run_topn_cell
 from conftest import run_once
+
+pytestmark = pytest.mark.slow
 
 MODELS = ["BPR-MF", "NFM", "TransFM", "DeepFM", "xDeepFM", "GML-FMdnn"]
 SIZES = [4, 8, 16, 32, 64]

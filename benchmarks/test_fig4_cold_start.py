@@ -8,6 +8,7 @@ sparsest buckets.
 """
 
 import numpy as np
+import pytest
 
 from repro.analysis.cold_start import SCENARIOS, cold_start_rmse_curve, group_cold_start
 from repro.core.gml_fm import GMLFM_DNN
@@ -21,6 +22,8 @@ from repro.training import (
 )
 from repro.training.metrics import rmse
 from conftest import run_once
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig4_cold_start_vs_mamo(benchmark, scale):

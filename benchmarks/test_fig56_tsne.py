@@ -8,6 +8,7 @@ by the silhouette-style cluster-separation score of the 2-D projection.
 """
 
 import numpy as np
+import pytest
 
 from repro.analysis import item_embedding_case_study
 from repro.core.gml_fm import GMLFM_DNN
@@ -15,6 +16,8 @@ from repro.data import NegativeSampler, make_dataset
 from repro.models import NFM, FactorizationMachine, TransFM
 from repro.training import TrainConfig, Trainer
 from conftest import run_once
+
+pytestmark = pytest.mark.slow
 
 
 def _train(model, dataset, epochs, lr, seed=0):

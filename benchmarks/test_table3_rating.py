@@ -20,9 +20,12 @@ margins are small on the dense MovieLens).
 """
 
 import numpy as np
+import pytest
 
 from repro.experiments import RATING_MODELS, format_table, run_rating_table
 from conftest import run_once
+
+pytestmark = pytest.mark.slow
 
 DATASETS = [
     "movielens",

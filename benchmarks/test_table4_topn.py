@@ -20,8 +20,12 @@ datasets with the largest margins on Mercari-Ticket; xDeepFM strongest
 on Mercari-Books (the paper's one exception).
 """
 
+import pytest
+
 from repro.experiments import TOPN_MODELS, format_table, run_topn_table
 from conftest import run_once
+
+pytestmark = pytest.mark.slow
 
 DATASETS = [
     "movielens",

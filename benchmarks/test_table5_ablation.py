@@ -12,10 +12,14 @@ Paper blocks and their reproduced shape claims:
    / Cosine, with Cosine (inner-product style) at the bottom.
 """
 
+import pytest
+
 from repro.core.gml_fm import GMLFM
 from repro.data import make_dataset
 from repro.experiments.runner import run_custom_rating, run_custom_topn
 from conftest import run_once
+
+pytestmark = pytest.mark.slow
 
 DATASETS = ["movielens", "mercari-ticket"]
 

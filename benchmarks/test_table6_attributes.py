@@ -14,10 +14,14 @@ informative (adding it to category does not help the way shipping
 does); shipping information helps.
 """
 
+import pytest
+
 from repro.core.gml_fm import GMLFM_DNN
 from repro.data import make_dataset
 from repro.experiments.runner import run_custom_topn
 from conftest import run_once
+
+pytestmark = pytest.mark.slow
 
 ATTRIBUTE_SETS = {
     "base": [],

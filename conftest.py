@@ -7,3 +7,9 @@ def pytest_configure(config):
         "serving: online serving subsystem tests (repro.serving); "
         "run with `pytest -m serving`",
     )
+    config.addinivalue_line(
+        "markers",
+        "slow: heavyweight paper-reproduction benchmarks (full model "
+        "training sweeps); deselect with `pytest -m 'not slow'` for the "
+        "fast tier-1 suite",
+    )

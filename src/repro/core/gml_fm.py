@@ -173,10 +173,14 @@ class GMLFM(FeatureRecommender):
 
         indices, x = dataset.encode_half(side, ids)
         v = self.embeddings.weight.data[indices]             # [N, W, k]
+        was_training = self.training
         self.eval()
-        with no_grad():
-            v_hat = self.transform(Tensor(v)).data           # [N, W, k]
-        self.train()
+        try:
+            with no_grad():
+                v_hat = self.transform(Tensor(v)).data       # [N, W, k]
+        finally:
+            if was_training:
+                self.train()
         linear = (self.linear.weight.data[indices][..., 0] * x).sum(axis=-1)
 
         xv = x[..., None] * v

@@ -9,6 +9,7 @@ only over active features.
 """
 
 from repro.data.schema import FeatureField, FeatureSpace
+from repro.data.membership import UserPositives
 from repro.data.dataset import RecDataset
 from repro.data.synthetic import (
     make_amazon_like,
@@ -25,6 +26,7 @@ __all__ = [
     "FeatureField",
     "FeatureSpace",
     "RecDataset",
+    "UserPositives",
     "make_movielens_like",
     "make_amazon_like",
     "make_mercari_like",

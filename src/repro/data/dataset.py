@@ -15,6 +15,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.data.membership import UserPositives
 from repro.data.schema import FeatureField, FeatureSpace
 
 USER_FIELD = "user"
@@ -76,6 +77,7 @@ class RecDataset:
                 raise ValueError(f"attr {attr_name!r}: indices/values shape mismatch")
 
         self.feature_space = self._build_feature_space()
+        self._membership_cache: Optional[UserPositives] = None
         self._positives_cache: Optional[list[set[int]]] = None
 
     # ------------------------------------------------------------------
@@ -242,13 +244,22 @@ class RecDataset:
     # ------------------------------------------------------------------
     # Interaction lookups
     # ------------------------------------------------------------------
+    def membership(self) -> UserPositives:
+        """The shared sorted-CSR per-user positives structure (cached).
+
+        Negative sampling, seen-item masking
+        (:class:`repro.serving.index.TopKIndex`) and
+        :meth:`positives_by_user` are all views of this one structure;
+        see :mod:`repro.data.membership` for the layout.
+        """
+        if self._membership_cache is None:
+            self._membership_cache = UserPositives.from_dataset(self)
+        return self._membership_cache
+
     def positives_by_user(self) -> list[set[int]]:
-        """Per-user set of interacted items (cached)."""
+        """Per-user set of interacted items (cached legacy view)."""
         if self._positives_cache is None:
-            sets: list[set[int]] = [set() for _ in range(self.n_users)]
-            for u, i in zip(self.users, self.items):
-                sets[u].add(int(i))
-            self._positives_cache = sets
+            self._positives_cache = self.membership().to_sets()
         return self._positives_cache
 
     def interactions_per_user(self) -> np.ndarray:

@@ -1,0 +1,138 @@
+"""Sorted-CSR per-user positives: the shared membership data plane.
+
+Every consumer of the user→interacted-items relation (negative
+sampling, seen-item masking, ``RecDataset.positives_by_user``) needs
+the same three operations — enumerate a user's items, test membership,
+and sample from the complement — and the seed implemented each one
+separately (list-of-sets on the dataset, a private CSR in
+``serving.index``, Python ``in`` loops in the sampler).
+:class:`UserPositives` is the single structure behind all of them.
+
+CSR layout
+----------
+The interaction log is deduplicated and sorted by ``(user, item)``
+into two arrays:
+
+- ``indices`` — ``int64 [nnz]`` item ids, grouped by user, sorted
+  ascending within each user's run;
+- ``indptr`` — ``int64 [n_users + 1]`` offsets such that user ``u``'s
+  items are ``indices[indptr[u]:indptr[u + 1]]``.
+
+Because each run is sorted, a per-user membership test is an
+O(log d) ``searchsorted``.  Batch queries use the equivalent *flat
+key* view ``keys = user * n_items + item`` (also fully sorted), so a
+whole array of (user, item) pairs is tested with one vectorized
+``searchsorted`` over ``keys`` — no Python-level per-element loop.
+
+Complement sampling uses a second derived view: within a user's run,
+``indices[j] - local_rank(j)`` counts the uninteracted items preceding
+``indices[j]``; it is non-decreasing, so the rank-r uninteracted item
+of every queried user is again one global ``searchsorted``
+(see :meth:`UserPositives.kth_free`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class UserPositives:
+    """Immutable sorted-CSR view of per-user interacted items."""
+
+    def __init__(self, n_users: int, n_items: int,
+                 users: np.ndarray, items: np.ndarray):
+        self.n_users = int(n_users)
+        self.n_items = int(n_items)
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        if users.shape != items.shape:
+            raise ValueError("users and items must be parallel arrays")
+        if users.size and (users.min() < 0 or users.max() >= self.n_users):
+            raise ValueError("user id out of range")
+        if items.size and (items.min() < 0 or items.max() >= self.n_items):
+            raise ValueError("item id out of range")
+        # Deduplicate pairs and sort by (user, item) in one pass over
+        # the flat keys; the CSR arrays are derived views of the keys.
+        span = max(self.n_items, 1)
+        self.keys = np.unique(users * span + items)
+        csr_users = self.keys // span
+        self.indices = self.keys - csr_users * span
+        self.indptr = np.searchsorted(
+            csr_users, np.arange(self.n_users + 1, dtype=np.int64))
+        self._free_keys: np.ndarray | None = None
+
+    @classmethod
+    def from_dataset(cls, dataset) -> "UserPositives":
+        return cls(dataset.n_users, dataset.n_items,
+                   dataset.users, dataset.items)
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return self.indices.size
+
+    def degrees(self) -> np.ndarray:
+        """``int64 [n_users]`` interacted-item count per user."""
+        return np.diff(self.indptr)
+
+    def max_degree(self) -> int:
+        return int(np.diff(self.indptr).max(initial=0))
+
+    def row(self, user: int) -> np.ndarray:
+        """Sorted item ids of one user (a read-only CSR slice)."""
+        return self.indices[self.indptr[user]:self.indptr[user + 1]]
+
+    def to_sets(self) -> list[set[int]]:
+        """Materialize ``list[set[int]]`` (legacy consumers only)."""
+        return [set(self.row(u).tolist()) for u in range(self.n_users)]
+
+    # ------------------------------------------------------------------
+    def contains(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Vectorized membership test for parallel (user, item) arrays.
+
+        Returns ``bool [len(users)]``; one ``searchsorted`` over the
+        sorted flat keys, O(log nnz) per query.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        if users.size and (users.min() < 0 or users.max() >= self.n_users):
+            raise ValueError("user id out of range")
+        if items.size and (items.min() < 0 or items.max() >= self.n_items):
+            raise ValueError("item id out of range")
+        if self.keys.size == 0:
+            return np.zeros(users.shape, dtype=bool)
+        query = users * max(self.n_items, 1) + items
+        pos = np.searchsorted(self.keys, query)
+        pos = np.minimum(pos, self.keys.size - 1)
+        return self.keys[pos] == query
+
+    def free_counts(self, users: np.ndarray) -> np.ndarray:
+        """Number of *uninteracted* items per queried user."""
+        users = np.asarray(users, dtype=np.int64)
+        return self.n_items - (self.indptr[users + 1] - self.indptr[users])
+
+    def kth_free(self, users: np.ndarray, ranks: np.ndarray) -> np.ndarray:
+        """The rank-``r`` uninteracted item of each queried user.
+
+        ``ranks[i]`` must lie in ``[0, free_counts(users)[i])``; the
+        result is the item id that is the ``ranks[i]``-th element of
+        the sorted complement of user ``i``'s positives.  Fully
+        vectorized: the shifted view ``indices - local_rank`` is
+        non-decreasing globally once re-keyed by user, so every query
+        resolves with a single ``searchsorted``.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        ranks = np.asarray(ranks, dtype=np.int64)
+        span = max(self.n_items, 1)
+        if self._free_keys is None:
+            local_rank = np.arange(self.nnz, dtype=np.int64) - np.repeat(
+                self.indptr[:-1], np.diff(self.indptr))
+            csr_users = np.repeat(
+                np.arange(self.n_users, dtype=np.int64), np.diff(self.indptr))
+            self._free_keys = csr_users * span + (self.indices - local_rank)
+        query = users * span + ranks
+        # Number of positives whose shifted value is <= rank: each one
+        # pushes the rank-r free item one slot to the right.
+        shift = (np.searchsorted(self._free_keys, query, side="right")
+                 - self.indptr[users])
+        return ranks + shift

@@ -4,6 +4,16 @@ The paper (Sections 4.3.1–4.3.2) samples two negative items per positive
 for training, labels positives +1 and negatives -1, and for top-n
 evaluation ranks the held-out positive against 99 sampled uninteracted
 items.
+
+Sampling is fully vectorized over the dataset's shared sorted-CSR
+membership structure (:mod:`repro.data.membership`): every rejection
+round batch-draws replacements for the still-colliding entries and
+batch-tests them with one ``searchsorted`` — there is no Python-level
+per-element membership loop anywhere on this path.  Entries that are
+still colliding after the bounded rejection phase (users who interacted
+with nearly the whole catalogue) are resolved *exactly* by sampling a
+uniform rank into the user's complement, so the "negatives are
+uninteracted" contract holds unconditionally.
 """
 
 from __future__ import annotations
@@ -12,6 +22,11 @@ import numpy as np
 
 from repro.data.dataset import RecDataset
 
+#: Rejection rounds before falling back to exact complement sampling.
+#: Matches the seed's retry cap, which keeps the RNG draw sequence (and
+#: therefore every seeded experiment) identical on non-pathological data.
+_REJECTION_ROUNDS = 20
+
 
 class NegativeSampler:
     """Uniform negative sampler avoiding each user's interacted items."""
@@ -19,28 +34,48 @@ class NegativeSampler:
     def __init__(self, dataset: RecDataset, seed: int = 0):
         self.dataset = dataset
         self.rng = np.random.default_rng(seed)
-        self._positives = dataset.positives_by_user()
+        self._membership = dataset.membership()
 
     def sample_for_users(self, users: np.ndarray, n_neg: int) -> np.ndarray:
         """Sample ``n_neg`` uninteracted items for each user.
 
-        Returns an ``int64 [len(users), n_neg]`` array.  Uses rejection
-        sampling with a bounded retry count; for pathological users that
-        interacted with nearly every item, duplicates of uninteracted
-        items may appear, which matches common practice.
+        Returns an ``int64 [len(users), n_neg]`` array.  Vectorized
+        rejection sampling resolves almost every entry in a handful of
+        batch rounds; the rare survivors (near-dense users) are finished
+        with an exact uniform draw from the user's complement, so no
+        returned item is ever one the user interacted with.
+
+        Raises
+        ------
+        ValueError
+            If some requested user has interacted with every item (the
+            complement is empty, so the contract cannot be satisfied).
         """
         users = np.asarray(users, dtype=np.int64)
         n_items = self.dataset.n_items
         out = self.rng.integers(0, n_items, size=(users.size, n_neg))
-        for _ in range(20):
-            collision = np.zeros(out.shape, dtype=bool)
-            for row, user in enumerate(users):
-                positives = self._positives[user]
-                if positives:
-                    collision[row] = [int(i) in positives for i in out[row]]
+        if out.size == 0:
+            return out
+        flat_users = np.repeat(users, n_neg)
+        collision = self._membership.contains(
+            flat_users, out.ravel()).reshape(out.shape)
+        for _ in range(_REJECTION_ROUNDS):
             if not collision.any():
-                break
-            out[collision] = self.rng.integers(0, n_items, size=int(collision.sum()))
+                return out
+            out[collision] = self.rng.integers(
+                0, n_items, size=int(collision.sum()))
+            collision[collision] = self._membership.contains(
+                flat_users[collision.ravel()], out[collision])
+        if collision.any():
+            bad_users = flat_users[collision.ravel()]
+            free = self._membership.free_counts(bad_users)
+            if (free == 0).any():
+                dense = np.unique(bad_users[free == 0])
+                raise ValueError(
+                    f"users {dense[:5].tolist()} interacted with all "
+                    f"{n_items} items; no negatives exist")
+            ranks = self.rng.integers(0, free)
+            out[collision] = self._membership.kth_free(bad_users, ranks)
         return out
 
     def build_pointwise_training_set(

@@ -20,7 +20,7 @@ from repro.experiments.registry import build_model, is_pairwise
 from repro.training.evaluation import (
     build_rating_instances,
     evaluate_rating,
-    evaluate_topn,
+    evaluate_topn_grid,
     prepare_topn_protocol,
 )
 from repro.training.trainer import TrainConfig, Trainer
@@ -134,7 +134,9 @@ def run_topn_cell(
     else:
         users, items, labels = sampler.build_pointwise_training_set(all_rows, n_neg=2)
         trainer.fit_pointwise(users, items, labels)
-    evaluation = evaluate_topn(model, dataset, test_users, candidates)
+    # Grid-capable models score [users, catalogue] blocks via matmul
+    # and gather the candidate columns; others fall back to predict.
+    evaluation = evaluate_topn_grid(model, dataset, test_users, candidates)
     return evaluation.hr, evaluation.ndcg
 
 
@@ -188,7 +190,7 @@ def run_custom_topn(
         np.arange(train_view.n_interactions), n_neg=2
     )
     trainer.fit_pointwise(users, items, labels)
-    evaluation = evaluate_topn(model, dataset, test_users, candidates)
+    evaluation = evaluate_topn_grid(model, dataset, test_users, candidates)
     return evaluation.hr, evaluation.ndcg
 
 

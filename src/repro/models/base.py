@@ -27,16 +27,25 @@ class RecommenderModel(nn.Module):
         raise NotImplementedError
 
     def predict(self, users: np.ndarray, items: np.ndarray, batch_size: int = 4096) -> np.ndarray:
-        """Numpy predictions in eval mode without building the tape."""
+        """Numpy predictions in eval mode without building the tape.
+
+        The prior train/eval mode is restored on exit, so calling
+        ``predict`` on a model someone already put in eval mode does
+        not silently re-enable dropout for later ``score`` calls.
+        """
+        was_training = self.training
         self.eval()
         users = np.asarray(users)
         items = np.asarray(items)
         chunks = []
-        with no_grad():
-            for start in range(0, users.size, batch_size):
-                stop = start + batch_size
-                chunks.append(self.score(users[start:stop], items[start:stop]).data)
-        self.train()
+        try:
+            with no_grad():
+                for start in range(0, users.size, batch_size):
+                    stop = start + batch_size
+                    chunks.append(self.score(users[start:stop], items[start:stop]).data)
+        finally:
+            if was_training:
+                self.train()
         return np.concatenate(chunks) if chunks else np.empty(0)
 
     # -- batch-serving hooks -------------------------------------------

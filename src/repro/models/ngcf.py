@@ -95,10 +95,14 @@ class NGCF(EntityRecommender):
     # batch; for serving the propagated representations are computed
     # once and reused across all user queries.
     def item_state(self, dataset=None):
+        was_training = self.training
         self.eval()
-        with no_grad():
-            representations = self.propagate().data
-        self.train()
+        try:
+            with no_grad():
+                representations = self.propagate().data
+        finally:
+            if was_training:
+                self.train()
         return representations
 
     def score_grid(self, users: np.ndarray, state) -> np.ndarray:

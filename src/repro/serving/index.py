@@ -1,11 +1,12 @@
 """Top-K retrieval over scored catalogues with seen-item masking.
 
-Holds the user→seen-items relation in CSR form (one ``indices`` array
-plus ``indptr`` offsets, deduplicated and sorted) so masking a whole
-batch of score rows is a single fancy-indexed assignment, and ranks the
-masked rows with ``argpartition`` — O(n + k log k) per row instead of a
-full sort.  Interaction updates land in a per-user overlay so serving
-can mask newly observed items without rebuilding the base structure.
+Holds the user→seen-items relation as a shared
+:class:`repro.data.membership.UserPositives` CSR (deduplicated, sorted)
+so masking a whole batch of score rows is a single fancy-indexed
+assignment, and ranks the masked rows with ``argpartition`` —
+O(n + k log k) per row instead of a full sort.  Interaction updates
+land in a per-user overlay so serving can mask newly observed items
+without rebuilding the base structure.
 """
 
 from __future__ import annotations
@@ -16,6 +17,7 @@ from typing import Optional
 import numpy as np
 
 from repro.data.dataset import RecDataset
+from repro.data.membership import UserPositives
 
 #: Shared read-only index per dataset (see :meth:`TopKIndex.for_dataset`).
 _SHARED_INDEXES: "weakref.WeakKeyDictionary[RecDataset, TopKIndex]" = (
@@ -27,28 +29,34 @@ class TopKIndex:
 
     def __init__(self, n_users: int, n_items: int,
                  users: Optional[np.ndarray] = None,
-                 items: Optional[np.ndarray] = None):
+                 items: Optional[np.ndarray] = None,
+                 membership: Optional[UserPositives] = None):
         self.n_users = int(n_users)
         self.n_items = int(n_items)
-        users = np.asarray(users if users is not None else [], dtype=np.int64)
-        items = np.asarray(items if items is not None else [], dtype=np.int64)
-        # Deduplicate pairs and sort by (user, item): CSR construction.
-        keys = np.unique(users * self.n_items + items)
-        csr_users = keys // self.n_items
-        self._indices = keys % self.n_items
-        self._indptr = np.searchsorted(
-            csr_users, np.arange(self.n_users + 1, dtype=np.int64))
+        if membership is None:
+            membership = UserPositives(
+                self.n_users, self.n_items,
+                np.asarray(users if users is not None else [], dtype=np.int64),
+                np.asarray(items if items is not None else [], dtype=np.int64))
+        self._membership = membership
+        self._indices = membership.indices
+        self._indptr = membership.indptr
         # Interactions observed after construction, per user.
         self._extra: dict[int, set[int]] = {}
         # Running max seen count, maintained by add() so per-request
         # feasibility checks stay O(1).
-        self._max_seen = int(np.diff(self._indptr).max(initial=0))
+        self._max_seen = membership.max_degree()
 
     @classmethod
     def from_dataset(cls, dataset: RecDataset) -> "TopKIndex":
-        """A fresh, privately owned index over the dataset's log."""
+        """A fresh index over the dataset's log.
+
+        The immutable base CSR is the dataset's shared
+        :meth:`~repro.data.dataset.RecDataset.membership` structure
+        (never mutated — updates go to this index's private overlay).
+        """
         return cls(dataset.n_users, dataset.n_items,
-                   dataset.users, dataset.items)
+                   membership=dataset.membership())
 
     @classmethod
     def for_dataset(cls, dataset: RecDataset) -> "TopKIndex":

@@ -11,6 +11,8 @@ from repro.training.evaluation import (
     build_rating_instances,
     evaluate_rating,
     evaluate_topn,
+    evaluate_topn_grid,
+    make_topn_validator,
     prepare_topn_protocol,
 )
 
@@ -25,6 +27,8 @@ __all__ = [
     "build_rating_instances",
     "evaluate_rating",
     "evaluate_topn",
+    "evaluate_topn_grid",
+    "make_topn_validator",
     "RatingEvaluation",
     "TopNEvaluation",
     "prepare_topn_protocol",

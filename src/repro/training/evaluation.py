@@ -127,6 +127,77 @@ def evaluate_topn(
     )
 
 
+def evaluate_topn_grid(
+    model: RecommenderModel,
+    dataset: RecDataset,
+    test_users: np.ndarray,
+    candidates: np.ndarray,
+    top_k: int = 10,
+    user_batch: int = 256,
+) -> TopNEvaluation:
+    """Grid-scored top-n evaluation (same protocol as :func:`evaluate_topn`).
+
+    Evaluation rides the serving grid scorer
+    (:class:`repro.serving.scorer.BatchScorer`): models with an
+    item-side precompute (:meth:`~repro.models.base.RecommenderModel.item_state`
+    / ``score_grid``) score whole ``[user_batch, n_items]`` blocks with
+    a few matmuls and the candidate columns are gathered out, instead
+    of pushing every flattened (user, item) pair through
+    ``model.predict``.  Produces the same HR@K / NDCG@K as
+    :func:`evaluate_topn` (candidate ranks are integers; the matmul's
+    float reordering is far below any score gap).  Models without a
+    grid path fall back to :func:`evaluate_topn` unchanged.
+    """
+    from repro.serving.scorer import BatchScorer
+
+    test_users = np.asarray(test_users, dtype=np.int64)
+    candidates = np.asarray(candidates, dtype=np.int64)
+    if candidates.shape[0] != test_users.size:
+        raise ValueError(
+            f"candidates has {candidates.shape[0]} rows for "
+            f"{test_users.size} test users")
+    scorer = BatchScorer(model, dataset, user_batch=user_batch)
+    if not scorer.uses_fast_path:
+        return evaluate_topn(model, dataset, test_users, candidates, top_k=top_k)
+    scores = np.empty(candidates.shape, dtype=np.float64)
+    for start in range(0, test_users.size, user_batch):
+        stop = start + user_batch
+        grid = scorer.score(test_users[start:stop])
+        scores[start:stop] = np.take_along_axis(
+            grid, candidates[start:stop], axis=1)
+    return TopNEvaluation(
+        hr=hit_ratio(scores, top_k=top_k),
+        ndcg=ndcg(scores, top_k=top_k),
+        top_k=top_k,
+    )
+
+
+def make_topn_validator(
+    dataset: RecDataset,
+    test_users: np.ndarray,
+    candidates: np.ndarray,
+    metric: str = "hr",
+    top_k: int = 10,
+):
+    """A ``Trainer``-compatible validation callback on the top-n protocol.
+
+    Returns ``validate(model) -> float`` scoring the held-out
+    candidates through :func:`evaluate_topn_grid` (grid fast path when
+    the model has one).  Pass to
+    :meth:`repro.training.trainer.Trainer.fit_pointwise` /
+    ``fit_pairwise`` with ``higher_is_better=True``.
+    """
+    if metric not in ("hr", "ndcg"):
+        raise ValueError(f"metric must be 'hr' or 'ndcg', got {metric!r}")
+
+    def validate(model: RecommenderModel) -> float:
+        result = evaluate_topn_grid(
+            model, dataset, test_users, candidates, top_k=top_k)
+        return result.hr if metric == "hr" else result.ndcg
+
+    return validate
+
+
 def prepare_topn_protocol(
     dataset: RecDataset,
     n_candidates: int = 99,

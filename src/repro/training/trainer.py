@@ -86,6 +86,10 @@ class Trainer:
         users = np.asarray(users)
         items = np.asarray(items)
         labels = np.asarray(labels, dtype=np.float64)
+        if users.size == 0:
+            raise ValueError(
+                "fit_pointwise called with an empty training set "
+                "(no batches to train on)")
         result = TrainResult()
         best_state: Optional[dict] = None
         best_score = -np.inf if higher_is_better else np.inf
@@ -142,6 +146,10 @@ class Trainer:
         users = np.asarray(users)
         positives = np.asarray(positives)
         negatives = np.asarray(negatives)
+        if users.size == 0:
+            raise ValueError(
+                "fit_pairwise called with an empty training set "
+                "(no batches to train on)")
         result = TrainResult()
         best_state: Optional[dict] = None
         best_score = -np.inf if higher_is_better else np.inf

@@ -1,0 +1,135 @@
+"""Tests for the shared sorted-CSR membership structure."""
+
+import numpy as np
+import pytest
+
+from repro.data.membership import UserPositives
+from tests.helpers import make_tiny_dataset
+
+
+def brute_force_sets(n_users, users, items):
+    sets = [set() for _ in range(n_users)]
+    for u, i in zip(users, items):
+        sets[u].add(int(i))
+    return sets
+
+
+@pytest.fixture
+def random_relation():
+    rng = np.random.default_rng(42)
+    n_users, n_items = 40, 29
+    users = rng.integers(0, n_users, 500)
+    items = rng.integers(0, n_items, 500)
+    return n_users, n_items, users, items
+
+
+class TestConstruction:
+    def test_csr_rows_sorted_and_deduplicated(self, random_relation):
+        n_users, n_items, users, items = random_relation
+        m = UserPositives(n_users, n_items, users, items)
+        sets = brute_force_sets(n_users, users, items)
+        for u in range(n_users):
+            row = m.row(u)
+            assert row.tolist() == sorted(sets[u])
+            assert np.all(np.diff(row) > 0)  # strictly increasing
+
+    def test_degrees_and_max(self, random_relation):
+        n_users, n_items, users, items = random_relation
+        m = UserPositives(n_users, n_items, users, items)
+        sets = brute_force_sets(n_users, users, items)
+        np.testing.assert_array_equal(
+            m.degrees(), [len(s) for s in sets])
+        assert m.max_degree() == max(len(s) for s in sets)
+        assert m.nnz == sum(len(s) for s in sets)
+
+    def test_from_dataset_matches_positives(self):
+        ds = make_tiny_dataset()
+        m = UserPositives.from_dataset(ds)
+        assert m.to_sets() == ds.positives_by_user()
+
+    def test_empty_relation(self):
+        m = UserPositives(3, 5, np.array([], dtype=np.int64),
+                          np.array([], dtype=np.int64))
+        assert m.nnz == 0
+        assert m.max_degree() == 0
+        assert not m.contains(np.array([0, 1, 2]), np.array([0, 1, 2])).any()
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            UserPositives(2, 3, np.array([2]), np.array([0]))
+        with pytest.raises(ValueError):
+            UserPositives(2, 3, np.array([0]), np.array([3]))
+
+
+class TestContains:
+    def test_matches_brute_force(self, random_relation):
+        n_users, n_items, users, items = random_relation
+        m = UserPositives(n_users, n_items, users, items)
+        sets = brute_force_sets(n_users, users, items)
+        rng = np.random.default_rng(1)
+        qu = rng.integers(0, n_users, 2000)
+        qi = rng.integers(0, n_items, 2000)
+        expected = np.array([int(i) in sets[u] for u, i in zip(qu, qi)])
+        np.testing.assert_array_equal(m.contains(qu, qi), expected)
+
+    def test_out_of_range_query_rejected(self, random_relation):
+        # key arithmetic would silently alias (user, n_items) onto
+        # (user + 1, 0); the query must be validated instead.
+        n_users, n_items, users, items = random_relation
+        m = UserPositives(n_users, n_items, users, items)
+        with pytest.raises(ValueError, match="item id"):
+            m.contains(np.array([0]), np.array([n_items]))
+        with pytest.raises(ValueError, match="user id"):
+            m.contains(np.array([n_users]), np.array([0]))
+
+    def test_returns_bool_of_query_shape(self, random_relation):
+        n_users, n_items, users, items = random_relation
+        m = UserPositives(n_users, n_items, users, items)
+        out = m.contains(np.zeros(7, dtype=np.int64),
+                         np.zeros(7, dtype=np.int64))
+        assert out.dtype == bool and out.shape == (7,)
+
+
+class TestComplement:
+    def test_free_counts(self, random_relation):
+        n_users, n_items, users, items = random_relation
+        m = UserPositives(n_users, n_items, users, items)
+        sets = brute_force_sets(n_users, users, items)
+        all_users = np.arange(n_users)
+        np.testing.assert_array_equal(
+            m.free_counts(all_users),
+            [n_items - len(s) for s in sets])
+
+    def test_kth_free_enumerates_complement(self, random_relation):
+        n_users, n_items, users, items = random_relation
+        m = UserPositives(n_users, n_items, users, items)
+        sets = brute_force_sets(n_users, users, items)
+        for u in range(n_users):
+            free = sorted(set(range(n_items)) - sets[u])
+            if not free:
+                continue
+            ranks = np.arange(len(free), dtype=np.int64)
+            got = m.kth_free(np.full(len(free), u, dtype=np.int64), ranks)
+            assert got.tolist() == free
+
+    def test_kth_free_mixed_users_vectorized(self, random_relation):
+        n_users, n_items, users, items = random_relation
+        m = UserPositives(n_users, n_items, users, items)
+        sets = brute_force_sets(n_users, users, items)
+        rng = np.random.default_rng(2)
+        qu = rng.integers(0, n_users, 300)
+        free_counts = m.free_counts(qu)
+        ranks = rng.integers(0, free_counts)
+        got = m.kth_free(qu, ranks)
+        for u, r, g in zip(qu, ranks, got):
+            free = sorted(set(range(n_items)) - sets[u])
+            assert g == free[r]
+        # every result is genuinely uninteracted
+        assert not m.contains(qu, got).any()
+
+    def test_kth_free_near_dense_user(self):
+        # User 0 interacted with everything except item 6.
+        items = np.array([i for i in range(10) if i != 6], dtype=np.int64)
+        m = UserPositives(1, 10, np.zeros(items.size, dtype=np.int64), items)
+        assert m.free_counts(np.array([0])).tolist() == [1]
+        assert m.kth_free(np.array([0]), np.array([0])).tolist() == [6]

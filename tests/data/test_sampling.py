@@ -3,8 +3,19 @@
 import numpy as np
 import pytest
 
+from repro.data.dataset import RecDataset
 from repro.data.sampling import NegativeSampler, sample_ranking_candidates
 from tests.helpers import make_tiny_dataset
+
+
+def make_near_dense_dataset(n_items=12, free_items=(7,)):
+    """One user who interacted with every item except ``free_items``."""
+    items = np.array([i for i in range(n_items) if i not in free_items],
+                     dtype=np.int64)
+    return RecDataset(
+        name="near-dense", n_users=1, n_items=n_items,
+        users=np.zeros(items.size, dtype=np.int64), items=items,
+    )
 
 
 class TestNegativeSampler:
@@ -48,6 +59,63 @@ class TestNegativeSampler:
         # Positives must not all be at the front after shuffling.
         first_third = labels[: ds.n_interactions]
         assert (first_third == 1).sum() < ds.n_interactions
+
+    def test_shapes_and_dtype_contract(self):
+        ds = make_tiny_dataset()
+        sampler = NegativeSampler(ds, seed=0)
+        out = sampler.sample_for_users(ds.users[:6], 3)
+        assert out.dtype == np.int64
+        assert out.shape == (6, 3)
+        # Degenerate shapes keep the contract.
+        assert sampler.sample_for_users(ds.users[:0], 3).shape == (0, 3)
+        assert sampler.sample_for_users(ds.users[:6], 0).shape == (6, 0)
+
+    def test_near_dense_user_gets_exact_complement(self):
+        # The seed sampler could silently return *interacted* items
+        # after its retry cap; the exact complement fallback makes the
+        # "negatives are uninteracted" contract unconditional even for
+        # a user with a single uninteracted item.
+        ds = make_near_dense_dataset(n_items=12, free_items=(7,))
+        sampler = NegativeSampler(ds, seed=3)
+        out = sampler.sample_for_users(np.zeros(200, dtype=np.int64), 5)
+        assert (out == 7).all()
+
+    def test_near_dense_user_uniform_over_complement(self):
+        ds = make_near_dense_dataset(n_items=50, free_items=(3, 17, 41))
+        sampler = NegativeSampler(ds, seed=0)
+        out = sampler.sample_for_users(np.zeros(400, dtype=np.int64), 4)
+        assert set(np.unique(out).tolist()) == {3, 17, 41}
+
+    def test_fully_dense_user_raises(self):
+        ds = make_near_dense_dataset(n_items=6, free_items=())
+        sampler = NegativeSampler(ds, seed=0)
+        with pytest.raises(ValueError, match="interacted with all"):
+            sampler.sample_for_users(np.zeros(3, dtype=np.int64), 2)
+
+    def test_matches_seed_rejection_stream(self):
+        # The vectorized sampler draws the same RNG stream as the
+        # seed's Python loop, so seeded experiments are unchanged.
+        ds = make_tiny_dataset()
+        users = ds.users[:40]
+
+        def legacy(seed, n_neg):
+            rng = np.random.default_rng(seed)
+            positives = ds.positives_by_user()
+            out = rng.integers(0, ds.n_items, size=(users.size, n_neg))
+            for _ in range(20):
+                collision = np.zeros(out.shape, dtype=bool)
+                for row, user in enumerate(users):
+                    collision[row] = [int(i) in positives[user] for i in out[row]]
+                if not collision.any():
+                    break
+                out[collision] = rng.integers(
+                    0, ds.n_items, size=int(collision.sum()))
+            return out
+
+        for seed in (0, 5):
+            np.testing.assert_array_equal(
+                legacy(seed, 3),
+                NegativeSampler(ds, seed=seed).sample_for_users(users, 3))
 
     def test_pairwise_training_set(self):
         ds = make_tiny_dataset()

@@ -151,3 +151,40 @@ class TestTransFM:
                 diff = V[idx[b, i]] + T[idx[b, i]] - V[idx[b, j]]
                 expected[b] += diff @ diff * val[b, i] * val[b, j]
         np.testing.assert_allclose(model.predict(users, items), expected, atol=1e-10)
+
+
+class TestPredictModeRestoration:
+    """``predict`` must restore the prior train/eval flag on exit.
+
+    The seed unconditionally called ``self.train()`` after predicting,
+    re-enabling dropout for models that were deliberately in eval mode
+    (e.g. serving's chunked-predict fallback before a direct ``score``).
+    """
+
+    def test_predict_preserves_eval_mode(self, ds):
+        model = NFM(ds, k=6, rng=np.random.default_rng(0))  # dropout=0.1
+        model.eval()
+        first = model.predict(ds.users[:20], ds.items[:20])
+        assert not model.training
+        assert not model.dropout.training
+        # With dropout still disabled, a direct score call agrees with
+        # predict; a train-mode dropout pass would not.
+        from repro.autograd.tensor import no_grad
+        with no_grad():
+            again = model.score(ds.users[:20], ds.items[:20]).data
+        np.testing.assert_array_equal(first, again)
+
+    def test_predict_preserves_train_mode(self, ds):
+        model = NFM(ds, k=6, rng=np.random.default_rng(0))
+        assert model.training
+        model.predict(ds.users[:5], ds.items[:5])
+        assert model.training
+        assert model.dropout.training
+
+    def test_predict_scores_with_dropout_disabled_either_way(self, ds):
+        model = NFM(ds, k=6, rng=np.random.default_rng(0))
+        model.train()
+        from_train = model.predict(ds.users[:20], ds.items[:20])
+        model.eval()
+        from_eval = model.predict(ds.users[:20], ds.items[:20])
+        np.testing.assert_array_equal(from_train, from_eval)

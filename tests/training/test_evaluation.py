@@ -3,11 +3,14 @@
 import numpy as np
 import pytest
 
+from repro.experiments.registry import RATING_MODELS, TOPN_MODELS, build_model
 from repro.models import MF
 from repro.training.evaluation import (
     build_rating_instances,
     evaluate_rating,
     evaluate_topn,
+    evaluate_topn_grid,
+    make_topn_validator,
     prepare_topn_protocol,
 )
 from tests.helpers import make_tiny_dataset
@@ -148,3 +151,88 @@ class TestTopNProtocol:
         # Expectation is 0.5 with 10 candidates; the tiny dataset has only
         # ~12 test users so allow generous sampling noise.
         assert 0.05 < result.hr < 0.95
+
+
+class TestEvaluateTopNGrid:
+    @pytest.mark.parametrize(
+        "name", sorted(set(TOPN_MODELS + RATING_MODELS)))
+    def test_matches_flat_evaluation_exactly(self, ds, name):
+        model = build_model(name, ds, k=8, seed=0,
+                            train_users=ds.users, train_items=ds.items)
+        _train, test_users, _test_items, candidates = prepare_topn_protocol(
+            ds, n_candidates=9, seed=0
+        )
+        ref = evaluate_topn(model, ds, test_users, candidates, top_k=5)
+        grid = evaluate_topn_grid(model, ds, test_users, candidates, top_k=5)
+        assert grid.hr == ref.hr
+        assert grid.ndcg == ref.ndcg
+        assert grid.top_k == ref.top_k
+
+    def test_grid_path_actually_used(self, ds):
+        model = build_model("MF", ds, k=8, seed=0)
+        assert model.item_state(ds) is not None
+        _train, test_users, _test_items, candidates = prepare_topn_protocol(
+            ds, n_candidates=9, seed=0
+        )
+
+        called = {"predict": 0}
+        original = model.predict
+
+        def counting_predict(*args, **kwargs):
+            called["predict"] += 1
+            return original(*args, **kwargs)
+
+        model.predict = counting_predict
+        evaluate_topn_grid(model, ds, test_users, candidates)
+        assert called["predict"] == 0
+
+    @pytest.mark.parametrize("name", ["GML-FMmd", "NGCF", "MF"])
+    def test_preserves_training_mode(self, ds, name):
+        _train, test_users, _test_items, candidates = prepare_topn_protocol(
+            ds, n_candidates=9, seed=0
+        )
+        model = build_model(name, ds, k=4, seed=0,
+                            train_users=ds.users, train_items=ds.items)
+        model.train()
+        evaluate_topn_grid(model, ds, test_users, candidates)
+        assert model.training
+        model.eval()
+        evaluate_topn_grid(model, ds, test_users, candidates)
+        assert not model.training
+
+    def test_rejects_mismatched_candidate_rows(self, ds):
+        model = build_model("MF", ds, k=4, seed=0)
+        _train, test_users, _test_items, candidates = prepare_topn_protocol(
+            ds, n_candidates=9, seed=0
+        )
+        with pytest.raises(ValueError, match="rows"):
+            evaluate_topn_grid(model, ds, test_users[:-1], candidates)
+
+    def test_small_user_batch_chunks_consistently(self, ds):
+        model = build_model("LibFM", ds, k=8, seed=0)
+        _train, test_users, _test_items, candidates = prepare_topn_protocol(
+            ds, n_candidates=9, seed=0
+        )
+        whole = evaluate_topn_grid(model, ds, test_users, candidates)
+        chunked = evaluate_topn_grid(model, ds, test_users, candidates,
+                                     user_batch=2)
+        assert whole.hr == chunked.hr
+        assert whole.ndcg == chunked.ndcg
+
+    def test_validator_callback(self, ds):
+        _train, test_users, _test_items, candidates = prepare_topn_protocol(
+            ds, n_candidates=9, seed=0
+        )
+        validate = make_topn_validator(ds, test_users, candidates,
+                                       metric="ndcg", top_k=5)
+        model = build_model("BPR-MF", ds, k=8, seed=0)
+        score = validate(model)
+        ref = evaluate_topn(model, ds, test_users, candidates, top_k=5)
+        assert score == ref.ndcg
+
+    def test_validator_rejects_unknown_metric(self, ds):
+        _train, test_users, _test_items, candidates = prepare_topn_protocol(
+            ds, n_candidates=9, seed=0
+        )
+        with pytest.raises(ValueError, match="metric"):
+            make_topn_validator(ds, test_users, candidates, metric="auc")

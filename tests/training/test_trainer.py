@@ -124,3 +124,46 @@ class TestPairwise:
             validate=lambda m: next(scores), higher_is_better=True,
         )
         assert result.stopped_early
+
+
+class TestEmptyTrainingSet:
+    def test_pointwise_empty_raises(self, ds):
+        model = MF(ds.n_users, ds.n_items, k=4, rng=np.random.default_rng(0))
+        trainer = Trainer(model, TrainConfig(epochs=3, seed=0))
+        empty = np.array([], dtype=np.int64)
+        # The seed recorded float(np.mean([])) -> NaN losses (plus a
+        # RuntimeWarning); an empty training set must fail loudly.
+        with pytest.raises(ValueError, match="empty training set"):
+            trainer.fit_pointwise(empty, empty, empty.astype(np.float64))
+
+    def test_pairwise_empty_raises(self, ds):
+        model = BPRMF(ds.n_users, ds.n_items, k=4, rng=np.random.default_rng(0))
+        trainer = Trainer(model, TrainConfig(epochs=3, seed=0))
+        empty = np.array([], dtype=np.int64)
+        with pytest.raises(ValueError, match="empty training set"):
+            trainer.fit_pairwise(empty, empty, empty)
+
+
+class TestTopNValidationCallback:
+    def test_fit_with_grid_validator(self, ds):
+        from repro.training.evaluation import (
+            make_topn_validator,
+            prepare_topn_protocol,
+        )
+
+        train_index, test_users, _test_items, candidates = (
+            prepare_topn_protocol(ds, n_candidates=9, seed=0))
+        view = ds.subset(train_index)
+        sampler = NegativeSampler(view, seed=0)
+        users, items, labels = sampler.build_pointwise_training_set(
+            np.arange(view.n_interactions), n_neg=1)
+        model = MF(ds.n_users, ds.n_items, k=4, rng=np.random.default_rng(0))
+        trainer = Trainer(model, TrainConfig(epochs=3, lr=0.05, seed=0))
+        validate = make_topn_validator(ds, test_users, candidates)
+        result = trainer.fit_pointwise(users, items, labels,
+                                       validate=validate,
+                                       higher_is_better=True)
+        assert len(result.valid_scores) == len(result.train_losses)
+        assert all(0.0 <= s <= 1.0 for s in result.valid_scores)
+        # Validation must leave the model trainable for the next epoch.
+        assert model.training
