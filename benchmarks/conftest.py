@@ -10,12 +10,54 @@ Scale is controlled by the ``REPRO_SCALE`` env var (``quick`` default,
 :mod:`repro.experiments.configs`.
 """
 
+import json
+import os
+import time
+
 import pytest
 
 
 def run_once(benchmark, fn):
     """Execute ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def bench_record_path(default_name):
+    """Where a throughput benchmark writes its JSON records.
+
+    ``REPRO_BENCH_JSON`` overrides; the default is
+    ``benchmarks/results/<default_name>``.
+    """
+    if "REPRO_BENCH_JSON" in os.environ:
+        return os.environ["REPRO_BENCH_JSON"]
+    return os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "results", default_name)
+
+
+def emit_bench_records(records, default_name):
+    """Write records to the JSON sink and print each as a BENCH line."""
+    path = bench_record_path(default_name)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(records, fh, indent=2)
+    for record in records:
+        print("BENCH " + json.dumps(record))
+    print(f"records written to {path}")
+
+
+def time_best(fn, repeats=3):
+    """``(result, best wall time)`` of ``fn`` over ``repeats`` runs.
+
+    Compare two implementations with the *same* ``repeats`` on both
+    sides — best-of-N on one side against a single run of the other
+    biases the recorded speedup.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
 
 
 @pytest.fixture

@@ -8,10 +8,7 @@ datasets (four at full scale) with a representative model subset.
 
 import pytest
 
-from repro.data import make_dataset
-from repro.experiments.configs import ExperimentScale
-from repro.experiments.registry import build_model, is_pairwise
-from repro.experiments.runner import run_topn_cell
+from repro.experiments.figures import run_embedding_size_sweep
 from conftest import run_once
 
 pytestmark = pytest.mark.slow
@@ -26,26 +23,18 @@ def test_fig3_embedding_size_sweep(benchmark, scale):
         dataset_keys += ["amazon-office", "movielens"]
 
     # The sweep trains len(MODELS) × len(SIZES) models per dataset, so
-    # it caps the per-cell epoch budget at quick scale.
+    # it caps the per-cell epoch budget at quick scale.  The cells run
+    # through the parallel engine (workers=0 = one process per core);
+    # curves are byte-identical to the old serial loop.
     sweep_epochs = min(scale.epochs, 15) if scale.name == "quick" else scale.epochs
 
-    def run_all():
-        curves = {}
-        for key in dataset_keys:
-            dataset = make_dataset(key, seed=0, scale=scale.dataset_scale)
-            for model_name in MODELS:
-                for k in SIZES:
-                    cell_scale = ExperimentScale(
-                        name=scale.name, epochs=sweep_epochs, k=k,
-                        dataset_scale=scale.dataset_scale,
-                        n_candidates=scale.n_candidates, n_seeds=1,
-                    )
-                    hr, _ndcg = run_topn_cell(model_name, dataset,
-                                              scale=cell_scale, seed=0)
-                    curves.setdefault(key, {}).setdefault(model_name, {})[k] = hr
-        return curves
-
-    curves = run_once(benchmark, run_all)
+    curves = run_once(
+        benchmark,
+        lambda: run_embedding_size_sweep(
+            dataset_keys, MODELS, SIZES, scale=scale, seed=0,
+            epochs=sweep_epochs, workers=0,
+        ),
+    )
 
     from repro.experiments.figures import ascii_chart
 

@@ -1,0 +1,118 @@
+"""Experiment-runner throughput: parallel sweeps + cached encoding.
+
+Times the two halves of the experiment execution engine introduced with
+:mod:`repro.experiments.parallel`:
+
+- **parallel sweep** — a 2×2 model × dataset rating sweep executed
+  serially and on a process pool.  Results are asserted byte-identical
+  (the engine's determinism contract); the wall-time speedup is
+  *recorded, not gated* — CPU-bound speedups depend on core count and
+  co-tenant load, so a hard threshold would flake on busy CI hosts
+  (tests assert the equivalence; this benchmark measures).
+- **cached encoding** — one training pass of minibatch encoding through
+  ``RecDataset.encode`` (the seed-era per-batch rebuild) versus slicing
+  the ``encode_cached`` precompute, gated at ≥ 1.5× (typically far
+  higher).
+
+Not ``slow``-marked: this is a fast gate that runs in the tier-1 suite.
+Emits one JSON record per workload — printed, and written to
+``benchmarks/results/runner_throughput.json`` or the
+``REPRO_BENCH_JSON`` path when set.
+"""
+
+import os
+
+import numpy as np
+
+from repro.data.batching import minibatches
+from repro.data.synthetic import make_dataset
+from repro.experiments.configs import ExperimentScale
+from repro.experiments.parallel import resolve_workers
+from repro.experiments.runner import run_rating_table
+from conftest import emit_bench_records, time_best
+
+SWEEP_SCALE = ExperimentScale(name="bench", epochs=8, k=16, dataset_scale=0.4,
+                              n_candidates=20, n_seeds=1)
+SWEEP_DATASETS = ["amazon-auto", "amazon-office"]
+SWEEP_MODELS = ["LibFM", "GML-FMmd"]
+BATCH_SIZE = 256
+MIN_ENCODE_SPEEDUP = 1.5
+
+
+def test_runner_throughput(benchmark):
+    workers = max(2, min(4, resolve_workers(0)))
+    n_cells = len(SWEEP_DATASETS) * len(SWEEP_MODELS)
+
+    def run_sweep():
+        records = []
+
+        # -- parallel vs serial table sweep ----------------------------
+        serial_results, serial_time = time_best(
+            lambda: run_rating_table(SWEEP_DATASETS, SWEEP_MODELS,
+                                     scale=SWEEP_SCALE, seed=0, workers=1),
+            repeats=1)
+        parallel_results, parallel_time = time_best(
+            lambda: run_rating_table(SWEEP_DATASETS, SWEEP_MODELS,
+                                     scale=SWEEP_SCALE, seed=0,
+                                     workers=workers),
+            repeats=1)
+        assert parallel_results == serial_results, (
+            "parallel sweep diverged from the serial table "
+            "(determinism contract violated)")
+        records.append({
+            "benchmark": "runner_throughput",
+            "workload": f"rating_sweep_{n_cells}_cells",
+            "scale": SWEEP_SCALE.name,
+            "n_cells": n_cells,
+            "workers": workers,
+            "cpu_count": os.cpu_count() or 1,
+            "serial_s": serial_time,
+            "parallel_s": parallel_time,
+            "speedup": serial_time / parallel_time,
+            "min_speedup": None,  # recorded, not gated (host-dependent)
+        })
+
+        # -- cached encoding vs per-minibatch rebuild ------------------
+        dataset = make_dataset("movielens", seed=0, scale=0.5)
+        rng = np.random.default_rng(0)
+        users = rng.integers(0, dataset.n_users, size=3 * dataset.n_interactions)
+        items = rng.integers(0, dataset.n_items, size=users.size)
+        batches = list(minibatches(users.size, BATCH_SIZE,
+                                   rng=np.random.default_rng(1)))
+
+        def encode_per_batch():
+            for batch in batches:
+                dataset.encode(users[batch], items[batch])
+
+        def encode_cached_slices():
+            indices, values = dataset.encode_cached(users, items)
+            for batch in batches:
+                indices[batch], values[batch]
+
+        _, fresh_time = time_best(encode_per_batch, repeats=3)
+        dataset.encode_cached(users, items)  # build outside the timer once
+        _, cached_time = time_best(encode_cached_slices, repeats=3)
+        records.append({
+            "benchmark": "runner_throughput",
+            "workload": f"encode_epoch_{len(batches)}_batches",
+            "n_instances": int(users.size),
+            "sample_width": int(dataset.sample_width),
+            "per_batch_s": fresh_time,
+            "cached_s": cached_time,
+            "speedup": fresh_time / cached_time,
+            "min_speedup": MIN_ENCODE_SPEEDUP,
+        })
+        return records
+
+    records = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit_bench_records(records, "runner_throughput.json")
+
+    print(f"\nRunner throughput ({records[0]['n_cells']}-cell sweep, "
+          f"workers={records[0]['workers']})")
+    for record in records:
+        print(f"  {record['workload']:>28s}: {record['speedup']:5.1f}x")
+
+    _sweep, encode = records
+    assert encode["speedup"] >= encode["min_speedup"], (
+        f"cached encoding only {encode['speedup']:.2f}x faster than "
+        f"per-minibatch rebuilds (gate {encode['min_speedup']:.1f}x)")

@@ -20,17 +20,13 @@ one JSON record per workload — printed, and written to
 ``REPRO_BENCH_JSON`` path when set.
 """
 
-import json
-import os
-import time
-
 import numpy as np
-import pytest
 
 from repro.data.sampling import NegativeSampler, sample_ranking_candidates
 from repro.data.synthetic import make_dataset
 from repro.experiments.registry import build_model
 from repro.training.evaluation import evaluate_topn, evaluate_topn_grid
+from conftest import emit_bench_records, time_best
 
 N_NEG_TRAIN = 2
 N_CANDIDATES = 99
@@ -55,32 +51,6 @@ def legacy_sample_for_users(dataset, users, n_neg, seed):
     return out
 
 
-def _record_path():
-    if "REPRO_BENCH_JSON" in os.environ:
-        return os.environ["REPRO_BENCH_JSON"]
-    return os.path.join(os.path.dirname(os.path.abspath(__file__)),
-                        "results", "sampling_throughput.json")
-
-
-def _emit(records):
-    path = _record_path()
-    os.makedirs(os.path.dirname(path), exist_ok=True)
-    with open(path, "w") as fh:
-        json.dump(records, fh, indent=2)
-    for record in records:
-        print("BENCH " + json.dumps(record))
-    print(f"records written to {path}")
-
-
-def _time(fn, repeats=3):
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - start)
-    return result, best
-
-
 def test_sampling_throughput(benchmark, scale):
     dataset = make_dataset("movielens", seed=0, scale=scale.dataset_scale)
 
@@ -94,13 +64,14 @@ def test_sampling_throughput(benchmark, scale):
         records = []
         # -- training workload: n_neg per positive interaction --------
         train_users = dataset.users
-        loop_out, loop_time = _time(
+        loop_out, loop_time = time_best(
             lambda: legacy_sample_for_users(dataset, train_users,
                                             N_NEG_TRAIN, seed=0),
             repeats=1)
-        sampler_out, vec_time = _time(
+        sampler_out, vec_time = time_best(
             lambda: NegativeSampler(dataset, seed=0).sample_for_users(
-                train_users, N_NEG_TRAIN))
+                train_users, N_NEG_TRAIN),
+            repeats=1)
         np.testing.assert_array_equal(
             sampler_out, loop_out,
             err_msg="vectorized sampler diverged from the seed RNG stream")
@@ -118,13 +89,14 @@ def test_sampling_throughput(benchmark, scale):
 
         # -- evaluation workload: 99 candidates per test user ----------
         test_users = np.unique(dataset.users)
-        loop_out, loop_time = _time(
+        loop_out, loop_time = time_best(
             lambda: legacy_sample_for_users(dataset, test_users,
                                             N_CANDIDATES, seed=0),
             repeats=1)
-        sampler_out, vec_time = _time(
+        sampler_out, vec_time = time_best(
             lambda: NegativeSampler(dataset, seed=0).sample_for_users(
-                test_users, N_CANDIDATES))
+                test_users, N_CANDIDATES),
+            repeats=1)
         np.testing.assert_array_equal(
             sampler_out, loop_out,
             err_msg="vectorized sampler diverged from the seed RNG stream")
@@ -149,11 +121,12 @@ def test_sampling_throughput(benchmark, scale):
             dataset, test_users, test_items, n_candidates=N_CANDIDATES)
         model = build_model("GML-FMmd", dataset, k=scale.k, seed=0)
         assert model.item_state(dataset) is not None
-        flat, flat_time = _time(
+        flat, flat_time = time_best(
             lambda: evaluate_topn(model, dataset, test_users, candidates),
             repeats=1)
-        grid, grid_time = _time(
-            lambda: evaluate_topn_grid(model, dataset, test_users, candidates))
+        grid, grid_time = time_best(
+            lambda: evaluate_topn_grid(model, dataset, test_users, candidates),
+            repeats=1)
         assert grid.hr == flat.hr and grid.ndcg == flat.ndcg, (
             "grid evaluation changed the metrics")
         records.append({
@@ -170,7 +143,7 @@ def test_sampling_throughput(benchmark, scale):
         return records
 
     records = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
-    _emit(records)
+    emit_bench_records(records, "sampling_throughput.json")
 
     print(f"\nData-plane throughput (scale={records[0]['scale']})")
     print(f"{'workload':>26s} {'loop/flat':>12s} {'vectorized':>12s} {'speedup':>9s}")

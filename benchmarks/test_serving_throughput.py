@@ -11,10 +11,6 @@ and written to ``benchmarks/results/serving_throughput.json`` or the
 ``REPRO_BENCH_JSON`` path when set.
 """
 
-import json
-import os
-import time
-
 import numpy as np
 import pytest
 
@@ -22,6 +18,7 @@ from repro.data.synthetic import make_dataset
 from repro.experiments.registry import build_model
 from repro.serving.index import TopKIndex
 from repro.serving.scorer import BatchScorer
+from conftest import emit_bench_records, time_best
 
 pytestmark = pytest.mark.serving
 
@@ -58,34 +55,9 @@ def batched_recommend(scorer, index, users, top_k):
     return index.topk(scores, top_k)
 
 
-def _record_path():
-    if "REPRO_BENCH_JSON" in os.environ:
-        return os.environ["REPRO_BENCH_JSON"]
-    return os.path.join(os.path.dirname(os.path.abspath(__file__)),
-                        "results", "serving_throughput.json")
-
-
-def _emit(records):
-    path = _record_path()
-    os.makedirs(os.path.dirname(path), exist_ok=True)
-    with open(path, "w") as fh:
-        json.dump(records, fh, indent=2)
-    for record in records:
-        print("BENCH " + json.dumps(record))
-    print(f"records written to {path}")
-
-
 def test_serving_throughput(benchmark, scale):
     dataset = make_dataset("movielens", seed=0, scale=scale.dataset_scale)
     users = np.arange(min(100, dataset.n_users), dtype=np.int64)
-
-    def measure(fn, repeats=3):
-        best = float("inf")
-        for _ in range(repeats):
-            start = time.perf_counter()
-            result = fn()
-            best = min(best, time.perf_counter() - start)
-        return result, best
 
     def run_sweep():
         records = []
@@ -97,10 +69,12 @@ def test_serving_throughput(benchmark, scale):
             index = TopKIndex.from_dataset(dataset)
             assert scorer.uses_fast_path, f"{name} lost its grid fast path"
 
-            legacy_lists, legacy_time = measure(
-                lambda: legacy_recommend(model, dataset, users, TOP_K), repeats=1)
-            batched_lists, batched_time = measure(
-                lambda: batched_recommend(scorer, index, users, TOP_K))
+            legacy_lists, legacy_time = time_best(
+                lambda: legacy_recommend(model, dataset, users, TOP_K),
+                repeats=1)
+            batched_lists, batched_time = time_best(
+                lambda: batched_recommend(scorer, index, users, TOP_K),
+                repeats=1)
             np.testing.assert_array_equal(
                 batched_lists, legacy_lists,
                 err_msg=f"{name}: batched top-{TOP_K} diverged from the seed loop")
@@ -119,7 +93,7 @@ def test_serving_throughput(benchmark, scale):
         return records
 
     records = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
-    _emit(records)
+    emit_bench_records(records, "serving_throughput.json")
 
     print(f"\nServing throughput, {len(records[0]) and records[0]['n_users']} "
           f"users × {records[0]['n_items']} items (scale={records[0]['scale']})")

@@ -4,7 +4,9 @@ Builds a synthetic MovieLens-like dataset, trains the paper's GML-FMdnn
 model on the rating-prediction task, evaluates RMSE, then runs the
 leave-one-out top-n protocol — the two tasks of the paper's evaluation.
 
-Run:  python examples/quickstart.py
+Run from the repository root (no install needed):
+
+    PYTHONPATH=src python examples/quickstart.py
 """
 
 import numpy as np

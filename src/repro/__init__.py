@@ -2,8 +2,8 @@
 
 A from-scratch reproduction of Guo et al., "Enhancing Factorization
 Machines with Generalized Metric Learning" (TKDE / ICDE 2023,
-arXiv:2006.11600).  See README.md for a tour and DESIGN.md for the
-system inventory.
+arXiv:2006.11600).  See README.md for a tour, docs/architecture.md for
+the subsystem pipelines and docs/cli.md for the command line.
 
 Subsystem map::
 

@@ -5,9 +5,12 @@ Usage::
     python -m repro table2
     python -m repro table3 --datasets movielens amazon-auto
     python -m repro table4 --models GML-FMdnn BPR-MF --scale quick
-    python -m repro table6
+    python -m repro table3 --workers 0   # parallel sweep, one process/core
     python -m repro datasets          # list dataset keys
     python -m repro models            # list model names
+
+(Tables 5-6 and the figures have no subcommand; regenerate them with
+the ``slow`` benchmarks, e.g. ``pytest -m slow benchmarks/``.)
 
     # Online serving (repro.serving): JSON endpoints /recommend,
     # /healthz and /stats over stdlib http.server.
@@ -60,6 +63,11 @@ def _build_parser() -> argparse.ArgumentParser:
             default_models = RATING_MODELS if name == "table3" else TOPN_MODELS
             cmd.add_argument("--models", nargs="+", default=default_models)
             cmd.add_argument("--seed", type=int, default=0)
+            cmd.add_argument(
+                "--workers", type=int, default=None,
+                help="training processes for the model x dataset sweep "
+                     "(0 = one per CPU core; default $REPRO_WORKERS or 1). "
+                     "Results are byte-identical for any value.")
 
     serve = sub.add_parser(
         "serve", help="serve top-k recommendations over HTTP (repro.serving)")
@@ -127,7 +135,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if unknown:
             raise SystemExit(f"unknown rating models: {sorted(unknown)}")
         results = run_rating_table(args.datasets, args.models, scale=scale,
-                                   seed=args.seed)
+                                   seed=args.seed, workers=args.workers)
         print(format_table(results, args.datasets,
                            title="Rating prediction, test RMSE (* = best)",
                            lower_is_better=True))
@@ -137,7 +145,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if unknown:
             raise SystemExit(f"unknown top-n models: {sorted(unknown)}")
         results = run_topn_table(args.datasets, args.models, scale=scale,
-                                 seed=args.seed)
+                                 seed=args.seed, workers=args.workers)
         print(format_table(results, args.datasets,
                            title="Top-n recommendation, HR@10 / NDCG@10 (* = best)"))
         return 0

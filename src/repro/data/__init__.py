@@ -9,6 +9,7 @@ only over active features.
 """
 
 from repro.data.schema import FeatureField, FeatureSpace
+from repro.data.encoding import ENCODE_CACHE_MAX_ROWS, EncodedCache, instance_key
 from repro.data.membership import UserPositives
 from repro.data.dataset import RecDataset
 from repro.data.synthetic import (
@@ -25,6 +26,9 @@ from repro.data.batching import minibatches
 __all__ = [
     "FeatureField",
     "FeatureSpace",
+    "ENCODE_CACHE_MAX_ROWS",
+    "EncodedCache",
+    "instance_key",
     "RecDataset",
     "UserPositives",
     "make_movielens_like",

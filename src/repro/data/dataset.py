@@ -15,6 +15,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.data.encoding import ENCODE_CACHE_MAX_ROWS, EncodedCache, instance_key
 from repro.data.membership import UserPositives
 from repro.data.schema import FeatureField, FeatureSpace
 
@@ -79,6 +80,7 @@ class RecDataset:
         self.feature_space = self._build_feature_space()
         self._membership_cache: Optional[UserPositives] = None
         self._positives_cache: Optional[list[set[int]]] = None
+        self._encoded_cache = EncodedCache()
 
     # ------------------------------------------------------------------
     # Feature space
@@ -155,6 +157,100 @@ class RecDataset:
                 indices[:, start:stop] = offset + idx[items]
                 values[:, start:stop] = val[items]
         return indices, values
+
+    def encoding_cacheable(
+        self, n_rows: int, max_rows: int = ENCODE_CACHE_MAX_ROWS
+    ) -> bool:
+        """Whether an ``n_rows`` instance set is worth precomputing whole.
+
+        True when the full ``(indices, values)`` encoding both fits the
+        row gate and would be admitted by the cache's byte budget.
+        Callers that precompute-and-slice
+        (:meth:`repro.models.base.FeatureRecommender.batch_scorer`)
+        check this first so they never materialize a huge encoding the
+        cache would refuse to keep — those fall back to per-chunk
+        encoding instead.
+        """
+        entry_bytes = n_rows * self.sample_width * 16  # int64 + float64 slots
+        return n_rows <= max_rows and entry_bytes <= self._encoded_cache.max_bytes
+
+    def encode_cached(
+        self,
+        users: np.ndarray,
+        items: np.ndarray,
+        max_rows: int = ENCODE_CACHE_MAX_ROWS,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Encode a *static* instance set once and memoize the result.
+
+        Identical to :meth:`encode` value-for-value, but the full
+        ``(indices, values)`` arrays are cached in a small LRU keyed by
+        the *content* of ``(users, items)`` (see
+        :func:`repro.data.encoding.instance_key`).  Training loops and
+        per-epoch validation pass the same instance set every epoch, so
+        the encoding is built once and each minibatch is a cheap slice
+        of the cached arrays — the per-epoch re-encoding hot spot in
+        :class:`repro.training.trainer.Trainer` goes away.
+
+        Content keying doubles as invalidation: a different split, a
+        freshly sampled negative set, or mutated id arrays produce a
+        different fingerprint and are re-encoded.  The returned arrays
+        are read-only (callers slice, never write); instance sets with
+        more than ``max_rows`` rows bypass the cache entirely and
+        behave exactly like :meth:`encode`.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        if not self.encoding_cacheable(users.size, max_rows=max_rows):
+            return self.encode(users, items)
+        key = instance_key(users, items)
+        cached = self._encoded_cache.get(key)
+        if cached is None:
+            indices, values = self.encode(users, items)
+            indices.setflags(write=False)
+            values.setflags(write=False)
+            cached = (indices, values)
+            self._encoded_cache.put(key, cached)
+        return cached
+
+    def cached_encoding_if_reused(
+        self, users: np.ndarray, items: np.ndarray
+    ) -> Optional[tuple[np.ndarray, np.ndarray]]:
+        """The cached encoding of a set that has *earned* caching, else None.
+
+        The opportunistic sibling of :meth:`encode_cached` for callers
+        that cannot know whether their instance set will recur
+        (``predict``).  A set is only encoded-and-cached from its
+        second sighting on (:meth:`repro.data.encoding.EncodedCache.observe`);
+        on first sight this returns ``None`` and the caller should
+        encode per chunk — so one-shot prediction sets (e.g. serving's
+        flattened score grids) never allocate a full-set encoding nor
+        occupy a cache slot, while per-epoch validation splits are
+        served from the cache from their second epoch on.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        if not self.encoding_cacheable(users.size):
+            return None
+        key = instance_key(users, items)
+        cached = self._encoded_cache.get(key)
+        if cached is not None:
+            return cached
+        if not self._encoded_cache.observe(key):
+            return None
+        indices, values = self.encode(users, items)
+        indices.setflags(write=False)
+        values.setflags(write=False)
+        cached = (indices, values)
+        self._encoded_cache.put(key, cached)
+        return cached
+
+    def encoded_cache_stats(self) -> dict[str, int]:
+        """Hit/miss/occupancy counters of the encoded-instance cache."""
+        return self._encoded_cache.stats()
+
+    def clear_encoded_cache(self) -> None:
+        """Drop all cached encodings (e.g. after freeing a dataset view)."""
+        self._encoded_cache.clear()
 
     def encode_half(self, side: str, ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Encode only the user-side or item-side feature slots.
@@ -279,6 +375,24 @@ class RecDataset:
             "instances": self.n_interactions,
             "sparsity": self.sparsity(),
         }
+
+    def __getstate__(self) -> dict:
+        """Pickle without the derived caches.
+
+        Parallel experiment cells (:mod:`repro.experiments.parallel`)
+        ship datasets to worker processes; the membership/positives/
+        encoding caches are deterministic functions of the interaction
+        arrays, so each worker rebuilds them on demand instead of
+        paying to serialize them.
+        """
+        state = self.__dict__.copy()
+        state["_membership_cache"] = None
+        state["_positives_cache"] = None
+        state["_encoded_cache"] = EncodedCache(
+            capacity=self._encoded_cache.capacity,
+            max_bytes=self._encoded_cache.max_bytes,
+        )
+        return state
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,157 @@
+"""Cached encoded-instance plane for static instance sets.
+
+:meth:`repro.data.dataset.RecDataset.encode` rebuilds the fixed-width
+``(indices, values)`` arrays for every minibatch it is handed.  During
+training the *instance set* (the full array of (user, item) pairs) is
+static across epochs — only the minibatch order changes — so the
+encoding can be built once per instance set and sliced per minibatch,
+mirroring the item-side precompute of the serving grid scorer
+(:class:`repro.serving.scorer.BatchScorer`).
+
+This module provides the memo behind
+:meth:`repro.data.dataset.RecDataset.encode_cached`:
+
+- :func:`instance_key` fingerprints an instance set by *content*, so a
+  freshly sliced copy of the same ids hits the cache while any change
+  to the instances (different split, mutated arrays, new negatives)
+  naturally invalidates it;
+- :class:`EncodedCache` is a small LRU keyed by those fingerprints with
+  hit/miss counters for tests and benchmarks.
+
+Cached arrays are marked read-only: every consumer slices them (fancy
+indexing copies; basic slices are views that must not be written), so
+an accidental in-place mutation raises instead of corrupting every
+later epoch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Optional
+
+import numpy as np
+
+#: Instance sets larger than this are encoded on demand instead of
+#: being materialized whole — bounds cache memory when a fallback
+#: scorer pushes a flattened ``users x catalogue`` grid through
+#: ``predict`` (see ``FeatureRecommender.batch_scorer``).
+ENCODE_CACHE_MAX_ROWS = 2_000_000
+
+
+def instance_key(users: np.ndarray, items: np.ndarray) -> bytes:
+    """Content fingerprint of an instance set.
+
+    Two instance sets get the same key iff they hold the same (user,
+    item) id sequences — object identity is irrelevant, so the arrays
+    re-created by a split each epoch still hit the cache, and any
+    content change misses it (which is exactly the invalidation rule
+    the cache needs).
+    """
+    users = np.ascontiguousarray(users, dtype=np.int64)
+    items = np.ascontiguousarray(items, dtype=np.int64)
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(np.int64(users.size).tobytes())
+    digest.update(users.tobytes())
+    digest.update(items.tobytes())
+    return digest.digest()
+
+
+class EncodedCache:
+    """LRU cache of encoded instance sets keyed by content fingerprint.
+
+    Bounded twice over: at most ``capacity`` entries, and at most
+    ``max_bytes`` of cached array data in total.  Entries larger than
+    the byte budget on their own are never admitted (callers check
+    :meth:`repro.data.dataset.RecDataset.encoding_cacheable` and fall
+    back to per-chunk encoding before even materializing them).
+    Under-budget entries compete by LRU: a burst of one-shot sets can
+    evict long-lived training encodings, which costs one re-encode on
+    the next epoch but never more than the two bounds allow in memory.
+    """
+
+    def __init__(self, capacity: int = 8, max_bytes: int = 256 * 1024 * 1024):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be positive")
+        self.capacity = int(capacity)
+        self.max_bytes = int(max_bytes)
+        self._entries: OrderedDict[bytes, tuple[np.ndarray, np.ndarray]] = OrderedDict()
+        self._ghosts: OrderedDict[bytes, None] = OrderedDict()
+        self._nbytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    #: How many recently-observed-but-not-cached keys to remember for
+    #: the second-observation admission policy (16-byte digests each).
+    GHOST_CAPACITY = 64
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def _entry_bytes(encoded: tuple[np.ndarray, np.ndarray]) -> int:
+        indices, values = encoded
+        return int(indices.nbytes) + int(values.nbytes)
+
+    def get(self, key: bytes) -> Optional[tuple[np.ndarray, np.ndarray]]:
+        """The cached ``(indices, values)`` pair, or None on a miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: bytes, encoded: tuple[np.ndarray, np.ndarray]) -> None:
+        """Insert an entry, evicting least recently used beyond either bound."""
+        size = self._entry_bytes(encoded)
+        if size > self.max_bytes:
+            return
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._nbytes -= self._entry_bytes(old)
+        self._entries[key] = encoded
+        self._nbytes += size
+        while len(self._entries) > self.capacity or self._nbytes > self.max_bytes:
+            _, evicted = self._entries.popitem(last=False)
+            self._nbytes -= self._entry_bytes(evicted)
+
+    def observe(self, key: bytes) -> bool:
+        """Record a sighting of ``key``; True iff it was seen before.
+
+        Backs the second-observation admission policy for opportunistic
+        callers (``predict`` on an arbitrary instance set): a key's
+        first sighting only leaves a 16-byte ghost, so one-shot sets
+        (e.g. flattened user×catalogue grids) never earn a cache slot,
+        while genuinely repeated sets (per-epoch validation splits) are
+        admitted from their second epoch on.
+        """
+        if key in self._entries:
+            return True
+        if key in self._ghosts:
+            self._ghosts.move_to_end(key)
+            return True
+        self._ghosts[key] = None
+        while len(self._ghosts) > self.GHOST_CAPACITY:
+            self._ghosts.popitem(last=False)
+        return False
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._ghosts.clear()
+        self._nbytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss counters plus current occupancy."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "nbytes": self._nbytes,
+        }

@@ -9,6 +9,13 @@ from repro.experiments.registry import (
     is_pairwise,
 )
 from repro.experiments.configs import ExperimentScale, get_scale
+from repro.experiments.parallel import (
+    CellSpec,
+    grid_specs,
+    resolve_workers,
+    run_cell,
+    run_cells,
+)
 from repro.experiments.runner import (
     run_rating_cell,
     run_rating_table,
@@ -16,10 +23,16 @@ from repro.experiments.runner import (
     run_topn_table,
 )
 from repro.experiments.tables import format_table
-from repro.experiments.figures import ascii_chart
+from repro.experiments.figures import ascii_chart, run_embedding_size_sweep
 from repro.experiments.significance import compare_models, paired_t_test
 
 __all__ = [
+    "CellSpec",
+    "grid_specs",
+    "resolve_workers",
+    "run_cell",
+    "run_cells",
+    "run_embedding_size_sweep",
     "RATING_MODELS",
     "TOPN_MODELS",
     "build_model",

@@ -1,15 +1,64 @@
-"""Plain-text line charts for the paper's figures.
+"""Figure sweeps and plain-text line charts for the paper's figures.
 
-The benchmarks render Figure 3 (metric vs embedding size) and Figure 4
-(RMSE vs interaction count) as ASCII charts so the *shape* of each curve
-is visible directly in test output, with no plotting dependency.
+:func:`run_embedding_size_sweep` regenerates the Figure 3 grid (HR@10
+versus embedding size) as independent cells executed through the
+parallel engine (:mod:`repro.experiments.parallel`).  The chart helper
+renders Figure 3 (metric vs embedding size) and Figure 4 (RMSE vs
+interaction count) as ASCII so the *shape* of each curve is visible
+directly in test output, with no plotting dependency.
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from dataclasses import replace
+from typing import Mapping, Optional, Sequence, Union
+
+from repro.experiments.configs import ExperimentScale, get_scale
+from repro.experiments.parallel import CellSpec, run_cells
 
 _MARKERS = "ox+*#@%&"
+
+
+def run_embedding_size_sweep(
+    dataset_keys: Sequence[str],
+    model_names: Sequence[str],
+    sizes: Sequence[int],
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+    epochs: Optional[int] = None,
+    workers: Union[int, str, None] = None,
+) -> dict[str, dict[str, dict[int, float]]]:
+    """Figure 3 sweep: ``{dataset: {model: {k: HR@10}}}``.
+
+    Every (dataset, model, embedding size) triple is one top-n cell
+    with the embedding size substituted into the scale; cells run
+    through :func:`repro.experiments.parallel.run_cells`, so the sweep
+    parallelizes across ``workers`` processes while staying
+    byte-identical to a serial run (the cells are seeded, independent
+    and reassembled in spec order).  ``epochs`` optionally caps the
+    per-cell epoch budget (the benchmark trains ``len(model_names) ×
+    len(sizes)`` models per dataset).
+    """
+    scale = scale if scale is not None else get_scale()
+    specs = [
+        CellSpec(
+            task="topn",
+            model_name=model_name,
+            dataset_key=key,
+            scale=replace(scale, k=k, n_seeds=1,
+                          epochs=epochs if epochs is not None else scale.epochs),
+            seed=seed,
+        )
+        for key in dataset_keys
+        for model_name in model_names
+        for k in sizes
+    ]
+    results = run_cells(specs, workers=workers)
+    curves: dict[str, dict[str, dict[int, float]]] = {}
+    for spec, (hr, _ndcg) in zip(specs, results):
+        curves.setdefault(spec.dataset_key, {}).setdefault(
+            spec.model_name, {})[spec.scale.k] = hr
+    return curves
 
 
 def ascii_chart(

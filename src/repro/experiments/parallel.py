@@ -1,0 +1,222 @@
+"""Parallel experiment execution engine.
+
+The paper's tables and figures are grids of *independent* cells — one
+``(model, dataset, task, seed)`` training run each — that the serial
+runners used to execute one after another.  This module decomposes any
+sweep into :class:`CellSpec` records and executes them on a
+``ProcessPoolExecutor`` (:func:`run_cells`), falling back to an
+in-process loop for ``workers=1``.
+
+Determinism contract
+--------------------
+A cell's result is a pure function of its spec:
+
+- every random choice inside a cell (dataset synthesis, instance
+  sampling, model init, minibatch order) is drawn from generators
+  seeded by ``spec.seed``;
+- datasets named by key are rebuilt in each worker with
+  ``make_dataset(key, seed, scale.dataset_scale)``, which is itself
+  deterministic, so every process sees byte-identical arrays;
+- results are returned in spec order regardless of completion order.
+
+Therefore a sweep produces **byte-identical results for any worker
+count** — ``workers=8`` is purely a wall-clock optimization over
+``workers=1`` (asserted in ``tests/experiments/test_parallel.py`` and
+timed in ``benchmarks/test_runner_throughput.py``).
+
+Worker-count resolution (:func:`resolve_workers`): an explicit integer
+wins; ``None`` defers to the ``REPRO_WORKERS`` environment variable
+(default 1); ``0`` or ``"auto"`` means one worker per CPU core.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.data.dataset import RecDataset
+from repro.experiments.configs import ExperimentScale, get_scale
+
+#: Cell task kinds: ``"rating"`` runs ``run_rating_cell`` (returns test
+#: RMSE), ``"topn"`` runs ``run_topn_cell`` (returns ``(HR, NDCG)``).
+TASKS = ("rating", "topn")
+
+
+@dataclass(frozen=True, eq=False)
+class CellSpec:
+    """One independent experiment cell.
+
+    Exactly one of ``dataset_key`` / ``dataset`` must be set: a key is
+    rebuilt deterministically inside the worker (cheap to pickle,
+    memoized per process), while an embedded :class:`RecDataset` is
+    shipped to the worker as-is (for datasets that exist only in the
+    caller, e.g. significance sweeps over a custom corpus).
+    """
+
+    task: str
+    model_name: str
+    dataset_key: Optional[str] = None
+    dataset: Optional[RecDataset] = None
+    scale: Optional[ExperimentScale] = None
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.task not in TASKS:
+            raise ValueError(f"unknown task {self.task!r}; options: {TASKS}")
+        if (self.dataset_key is None) == (self.dataset is None):
+            raise ValueError(
+                "exactly one of dataset_key / dataset must be provided")
+
+
+def available_cpus() -> int:
+    """CPUs actually available to this process.
+
+    Respects CPU affinity / cgroup restrictions where the platform
+    exposes them (``sched_getaffinity``), so ``workers=0`` on a
+    2-CPU-limited container of a 64-core host resolves to 2 instead of
+    oversubscribing 64 training processes.
+    """
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0)) or 1
+    return os.cpu_count() or 1
+
+
+def resolve_workers(workers: Union[int, str, None] = None) -> int:
+    """Resolve a worker-count request to a concrete pool size.
+
+    ``None`` reads the ``REPRO_WORKERS`` environment variable (default
+    ``1``); ``0`` or ``"auto"`` (case-insensitive) expands to
+    :func:`available_cpus`.  The result is always ≥ 1.  Because cell
+    results are independent of the worker count (see module docstring),
+    any resolution is safe — only wall time changes.
+    """
+    if workers is None:
+        workers = os.environ.get("REPRO_WORKERS", "1")
+    if isinstance(workers, str):
+        workers = 0 if workers.strip().lower() == "auto" else int(workers)
+    workers = int(workers)
+    if workers <= 0:
+        workers = available_cpus()
+    return max(1, workers)
+
+
+def _build_dataset(key: str, seed: int, dataset_scale: float) -> RecDataset:
+    """Rebuild a key-named dataset; deterministic in its arguments."""
+    from repro.data.synthetic import make_dataset
+
+    return make_dataset(key, seed=seed, scale=dataset_scale)
+
+
+@lru_cache(maxsize=16)
+def _shared_dataset(key: str, seed: int, dataset_scale: float) -> RecDataset:
+    """Pool-worker dataset memo.
+
+    ``make_dataset`` is deterministic in ``(key, seed, scale)``, so
+    each worker building its own copy preserves the determinism
+    contract while avoiding a rebuild for every cell that shares a
+    dataset.  Only :func:`_pool_run_cell` routes through this memo, so
+    everything it pins lives exactly as long as the worker process —
+    the pool is shut down when :func:`run_cells` returns.  The serial
+    path uses a memo scoped to the :func:`run_cells` call, and the
+    public :func:`run_cell` builds fresh, so a long-lived parent
+    process never accumulates datasets.
+    """
+    return _build_dataset(key, seed, dataset_scale)
+
+
+def _execute_cell(spec: CellSpec, dataset: RecDataset, scale: ExperimentScale):
+    from repro.experiments.runner import run_rating_cell, run_topn_cell
+
+    if spec.task == "rating":
+        return run_rating_cell(spec.model_name, dataset, scale=scale, seed=spec.seed)
+    return run_topn_cell(spec.model_name, dataset, scale=scale, seed=spec.seed)
+
+
+def _cell_scale(spec: CellSpec) -> ExperimentScale:
+    return spec.scale if spec.scale is not None else get_scale()
+
+
+def _pool_run_cell(spec: CellSpec):
+    """run_cell variant executed inside pool workers (memoized datasets)."""
+    scale = _cell_scale(spec)
+    if spec.dataset is not None:
+        dataset = spec.dataset
+    else:
+        dataset = _shared_dataset(spec.dataset_key, spec.seed, scale.dataset_scale)
+    return _execute_cell(spec, dataset, scale)
+
+
+def run_cell(spec: CellSpec):
+    """Execute one cell and return its raw result.
+
+    ``"rating"`` cells return the test RMSE (float); ``"topn"`` cells
+    return ``(HR@10, NDCG@10)``.  The result depends only on ``spec``,
+    and the same value is produced wherever the cell runs — locally or
+    in a pool worker.  Key-named datasets are rebuilt fresh on every
+    call (and released with the call); batch sweeps should go through
+    :func:`run_cells`, which shares datasets between the cells of one
+    sweep.
+    """
+    scale = _cell_scale(spec)
+    if spec.dataset is not None:
+        dataset = spec.dataset
+    else:
+        dataset = _build_dataset(spec.dataset_key, spec.seed, scale.dataset_scale)
+    return _execute_cell(spec, dataset, scale)
+
+
+def run_cells(
+    specs: Iterable[CellSpec],
+    workers: Union[int, str, None] = None,
+) -> list:
+    """Execute cells (possibly in parallel); results in spec order.
+
+    ``workers`` follows :func:`resolve_workers`; with a resolved count
+    of 1 (or a single cell) everything runs serially in-process — no
+    pool, no pickling, and datasets shared between cells via a memo
+    scoped to this call (freed when the sweep returns).  Larger counts
+    fan the cells out over a ``ProcessPoolExecutor`` capped at
+    ``len(specs)`` workers.
+
+    Determinism: each cell is a pure function of its spec and the
+    output list is ordered like the input, so the returned values are
+    byte-identical for every worker count.
+    """
+    specs = list(specs)
+    workers = resolve_workers(workers)
+    if workers <= 1 or len(specs) <= 1:
+        memo: dict[tuple, RecDataset] = {}
+        results = []
+        for spec in specs:
+            scale = _cell_scale(spec)
+            if spec.dataset is not None:
+                dataset = spec.dataset
+            else:
+                key = (spec.dataset_key, spec.seed, scale.dataset_scale)
+                if key not in memo:
+                    memo[key] = _build_dataset(*key)
+                dataset = memo[key]
+            results.append(_execute_cell(spec, dataset, scale))
+        return results
+    with ProcessPoolExecutor(max_workers=min(workers, len(specs))) as pool:
+        return list(pool.map(_pool_run_cell, specs))
+
+
+def grid_specs(
+    task: str,
+    model_names: Sequence[str],
+    dataset_keys: Sequence[str],
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+) -> list[CellSpec]:
+    """Specs for a full model × dataset table, in table iteration order."""
+    scale = scale if scale is not None else get_scale()
+    return [
+        CellSpec(task=task, model_name=model_name, dataset_key=key,
+                 scale=scale, seed=seed)
+        for model_name in model_names
+        for key in dataset_keys
+    ]

@@ -2,20 +2,30 @@
 
 ``run_rating_cell`` reproduces one cell of Table 3 (test RMSE);
 ``run_topn_cell`` one cell of Table 4 (HR@10 / NDCG@10).  The table
-runners iterate models × datasets and return nested dicts the
-``tables`` module formats like the paper.
+runners decompose models × datasets into independent cell specs,
+execute them through :mod:`repro.experiments.parallel` (serial by
+default, ``workers > 1`` fans out over a process pool) and return
+nested dicts the ``tables`` module formats like the paper.
+
+Determinism contract
+--------------------
+Every cell seeds all of its randomness (dataset synthesis, negative
+sampling, splits, model init, minibatch shuffling) from the ``seed``
+argument alone, so each runner below returns byte-identical values for
+a given ``(arguments, seed)`` pair — across repeated calls, across
+processes, and across any ``workers`` count.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
 from repro.data.dataset import RecDataset
 from repro.data.sampling import NegativeSampler
-from repro.data.synthetic import make_dataset
 from repro.experiments.configs import ExperimentScale, get_scale
+from repro.experiments.parallel import grid_specs, run_cells
 from repro.experiments.registry import build_model, is_pairwise
 from repro.training.evaluation import (
     build_rating_instances,
@@ -64,7 +74,14 @@ def run_rating_cell(
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
 ) -> float:
-    """Train ``model_name`` on the rating task; return test RMSE."""
+    """Train ``model_name`` on the rating task; return test RMSE.
+
+    Deterministic: the instance split, model initialization and batch
+    order all derive from ``seed``, so equal ``(model_name, dataset,
+    scale, seed)`` gives the exact same RMSE wherever it runs — this
+    is what lets :func:`run_rating_table` farm cells out to worker
+    processes without changing a digit of the table.
+    """
     scale = scale if scale is not None else get_scale()
     instances = build_rating_instances(dataset, seed=seed)
     model = build_model(model_name, dataset, k=scale.k, seed=seed)
@@ -85,20 +102,23 @@ def run_rating_table(
     model_names: list[str],
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
+    workers: Union[int, str, None] = None,
 ) -> dict[str, dict[str, float]]:
-    """``{model: {dataset: test RMSE}}`` for Table 3."""
+    """``{model: {dataset: test RMSE}}`` for Table 3.
+
+    ``workers`` selects the process-pool size
+    (:func:`repro.experiments.parallel.resolve_workers`: ``None`` →
+    ``$REPRO_WORKERS`` or serial, ``0``/``"auto"`` → all cores).  The
+    table is byte-identical for every worker count: each cell is a
+    pure function of ``(model, dataset key, scale, seed)`` and workers
+    rebuild the named datasets deterministically.
+    """
     scale = scale if scale is not None else get_scale()
-    datasets = {
-        key: make_dataset(key, seed=seed, scale=scale.dataset_scale)
-        for key in dataset_keys
-    }
-    results: dict[str, dict[str, float]] = {}
-    for model_name in model_names:
-        results[model_name] = {}
-        for key, dataset in datasets.items():
-            results[model_name][key] = run_rating_cell(
-                model_name, dataset, scale=scale, seed=seed
-            )
+    specs = grid_specs("rating", model_names, dataset_keys, scale=scale, seed=seed)
+    values = run_cells(specs, workers=workers)
+    results: dict[str, dict[str, float]] = {m: {} for m in model_names}
+    for spec, value in zip(specs, values):
+        results[spec.model_name][spec.dataset_key] = value
     return results
 
 
@@ -111,7 +131,13 @@ def run_topn_cell(
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
 ) -> tuple[float, float]:
-    """Train ``model_name`` under leave-one-out; return (HR@10, NDCG@10)."""
+    """Train ``model_name`` under leave-one-out; return (HR@10, NDCG@10).
+
+    Deterministic in ``(model_name, dataset, scale, seed)`` — the
+    leave-one-out split, candidate sampling, negative sampling, model
+    init and batch order are all seeded — so parallel table runs
+    reproduce the serial values exactly.
+    """
     scale = scale if scale is not None else get_scale()
     train_index, test_users, _test_items, candidates = prepare_topn_protocol(
         dataset, n_candidates=scale.n_candidates, seed=seed
@@ -199,18 +225,18 @@ def run_topn_table(
     model_names: list[str],
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
+    workers: Union[int, str, None] = None,
 ) -> dict[str, dict[str, tuple[float, float]]]:
-    """``{model: {dataset: (HR, NDCG)}}`` for Table 4."""
+    """``{model: {dataset: (HR, NDCG)}}`` for Table 4.
+
+    Same parallel execution and determinism contract as
+    :func:`run_rating_table`: ``workers`` only changes wall time,
+    never a value in the returned table.
+    """
     scale = scale if scale is not None else get_scale()
-    datasets = {
-        key: make_dataset(key, seed=seed, scale=scale.dataset_scale)
-        for key in dataset_keys
-    }
-    results: dict[str, dict[str, tuple[float, float]]] = {}
-    for model_name in model_names:
-        results[model_name] = {}
-        for key, dataset in datasets.items():
-            results[model_name][key] = run_topn_cell(
-                model_name, dataset, scale=scale, seed=seed
-            )
+    specs = grid_specs("topn", model_names, dataset_keys, scale=scale, seed=seed)
+    values = run_cells(specs, workers=workers)
+    results: dict[str, dict[str, tuple[float, float]]] = {m: {} for m in model_names}
+    for spec, value in zip(specs, values):
+        results[spec.model_name][spec.dataset_key] = value
     return results

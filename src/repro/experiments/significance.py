@@ -9,14 +9,14 @@ compare two models with a paired two-sided t-test.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Optional, Sequence, Union
 
 import numpy as np
 from scipy import stats
 
 from repro.data.dataset import RecDataset
 from repro.experiments.configs import ExperimentScale, get_scale
-from repro.experiments.runner import run_rating_cell, run_topn_cell
+from repro.experiments.parallel import CellSpec, run_cells
 
 
 @dataclass
@@ -72,12 +72,26 @@ def compare_models(
     task: str = "topn",
     seeds: Optional[Sequence[int]] = None,
     scale: Optional[ExperimentScale] = None,
+    workers: Union[int, str, None] = None,
 ) -> SignificanceResult:
     """Run both models over several seeds and t-test the paired scores.
 
     ``task`` is ``"topn"`` (scores are HR@10, higher better) or
     ``"rating"`` (scores are RMSE, lower better).  Seeds default to
     ``range(scale.n_seeds)`` but at least 3 for a meaningful test.
+
+    The ``2 × len(seeds)`` training runs are independent cells executed
+    through :func:`repro.experiments.parallel.run_cells` (the dataset
+    object itself is shipped to each worker); as everywhere in the
+    parallel engine, the per-seed scores — and therefore the t statistic
+    — are byte-identical for any ``workers`` value.
+
+    Note on cost: with ``workers > 1`` the dataset is pickled once per
+    cell (its derived caches are stripped, see
+    ``RecDataset.__getstate__``, so the payload is just the interaction
+    and attribute arrays).  For very large custom corpora whose
+    serialization rivals a cell's training time, prefer ``workers=1``
+    or a key-named dataset (rebuilt in-worker from its generator).
     """
     if task not in ("topn", "rating"):
         raise ValueError("task must be 'topn' or 'rating'")
@@ -85,14 +99,16 @@ def compare_models(
     if seeds is None:
         seeds = list(range(max(scale.n_seeds, 3)))
 
-    def cell(model_name: str, seed: int) -> float:
-        if task == "rating":
-            return run_rating_cell(model_name, dataset, scale=scale, seed=seed)
-        hr, _ndcg = run_topn_cell(model_name, dataset, scale=scale, seed=seed)
-        return hr
-
-    scores_a = [cell(model_a, s) for s in seeds]
-    scores_b = [cell(model_b, s) for s in seeds]
+    specs = [
+        CellSpec(task=task, model_name=model_name, dataset=dataset,
+                 scale=scale, seed=int(seed))
+        for model_name in (model_a, model_b)
+        for seed in seeds
+    ]
+    raw = run_cells(specs, workers=workers)
+    scores = [value if task == "rating" else value[0] for value in raw]
+    scores_a = scores[:len(seeds)]
+    scores_b = scores[len(seeds):]
     t_stat, p_value = paired_t_test(scores_a, scores_b)
     return SignificanceResult(
         model_a=model_a,

@@ -26,23 +26,53 @@ class RecommenderModel(nn.Module):
         """Differentiable scores for a batch of (user, item) pairs."""
         raise NotImplementedError
 
+    def batch_scorer(self, users: np.ndarray, items: np.ndarray,
+                     precompute=True):
+        """A ``score`` specialized to one fixed instance set.
+
+        Returns ``score_batch(batch) -> Tensor`` where ``batch`` is any
+        index (array or slice) into the given parallel ``users`` /
+        ``items`` arrays.  The base implementation simply slices the
+        ids and defers to :meth:`score`; feature models override it to
+        pre-encode the whole instance set once
+        (:meth:`repro.data.dataset.RecDataset.encode_cached`) so every
+        epoch's minibatches slice cached arrays instead of re-encoding.
+
+        ``precompute`` — ``True`` (training loops: the closure is
+        reused across many epochs, always worth building whole) or
+        ``"auto"`` (one-shot callers like :meth:`predict`: precompute
+        only if the set already earned a cache slot by recurring).
+        The base implementation ignores it.
+
+        Equivalence contract: ``score_batch(batch)`` is byte-identical
+        to ``score(users[batch], items[batch])`` — encoding is a pure
+        row-wise function of the ids, so precompute-and-slice cannot
+        change a single bit of any training run.
+        """
+        users = np.asarray(users)
+        items = np.asarray(items)
+        return lambda batch: self.score(users[batch], items[batch])
+
     def predict(self, users: np.ndarray, items: np.ndarray, batch_size: int = 4096) -> np.ndarray:
         """Numpy predictions in eval mode without building the tape.
 
         The prior train/eval mode is restored on exit, so calling
         ``predict`` on a model someone already put in eval mode does
         not silently re-enable dropout for later ``score`` calls.
+        Chunks are scored through :meth:`batch_scorer`, so feature
+        models reuse the dataset's encoded-instance cache when the same
+        evaluation split is predicted every epoch.
         """
         was_training = self.training
         self.eval()
         users = np.asarray(users)
         items = np.asarray(items)
+        score_batch = self.batch_scorer(users, items, precompute="auto")
         chunks = []
         try:
             with no_grad():
                 for start in range(0, users.size, batch_size):
-                    stop = start + batch_size
-                    chunks.append(self.score(users[start:stop], items[start:stop]).data)
+                    chunks.append(score_batch(slice(start, start + batch_size)).data)
         finally:
             if was_training:
                 self.train()
@@ -77,6 +107,7 @@ class FeatureRecommender(RecommenderModel):
 
     def __init__(self, dataset: RecDataset):
         super().__init__()
+        self._dataset = dataset
         self._encode = dataset.encode
         self.n_features = dataset.n_features
         self.sample_width = dataset.sample_width
@@ -88,6 +119,46 @@ class FeatureRecommender(RecommenderModel):
     def score(self, users: np.ndarray, items: np.ndarray) -> Tensor:
         indices, values = self._encode(users, items)
         return self.forward_features(indices, values)
+
+    def batch_scorer(self, users: np.ndarray, items: np.ndarray,
+                     precompute=True):
+        """Pre-encode the instance set once, then score cached slices.
+
+        The full ``(indices, values)`` encoding is built (and memoized
+        on the dataset, see
+        :meth:`~repro.data.dataset.RecDataset.encode_cached`) up front;
+        each call slices it and runs :meth:`forward_features`.  Because
+        encoding is row-wise, ``indices[batch]`` equals
+        ``encode(users[batch], items[batch])`` exactly, so training
+        through this path is byte-identical to per-batch encoding.
+
+        Two situations fall back to encoding each batch on demand,
+        keeping peak memory bounded by the chunk size exactly as
+        before this cache existed:
+
+        - sets the cache would refuse (too many rows, or a full
+          encoding over the byte budget);
+        - ``precompute="auto"`` (the :meth:`predict` policy) when the
+          set has not recurred yet — one-shot prediction sets such as
+          serving's flattened user×catalogue grids never allocate a
+          full-set encoding, while per-epoch validation splits earn
+          their slot on the second epoch
+          (:meth:`~repro.data.dataset.RecDataset.cached_encoding_if_reused`).
+        """
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        if not self._dataset.encoding_cacheable(users.size):
+            return lambda batch: self.forward_features(
+                *self._encode(users[batch], items[batch]))
+        if precompute == "auto":
+            cached = self._dataset.cached_encoding_if_reused(users, items)
+            if cached is None:
+                return lambda batch: self.forward_features(
+                    *self._encode(users[batch], items[batch]))
+            indices, values = cached
+        else:
+            indices, values = self._dataset.encode_cached(users, items)
+        return lambda batch: self.forward_features(indices[batch], values[batch])
 
     def forward(self, indices: np.ndarray, values: np.ndarray) -> Tensor:
         return self.forward_features(indices, values)

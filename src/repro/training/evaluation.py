@@ -13,7 +13,7 @@ Top-n recommendation
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -34,10 +34,22 @@ class RatingInstances:
     train: np.ndarray
     valid: np.ndarray
     test: np.ndarray
+    _splits: dict = field(default_factory=dict, repr=False, compare=False)
 
     def split(self, name: str) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        index = {"train": self.train, "valid": self.valid, "test": self.test}[name]
-        return self.users[index], self.items[index], self.labels[index]
+        """``(users, items, labels)`` of one split, memoized.
+
+        Per-epoch validation calls ``split("valid")`` / ``split("test")``
+        every epoch; returning the same arrays each time keeps the
+        downstream encoded-instance cache
+        (:meth:`repro.data.dataset.RecDataset.encode_cached`) hitting
+        without re-slicing, and the split is deterministic so the memo
+        cannot go stale.
+        """
+        if name not in self._splits:
+            index = {"train": self.train, "valid": self.valid, "test": self.test}[name]
+            self._splits[name] = (self.users[index], self.items[index], self.labels[index])
+        return self._splits[name]
 
 
 @dataclass
@@ -67,6 +79,13 @@ def build_rating_instances(
 
     Sampling once (then splitting) matches the paper's protocol of using
     identical instances across all compared models.
+
+    The instance set is static for the lifetime of a run: training
+    (``Trainer.fit_pointwise``) and per-epoch evaluation
+    (:func:`evaluate_rating` via ``model.predict``) both route their
+    encodings through the dataset's encoded-instance cache, so each of
+    the train/valid/test splits is encoded exactly once no matter how
+    many epochs touch it.
     """
     sampler = NegativeSampler(dataset, seed=seed)
     pos_users = dataset.users

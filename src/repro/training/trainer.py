@@ -82,6 +82,15 @@ class Trainer:
         ``validate`` returns a scalar score after each epoch; training
         stops when it fails to improve for ``patience`` epochs and the
         best parameters are restored.
+
+        The instance set is static across epochs, so batches are scored
+        through :meth:`~repro.models.base.RecommenderModel.batch_scorer`:
+        feature models encode ``(users, items)`` once into the
+        dataset's encoded-instance cache and every minibatch slices the
+        cached arrays.  This is a pure speedup — the per-batch scores,
+        losses, and updates are byte-identical to encoding each
+        minibatch from scratch (same seed ⇒ same ``TrainResult`` and
+        final parameters, with or without the cache).
         """
         users = np.asarray(users)
         items = np.asarray(items)
@@ -94,13 +103,14 @@ class Trainer:
         best_state: Optional[dict] = None
         best_score = -np.inf if higher_is_better else np.inf
         stale = 0
+        score_batch = self.model.batch_scorer(users, items)
 
         for epoch in range(self.config.epochs):
             self.model.train()
             losses = []
             for batch in minibatches(users.size, self.config.batch_size, rng=self._rng):
                 self._optimizer.zero_grad()
-                scores = self.model.score(users[batch], items[batch])
+                scores = score_batch(batch)
                 loss = squared_loss(scores, labels[batch])
                 loss.backward()
                 self._optimizer.step()
@@ -142,7 +152,14 @@ class Trainer:
         validate: Optional[Callable[[RecommenderModel], float]] = None,
         higher_is_better: bool = True,
     ) -> TrainResult:
-        """Train with BPR on (user, positive, negative) triples."""
+        """Train with BPR on (user, positive, negative) triples.
+
+        As in :meth:`fit_pointwise`, the (user, positive) and (user,
+        negative) instance sets are pre-encoded once through
+        :meth:`~repro.models.base.RecommenderModel.batch_scorer` and
+        sliced per minibatch — byte-identical results, one encoding
+        pass per fit instead of one per batch per epoch.
+        """
         users = np.asarray(users)
         positives = np.asarray(positives)
         negatives = np.asarray(negatives)
@@ -154,14 +171,16 @@ class Trainer:
         best_state: Optional[dict] = None
         best_score = -np.inf if higher_is_better else np.inf
         stale = 0
+        score_positive = self.model.batch_scorer(users, positives)
+        score_negative = self.model.batch_scorer(users, negatives)
 
         for epoch in range(self.config.epochs):
             self.model.train()
             losses = []
             for batch in minibatches(users.size, self.config.batch_size, rng=self._rng):
                 self._optimizer.zero_grad()
-                pos_scores = self.model.score(users[batch], positives[batch])
-                neg_scores = self.model.score(users[batch], negatives[batch])
+                pos_scores = score_positive(batch)
+                neg_scores = score_negative(batch)
                 loss = bpr_loss(pos_scores, neg_scores)
                 loss.backward()
                 self._optimizer.step()

@@ -1,0 +1,186 @@
+"""Encoded-instance cache: equality, hits, invalidation, eviction."""
+
+import numpy as np
+import pytest
+
+from repro.data.encoding import EncodedCache, instance_key
+from tests.helpers import make_tiny_dataset
+
+
+@pytest.fixture
+def ds():
+    return make_tiny_dataset(n_users=10, n_items=12)
+
+
+@pytest.fixture
+def pairs(ds):
+    rng = np.random.default_rng(0)
+    users = rng.integers(0, ds.n_users, size=64)
+    items = rng.integers(0, ds.n_items, size=64)
+    return users, items
+
+
+class TestEquality:
+    def test_cached_equals_fresh_encoding(self, ds, pairs):
+        users, items = pairs
+        fresh_idx, fresh_val = ds.encode(users, items)
+        cached_idx, cached_val = ds.encode_cached(users, items)
+        np.testing.assert_array_equal(cached_idx, fresh_idx)
+        np.testing.assert_array_equal(cached_val, fresh_val)
+
+    def test_slices_equal_per_batch_encoding(self, ds, pairs):
+        users, items = pairs
+        indices, values = ds.encode_cached(users, items)
+        for batch in (np.array([3, 1, 9]), slice(10, 30)):
+            fresh_idx, fresh_val = ds.encode(users[batch], items[batch])
+            np.testing.assert_array_equal(indices[batch], fresh_idx)
+            np.testing.assert_array_equal(values[batch], fresh_val)
+
+
+class TestCaching:
+    def test_content_equal_arrays_hit(self, ds, pairs):
+        users, items = pairs
+        first = ds.encode_cached(users, items)
+        # Fresh array objects with identical content must hit the cache.
+        second = ds.encode_cached(users.copy(), items.copy())
+        assert first[0] is second[0] and first[1] is second[1]
+        stats = ds.encoded_cache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_cached_arrays_are_read_only(self, ds, pairs):
+        indices, values = ds.encode_cached(*pairs)
+        with pytest.raises(ValueError):
+            indices[0, 0] = 99
+        with pytest.raises(ValueError):
+            values[0, 0] = 99.0
+
+    def test_over_budget_sets_bypass_the_cache(self, ds, pairs):
+        # A set whose full encoding exceeds the cache's byte budget is
+        # reported uncacheable, and encode_cached leaves the cache alone.
+        users, items = pairs
+        ds._encoded_cache = EncodedCache(capacity=8, max_bytes=64)
+        assert not ds.encoding_cacheable(users.size)
+        ds.encode_cached(users, items)
+        assert ds.encoded_cache_stats() == {
+            "hits": 0, "misses": 0, "entries": 0, "capacity": 8, "nbytes": 0}
+
+    def test_batch_scorer_respects_the_byte_budget(self, ds, pairs):
+        # FeatureRecommender falls back to per-chunk encoding (identical
+        # scores, nothing cached) when the precompute would be refused.
+        import numpy as np
+
+        from repro.models.fm import FactorizationMachine
+
+        users, items = pairs
+        model = FactorizationMachine(ds, k=4, rng=np.random.default_rng(0))
+        expected = model.score(users, items).data
+        ds._encoded_cache = EncodedCache(capacity=8, max_bytes=64)
+        scores = model.batch_scorer(users, items)(slice(None))
+        np.testing.assert_array_equal(scores.data, expected)
+        assert ds.encoded_cache_stats()["entries"] == 0
+
+    def test_oversized_sets_bypass_the_cache(self, ds, pairs):
+        users, items = pairs
+        before = ds.encoded_cache_stats()
+        indices, values = ds.encode_cached(users, items, max_rows=8)
+        after = ds.encoded_cache_stats()
+        assert after == before  # untouched: no lookup, no insert
+        fresh_idx, fresh_val = ds.encode(users, items)
+        np.testing.assert_array_equal(indices, fresh_idx)
+        np.testing.assert_array_equal(values, fresh_val)
+
+
+class TestInvalidation:
+    def test_changed_instances_are_reencoded(self, ds, pairs):
+        users, items = pairs
+        ds.encode_cached(users, items)
+        changed_items = items.copy()
+        changed_items[0] = (changed_items[0] + 1) % ds.n_items
+        indices, values = ds.encode_cached(users, changed_items)
+        fresh_idx, fresh_val = ds.encode(users, changed_items)
+        np.testing.assert_array_equal(indices, fresh_idx)
+        np.testing.assert_array_equal(values, fresh_val)
+        assert ds.encoded_cache_stats()["misses"] == 2
+
+    def test_fingerprint_is_content_based(self):
+        users = np.array([0, 1, 2], dtype=np.int64)
+        items = np.array([3, 4, 5], dtype=np.int64)
+        assert instance_key(users, items) == instance_key(users.copy(), items.copy())
+        assert instance_key(users, items) != instance_key(items, users)
+        # Size is part of the digest, so a shifted boundary between the
+        # two arrays cannot collide.
+        assert instance_key(np.array([0, 1]), np.array([2, 3])) != \
+            instance_key(np.array([0]), np.array([1, 2, 3]))
+
+    def test_clear_resets_counters_and_entries(self, ds, pairs):
+        ds.encode_cached(*pairs)
+        ds.clear_encoded_cache()
+        stats = ds.encoded_cache_stats()
+        assert (stats["hits"], stats["misses"], stats["entries"],
+                stats["nbytes"]) == (0, 0, 0, 0)
+
+
+class TestEncodedCacheLRU:
+    def test_eviction_drops_least_recently_used(self):
+        def entry():
+            return (np.zeros((1, 2), dtype=np.int64),
+                    np.zeros((1, 2), dtype=np.float64))
+
+        cache = EncodedCache(capacity=2)
+        a, b, c = entry(), entry(), entry()
+        cache.put(b"a", a)
+        cache.put(b"b", b)
+        assert cache.get(b"a") is a  # refresh "a"
+        cache.put(b"c", c)           # evicts "b"
+        assert cache.get(b"b") is None
+        assert cache.get(b"a") is a and cache.get(b"c") is c
+        assert len(cache) == 2
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            EncodedCache(capacity=0)
+        with pytest.raises(ValueError):
+            EncodedCache(max_bytes=0)
+
+    def test_byte_budget_evicts_lru(self):
+        def entry(rows):
+            return (np.zeros((rows, 4), dtype=np.int64),
+                    np.zeros((rows, 4), dtype=np.float64))
+
+        cache = EncodedCache(capacity=8, max_bytes=3 * 64)  # three 1-row entries
+        cache.put(b"a", entry(1))
+        cache.put(b"b", entry(1))
+        cache.put(b"c", entry(1))
+        assert len(cache) == 3
+        cache.put(b"d", entry(1))  # budget exceeded -> evict oldest ("a")
+        assert cache.get(b"a") is None
+        assert cache.get(b"d") is not None
+        assert cache.stats()["nbytes"] <= 3 * 64
+
+    def test_oversized_entry_is_not_cached(self):
+        cache = EncodedCache(capacity=8, max_bytes=64)
+        small = (np.zeros((1, 4), dtype=np.int64),
+                 np.zeros((1, 4), dtype=np.float64))
+        big = (np.zeros((100, 4), dtype=np.int64),
+               np.zeros((100, 4), dtype=np.float64))
+        cache.put(b"small", small)
+        cache.put(b"big", big)  # larger than the whole budget: skipped
+        assert cache.get(b"big") is None
+        assert cache.get(b"small") is not None  # survivors keep their slot
+
+
+class TestPickling:
+    def test_dataset_pickles_without_caches(self, ds, pairs):
+        import pickle
+
+        ds.encode_cached(*pairs)
+        ds.membership()
+        ds._encoded_cache = EncodedCache(capacity=3, max_bytes=1234)
+        clone = pickle.loads(pickle.dumps(ds))
+        assert clone.encoded_cache_stats()["entries"] == 0
+        assert clone._encoded_cache.capacity == 3
+        assert clone._encoded_cache.max_bytes == 1234  # budget survives pickling
+        assert clone._membership_cache is None
+        np.testing.assert_array_equal(clone.users, ds.users)
+        np.testing.assert_array_equal(
+            clone.encode(*pairs)[0], ds.encode(*pairs)[0])

@@ -1,0 +1,129 @@
+"""Parallel execution engine: determinism, ordering, worker resolution."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_dataset
+from repro.experiments.configs import ExperimentScale
+from repro.experiments.figures import run_embedding_size_sweep
+from repro.experiments.parallel import (
+    CellSpec,
+    available_cpus,
+    grid_specs,
+    resolve_workers,
+    run_cell,
+    run_cells,
+)
+from repro.experiments.runner import run_rating_table, run_topn_table
+from repro.experiments.significance import compare_models
+
+TINY = ExperimentScale(name="tiny", epochs=2, k=4, dataset_scale=0.12,
+                       n_candidates=10, n_seeds=1)
+
+
+class TestCellSpec:
+    def test_rejects_unknown_task(self):
+        with pytest.raises(ValueError, match="unknown task"):
+            CellSpec(task="figure", model_name="MF", dataset_key="amazon-auto")
+
+    def test_requires_exactly_one_dataset_source(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            CellSpec(task="rating", model_name="MF")
+        dataset = make_dataset("amazon-auto", seed=0, scale=TINY.dataset_scale)
+        with pytest.raises(ValueError, match="exactly one"):
+            CellSpec(task="rating", model_name="MF",
+                     dataset_key="amazon-auto", dataset=dataset)
+
+    def test_embedded_dataset_matches_key(self):
+        # A spec carrying the dataset object returns the same value as
+        # one naming the key the worker rebuilds from.
+        dataset = make_dataset("amazon-auto", seed=0, scale=TINY.dataset_scale)
+        by_key = run_cell(CellSpec(task="rating", model_name="MF",
+                                   dataset_key="amazon-auto", scale=TINY))
+        by_object = run_cell(CellSpec(task="rating", model_name="MF",
+                                      dataset=dataset, scale=TINY))
+        assert by_key == by_object
+
+
+class TestResolveWorkers:
+    def test_defaults_to_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(None) == 1
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers(None) == 3
+
+    def test_env_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "auto")
+        assert resolve_workers(None) == available_cpus()
+
+    def test_zero_means_all_available_cores(self):
+        import os
+
+        assert resolve_workers(0) == available_cpus()
+        # Affinity-aware: never more than the raw core count.
+        assert available_cpus() <= (os.cpu_count() or 1)
+
+    def test_explicit_count_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert resolve_workers(2) == 2
+
+    def test_negative_clamps_to_cores(self):
+        assert resolve_workers(-4) >= 1
+
+
+class TestParallelEquivalence:
+    """workers > 1 must reproduce the serial tables byte-for-byte."""
+
+    def test_rating_table_2x2_grid(self):
+        keys = ["amazon-auto", "mercari-ticket"]
+        models = ["MF", "LibFM"]
+        serial = run_rating_table(keys, models, scale=TINY, seed=0, workers=1)
+        parallel = run_rating_table(keys, models, scale=TINY, seed=0, workers=2)
+        assert serial == parallel  # exact float equality, no tolerance
+
+    def test_topn_table_with_pairwise_model(self):
+        keys = ["amazon-auto"]
+        models = ["BPR-MF", "LibFM"]  # pairwise + pointwise objectives
+        serial = run_topn_table(keys, models, scale=TINY, seed=0, workers=1)
+        parallel = run_topn_table(keys, models, scale=TINY, seed=0, workers=2)
+        assert serial == parallel
+
+    def test_run_cells_preserves_spec_order(self):
+        specs = grid_specs("rating", ["LibFM", "MF"],
+                           ["mercari-ticket", "amazon-auto"], scale=TINY)
+        by_hand = [run_cell(spec) for spec in specs]
+        pooled = run_cells(specs, workers=2)
+        assert pooled == by_hand
+
+    def test_embedding_sweep_parallel_matches_serial(self):
+        curves_serial = run_embedding_size_sweep(
+            ["amazon-auto"], ["LibFM"], [4, 8], scale=TINY, workers=1)
+        curves_parallel = run_embedding_size_sweep(
+            ["amazon-auto"], ["LibFM"], [4, 8], scale=TINY, workers=2)
+        assert curves_serial == curves_parallel
+        assert set(curves_serial["amazon-auto"]["LibFM"]) == {4, 8}
+
+    def test_compare_models_parallel_matches_serial(self):
+        dataset = make_dataset("amazon-auto", seed=0, scale=TINY.dataset_scale)
+        serial = compare_models("MF", "LibFM", dataset, task="rating",
+                                seeds=[0, 1], scale=TINY, workers=1)
+        parallel = compare_models("MF", "LibFM", dataset, task="rating",
+                                  seeds=[0, 1], scale=TINY, workers=2)
+        assert serial.scores_a == parallel.scores_a
+        assert serial.scores_b == parallel.scores_b
+        assert serial.p_value == parallel.p_value
+
+
+class TestTableAssembly:
+    def test_workers_parameter_defaults_to_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        results = run_rating_table(["amazon-auto"], ["MF"], scale=TINY)
+        assert np.isfinite(results["MF"]["amazon-auto"])
+
+    def test_grid_specs_cover_the_table(self):
+        specs = grid_specs("topn", ["A", "B"], ["x", "y"], scale=TINY, seed=3)
+        assert [(s.model_name, s.dataset_key) for s in specs] == [
+            ("A", "x"), ("A", "y"), ("B", "x"), ("B", "y")]
+        assert all(s.seed == 3 and s.task == "topn" for s in specs)

@@ -1,0 +1,135 @@
+"""Trainer routing through the encoded-instance cache is a pure speedup.
+
+These tests replicate the pre-cache training loop (encode every
+minibatch from scratch through ``model.score``) and assert the cached
+path produces byte-identical loss trajectories and final parameters —
+the determinism contract of
+:meth:`repro.models.base.FeatureRecommender.batch_scorer`.
+"""
+
+import numpy as np
+
+from repro.autograd.optim import Adam
+from repro.data.batching import minibatches
+from repro.data.sampling import NegativeSampler
+from repro.models.fm import FactorizationMachine
+from repro.training.losses import bpr_loss, squared_loss
+from repro.training.trainer import TrainConfig, Trainer
+from tests.helpers import make_tiny_dataset
+
+CONFIG = TrainConfig(epochs=3, batch_size=16, lr=0.05, weight_decay=1e-4, seed=0)
+
+
+def _make(ds):
+    return FactorizationMachine(ds, k=4, rng=np.random.default_rng(0))
+
+
+def _training_set(ds):
+    sampler = NegativeSampler(ds, seed=0)
+    rows = np.arange(ds.n_interactions)
+    return sampler.build_pointwise_training_set(rows, n_neg=2)
+
+
+def _legacy_fit_pointwise(model, users, items, labels, config):
+    """The seed-era loop: per-minibatch encoding via ``model.score``."""
+    optimizer = Adam(list(model.parameters()), lr=config.lr,
+                     weight_decay=config.weight_decay)
+    rng = np.random.default_rng(config.seed)
+    losses = []
+    for _epoch in range(config.epochs):
+        model.train()
+        epoch_losses = []
+        for batch in minibatches(users.size, config.batch_size, rng=rng):
+            optimizer.zero_grad()
+            loss = squared_loss(model.score(users[batch], items[batch]),
+                                labels[batch])
+            loss.backward()
+            optimizer.step()
+            epoch_losses.append(loss.item())
+        losses.append(float(np.mean(epoch_losses)))
+    return losses
+
+
+def _legacy_fit_pairwise(model, users, positives, negatives, config):
+    optimizer = Adam(list(model.parameters()), lr=config.lr,
+                     weight_decay=config.weight_decay)
+    rng = np.random.default_rng(config.seed)
+    losses = []
+    for _epoch in range(config.epochs):
+        model.train()
+        epoch_losses = []
+        for batch in minibatches(users.size, config.batch_size, rng=rng):
+            optimizer.zero_grad()
+            loss = bpr_loss(model.score(users[batch], positives[batch]),
+                            model.score(users[batch], negatives[batch]))
+            loss.backward()
+            optimizer.step()
+            epoch_losses.append(loss.item())
+        losses.append(float(np.mean(epoch_losses)))
+    return losses
+
+
+def test_pointwise_cached_path_is_byte_identical():
+    ds = make_tiny_dataset(n_users=15, n_items=18)
+    users, items, labels = _training_set(ds)
+
+    cached_model = _make(ds)
+    result = Trainer(cached_model, CONFIG).fit_pointwise(users, items, labels)
+
+    legacy_model = _make(ds)
+    legacy_losses = _legacy_fit_pointwise(legacy_model, users, items,
+                                          labels, CONFIG)
+
+    assert result.train_losses == legacy_losses
+    for name, value in cached_model.state_dict().items():
+        np.testing.assert_array_equal(
+            value, legacy_model.state_dict()[name], err_msg=name)
+
+
+def test_pairwise_cached_path_is_byte_identical():
+    ds = make_tiny_dataset(n_users=15, n_items=18)
+    sampler = NegativeSampler(ds, seed=0)
+    users, positives, negatives = sampler.build_pairwise_training_set(
+        np.arange(ds.n_interactions), n_neg=2)
+
+    cached_model = _make(ds)
+    result = Trainer(cached_model, CONFIG).fit_pairwise(users, positives, negatives)
+
+    legacy_model = _make(ds)
+    legacy_losses = _legacy_fit_pairwise(legacy_model, users, positives,
+                                         negatives, CONFIG)
+
+    assert result.train_losses == legacy_losses
+    for name, value in cached_model.state_dict().items():
+        np.testing.assert_array_equal(
+            value, legacy_model.state_dict()[name], err_msg=name)
+
+
+def test_fit_populates_the_dataset_cache():
+    ds = make_tiny_dataset(n_users=15, n_items=18)
+    users, items, labels = _training_set(ds)
+    assert ds.encoded_cache_stats()["entries"] == 0
+    Trainer(_make(ds), CONFIG).fit_pointwise(users, items, labels)
+    stats = ds.encoded_cache_stats()
+    # One build for the training set, no rebuild per epoch.
+    assert stats["entries"] == 1
+    assert stats["misses"] == 1
+
+
+def test_predict_caches_recurring_sets_only():
+    ds = make_tiny_dataset(n_users=15, n_items=18)
+    users, items, _ = _training_set(ds)
+    model = _make(ds)
+    # First sighting: ghost only — one-shot prediction sets never earn
+    # a cache slot (nor a full-set encoding).
+    first = model.predict(users, items)
+    assert ds.encoded_cache_stats()["entries"] == 0
+    # Second sighting: the set has recurred, so it is admitted ...
+    second = model.predict(users, items)
+    assert ds.encoded_cache_stats()["entries"] == 1
+    hits_before = ds.encoded_cache_stats()["hits"]
+    # ... and the third call is served from the cache.
+    third = model.predict(users, items)
+    assert ds.encoded_cache_stats()["hits"] > hits_before
+    np.testing.assert_array_equal(first, second)
+    np.testing.assert_array_equal(first, third)
