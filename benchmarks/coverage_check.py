@@ -1,0 +1,220 @@
+#!/usr/bin/env python
+"""Coverage gate: line coverage of ``repro`` under the fast test suite.
+
+Runs ``pytest -m "not slow"`` with line coverage measured over every
+module in ``src/repro`` and gates the total against the checked-in
+``COVERAGE_THRESHOLD``.  A JSON record (same shape as the throughput
+benchmarks' records) lands in ``benchmarks/results/coverage.json``.
+
+Two engines, picked automatically:
+
+- **pytest-cov** when installed: ``pytest --cov=repro -m "not slow"``
+  in a subprocess with a JSON report.
+- **stdlib fallback** otherwise (this offline image ships no
+  ``coverage``): a ``sys.settrace`` line tracer filtered to
+  ``src/repro`` files, with the executable-line universe derived from
+  each module's compiled code objects (``co_lines``).  Slower than
+  C-tracer coverage, but dependency-free and within a few percent of
+  it on this suite.
+
+Not a pytest test file on purpose — it *drives* pytest, so collecting
+it from pytest would recurse.  Run it directly::
+
+    PYTHONPATH=src python benchmarks/coverage_check.py
+    PYTHONPATH=src python benchmarks/coverage_check.py --threshold 80
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+import types
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SOURCE_ROOT = os.path.join(REPO_ROOT, "src", "repro")
+RESULT_PATH = os.path.join(REPO_ROOT, "benchmarks", "results", "coverage.json")
+
+#: Checked-in floor for total line coverage of ``repro`` (percent).
+COVERAGE_THRESHOLD = 85.0
+
+#: Arguments of the measured pytest run (the fast tier-1 suite).
+PYTEST_ARGS = ["-q", "-m", "not slow", "-p", "no:cacheprovider"]
+
+
+# ----------------------------------------------------------------------
+# Stdlib engine
+# ----------------------------------------------------------------------
+def source_files() -> list[str]:
+    files = []
+    for root, _dirs, names in os.walk(SOURCE_ROOT):
+        if "__pycache__" in root:
+            continue
+        files.extend(os.path.join(root, name)
+                     for name in names if name.endswith(".py"))
+    return sorted(files)
+
+
+def executable_lines(path: str) -> set[int]:
+    """Line numbers that carry code, from the compiled line tables."""
+    with open(path, encoding="utf-8") as fh:
+        code = compile(fh.read(), path, "exec")
+    lines: set[int] = set()
+    stack = [code]
+    while stack:
+        obj = stack.pop()
+        stack.extend(const for const in obj.co_consts
+                     if isinstance(const, types.CodeType))
+        lines.update(line for _start, _stop, line in obj.co_lines()
+                     if line is not None)
+    return lines
+
+
+def run_with_settrace() -> tuple[int, dict[str, set[int]], dict[str, set[int]]]:
+    """Run pytest in-process under a filtered line tracer."""
+    import threading
+
+    import pytest
+
+    universe = {path: executable_lines(path) for path in source_files()}
+    executed: dict[str, set[int]] = {path: set() for path in universe}
+    # co_filename can differ from our walk (relative sys.path entries);
+    # memoize its resolution instead of calling abspath per event.
+    resolve: dict[str, str | None] = {}
+
+    def canonical(filename: str) -> str | None:
+        if filename not in resolve:
+            absolute = os.path.abspath(filename)
+            resolve[filename] = absolute if absolute in universe else None
+        return resolve[filename]
+
+    def local_trace(frame, event, _arg):
+        if event == "line":
+            path = canonical(frame.f_code.co_filename)
+            if path is not None:
+                executed[path].add(frame.f_lineno)
+        return local_trace
+
+    def global_trace(frame, event, _arg):
+        if event == "call" and canonical(frame.f_code.co_filename):
+            return local_trace
+        return None
+
+    # Serving tests run request handlers on ThreadingHTTPServer
+    # threads; trace those too or the server module reads as dead.
+    threading.settrace(global_trace)
+    sys.settrace(global_trace)
+    try:
+        exit_code = int(pytest.main(PYTEST_ARGS))
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)
+    return exit_code, universe, executed
+
+
+def run_with_pytest_cov() -> tuple[int, dict]:
+    """Run the suite in a subprocess with pytest-cov's JSON report."""
+    import subprocess
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        report = os.path.join(tmp, "coverage.json")
+        command = [sys.executable, "-m", "pytest", *PYTEST_ARGS,
+                   "--cov=repro", f"--cov-report=json:{report}"]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (os.path.join(REPO_ROOT, "src"),
+                        env.get("PYTHONPATH")) if p)
+        proc = subprocess.run(command, cwd=REPO_ROOT, env=env)
+        with open(report) as fh:
+            data = json.load(fh)
+    return proc.returncode, data
+
+
+# ----------------------------------------------------------------------
+def gate(threshold: float) -> int:
+    start = time.perf_counter()
+    try:
+        import pytest_cov  # noqa: F401
+        engine = "pytest-cov"
+    except ImportError:
+        engine = "settrace"
+
+    per_module: dict[str, dict] = {}
+    if engine == "pytest-cov":
+        exit_code, data = run_with_pytest_cov()
+        total_statements = data["totals"]["num_statements"]
+        total_executed = data["totals"]["covered_lines"]
+        for path, entry in data["files"].items():
+            name = os.path.relpath(os.path.abspath(path), REPO_ROOT)
+            per_module[name] = {
+                "statements": entry["summary"]["num_statements"],
+                "executed": entry["summary"]["covered_lines"],
+                "percent": entry["summary"]["percent_covered"],
+            }
+    else:
+        exit_code, universe, executed = run_with_settrace()
+        total_statements = total_executed = 0
+        for path, lines in sorted(universe.items()):
+            hit = executed[path] & lines
+            total_statements += len(lines)
+            total_executed += len(hit)
+            name = os.path.relpath(path, REPO_ROOT)
+            per_module[name] = {
+                "statements": len(lines),
+                "executed": len(hit),
+                "percent": 100.0 * len(hit) / len(lines) if lines else 100.0,
+            }
+
+    percent = (100.0 * total_executed / total_statements
+               if total_statements else 0.0)
+    record = {
+        "benchmark": "coverage",
+        "engine": engine,
+        "pytest_exit_code": exit_code,
+        "statements": total_statements,
+        "executed": total_executed,
+        "percent": percent,
+        "threshold": threshold,
+        "wall_seconds": time.perf_counter() - start,
+        "per_module": per_module,
+    }
+    os.makedirs(os.path.dirname(RESULT_PATH), exist_ok=True)
+    with open(RESULT_PATH, "w") as fh:
+        json.dump(record, fh, indent=2)
+
+    print("BENCH " + json.dumps(
+        {key: record[key] for key in record if key != "per_module"}))
+    worst = sorted(per_module.items(), key=lambda kv: kv[1]["percent"])[:8]
+    print("least-covered modules:")
+    for name, entry in worst:
+        print(f"  {entry['percent']:6.1f}%  {name} "
+              f"({entry['executed']}/{entry['statements']})")
+    print(f"record written to {RESULT_PATH}")
+
+    if exit_code != 0:
+        print(f"FAIL: pytest exited {exit_code}")
+        return exit_code
+    if percent < threshold:
+        print(f"FAIL: total coverage {percent:.2f}% is below the "
+              f"{threshold:.1f}% threshold")
+        return 1
+    print(f"OK: total coverage {percent:.2f}% "
+          f"(threshold {threshold:.1f}%, engine {engine})")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--threshold", type=float, default=COVERAGE_THRESHOLD,
+                        help="minimum total coverage percent "
+                             f"(default {COVERAGE_THRESHOLD})")
+    args = parser.parse_args(argv)
+    return gate(args.threshold)
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    sys.exit(main())

@@ -1,0 +1,125 @@
+"""Streaming ingestion gate: fold-in throughput and staleness.
+
+Measures the incremental-update pipeline end to end on a synthetic
+corpus and gates two properties:
+
+- **throughput** — fold-in updates must sustain at least
+  ``MIN_EVENTS_PER_SEC`` events/second (they touch only the event
+  rows, so they must be orders of magnitude cheaper than retraining);
+- **staleness** — after streaming the newest 20% of training events
+  through :class:`repro.training.online.IncrementalTrainer`, the
+  model's NDCG@10 must sit within ``MAX_NDCG_GAP`` of a full retrain
+  on all events.  The do-nothing baseline (serve the warmup snapshot
+  stale) is recorded alongside to show what fold-in buys.
+
+Everything is seeded, so the recorded numbers — and therefore the
+gates — are deterministic for a given environment.  JSON records land
+in ``benchmarks/results/streaming_throughput.json``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit_bench_records, run_once
+from repro.data.sampling import NegativeSampler
+from repro.data.streaming import prequential_split
+from repro.data.synthetic import make_dataset
+from repro.experiments.registry import build_model
+from repro.training.evaluation import evaluate_topn_grid, prepare_topn_protocol
+from repro.training.online import IncrementalTrainer, OnlineConfig
+from repro.training.trainer import TrainConfig, Trainer
+
+pytestmark = pytest.mark.streaming
+
+SEED = 0
+K = 16
+EPOCHS = 15
+DATASET_SCALE = 0.25
+WARMUP_FRAC = 0.8
+STREAM_BATCH = 64
+FOLD_IN_PASSES = 3
+FOLD_IN_LR = 0.03
+
+#: Incremental NDCG@10 must stay within 5% of a full retrain.
+MAX_NDCG_GAP = 0.05
+#: Fold-in update throughput floor (events/second, all passes counted).
+MIN_EVENTS_PER_SEC = 2000.0
+
+
+def _fit(model, view, seed):
+    sampler = NegativeSampler(view, seed=seed)
+    trainer = Trainer(model, TrainConfig(epochs=EPOCHS, lr=0.03, seed=seed))
+    users, items, labels = sampler.build_pointwise_training_set(
+        np.arange(view.n_interactions), n_neg=2)
+    trainer.fit_pointwise(users, items, labels)
+    return model
+
+
+def _experiment():
+    dataset = make_dataset("movielens", seed=SEED, scale=DATASET_SCALE)
+    train_index, test_users, _test_items, candidates = prepare_topn_protocol(
+        dataset, n_candidates=49, seed=SEED)
+    train_view = dataset.subset(train_index)
+
+    # Reference: full retrain over every training event.
+    full = _fit(build_model("MF", dataset, k=K, seed=SEED), train_view, SEED)
+    ev_full = evaluate_topn_grid(full, dataset, test_users, candidates)
+
+    # Warm start on the oldest 80% (seeded shuffle interleaves users:
+    # this measures drift tracking, not cold-start recovery).
+    warm_index, stream_index = prequential_split(
+        train_view, WARMUP_FRAC, order="shuffled", seed=SEED)
+    warm_view = train_view.subset(warm_index)
+    model = _fit(build_model("MF", dataset, k=K, seed=SEED), warm_view, SEED)
+    ev_stale = evaluate_topn_grid(model, dataset, test_users, candidates)
+
+    # Stream the remaining 20% through fold-in updates, timed.
+    stream_users = train_view.users[stream_index]
+    stream_items = train_view.items[stream_index]
+    trainer = IncrementalTrainer(
+        model, warm_view, OnlineConfig(lr=FOLD_IN_LR, seed=SEED))
+    start = time.perf_counter()
+    for _ in range(FOLD_IN_PASSES):
+        for begin in range(0, stream_users.size, STREAM_BATCH):
+            trainer.update(stream_users[begin:begin + STREAM_BATCH],
+                           stream_items[begin:begin + STREAM_BATCH])
+    elapsed = time.perf_counter() - start
+    ev_incr = evaluate_topn_grid(model, dataset, test_users, candidates)
+
+    events = int(stream_users.size) * FOLD_IN_PASSES
+    return {
+        "benchmark": "streaming_throughput",
+        "dataset": dataset.name,
+        "model": "MF",
+        "seed": SEED,
+        "train_events": int(train_view.n_interactions),
+        "stream_events": int(stream_users.size),
+        "fold_in_passes": FOLD_IN_PASSES,
+        "events_per_sec": events / elapsed,
+        "ndcg_full_retrain": ev_full.ndcg,
+        "ndcg_stale": ev_stale.ndcg,
+        "ndcg_incremental": ev_incr.ndcg,
+        "hr_full_retrain": ev_full.hr,
+        "hr_stale": ev_stale.hr,
+        "hr_incremental": ev_incr.hr,
+        "ndcg_gap": (ev_full.ndcg - ev_incr.ndcg) / ev_full.ndcg,
+        "ndcg_gap_stale": (ev_full.ndcg - ev_stale.ndcg) / ev_full.ndcg,
+        "max_ndcg_gap": MAX_NDCG_GAP,
+        "min_events_per_sec": MIN_EVENTS_PER_SEC,
+    }
+
+
+def test_streaming_throughput_and_staleness(benchmark):
+    record = run_once(benchmark, _experiment)
+    emit_bench_records([record], "streaming_throughput.json")
+
+    assert record["events_per_sec"] >= MIN_EVENTS_PER_SEC, (
+        f"fold-in throughput {record['events_per_sec']:.0f} events/s "
+        f"below the {MIN_EVENTS_PER_SEC:.0f} floor")
+    assert record["ndcg_gap"] <= MAX_NDCG_GAP, (
+        f"incremental NDCG trails full retrain by "
+        f"{record['ndcg_gap']:.1%} (> {MAX_NDCG_GAP:.0%})")
+    # Sanity: fold-in must actually help over serving the snapshot stale.
+    assert record["ndcg_incremental"] > record["ndcg_stale"]

@@ -13,3 +13,9 @@ def pytest_configure(config):
         "training sweeps); deselect with `pytest -m 'not slow'` for the "
         "fast tier-1 suite",
     )
+    config.addinivalue_line(
+        "markers",
+        "streaming: streaming-ingestion / incremental-update subsystem "
+        "tests (repro.data.streaming, repro.training.online); run with "
+        "`pytest -m streaming`",
+    )

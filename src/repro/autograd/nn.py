@@ -37,6 +37,18 @@ class Module:
         for module in self._modules.values():
             yield from module.parameters()
 
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and every descendant (depth-first)."""
+        yield self
+        for module in self._modules.values():
+            yield from module.modules()
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        """Yield ``(dotted name, module)`` for the whole subtree."""
+        yield prefix.rstrip("."), self
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix + name + ".")
+
     def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Tensor]]:
         for name, param in self._parameters.items():
             yield prefix + name, param

@@ -13,10 +13,16 @@ Usage::
 the ``slow`` benchmarks, e.g. ``pytest -m slow benchmarks/``.)
 
     # Online serving (repro.serving): JSON endpoints /recommend,
-    # /healthz and /stats over stdlib http.server.
+    # /update, /healthz and /stats over stdlib http.server.
     python -m repro serve --artifact bundle.npz --port 8765
     python -m repro serve --dataset movielens --model GML-FMmd --epochs 5
+    python -m repro serve --online   # /update folds events into the model
     python -m repro serve --selfcheck # boot + one query + exit 0 (CI gate)
+
+    # Streaming workload: seeded prequential replay (evaluate-then-
+    # train over the event stream with incremental fold-in updates).
+    python -m repro replay --dataset movielens --model MF
+    python -m repro replay --model BPR-MF --warmup 0.7 --refresh-every 2048
 """
 
 from __future__ import annotations
@@ -92,8 +98,39 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-size", type=int, default=1024, dest="cache_size")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request")
+    serve.add_argument("--online", action="store_true",
+                       help="fold /update events into the model incrementally "
+                            "(user-side fold-in; exact per-user cache "
+                            "invalidation)")
     serve.add_argument("--selfcheck", action="store_true",
                        help="boot on a synthetic dataset, issue one query, exit")
+
+    replay = sub.add_parser(
+        "replay",
+        help="prequential replay: evaluate-then-train over the event stream")
+    replay.add_argument("--dataset", default="movielens",
+                        choices=sorted(DATASET_BUILDERS))
+    replay.add_argument("--model", default="MF",
+                        choices=sorted(set(RATING_MODELS) | set(TOPN_MODELS)))
+    replay.add_argument("--scale", default=None, choices=["quick", "full"])
+    replay.add_argument("--seed", type=int, default=0)
+    replay.add_argument("--warmup", type=float, default=0.8,
+                        help="oldest fraction of events trained offline "
+                             "before streaming (default 0.8)")
+    replay.add_argument("--epochs", type=int, default=None,
+                        help="override the scale's warmup epoch count")
+    replay.add_argument("--batch", type=int, default=32,
+                        help="events per evaluate-then-train step")
+    replay.add_argument("--candidates", type=int, default=20,
+                        help="sampled negatives each positive is ranked "
+                             "against")
+    replay.add_argument("--top-k", type=int, default=10, dest="top_k")
+    replay.add_argument("--window", type=int, default=256,
+                        help="events per rolling-metrics window")
+    replay.add_argument("--refresh-every", type=int, default=0,
+                        dest="refresh_every",
+                        help="full-retrain on the accumulated log every N "
+                             "streamed events (0 disables)")
     return parser
 
 
@@ -128,6 +165,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.serving.server import serve_main
 
         return serve_main(args)
+    if args.command == "replay":
+        from repro.experiments.streaming import format_replay, run_replay
+
+        result = run_replay(
+            args.model,
+            args.dataset,
+            scale=get_scale(args.scale),
+            seed=args.seed,
+            warmup_frac=args.warmup,
+            batch_size=args.batch,
+            n_candidates=args.candidates,
+            top_k=args.top_k,
+            window=args.window,
+            epochs=args.epochs,
+            refresh_every=args.refresh_every,
+        )
+        print(format_replay(result))
+        return 0
 
     scale = get_scale(args.scale)
     if args.command == "table3":

@@ -22,6 +22,13 @@ from repro.data.synthetic import (
 from repro.data.splits import leave_one_out_split, random_split
 from repro.data.sampling import NegativeSampler, sample_ranking_candidates
 from repro.data.batching import minibatches
+from repro.data.streaming import (
+    InteractionEvent,
+    InteractionLog,
+    prequential_split,
+    replay_events,
+    replay_order,
+)
 
 __all__ = [
     "FeatureField",
@@ -41,4 +48,9 @@ __all__ = [
     "NegativeSampler",
     "sample_ranking_candidates",
     "minibatches",
+    "InteractionEvent",
+    "InteractionLog",
+    "prequential_split",
+    "replay_events",
+    "replay_order",
 ]

@@ -78,6 +78,35 @@ class NegativeSampler:
             out[collision] = self._membership.kth_free(bad_users, ranks)
         return out
 
+    def sample_for_users_excluding(
+        self, users: np.ndarray, excluded: np.ndarray, n_neg: int
+    ) -> np.ndarray:
+        """Like :meth:`sample_for_users`, but also avoid one per-row item.
+
+        Streaming consumers pair each event ``(users[i], excluded[i])``
+        with sampled negatives; the event's item is typically *absent*
+        from this sampler's (frozen) membership, so a plain draw could
+        return it — cancelling a fold-in update or tying an evaluation
+        candidate row against its own positive.  Colliding entries are
+        redrawn from the same seeded stream for a bounded number of
+        rounds (pathological near-dense users keep the collision
+        rather than looping).
+        """
+        users = np.asarray(users, dtype=np.int64)
+        excluded = np.asarray(excluded, dtype=np.int64)
+        if users.shape != excluded.shape:
+            raise ValueError("users and excluded must be parallel arrays")
+        negatives = self.sample_for_users(users, n_neg)
+        collision = negatives == excluded[:, None]
+        for _ in range(_REJECTION_ROUNDS):
+            if not collision.any():
+                break
+            rows, cols = np.nonzero(collision)
+            negatives[rows, cols] = self.sample_for_users(
+                users[rows], 1).ravel()
+            collision = negatives == excluded[:, None]
+        return negatives
+
     def build_pointwise_training_set(
         self, train_index: np.ndarray, n_neg: int = 2
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:

@@ -25,6 +25,12 @@ from repro.experiments.runner import (
 from repro.experiments.tables import format_table
 from repro.experiments.figures import ascii_chart, run_embedding_size_sweep
 from repro.experiments.significance import compare_models, paired_t_test
+from repro.experiments.streaming import (
+    ReplayResult,
+    ReplayWindow,
+    format_replay,
+    run_replay,
+)
 
 __all__ = [
     "CellSpec",
@@ -45,6 +51,10 @@ __all__ = [
     "run_topn_table",
     "format_table",
     "ascii_chart",
+    "ReplayResult",
+    "ReplayWindow",
+    "format_replay",
+    "run_replay",
     "compare_models",
     "paired_t_test",
 ]

@@ -1,0 +1,333 @@
+"""Prequential (replay) evaluation: evaluate-then-train over a stream.
+
+The paper's tables retrain from frozen snapshots; this runner measures
+the *online* workload instead.  A model is warm-started on the oldest
+``warmup_frac`` of a dataset's interactions, then the remaining events
+replay in timestamp order and each batch is
+
+1. **evaluated first** — the event's true item is ranked against
+   ``n_candidates`` sampled uninteracted items with the *current*
+   model, scoring HR@K / NDCG@K on data the model has never trained on;
+2. **then trained on** — the batch folds into the model through
+   :class:`repro.training.online.IncrementalTrainer`.
+
+The rolling window series shows whether incremental updates keep the
+model fresh as the stream drifts away from the warmup snapshot.
+
+Determinism contract: ``run_replay`` is a pure function of its
+arguments — dataset synthesis, the warmup training run, candidate
+sampling, and every fold-in step all seed from ``seed``, so repeated
+calls return byte-identical metrics (asserted in
+``tests/experiments/test_replay.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.data.dataset import RecDataset
+from repro.data.sampling import NegativeSampler
+from repro.data.streaming import InteractionLog, prequential_split, replay_events
+from repro.data.synthetic import make_dataset
+from repro.experiments.configs import ExperimentScale, get_scale
+from repro.experiments.registry import build_model, is_pairwise
+from repro.models.base import RecommenderModel
+from repro.training.metrics import _positive_ranks
+from repro.training.online import IncrementalTrainer, OnlineConfig
+from repro.training.trainer import TrainConfig, Trainer
+
+@dataclass(frozen=True)
+class ReplayWindow:
+    """Prequential metrics over one rolling window of the stream."""
+
+    events_seen: int
+    hr: float
+    ndcg: float
+    loss: float
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of one prequential replay sweep."""
+
+    model_name: str
+    dataset_name: str
+    seed: int
+    top_k: int
+    n_candidates: int
+    warmup_events: int
+    stream_events: int
+    hr: float
+    ndcg: float
+    events_per_sec: float
+    refreshes: int
+    windows: list[ReplayWindow] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "model": self.model_name,
+            "dataset": self.dataset_name,
+            "seed": self.seed,
+            "top_k": self.top_k,
+            "n_candidates": self.n_candidates,
+            "warmup_events": self.warmup_events,
+            "stream_events": self.stream_events,
+            "hr": self.hr,
+            "ndcg": self.ndcg,
+            "events_per_sec": self.events_per_sec,
+            "refreshes": self.refreshes,
+            "windows": [vars(w) for w in self.windows],
+        }
+
+
+def _sample_eval_candidates(
+    sampler: NegativeSampler, users: np.ndarray, items: np.ndarray,
+    n_candidates: int,
+) -> np.ndarray:
+    """Candidate rows ``[positive | negatives]`` for one event batch.
+
+    The negatives must exclude the row's own positive (the event item
+    is typically unseen at warmup time, so the sampler considers it
+    drawable) — a duplicate would tie against the positive under the
+    pessimistic rank convention and bias HR/NDCG down.
+    """
+    negatives = sampler.sample_for_users_excluding(users, items, n_candidates)
+    return np.concatenate([items.reshape(-1, 1), negatives], axis=1)
+
+
+def fit_offline(
+    model: RecommenderModel,
+    view: RecDataset,
+    config: TrainConfig,
+    pairwise: bool,
+    seed: int,
+) -> None:
+    """Batch-train a model on a view under the shared table protocol
+    (2 sampled negatives per positive, pointwise or BPR).  One helper
+    so warmup and the periodic full refresh cannot drift apart."""
+    sampler = NegativeSampler(view, seed=seed)
+    trainer = Trainer(model, config)
+    rows = np.arange(view.n_interactions)
+    if pairwise:
+        trainer.fit_pairwise(
+            *sampler.build_pairwise_training_set(rows, n_neg=2))
+    else:
+        trainer.fit_pointwise(
+            *sampler.build_pointwise_training_set(rows, n_neg=2))
+
+
+def warmup_model(
+    model_name: str,
+    dataset: RecDataset,
+    warmup_view: RecDataset,
+    scale: ExperimentScale,
+    seed: int = 0,
+    epochs: Optional[int] = None,
+) -> RecommenderModel:
+    """Train a registry model offline on the warmup interactions.
+
+    Mirrors the batch table protocol (sampled negatives, Adam, the
+    per-model tuned learning rate) so the streamed remainder measures
+    pure staleness, not a weaker offline baseline.
+    """
+    from repro.experiments.runner import _train_config
+
+    model = build_model(model_name, dataset, k=scale.k, seed=seed,
+                        train_users=warmup_view.users,
+                        train_items=warmup_view.items)
+    config = _train_config(model_name, scale, seed)
+    if epochs is not None:
+        config = TrainConfig(**{**vars(config), "epochs": epochs})
+    fit_offline(model, warmup_view, config, is_pairwise(model_name), seed)
+    return model
+
+
+def run_replay(
+    model_name: str,
+    dataset: Union[str, RecDataset],
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+    warmup_frac: float = 0.8,
+    batch_size: int = 32,
+    n_candidates: int = 20,
+    top_k: int = 10,
+    window: int = 256,
+    epochs: Optional[int] = None,
+    online_config: Optional[OnlineConfig] = None,
+    refresh_every: int = 0,
+    refresh_epochs: int = 2,
+) -> ReplayResult:
+    """Run one seeded prequential sweep; returns rolling + overall metrics.
+
+    Parameters
+    ----------
+    model_name:
+        Any registry model (all 13 support fold-in).
+    dataset:
+        A dataset key (built at ``scale.dataset_scale``) or a ready
+        :class:`RecDataset`.
+    warmup_frac:
+        Oldest fraction of events trained offline before streaming.
+    batch_size:
+        Events per evaluate-then-train step (micro-batching the stream).
+    n_candidates:
+        Sampled uninteracted items each positive is ranked against.
+    window:
+        Events per rolling-metrics window in the result series.
+    epochs:
+        Override the scale's warmup epoch count (CLI convenience).
+    online_config:
+        Fold-in hyper-parameters; the default tracks both sides with
+        the model's pairwise/pointwise objective and ``seed``.
+    refresh_every / refresh_epochs:
+        When ``refresh_every > 0``, every that-many streamed events the
+        model is fully retrained for ``refresh_epochs`` epochs on the
+        accumulated log snapshot (the periodic full-refresh policy).
+    """
+    scale = scale if scale is not None else get_scale()
+    if isinstance(dataset, str):
+        dataset = make_dataset(dataset, seed=seed, scale=scale.dataset_scale)
+    if not 0.0 < warmup_frac < 1.0:
+        raise ValueError("warmup_frac must be in (0, 1)")
+    if batch_size <= 0 or window <= 0:
+        raise ValueError("batch_size and window must be positive")
+
+    warmup_index, stream_index = prequential_split(dataset, warmup_frac)
+    if stream_index.size == 0:
+        raise ValueError("warmup_frac leaves no events to stream")
+    warmup_view = dataset.subset(warmup_index, "-warmup")
+    model = warmup_model(model_name, dataset, warmup_view, scale,
+                         seed=seed, epochs=epochs)
+
+    if online_config is None:
+        online_config = OnlineConfig(
+            objective="pairwise" if is_pairwise(model_name) else "pointwise",
+            seed=seed,
+            refresh_every=refresh_every,
+        )
+    elif refresh_every:
+        # An explicit config must not silently drop the caller's
+        # refresh policy: merge it in, or refuse a contradiction.
+        if online_config.refresh_every not in (0, refresh_every):
+            raise ValueError(
+                f"refresh_every={refresh_every} conflicts with "
+                f"online_config.refresh_every={online_config.refresh_every}")
+        online_config = replace(online_config, refresh_every=refresh_every)
+
+    def full_refresh(trainer: IncrementalTrainer) -> None:
+        from repro.experiments.runner import _train_config
+
+        refresh_seed = seed + trainer.refreshes + 1
+        # Same tuned per-model protocol as warmup (learning rate,
+        # weight decay), only shorter: a refresh that retrained at
+        # different hyper-parameters would measure a different model.
+        config = _train_config(model_name, scale, refresh_seed)
+        config = TrainConfig(**{**vars(config), "epochs": refresh_epochs})
+        fit_offline(
+            trainer.model,
+            trainer.log.snapshot(name=dataset.name),
+            config,
+            online_config.objective == "pairwise",
+            refresh_seed,
+        )
+
+    log = InteractionLog.from_dataset(warmup_view)
+    trainer = IncrementalTrainer(
+        model, warmup_view, online_config, log=log,
+        refresh_fn=full_refresh if online_config.refresh_every > 0 else None)
+    # Candidates are sampled against the warmup membership (static CSR,
+    # one seeded stream): items the user interacts with *later in the
+    # stream* may appear as negatives, which is the standard
+    # prequential approximation — the evaluator cannot peek ahead.
+    eval_sampler = NegativeSampler(warmup_view, seed=seed + 1)
+
+    hits_total = 0.0
+    gains_total = 0.0
+    seen = 0
+    windows: list[ReplayWindow] = []
+    window_hits = window_gains = window_loss = 0.0
+    window_events = 0
+    start_time = time.perf_counter()
+
+    # The stream is the tail of the same timestamp-ordered replay the
+    # warmup/stream boundary was cut from (replay_order is shared by
+    # prequential_split and replay_events, so the batches line up).
+    total_stream = int(stream_index.size)
+    for users, items, times in replay_events(
+            dataset, batch_size=batch_size, start=int(warmup_index.size)):
+
+        # Evaluate first: rank the true item against sampled negatives
+        # with the model as it stood *before* seeing these events.
+        candidates = _sample_eval_candidates(
+            eval_sampler, users, items, n_candidates)
+        flat_users = np.repeat(users, candidates.shape[1])
+        scores = model.predict(flat_users, candidates.reshape(-1))
+        if not np.isfinite(scores).all():
+            # NaN comparisons are all-False, which _positive_ranks
+            # would read as rank 0 — a destroyed model must fail the
+            # sweep, not report perfect metrics.
+            raise ValueError(
+                f"model scores diverged after {seen} streamed events; "
+                f"lower the fold-in learning rate (OnlineConfig.lr) or "
+                f"enable the refresh policy")
+        ranks = _positive_ranks(scores.reshape(candidates.shape))
+        hits = ranks < top_k
+        gains = np.where(hits, 1.0 / np.log2(ranks + 2.0), 0.0)
+
+        # Then train on the batch.
+        report = trainer.update(users, items, times)
+
+        hits_total += float(hits.sum())
+        gains_total += float(gains.sum())
+        seen += users.size
+        window_hits += float(hits.sum())
+        window_gains += float(gains.sum())
+        window_loss += report.loss * users.size
+        window_events += users.size
+        if window_events >= window or seen >= total_stream:
+            windows.append(ReplayWindow(
+                events_seen=seen,
+                hr=window_hits / window_events,
+                ndcg=window_gains / window_events,
+                loss=window_loss / window_events,
+            ))
+            window_hits = window_gains = window_loss = 0.0
+            window_events = 0
+
+    elapsed = time.perf_counter() - start_time
+    return ReplayResult(
+        model_name=model_name,
+        dataset_name=dataset.name,
+        seed=seed,
+        top_k=top_k,
+        n_candidates=n_candidates,
+        warmup_events=int(warmup_index.size),
+        stream_events=int(stream_index.size),
+        hr=hits_total / seen,
+        ndcg=gains_total / seen,
+        events_per_sec=seen / elapsed if elapsed > 0 else float("inf"),
+        refreshes=trainer.refreshes,
+        windows=windows,
+    )
+
+
+def format_replay(result: ReplayResult) -> str:
+    """Render a replay result as a small report table."""
+    lines = [
+        f"prequential replay: {result.model_name} on {result.dataset_name} "
+        f"(seed {result.seed})",
+        f"warmup {result.warmup_events} events, streamed "
+        f"{result.stream_events} at {result.events_per_sec:.0f} events/s, "
+        f"{result.refreshes} full refreshes",
+        f"{'events':>8s} {'HR@%d' % result.top_k:>8s} "
+        f"{'NDCG@%d' % result.top_k:>8s} {'loss':>8s}",
+    ]
+    for w in result.windows:
+        lines.append(f"{w.events_seen:8d} {w.hr:8.4f} {w.ndcg:8.4f} "
+                     f"{w.loss:8.4f}")
+    lines.append(f"{'overall':>8s} {result.hr:8.4f} {result.ndcg:8.4f}")
+    return "\n".join(lines)

@@ -93,6 +93,34 @@ class RecommenderModel(nn.Module):
         """
         return None
 
+    # -- incremental-update (fold-in) hook -----------------------------
+    #: Whether a user-side fold-in can only move that user's own
+    #: scores.  True for factorization models (a user's row enters no
+    #: other user's score); graph-propagation models override with
+    #: False, and serving then flushes its whole result cache after
+    #: any fold-in instead of only the touched users' entries.
+    fold_in_is_local = True
+
+    def fold_in_targets(
+        self, users: np.ndarray, items: np.ndarray,
+        sides: tuple[str, ...] = ("user", "item"),
+    ) -> list[tuple[Tensor, np.ndarray]]:
+        """Embedding rows a fold-in update may touch for these events.
+
+        Returns ``[(parameter, rows)]`` pairs: for each listed
+        parameter, an incremental trainer
+        (:class:`repro.training.online.IncrementalTrainer`) applies SGD
+        only to the given (unique) rows and leaves every other row —
+        and every non-listed parameter, e.g. MLP/attention weights —
+        frozen.  ``sides`` restricts the update to user-side and/or
+        item-side representations; user-side-only fold-in is what lets
+        a serving cache invalidate exactly the touched users.
+
+        The base implementation returns ``[]``, meaning the model does
+        not support fold-in; both concrete families override it.
+        """
+        return []
+
     def score_grid(self, users: np.ndarray, state) -> np.ndarray:
         """Score ``[len(users), n_items]`` against a precomputed state.
 
@@ -160,6 +188,38 @@ class FeatureRecommender(RecommenderModel):
             indices, values = self._dataset.encode_cached(users, items)
         return lambda batch: self.forward_features(indices[batch], values[batch])
 
+    def fold_in_targets(
+        self, users: np.ndarray, items: np.ndarray,
+        sides: tuple[str, ...] = ("user", "item"),
+    ) -> list[tuple[Tensor, np.ndarray]]:
+        """Rows of every feature-indexed embedding table for the events.
+
+        FM-family models share one feature space across all their
+        lookup tables (pairwise factors, linear weights, TransFM's
+        translations, …), so fold-in touches the *user-id* and
+        *item-id* feature rows of each ``[n_features, ·]`` embedding.
+        Attribute rows are deliberately excluded: they are shared
+        across entities, and updating them from one user's event would
+        silently shift every sibling's scores.
+        """
+        space = self._dataset.feature_space
+        rows = []
+        if "user" in sides:
+            rows.append(space.offset("user")
+                        + np.unique(np.asarray(users, dtype=np.int64)))
+        if "item" in sides:
+            rows.append(space.offset("item")
+                        + np.unique(np.asarray(items, dtype=np.int64)))
+        if not rows:
+            return []
+        row_index = np.concatenate(rows)
+        targets = []
+        for module in self.modules():
+            if (isinstance(module, nn.Embedding)
+                    and module.num_embeddings == self.n_features):
+                targets.append((module.weight, row_index))
+        return targets
+
     def forward(self, indices: np.ndarray, values: np.ndarray) -> Tensor:
         return self.forward_features(indices, values)
 
@@ -177,6 +237,34 @@ class EntityRecommender(RecommenderModel):
 
     def score(self, users: np.ndarray, items: np.ndarray) -> Tensor:
         return self.forward_entities(np.asarray(users), np.asarray(items))
+
+    def fold_in_targets(
+        self, users: np.ndarray, items: np.ndarray,
+        sides: tuple[str, ...] = ("user", "item"),
+    ) -> list[tuple[Tensor, np.ndarray]]:
+        """Per-entity embedding rows, resolved by module naming.
+
+        MF-family models keep one or more ``[n_users, ·]`` tables whose
+        attribute names contain ``user`` (``user_factors``,
+        ``gmf_user``, …) and likewise for items; fold-in updates the
+        event entities' rows of each.  Models with a fused entity table
+        (NGCF) override this.  Dense transforms (NCF's MLP) are never
+        listed — fold-in adjusts representations, not the network.
+        """
+        user_rows = np.unique(np.asarray(users, dtype=np.int64))
+        item_rows = np.unique(np.asarray(items, dtype=np.int64))
+        targets = []
+        for name, module in self.named_modules():
+            if not isinstance(module, nn.Embedding):
+                continue
+            leaf = name.rsplit(".", 1)[-1]
+            if ("user" in sides and "user" in leaf
+                    and module.num_embeddings == self.n_users):
+                targets.append((module.weight, user_rows))
+            elif ("item" in sides and "item" in leaf
+                    and module.num_embeddings == self.n_items):
+                targets.append((module.weight, item_rows))
+        return targets
 
     def forward(self, users: np.ndarray, items: np.ndarray) -> Tensor:
         return self.forward_entities(users, items)

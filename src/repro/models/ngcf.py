@@ -90,6 +90,30 @@ class NGCF(EntityRecommender):
         item_repr = representations[np.asarray(items) + self.n_users]
         return (user_repr * item_repr).sum(axis=-1)
 
+    #: Graph propagation spreads any base-embedding change to every
+    #: entity's representation, so fold-in staleness is not per-user.
+    fold_in_is_local = False
+
+    def fold_in_targets(self, users, items, sides=("user", "item")):
+        """Rows of the fused ``[n_users + n_items, k]`` entity table.
+
+        Users occupy rows ``[0, n_users)`` and items rows
+        ``[n_users, n_users + n_items)``.  Only the base embeddings are
+        folded in; the propagation transforms (``w1``/``w2``) stay
+        frozen, and the training graph is not rebuilt per event —
+        updates reach other entities only through the next
+        :meth:`item_state` refresh.
+        """
+        rows = []
+        if "user" in sides:
+            rows.append(np.unique(np.asarray(users, dtype=np.int64)))
+        if "item" in sides:
+            rows.append(self.n_users
+                        + np.unique(np.asarray(items, dtype=np.int64)))
+        if not rows:
+            return []
+        return [(self.embeddings.weight, np.concatenate(rows))]
+
     # -- batch-serving fast path ---------------------------------------
     # ``forward_entities`` re-propagates the whole graph for every
     # batch; for serving the propagated representations are computed

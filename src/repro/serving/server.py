@@ -3,6 +3,10 @@
 Endpoints (JSON over ``http.server``; no third-party dependencies):
 
 - ``GET /recommend?user=<id>&k=<n>[&exclude_seen=0|1]`` — ranked list
+- ``POST /update`` — ingest observed interactions; body is either one
+  event ``{"user": u, "item": i}`` or a batch
+  ``{"events": [[u, i], ...]}`` (at most ``max_update_batch`` events).
+  With ``--online``, events also fold into the model incrementally.
 - ``GET /healthz`` — liveness probe
 - ``GET /stats`` — service counters (requests, cache hit rate, …)
 
@@ -50,7 +54,9 @@ class RecommendHandler(BaseHTTPRequestHandler):
                 self._recommend(parse_qs(url.query))
             else:
                 self._reply(404, {"error": f"unknown path {url.path!r}"})
-        except ValueError as exc:
+        # OverflowError: ids that pass the int checks but overflow the
+        # int64 arrays — client input invalidity, not a server fault.
+        except (ValueError, OverflowError) as exc:
             self._reply(400, {"error": str(exc)})
         except Exception as exc:  # pragma: no cover - defensive
             self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
@@ -70,6 +76,78 @@ class RecommendHandler(BaseHTTPRequestHandler):
         rec = self.server.service.recommend(user, k=k, exclude_seen=exclude_seen)
         self._reply(200, rec.to_dict())
 
+    # ------------------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        url = urlsplit(self.path)
+        try:
+            if url.path == "/update":
+                self._update(self._read_json())
+            else:
+                self._reply(404, {"error": f"unknown path {url.path!r}"})
+        except (ValueError, OverflowError) as exc:
+            self._reply(400, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - defensive
+            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def _read_json(self) -> dict:
+        """Parse the request body as a JSON object (400 on anything else)."""
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            raise ValueError("invalid Content-Length header") from None
+        limit = self.server.max_body_bytes
+        if length > limit:
+            # Checked before reading: the event-batch cap must bound
+            # memory, not just event counts.
+            raise ValueError(
+                f"request body of {length} bytes exceeds the limit of "
+                f"{limit} bytes")
+        body = self.rfile.read(length) if length > 0 else b""
+        if not body:
+            raise ValueError("empty request body (expected JSON)")
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"malformed JSON body: {exc.msg}") from None
+        if not isinstance(payload, dict):
+            raise ValueError("JSON body must be an object")
+        return payload
+
+    def _update(self, payload: dict) -> None:
+        """Ingest one event or a batch through the attached service."""
+        if "events" in payload:
+            events = payload["events"]
+            if not isinstance(events, list) or not events:
+                raise ValueError("'events' must be a non-empty list")
+            limit = self.server.max_update_batch
+            if len(events) > limit:
+                raise ValueError(
+                    f"batch of {len(events)} events exceeds the limit of "
+                    f"{limit} per request")
+        elif "user" in payload and "item" in payload:
+            # A single event is just a batch of one: share the
+            # validation below.
+            events = [payload]
+        else:
+            raise ValueError(
+                "body must carry 'user' + 'item' or an 'events' list")
+        users, items = [], []
+        for event in events:
+            if isinstance(event, dict):
+                pair = (event.get("user"), event.get("item"))
+            elif isinstance(event, (list, tuple)) and len(event) == 2:
+                pair = tuple(event)
+            else:
+                raise ValueError(
+                    "each event must be {'user': u, 'item': i} or [u, i]")
+            if not all(isinstance(v, int) and not isinstance(v, bool)
+                       for v in pair):
+                raise ValueError("'user' and 'item' must be integers")
+            users.append(pair[0])
+            items.append(pair[1])
+        report = self.server.service.update_interactions(users, items)
+        self._reply(200, report)
+
     def log_message(self, format: str, *args) -> None:
         if getattr(self.server, "verbose", False):
             super().log_message(format, *args)
@@ -82,10 +160,17 @@ class RecommendationServer(ThreadingHTTPServer):
 
     def __init__(self, service: RecommendationService,
                  host: str = "127.0.0.1", port: int = 0,
-                 verbose: bool = False):
+                 verbose: bool = False, max_update_batch: int = 1024,
+                 max_body_bytes: int = 1 << 20):
+        if max_update_batch <= 0:
+            raise ValueError("max_update_batch must be positive")
+        if max_body_bytes <= 0:
+            raise ValueError("max_body_bytes must be positive")
         super().__init__((host, port), RecommendHandler)
         self.service = service
         self.verbose = verbose
+        self.max_update_batch = max_update_batch
+        self.max_body_bytes = max_body_bytes
 
     @property
     def url(self) -> str:
@@ -94,9 +179,13 @@ class RecommendationServer(ThreadingHTTPServer):
 
 
 def build_server(service: RecommendationService, host: str = "127.0.0.1",
-                 port: int = 0, verbose: bool = False) -> RecommendationServer:
+                 port: int = 0, verbose: bool = False,
+                 max_update_batch: int = 1024,
+                 max_body_bytes: int = 1 << 20) -> RecommendationServer:
     """Bind (port 0 = ephemeral) without starting the accept loop."""
-    return RecommendationServer(service, host=host, port=port, verbose=verbose)
+    return RecommendationServer(service, host=host, port=port, verbose=verbose,
+                                max_update_batch=max_update_batch,
+                                max_body_bytes=max_body_bytes)
 
 
 # ----------------------------------------------------------------------
@@ -107,11 +196,31 @@ def _build_service(args) -> RecommendationService:
     from repro.data.synthetic import make_dataset
     from repro.experiments.configs import get_scale
     from repro.experiments.registry import build_model, is_pairwise
+    from repro.training.online import IncrementalTrainer, OnlineConfig
     from repro.training.trainer import TrainConfig, Trainer
 
+    def online_config_for(model_name: str):
+        # Serving default is user-side-only fold-in: cached lists of
+        # untouched users stay exactly valid, so /update invalidates
+        # only the touched users' entries.  Pairwise-trained models
+        # (BPR-MF, NGCF) fold in with BPR steps — squared-loss steps
+        # toward +/-1 would distort their uncalibrated ranking scores.
+        if not getattr(args, "online", False):
+            return None
+        return OnlineConfig(
+            sides=("user",), seed=args.seed,
+            objective="pairwise" if is_pairwise(model_name) else "pointwise")
+
     if args.artifact:
-        return RecommendationService.from_artifact(
+        service = RecommendationService.from_artifact(
             args.artifact, top_k=args.top_k, cache_size=args.cache_size)
+        # The objective depends on the bundled model's name, which is
+        # only known after loading — attach the trainer afterwards.
+        config = online_config_for(service.model_name)
+        if config is not None:
+            service.online = IncrementalTrainer(
+                service.model, service.dataset, config)
+        return service
 
     scale = get_scale(args.scale)
     dataset = make_dataset(args.dataset, seed=args.seed,
@@ -129,7 +238,8 @@ def _build_service(args) -> RecommendationService:
             users, items, labels = sampler.build_pointwise_training_set(index, n_neg=2)
             trainer.fit_pointwise(users, items, labels)
     service = RecommendationService(model, dataset, top_k=args.top_k,
-                                    cache_size=args.cache_size)
+                                    cache_size=args.cache_size,
+                                    online_config=online_config_for(args.model))
     service.model_name = args.model
     return service
 

@@ -23,6 +23,7 @@ from repro.models.base import RecommenderModel
 from repro.serving.cache import LRUCache
 from repro.serving.index import TopKIndex
 from repro.serving.scorer import BatchScorer
+from repro.training.online import IncrementalTrainer, OnlineConfig
 
 
 @dataclass(frozen=True)
@@ -58,6 +59,11 @@ class RecommendationService:
         Users scored per grid block inside a multi-user query.
     scorer_mode:
         Forwarded to :class:`BatchScorer` (``"auto"``/``"exact"``).
+    online:
+        Optional :class:`~repro.training.online.IncrementalTrainer`
+        (or ``online_config`` to build one): arriving interactions then
+        fold into the model instead of only masking, see
+        :meth:`update_interactions`.
     """
 
     def __init__(
@@ -69,6 +75,8 @@ class RecommendationService:
         cache_size: int = 1024,
         user_batch: int = 32,
         scorer_mode: str = "auto",
+        online: Optional[IncrementalTrainer] = None,
+        online_config: Optional[OnlineConfig] = None,
     ):
         if top_k <= 0:
             raise ValueError("top_k must be positive")
@@ -90,6 +98,12 @@ class RecommendationService:
         self.requests = 0
         self.users_scored = 0
         self.interactions_added = 0
+        self.updates_folded_in = 0
+        if online is not None and online_config is not None:
+            raise ValueError("pass online or online_config, not both")
+        if online is None and online_config is not None:
+            online = IncrementalTrainer(model, dataset, online_config)
+        self.online = online
 
     @classmethod
     def from_artifact(cls, path: str, **kwargs) -> "RecommendationService":
@@ -184,16 +198,85 @@ class RecommendationService:
     def add_interaction(self, user: int, item: int) -> bool:
         """Record that ``user`` interacted with ``item``.
 
-        Updates the seen-item mask and invalidates the user's cached
-        lists; model parameters are unchanged (retraining is an offline
-        concern).  Returns False when the pair was already known.
+        Single-event convenience over :meth:`update_interactions`.
+        Returns False when the pair was already known.
         """
+        return self.update_interactions([user], [item])["novel"] > 0
+
+    def update_interactions(
+        self, users: Sequence[int], items: Sequence[int]
+    ) -> dict:
+        """Ingest a batch of observed interactions.
+
+        Always updates the seen-item overlay of the :class:`TopKIndex`
+        (novel pairs only) so future lists stop recommending what the
+        user just consumed.  When an online trainer is attached, the
+        batch additionally *folds into the model*
+        (:meth:`~repro.training.online.IncrementalTrainer.update`) and
+        the scorer's item-side state is refreshed so the next grid
+        evaluation scores with the updated parameters.
+
+        Cache invalidation is as narrow as correctness allows: without
+        fold-in (or with user-side-only fold-in) only the touched
+        users' cached lists drop; item-side fold-in moves every user's
+        scores, so then the whole cache is flushed.
+
+        Malformed batches (ragged, out-of-range ids) are rejected up
+        front with nothing ingested.  If the *fold-in step itself*
+        fails (e.g. :class:`~repro.training.online.FoldInDivergedError`),
+        the events stay recorded in the seen-item overlay and the
+        touched users' cache entries are already dropped — index,
+        cache and model remain mutually consistent — and the error
+        propagates to the caller.
+
+        Returns a report dict (``events``, ``novel``, ``folded_in``,
+        ``invalidated``, and ``loss`` when fold-in ran).
+        """
+        users_arr = np.asarray(users, dtype=np.int64)
+        items_arr = np.asarray(items, dtype=np.int64)
+        if users_arr.shape != items_arr.shape or users_arr.ndim != 1:
+            raise ValueError("users and items must be parallel 1-d sequences")
+        if users_arr.size == 0:
+            raise ValueError("no events supplied")
+        # Whole-batch validation up front: a rejected request must not
+        # leave a partially ingested batch behind.
+        if users_arr.min() < 0 or users_arr.max() >= self.dataset.n_users:
+            raise ValueError("user id out of range")
+        if items_arr.min() < 0 or items_arr.max() >= self.dataset.n_items:
+            raise ValueError("item id out of range")
         with self._lock:
-            novel = self.index.add(user, item)
-            if novel:
-                self.interactions_added += 1
-                self.cache.invalidate(lambda key: key[0] == int(user))
-            return novel
+            novel = 0
+            for user, item in zip(users_arr.tolist(), items_arr.tolist()):
+                novel += bool(self.index.add(user, item))
+            self.interactions_added += novel
+            report = {
+                "events": int(users_arr.size),
+                "novel": novel,
+                "folded_in": False,
+                "invalidated": 0,
+            }
+            touched = set(users_arr.tolist())
+            # Touched users' entries drop *before* fold-in runs: their
+            # seen sets just changed, and doing it now keeps index and
+            # cache consistent even if the fold-in step below raises.
+            if novel or self.online is not None:
+                report["invalidated"] = self.cache.invalidate(
+                    lambda key: key[0] in touched)
+            if self.online is not None:
+                update = self.online.update(users_arr, items_arr)
+                self.updates_folded_in += update.events
+                report["folded_in"] = True
+                report["loss"] = update.loss
+                if (update.item_side_updated
+                        or not getattr(self.model, "fold_in_is_local", True)):
+                    # Item representations moved (or the model is
+                    # non-local, e.g. graph propagation): the item-side
+                    # precompute and every cached list are potentially
+                    # stale.  User-side-only fold-in on a local model
+                    # skips both — item_state provably didn't change.
+                    self.scorer.refresh()
+                    report["invalidated"] += self.cache.invalidate()
+            return report
 
     def stats(self) -> dict:
         """Operational counters for the ``/stats`` endpoint."""
@@ -210,6 +293,8 @@ class RecommendationService:
             "requests": self.requests,
             "users_scored": self.users_scored,
             "interactions_added": self.interactions_added,
+            "online_updates": self.online is not None,
+            "updates_folded_in": self.updates_folded_in,
             "fast_path": self.scorer.uses_fast_path,
             "cache": self.cache.stats(),
         }

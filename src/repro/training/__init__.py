@@ -3,6 +3,12 @@
 from repro.training.losses import bpr_loss, squared_loss
 from repro.training.metrics import hit_ratio, ndcg, rmse
 from repro.training.trainer import TrainConfig, Trainer
+from repro.training.online import (
+    FoldInDivergedError,
+    IncrementalTrainer,
+    OnlineConfig,
+    UpdateReport,
+)
 from repro.training.persistence import load_model, save_model
 from repro.training.recommend import recommend
 from repro.training.evaluation import (
@@ -24,6 +30,10 @@ __all__ = [
     "ndcg",
     "Trainer",
     "TrainConfig",
+    "FoldInDivergedError",
+    "IncrementalTrainer",
+    "OnlineConfig",
+    "UpdateReport",
     "build_rating_instances",
     "evaluate_rating",
     "evaluate_topn",

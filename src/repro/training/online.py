@@ -1,0 +1,306 @@
+"""Incremental (online) model updates: warm-start fold-in training.
+
+Batch training (:class:`repro.training.trainer.Trainer`) rebuilds a
+model from scratch; this module keeps an already-trained model fresh as
+interactions stream in.  Each arriving event triggers one small SGD
+step restricted to the embedding rows the event touches — the model's
+:meth:`~repro.models.base.RecommenderModel.fold_in_targets` hook names
+them — while every dense parameter (MLPs, attention, CIN weights,
+propagation transforms) stays frozen.  This is the classic *fold-in*
+update: cheap (O(touched rows), not O(parameters)), local (only the
+event entities' representations move), and deterministic (the negative
+draws come from a dedicated seeded stream).
+
+A periodic **full-refresh policy** bounds drift: after ``refresh_every``
+ingested events the caller-supplied ``refresh_fn`` runs (typically a
+full retrain on the accumulated :class:`~repro.data.streaming.InteractionLog`
+snapshot), and the trainer's negative sampler is rebuilt from that
+snapshot so sampled negatives respect everything ingested so far.
+
+Determinism contract: for a fixed ``(model state, OnlineConfig, event
+sequence)``, the sequence of parameter updates is byte-identical across
+runs — fold-in draws negatives from its own ``default_rng(seed)``
+stream, runs the model in eval mode (no dropout draws), and applies
+plain masked SGD with no hidden state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.data.dataset import RecDataset
+from repro.data.sampling import NegativeSampler
+from repro.data.streaming import InteractionLog
+from repro.models.base import RecommenderModel
+from repro.training.losses import bpr_loss, squared_loss
+
+_OBJECTIVES = ("pointwise", "pairwise")
+_SIDES = ("user", "item")
+
+
+class FoldInDivergedError(RuntimeError):
+    """A fold-in step produced a non-finite loss and was skipped.
+
+    The model's parameters are untouched by the failed step, but the
+    update stream is clearly unstable: lower ``OnlineConfig.lr`` /
+    ``max_grad`` or refresh the model from a log snapshot.  Not a
+    ``ValueError`` on purpose — transport layers map ``ValueError`` to
+    client errors (HTTP 400), while divergence is server-side model
+    degradation (HTTP 500).
+    """
+
+
+@dataclass(frozen=True)
+class OnlineConfig:
+    """Hyper-parameters of the incremental update path.
+
+    ``sides`` picks which representations fold-in may move:
+    ``("user",)`` keeps item-side state (and therefore every untouched
+    user's scores) bit-stable — the serving default, because it makes
+    per-user cache invalidation exact — while ``("user", "item")``
+    tracks drift on both sides, the prequential-replay default.
+
+    ``max_grad`` clips each accumulated gradient element before the
+    step.  Fold-in gradients are sum-scaled (batch-size-invariant per
+    event), so a popular item appearing in many rows of one batch
+    accumulates a large gradient; unclipped, dense streams can enter a
+    positive feedback loop and blow the embeddings up to overflow.
+    The clip bounds any single update without touching the (small)
+    healthy-regime gradients.
+    """
+
+    lr: float = 0.05
+    n_negatives: int = 2
+    sides: tuple[str, ...] = ("user", "item")
+    objective: str = "pointwise"
+    max_grad: float = 1.0
+    seed: int = 0
+    refresh_every: int = 0
+
+    def __post_init__(self):
+        if self.lr <= 0:
+            raise ValueError("lr must be positive")
+        if self.max_grad <= 0:
+            raise ValueError("max_grad must be positive (use math.inf "
+                             "to disable clipping)")
+        if self.n_negatives < 0:
+            raise ValueError("n_negatives must be non-negative")
+        if self.objective not in _OBJECTIVES:
+            raise ValueError(
+                f"unknown objective {self.objective!r}; options: {_OBJECTIVES}")
+        if self.objective == "pairwise" and self.n_negatives == 0:
+            raise ValueError("pairwise updates need at least one negative")
+        unknown = set(self.sides) - set(_SIDES)
+        if unknown or not self.sides:
+            raise ValueError(
+                f"sides must be a non-empty subset of {_SIDES}, got {self.sides}")
+        if self.refresh_every < 0:
+            raise ValueError("refresh_every must be non-negative")
+
+
+@dataclass
+class UpdateReport:
+    """What one :meth:`IncrementalTrainer.update` call did."""
+
+    events: int
+    loss: float
+    touched_users: np.ndarray = field(repr=False)
+    touched_items: np.ndarray = field(repr=False)
+    sides: tuple[str, ...] = ("user", "item")
+    refreshed: bool = False
+
+    @property
+    def item_side_updated(self) -> bool:
+        """Whether any item-side rows moved (callers invalidating
+        per-user caches must flush everything when this is True)."""
+        return "item" in self.sides or self.refreshed
+
+
+class IncrementalTrainer:
+    """Applies fold-in SGD steps to a trained model as events arrive.
+
+    Parameters
+    ----------
+    model:
+        A trained (warm-started) :class:`RecommenderModel` supporting
+        ``fold_in_targets``; all 13 registry models do.
+    dataset:
+        The snapshot the model was trained on — supplies the negative
+        sampler's membership structure and the feature encoding.
+    config:
+        :class:`OnlineConfig`; defaults are sensible for replay.
+    log:
+        Optional :class:`InteractionLog` to ingest events into
+        (created from ``dataset`` when omitted).  The log is what the
+        full-refresh policy retrains on.
+    refresh_fn:
+        ``refresh_fn(trainer)`` called after every
+        ``config.refresh_every`` ingested events; typically runs a full
+        retrain on ``trainer.log.snapshot()``.  After it returns, the
+        negative sampler is rebuilt from the current log snapshot.
+    """
+
+    def __init__(
+        self,
+        model: RecommenderModel,
+        dataset: RecDataset,
+        config: Optional[OnlineConfig] = None,
+        log: Optional[InteractionLog] = None,
+        refresh_fn: Optional[Callable[["IncrementalTrainer"], None]] = None,
+    ):
+        self.model = model
+        self.dataset = dataset
+        self.config = config if config is not None else OnlineConfig()
+        self.log = log if log is not None else InteractionLog.from_dataset(dataset)
+        self.refresh_fn = refresh_fn
+        empty = np.empty(0, dtype=np.int64)
+        if not model.fold_in_targets(empty, empty, sides=self.config.sides):
+            raise ValueError(
+                f"{type(model).__name__} exposes no fold-in targets for "
+                f"sides={self.config.sides}; incremental updates unsupported")
+        self._sampler = NegativeSampler(dataset, seed=self.config.seed)
+        self.events_seen = 0
+        self.updates_applied = 0
+        self.refreshes = 0
+        self._events_since_refresh = 0
+
+    # ------------------------------------------------------------------
+    def update(
+        self,
+        users: np.ndarray,
+        items: np.ndarray,
+        timestamps: Optional[np.ndarray] = None,
+    ) -> UpdateReport:
+        """Ingest a batch of events and fold them into the model.
+
+        One masked SGD step on the batch: positives (label +1) against
+        ``n_negatives`` freshly sampled uninteracted items each (label
+        -1) under the squared loss, or BPR positive-vs-negative pairs
+        for ``objective="pairwise"``.  Only the embedding rows named by
+        the model's ``fold_in_targets`` move.  Events land in the log
+        *before* the step runs — the observations are real whether or
+        not the gradient step applies, so a failing step (e.g.
+        :class:`FoldInDivergedError`) never leaves the log disagreeing
+        with whatever the caller already recorded (a serving seen-item
+        index, say).  The full-refresh policy fires when due.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        if users.shape != items.shape or users.ndim != 1:
+            raise ValueError("users and items must be parallel 1-d arrays")
+        if users.size == 0:
+            raise ValueError("update called with no events")
+
+        self.log.extend(users, items, timestamps)
+        self.events_seen += users.size
+        self._events_since_refresh += users.size
+
+        config = self.config
+        negatives = self._draw_negatives(users, items)
+        loss_value = self._step(users, items, negatives)
+        self.updates_applied += 1
+
+        refreshed = False
+        if (config.refresh_every > 0
+                and self._events_since_refresh >= config.refresh_every):
+            if self.refresh_fn is not None:
+                self.refresh_fn(self)
+                refreshed = True
+            self.refreshes += 1
+            self._events_since_refresh = 0
+            # Rebuild the sampler over everything ingested so far, so
+            # future negatives respect the accumulated interactions.
+            # The seed folds in the refresh count: deterministic, but a
+            # fresh stream per epoch-of-life.
+            self._sampler = NegativeSampler(
+                self.log.snapshot(), seed=config.seed + self.refreshes)
+
+        return UpdateReport(
+            events=int(users.size),
+            loss=loss_value,
+            touched_users=np.unique(users),
+            touched_items=np.unique(np.concatenate([items, negatives.ravel()])),
+            sides=config.sides,
+            refreshed=refreshed,
+        )
+
+    def _draw_negatives(self, users: np.ndarray,
+                        items: np.ndarray) -> np.ndarray:
+        """Sample per-event negatives, excluding each row's own positive.
+
+        Excluding the positive matters here: a streamed event's item is
+        typically unknown to the frozen membership, and drawing it as
+        its own "negative" would exactly cancel the update for the
+        event being learned ((u, i, +1) against (u, i, -1); zero BPR
+        gradient).  Collisions with *other* previously streamed
+        positives are the standard online approximation, healed by the
+        refresh policy's sampler rebuild.
+        """
+        n_neg = self.config.n_negatives
+        if not n_neg:
+            return np.empty((users.size, 0), dtype=np.int64)
+        return self._sampler.sample_for_users_excluding(users, items, n_neg)
+
+    def _step(self, users: np.ndarray, items: np.ndarray,
+              negatives: np.ndarray) -> float:
+        """One masked SGD step; returns the batch loss."""
+        model = self.model
+        config = self.config
+        n_neg = negatives.shape[1]
+        # Eval mode: fold-in must not draw dropout masks — both for
+        # determinism and because a single-batch update under dropout
+        # is mostly noise.  Gradients still flow.
+        was_training = model.training
+        model.eval()
+        try:
+            model.zero_grad()
+            if config.objective == "pairwise":
+                flat_users = np.repeat(users, n_neg)
+                n_rows = flat_users.size
+                loss = bpr_loss(
+                    model.score(flat_users, np.repeat(items, n_neg)),
+                    model.score(flat_users, negatives.reshape(-1)),
+                )
+            else:
+                all_users = np.concatenate([users, np.repeat(users, n_neg)])
+                all_items = np.concatenate([items, negatives.reshape(-1)])
+                labels = np.concatenate(
+                    [np.ones(users.size), -np.ones(users.size * n_neg)])
+                n_rows = all_users.size
+                loss = squared_loss(model.score(all_users, all_items), labels)
+            # Backprop the *sum* (mean x rows), not the mean: each event
+            # must contribute a fixed-size step to its own rows no
+            # matter how many events share the micro-batch, so the
+            # effective per-event learning rate is batch-size-invariant
+            # (a mean-reduced gradient would shrink fold-in by 1/B and
+            # make large ingestion batches learn nothing).
+            (loss * float(n_rows)).backward()
+            loss_value = float(loss.item())
+            if not np.isfinite(loss_value):
+                # Refuse to touch the parameters with a non-finite
+                # gradient (np.clip passes NaN through): the model
+                # stays intact, only this update is lost.
+                raise FoldInDivergedError(
+                    f"fold-in loss diverged ({loss_value}); lower "
+                    f"OnlineConfig.lr/max_grad or refresh the model "
+                    f"from a snapshot")
+            # Negatives' item rows carry gradient too (they are pushed
+            # down), so they count as touched items.
+            targets = model.fold_in_targets(
+                users, np.concatenate([items, negatives.reshape(-1)]),
+                sides=config.sides,
+            )
+            for param, rows in targets:
+                grad = param.grad
+                if grad is None or rows.size == 0:
+                    continue
+                param.data[rows] -= config.lr * np.clip(
+                    grad[rows], -config.max_grad, config.max_grad)
+            model.zero_grad()
+        finally:
+            if was_training:
+                model.train()
+        return loss_value

@@ -1,0 +1,135 @@
+"""Hypothesis property tests for the shared membership data plane.
+
+:class:`repro.data.membership.UserPositives` now backs negative
+sampling, serving's seen-item masking, and the dataset's positives
+views; these properties pin its contract against a brute-force Python
+``set`` oracle on random CSR corpora — duplicates, empty users, empty
+corpora, single-item catalogues and fully-dense users included.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import RecDataset
+from repro.data.membership import UserPositives
+from repro.data.sampling import NegativeSampler
+
+
+@st.composite
+def corpora(draw):
+    """A random interaction corpus (with duplicates) plus its shape."""
+    n_users = draw(st.integers(1, 8))
+    n_items = draw(st.integers(1, 12))
+    n_rows = draw(st.integers(0, 60))
+    users = draw(st.lists(st.integers(0, n_users - 1),
+                          min_size=n_rows, max_size=n_rows))
+    items = draw(st.lists(st.integers(0, n_items - 1),
+                          min_size=n_rows, max_size=n_rows))
+    return n_users, n_items, np.array(users, dtype=np.int64), \
+        np.array(items, dtype=np.int64)
+
+
+def oracle_sets(n_users, users, items):
+    positives = [set() for _ in range(n_users)]
+    for user, item in zip(users.tolist(), items.tolist()):
+        positives[user].add(item)
+    return positives
+
+
+@settings(max_examples=60, deadline=None)
+@given(corpora())
+def test_contains_agrees_with_python_sets(corpus):
+    n_users, n_items, users, items = corpus
+    membership = UserPositives(n_users, n_items, users, items)
+    oracle = oracle_sets(n_users, users, items)
+    # Every (user, item) cell of the full grid, one vectorized query.
+    grid_users = np.repeat(np.arange(n_users), n_items)
+    grid_items = np.tile(np.arange(n_items), n_users)
+    got = membership.contains(grid_users, grid_items)
+    expected = np.array([item in oracle[user] for user, item
+                         in zip(grid_users, grid_items)])
+    np.testing.assert_array_equal(got, expected)
+
+
+@settings(max_examples=60, deadline=None)
+@given(corpora())
+def test_rows_and_degrees_match_the_oracle(corpus):
+    n_users, n_items, users, items = corpus
+    membership = UserPositives(n_users, n_items, users, items)
+    oracle = oracle_sets(n_users, users, items)
+    np.testing.assert_array_equal(
+        membership.degrees(), [len(s) for s in oracle])
+    assert membership.nnz == sum(len(s) for s in oracle)
+    for user in range(n_users):
+        np.testing.assert_array_equal(
+            membership.row(user), sorted(oracle[user]))
+    assert membership.to_sets() == oracle
+
+
+@settings(max_examples=60, deadline=None)
+@given(corpora())
+def test_kth_free_enumerates_the_exact_complement(corpus):
+    n_users, n_items, users, items = corpus
+    membership = UserPositives(n_users, n_items, users, items)
+    oracle = oracle_sets(n_users, users, items)
+    query_users, query_ranks, expected = [], [], []
+    for user in range(n_users):
+        complement = sorted(set(range(n_items)) - oracle[user])
+        query_users.extend([user] * len(complement))
+        query_ranks.extend(range(len(complement)))
+        expected.extend(complement)
+    free = membership.free_counts(np.arange(n_users))
+    np.testing.assert_array_equal(
+        free, [n_items - len(s) for s in oracle])
+    if query_users:
+        got = membership.kth_free(np.array(query_users, dtype=np.int64),
+                                  np.array(query_ranks, dtype=np.int64))
+        np.testing.assert_array_equal(got, expected)
+        # Round trip: every enumerated item is genuinely uninteracted.
+        assert not membership.contains(
+            np.array(query_users), got).any()
+
+
+@settings(max_examples=40, deadline=None)
+@given(corpora(), st.integers(0, 2 ** 31 - 1), st.integers(1, 4))
+def test_sampled_negatives_are_never_positives(corpus, seed, n_neg):
+    n_users, n_items, users, items = corpus
+    oracle = oracle_sets(n_users, users, items)
+    queryable = np.array([u for u in range(n_users)
+                          if len(oracle[u]) < n_items], dtype=np.int64)
+    if queryable.size == 0 or users.size == 0:
+        return
+    dataset = RecDataset("prop", n_users, n_items, users, items)
+    sampler = NegativeSampler(dataset, seed=seed)
+    negatives = sampler.sample_for_users(queryable, n_neg)
+    assert negatives.shape == (queryable.size, n_neg)
+    for user, row in zip(queryable.tolist(), negatives.tolist()):
+        assert not oracle[user].intersection(row)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 6), st.integers(1, 8), st.data())
+def test_fully_dense_users_raise(n_users, n_items, data):
+    """A user who interacted with the whole catalogue has no negatives."""
+    dense_user = data.draw(st.integers(0, n_users - 1))
+    users = np.full(n_items, dense_user, dtype=np.int64)
+    items = np.arange(n_items, dtype=np.int64)
+    dataset = RecDataset("dense", n_users, n_items, users, items)
+    membership = dataset.membership()
+    assert membership.free_counts(np.array([dense_user]))[0] == 0
+    sampler = NegativeSampler(dataset, seed=0)
+    with pytest.raises(ValueError, match="no negatives exist"):
+        sampler.sample_for_users(np.array([dense_user]), 1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(corpora())
+def test_out_of_range_queries_raise(corpus):
+    n_users, n_items, users, items = corpus
+    membership = UserPositives(n_users, n_items, users, items)
+    with pytest.raises(ValueError):
+        membership.contains(np.array([n_users]), np.array([0]))
+    with pytest.raises(ValueError):
+        membership.contains(np.array([0]), np.array([-1]))

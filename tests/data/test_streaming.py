@@ -1,0 +1,145 @@
+"""InteractionLog growth/snapshots and seeded event replay."""
+
+import numpy as np
+import pytest
+
+from repro.data.streaming import (
+    InteractionLog,
+    prequential_split,
+    replay_events,
+    replay_order,
+)
+from tests.helpers import make_tiny_dataset
+
+pytestmark = pytest.mark.streaming
+
+
+class TestInteractionLog:
+    def test_append_and_views(self):
+        log = InteractionLog(n_users=4, n_items=6, capacity=2)
+        event = log.append(1, 3)
+        assert (event.user, event.item, event.timestamp) == (1, 3, 0)
+        log.append(2, 5, timestamp=17)
+        assert len(log) == 2
+        np.testing.assert_array_equal(log.users, [1, 2])
+        np.testing.assert_array_equal(log.items, [3, 5])
+        np.testing.assert_array_equal(log.timestamps, [0, 17])
+
+    def test_auto_timestamps_continue_the_clock(self):
+        log = InteractionLog(n_users=4, n_items=6)
+        log.append(0, 0, timestamp=41)
+        event = log.append(1, 1)
+        assert event.timestamp == 42
+        assigned = log.extend([2, 3], [2, 3])
+        np.testing.assert_array_equal(assigned, [43, 44])
+
+    def test_auto_timestamps_after_out_of_order_ingest(self):
+        """The clock continues from the max, not the last-stored value,
+        so auto-stamped events replay after everything already seen."""
+        log = InteractionLog(n_users=4, n_items=6)
+        log.extend([0, 1], [0, 1], timestamps=[10, 3])
+        event = log.append(2, 2)
+        assert event.timestamp == 11
+
+    def test_chunked_growth_doubles_capacity(self):
+        log = InteractionLog(n_users=10, n_items=10, capacity=2)
+        for i in range(9):
+            log.append(i % 10, i % 10)
+        assert len(log) == 9
+        # 2 -> 4 -> 8 -> 16: doubling, not per-append reallocation.
+        assert log.capacity == 16
+        np.testing.assert_array_equal(log.users, np.arange(9) % 10)
+
+    def test_views_are_read_only(self):
+        log = InteractionLog(n_users=4, n_items=4)
+        log.append(1, 2)
+        with pytest.raises(ValueError):
+            log.users[0] = 3
+
+    def test_range_validation(self):
+        log = InteractionLog(n_users=3, n_items=3)
+        with pytest.raises(ValueError, match="user id out of range"):
+            log.append(3, 0)
+        with pytest.raises(ValueError, match="item id out of range"):
+            log.append(0, -1)
+        with pytest.raises(ValueError, match="parallel"):
+            log.extend([0, 1], [0])
+        assert len(log) == 0  # failed ingests leave nothing behind
+
+    def test_snapshot_watermarks(self):
+        log = InteractionLog(n_users=5, n_items=5)
+        log.extend([0, 1, 2, 3], [1, 2, 3, 4])
+        early = log.snapshot(upto=2, name="s")
+        full = log.snapshot(name="s")
+        assert early.name == "s@2" and full.name == "s@4"
+        assert early.n_interactions == 2 and full.n_interactions == 4
+        # Snapshots are frozen copies: later ingestion cannot mutate them.
+        log.append(4, 0)
+        assert full.n_interactions == 4
+        np.testing.assert_array_equal(early.users, [0, 1])
+        with pytest.raises(ValueError, match="watermark"):
+            log.snapshot(upto=99)
+
+    def test_from_dataset_round_trip(self):
+        dataset = make_tiny_dataset(seed=0)
+        log = InteractionLog.from_dataset(dataset)
+        assert log.watermark == dataset.n_interactions
+        snap = log.snapshot()
+        np.testing.assert_array_equal(snap.users, dataset.users)
+        np.testing.assert_array_equal(snap.items, dataset.items)
+        np.testing.assert_array_equal(snap.timestamps, dataset.timestamps)
+
+
+class TestReplay:
+    def test_timestamp_order_is_stable_sort(self):
+        dataset = make_tiny_dataset(seed=0)
+        order = replay_order(dataset, "timestamp")
+        times = dataset.timestamps[order]
+        assert (np.diff(times) >= 0).all()
+        # Stable: equal timestamps keep arrival order.
+        np.testing.assert_array_equal(
+            order, np.argsort(dataset.timestamps, kind="stable"))
+
+    def test_replay_batches_cover_everything_once(self):
+        dataset = make_tiny_dataset(seed=1)
+        batches = list(replay_events(dataset, batch_size=7))
+        users = np.concatenate([b[0] for b in batches])
+        assert users.size == dataset.n_interactions
+        order = replay_order(dataset, "timestamp")
+        np.testing.assert_array_equal(users, dataset.users[order])
+
+    def test_shuffled_replay_is_seeded(self):
+        dataset = make_tiny_dataset(seed=0)
+        a = list(replay_events(dataset, batch_size=5, order="shuffled", seed=3))
+        b = list(replay_events(dataset, batch_size=5, order="shuffled", seed=3))
+        c = list(replay_events(dataset, batch_size=5, order="shuffled", seed=4))
+        for (ua, ia, ta), (ub, ib, tb) in zip(a, b):
+            np.testing.assert_array_equal(ua, ub)
+            np.testing.assert_array_equal(ia, ib)
+            np.testing.assert_array_equal(ta, tb)
+        assert any(not np.array_equal(x[0], y[0]) for x, y in zip(a, c))
+
+    def test_replay_start_offset(self):
+        dataset = make_tiny_dataset(seed=0)
+        full = np.concatenate([b[0] for b in replay_events(dataset, 4)])
+        tail = np.concatenate([b[0] for b in replay_events(dataset, 4, start=10)])
+        np.testing.assert_array_equal(tail, full[10:])
+
+    def test_replay_rejects_bad_arguments(self):
+        dataset = make_tiny_dataset(seed=0)
+        with pytest.raises(ValueError, match="unknown order"):
+            replay_order(dataset, "backwards")
+        with pytest.raises(ValueError, match="batch_size"):
+            list(replay_events(dataset, batch_size=0))
+        with pytest.raises(ValueError, match="start"):
+            list(replay_events(dataset, start=10_000))
+
+    def test_prequential_split_partitions_by_time(self):
+        dataset = make_tiny_dataset(seed=0)
+        warmup, stream = prequential_split(dataset, warmup_frac=0.75)
+        assert warmup.size + stream.size == dataset.n_interactions
+        assert warmup.size == int(round(0.75 * dataset.n_interactions))
+        if warmup.size and stream.size:
+            assert dataset.timestamps[warmup].max() <= dataset.timestamps[stream].min()
+        with pytest.raises(ValueError, match="warmup_frac"):
+            prequential_split(dataset, warmup_frac=1.5)

@@ -1,0 +1,231 @@
+"""HTTP error paths: malformed input must map to 4xx, never 500.
+
+The happy-path e2e lives in ``test_http.py``; this module drives every
+rejection branch of the GET and POST handlers over a real socket.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.experiments.registry import build_model
+from repro.serving.server import build_server
+from repro.serving.service import RecommendationService
+from repro.training.online import OnlineConfig
+from tests.helpers import make_tiny_dataset
+
+pytestmark = [pytest.mark.serving, pytest.mark.streaming]
+
+MAX_BATCH = 8
+
+
+@pytest.fixture(scope="module")
+def server():
+    import threading
+
+    dataset = make_tiny_dataset(seed=0)
+    model = build_model("MF", dataset, k=4, seed=0)
+    service = RecommendationService(
+        model, dataset, top_k=3, cache_size=64,
+        online_config=OnlineConfig(sides=("user",), seed=0))
+    server = build_server(service, max_update_batch=MAX_BATCH)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+def get(server, path):
+    try:
+        with urllib.request.urlopen(server.url + path, timeout=10) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def post(server, body, path="/update"):
+    data = body if isinstance(body, bytes) else json.dumps(body).encode()
+    request = urllib.request.Request(
+        server.url + path, data=data, method="POST",
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=10) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestRecommendErrors:
+    def test_missing_user(self, server):
+        status, payload = get(server, "/recommend")
+        assert status == 400
+        assert "user" in payload["error"]
+
+    def test_non_integer_user(self, server):
+        status, payload = get(server, "/recommend?user=alice")
+        assert status == 400
+        assert "integer" in payload["error"]
+
+    def test_unknown_user_id(self, server):
+        status, payload = get(server, "/recommend?user=100000")
+        assert status == 400
+        assert "out of range" in payload["error"]
+
+    def test_negative_user_id(self, server):
+        status, _ = get(server, "/recommend?user=-1")
+        assert status == 400
+
+    def test_non_integer_k(self, server):
+        status, _ = get(server, "/recommend?user=0&k=ten")
+        assert status == 400
+
+    def test_int64_overflow_user_is_a_client_error(self, server):
+        status, _ = get(server, f"/recommend?user={2 ** 70}")
+        assert status == 400
+
+    def test_non_positive_k(self, server):
+        status, payload = get(server, "/recommend?user=0&k=0")
+        assert status == 400
+        assert "top_k" in payload["error"]
+
+    def test_oversized_k(self, server):
+        status, payload = get(server, "/recommend?user=0&k=10000")
+        assert status == 400
+        assert "top_k" in payload["error"]
+
+    def test_unknown_path(self, server):
+        status, _ = get(server, "/nope")
+        assert status == 404
+
+
+class TestUpdateErrors:
+    def test_malformed_json(self, server):
+        status, payload = post(server, b"{oops")
+        assert status == 400
+        assert "malformed JSON" in payload["error"]
+
+    def test_empty_body(self, server):
+        status, payload = post(server, b"")
+        assert status == 400
+        assert "empty request body" in payload["error"]
+
+    def test_non_object_body(self, server):
+        status, payload = post(server, b"[1, 2]")
+        assert status == 400
+        assert "object" in payload["error"]
+
+    def test_missing_fields(self, server):
+        status, payload = post(server, {"user": 0})
+        assert status == 400
+        assert "events" in payload["error"]
+
+    def test_non_integer_ids(self, server):
+        for body in ({"user": "0", "item": 1},
+                     {"user": 0, "item": 1.5},
+                     {"user": True, "item": 1}):
+            status, payload = post(server, body)
+            assert status == 400
+            assert "integer" in payload["error"]
+
+    def test_unknown_user_id(self, server):
+        status, payload = post(server, {"user": 100000, "item": 0})
+        assert status == 400
+        assert "out of range" in payload["error"]
+
+    def test_unknown_item_id(self, server):
+        status, payload = post(server, {"user": 0, "item": 100000})
+        assert status == 400
+        assert "out of range" in payload["error"]
+
+    def test_int64_overflow_ids_are_a_client_error(self, server):
+        status, _ = post(server, {"user": 2 ** 70, "item": 0})
+        assert status == 400
+
+    def test_empty_events_list(self, server):
+        status, payload = post(server, {"events": []})
+        assert status == 400
+        assert "non-empty" in payload["error"]
+
+    def test_bad_event_shape(self, server):
+        status, payload = post(server, {"events": [[0, 1, 2]]})
+        assert status == 400
+        assert "each event" in payload["error"]
+
+    def test_oversized_body_rejected_before_parsing(self, server):
+        """The byte cap must bound memory, not just event counts."""
+        padding = "x" * (server.max_body_bytes + 1)
+        status, payload = post(server, {"user": 0, "item": 1,
+                                        "padding": padding})
+        assert status == 400
+        assert "bytes exceeds" in payload["error"]
+
+    def test_oversized_batch(self, server):
+        events = [[0, 1]] * (MAX_BATCH + 1)
+        status, payload = post(server, {"events": events})
+        assert status == 400
+        assert "exceeds the limit" in payload["error"]
+
+    def test_bad_batch_rejected_atomically(self, server):
+        """A batch with one bad id must not partially ingest."""
+        before = server.service.stats()["interactions_added"]
+        status, _ = post(server, {"events": [[0, 2], [0, 100000]]})
+        assert status == 400
+        assert server.service.stats()["interactions_added"] == before
+
+    def test_post_unknown_path(self, server):
+        status, _ = post(server, {"user": 0, "item": 1}, path="/recommend")
+        assert status == 404
+
+
+class TestOnlineConfigSelection:
+    def test_serve_online_uses_the_model_objective(self):
+        """`serve --online` must fold in pairwise-trained models with
+        BPR steps, not squared loss toward ±1."""
+        import argparse
+
+        from repro.serving.server import _build_service
+
+        def args_for(model):
+            return argparse.Namespace(
+                artifact=None, dataset="amazon-auto", model=model,
+                scale="quick", seed=0, k=4, epochs=0, top_k=5,
+                cache_size=16, online=True)
+
+        assert _build_service(
+            args_for("BPR-MF")).online.config.objective == "pairwise"
+        assert _build_service(
+            args_for("MF")).online.config.objective == "pointwise"
+
+
+class TestUpdateHappyPath:
+    def test_single_event_folds_in(self, server):
+        status, payload = post(server, {"user": 1, "item": 2})
+        assert status == 200
+        assert payload["events"] == 1
+        assert payload["folded_in"] is True
+        assert "loss" in payload
+
+    def test_batch_events_list_of_pairs_and_dicts(self, server):
+        status, payload = post(
+            server, {"events": [[2, 3], {"user": 3, "item": 4}]})
+        assert status == 200
+        assert payload["events"] == 2
+
+    def test_update_invalidates_only_touched_users(self, server):
+        service = server.service
+        get(server, "/recommend?user=4")
+        get(server, "/recommend?user=5")
+        assert (4, 3, True) in service.cache and (5, 3, True) in service.cache
+        item = int(get(server, "/recommend?user=4")[1]["items"][0])
+        status, payload = post(server, {"user": 4, "item": item})
+        assert status == 200
+        # User-side fold-in: user 4's entry dropped, user 5's survives.
+        assert (4, 3, True) not in service.cache
+        assert (5, 3, True) in service.cache
+
+    def test_stats_count_fold_ins(self, server):
+        assert server.service.stats()["updates_folded_in"] > 0
+        assert server.service.stats()["online_updates"] is True

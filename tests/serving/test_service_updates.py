@@ -1,0 +1,151 @@
+"""RecommendationService.update_interactions: fold-in + invalidation."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.registry import build_model
+from repro.serving.service import RecommendationService
+from repro.training.online import IncrementalTrainer, OnlineConfig
+from tests.helpers import make_tiny_dataset
+
+pytestmark = [pytest.mark.serving, pytest.mark.streaming]
+
+
+@pytest.fixture
+def dataset():
+    return make_tiny_dataset(seed=0)
+
+
+def _service(dataset, **kwargs):
+    model = build_model("MF", dataset, k=4, seed=0)
+    return RecommendationService(model, dataset, top_k=3, cache_size=64,
+                                 **kwargs)
+
+
+class TestWithoutOnlineTrainer:
+    def test_add_interaction_still_masks_and_invalidates(self, dataset):
+        service = _service(dataset)
+        rec = service.recommend(0)
+        target = int(rec.items[0])
+        assert service.add_interaction(0, target) is True
+        assert service.add_interaction(0, target) is False  # now known
+        rec2 = service.recommend(0)
+        assert target not in rec2.items
+
+    def test_update_without_trainer_reports_no_fold_in(self, dataset):
+        service = _service(dataset)
+        report = service.update_interactions([0, 1], [2, 3])
+        assert report["folded_in"] is False
+        assert "loss" not in report
+
+    def test_known_pair_is_not_novel(self, dataset):
+        service = _service(dataset)
+        user, item = int(dataset.users[0]), int(dataset.items[0])
+        report = service.update_interactions([user], [item])
+        assert report["novel"] == 0
+
+
+class TestWithOnlineTrainer:
+    def test_fold_in_changes_the_served_scores(self, dataset):
+        service = _service(
+            dataset, online_config=OnlineConfig(sides=("user",), seed=0))
+        before = service.recommend(0, exclude_seen=False).scores.copy()
+        for _ in range(5):
+            service.update_interactions([0], [int(dataset.items[0])])
+        service.cache.invalidate()
+        after = service.recommend(0, exclude_seen=False).scores
+        assert not np.array_equal(before, after)
+
+    def test_user_side_fold_in_keeps_other_users_stable(self, dataset):
+        service = _service(
+            dataset, online_config=OnlineConfig(sides=("user",), seed=0))
+        other_before = service.recommend(5, exclude_seen=False)
+        service.update_interactions([0], [3])
+        assert (5, 3, False) in service.cache  # untouched user kept
+        service.cache.invalidate()
+        other_after = service.recommend(5, exclude_seen=False)
+        # User-side-only fold-in cannot move an untouched user's scores.
+        np.testing.assert_array_equal(other_before.scores, other_after.scores)
+
+    def test_item_side_fold_in_flushes_the_whole_cache(self, dataset):
+        service = _service(
+            dataset,
+            online_config=OnlineConfig(sides=("user", "item"), seed=0))
+        service.recommend(5)
+        assert (5, 3, True) in service.cache
+        report = service.update_interactions([0], [3])
+        assert report["folded_in"] is True
+        assert (5, 3, True) not in service.cache
+
+    def test_user_side_fold_in_skips_the_item_state_rebuild(self, dataset):
+        """item_state is untouched by user-side updates on a local
+        model, so the scorer must not pay a rebuild per event."""
+        service = _service(
+            dataset, online_config=OnlineConfig(sides=("user",), seed=0))
+        state = service.scorer._state
+        service.update_interactions([0], [3])
+        assert service.scorer._state is state
+
+    def test_item_side_fold_in_refreshes_the_scorer(self, dataset):
+        service = _service(
+            dataset,
+            online_config=OnlineConfig(sides=("user", "item"), seed=0))
+        state = service.scorer._state
+        service.update_interactions([0], [3])
+        assert service.scorer._state is not state
+
+    def test_non_local_model_flushes_the_whole_cache(self, dataset):
+        """NGCF propagates updates to every entity, so even user-side
+        fold-in must invalidate all cached lists."""
+        model = build_model("NGCF", dataset, k=4, seed=0,
+                            train_users=dataset.users,
+                            train_items=dataset.items)
+        service = RecommendationService(
+            model, dataset, top_k=3, cache_size=64,
+            online_config=OnlineConfig(sides=("user",), seed=0))
+        service.recommend(5)
+        assert (5, 3, True) in service.cache
+        service.update_interactions([0], [3])
+        assert (5, 3, True) not in service.cache
+
+    def test_explicit_trainer_and_config_conflict(self, dataset):
+        model = build_model("MF", dataset, k=4, seed=0)
+        trainer = IncrementalTrainer(model, dataset, OnlineConfig(seed=0))
+        with pytest.raises(ValueError, match="not both"):
+            RecommendationService(model, dataset, online=trainer,
+                                  online_config=OnlineConfig(seed=0))
+
+    def test_update_report_counts(self, dataset):
+        service = _service(
+            dataset, online_config=OnlineConfig(sides=("user",), seed=0))
+        report = service.update_interactions([0, 0], [3, 3])
+        assert report["events"] == 2
+        assert report["novel"] <= 1  # duplicate within the batch
+        assert service.stats()["updates_folded_in"] == 2
+
+    def test_failed_fold_in_leaves_index_and_cache_consistent(self, dataset):
+        """If the fold-in step raises, the events stay in the seen
+        overlay and the touched user's stale cache entry is already
+        gone — the cache may never serve a just-consumed item."""
+        service = _service(
+            dataset, online_config=OnlineConfig(sides=("user",), seed=0))
+        rec = service.recommend(0)
+        target = int(rec.items[0])
+        assert (0, 3, True) in service.cache
+
+        def boom(users, items, timestamps=None):
+            raise RuntimeError("simulated fold-in failure")
+
+        service.online.update = boom
+        with pytest.raises(RuntimeError, match="simulated"):
+            service.update_interactions([0], [target])
+        assert (0, 3, True) not in service.cache
+        assert target in service.index.seen(0)
+
+    def test_rejects_empty_and_ragged_batches(self, dataset):
+        service = _service(
+            dataset, online_config=OnlineConfig(sides=("user",), seed=0))
+        with pytest.raises(ValueError, match="no events"):
+            service.update_interactions([], [])
+        with pytest.raises(ValueError, match="parallel"):
+            service.update_interactions([0, 1], [2])

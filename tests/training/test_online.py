@@ -1,0 +1,245 @@
+"""IncrementalTrainer: fold-in locality, determinism, refresh policy."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.registry import RATING_MODELS, TOPN_MODELS, build_model
+from repro.models.base import RecommenderModel
+from repro.training.online import (
+    FoldInDivergedError,
+    IncrementalTrainer,
+    OnlineConfig,
+)
+from tests.helpers import make_tiny_dataset
+
+pytestmark = pytest.mark.streaming
+
+ALL_MODELS = sorted(set(RATING_MODELS) | set(TOPN_MODELS))
+
+
+def _build(name, dataset, seed=0):
+    return build_model(name, dataset, k=4, seed=seed,
+                       train_users=dataset.users, train_items=dataset.items)
+
+
+@pytest.fixture
+def dataset():
+    return make_tiny_dataset(seed=0)
+
+
+@pytest.fixture
+def events(dataset):
+    return dataset.users[:6].copy(), dataset.items[:6].copy()
+
+
+class TestFoldInTargets:
+    @pytest.mark.parametrize("name", ALL_MODELS)
+    def test_every_registry_model_exposes_targets(self, name, dataset):
+        model = _build(name, dataset)
+        empty = np.empty(0, dtype=np.int64)
+        targets = model.fold_in_targets(empty, empty)
+        assert targets, f"{name} must support fold-in"
+        for param, rows in targets:
+            assert rows.size == 0
+            assert param.requires_grad
+
+    def test_base_model_opts_out(self):
+        assert RecommenderModel().fold_in_targets(
+            np.array([0]), np.array([0])) == []
+
+    def test_sides_restrict_targets(self, dataset):
+        model = _build("MF", dataset)
+        users = np.array([1, 2])
+        items = np.array([3, 4])
+        names = {id(p): n for n, p in model.named_parameters()}
+        user_only = {names[id(p)] for p, _ in
+                     model.fold_in_targets(users, items, sides=("user",))}
+        assert user_only == {"user_factors.weight", "user_bias.weight"}
+        item_only = {names[id(p)] for p, _ in
+                     model.fold_in_targets(users, items, sides=("item",))}
+        assert item_only == {"item_factors.weight", "item_bias.weight"}
+
+
+class TestIncrementalUpdate:
+    @pytest.mark.parametrize("name", ["MF", "LibFM", "NGCF"])
+    def test_update_touches_only_event_rows(self, name, dataset, events):
+        users, items = events
+        model = _build(name, dataset)
+        before = {k: v.copy() for k, v in model.state_dict().items()}
+        trainer = IncrementalTrainer(
+            model, dataset, OnlineConfig(seed=5, n_negatives=0))
+        trainer.update(users, items)
+        after = model.state_dict()
+        touched_rows = {}
+        for param, rows in model.fold_in_targets(users, items):
+            for pname, p in model.named_parameters():
+                if p is param:
+                    touched_rows[pname] = rows
+        assert touched_rows
+        for pname in before:
+            if pname not in touched_rows:
+                np.testing.assert_array_equal(
+                    before[pname], after[pname],
+                    err_msg=f"{pname} must stay frozen")
+            else:
+                rows = touched_rows[pname]
+                mask = np.ones(before[pname].shape[0], dtype=bool)
+                mask[rows] = False
+                np.testing.assert_array_equal(
+                    before[pname][mask], after[pname][mask],
+                    err_msg=f"untouched rows of {pname} must stay frozen")
+                assert not np.array_equal(before[pname][rows],
+                                          after[pname][rows])
+
+    def test_updates_are_byte_reproducible(self, dataset, events):
+        users, items = events
+        states = []
+        for _ in range(2):
+            model = _build("GML-FMmd", dataset)
+            trainer = IncrementalTrainer(model, dataset, OnlineConfig(seed=9))
+            for start in range(0, users.size, 2):
+                trainer.update(users[start:start + 2], items[start:start + 2])
+            states.append(model.state_dict())
+        for key in states[0]:
+            np.testing.assert_array_equal(states[0][key], states[1][key])
+
+    def test_seed_changes_the_update(self, dataset, events):
+        users, items = events
+        results = []
+        for seed in (0, 1):
+            model = _build("MF", dataset)
+            IncrementalTrainer(model, dataset,
+                               OnlineConfig(seed=seed)).update(users, items)
+            results.append(model.state_dict())
+        assert any(not np.array_equal(results[0][k], results[1][k])
+                   for k in results[0])
+
+    def test_pairwise_objective(self, dataset, events):
+        users, items = events
+        model = _build("BPR-MF", dataset)
+        trainer = IncrementalTrainer(
+            model, dataset, OnlineConfig(objective="pairwise", seed=2))
+        report = trainer.update(users, items)
+        assert report.events == users.size
+        assert np.isfinite(report.loss)
+
+    def test_events_land_in_the_log(self, dataset, events):
+        users, items = events
+        model = _build("MF", dataset)
+        trainer = IncrementalTrainer(model, dataset, OnlineConfig(seed=0))
+        base = trainer.log.watermark
+        trainer.update(users, items)
+        assert trainer.log.watermark == base + users.size
+        np.testing.assert_array_equal(trainer.log.users[-users.size:], users)
+
+    def test_eval_mode_is_restored(self, dataset, events):
+        users, items = events
+        model = _build("NFM", dataset)  # has dropout layers
+        trainer = IncrementalTrainer(model, dataset, OnlineConfig(seed=0))
+        model.train()
+        trainer.update(users, items)
+        assert model.training
+        model.eval()
+        trainer.update(users, items)
+        assert not model.training
+
+    def test_training_negatives_never_collide_with_their_positive(
+            self, dataset):
+        """A streamed item unknown to the frozen membership must not be
+        drawn as its own negative — that would cancel the update."""
+        model = _build("MF", dataset)
+        trainer = IncrementalTrainer(
+            model, dataset, OnlineConfig(seed=0, n_negatives=3))
+        membership = dataset.membership()
+        users = dataset.users[:10]
+        # Worst case: every event item is uninteracted, so the sampler
+        # considers it a valid negative for that user.
+        items = membership.kth_free(users, np.zeros(users.size, dtype=np.int64))
+        for _ in range(5):
+            negatives = trainer._draw_negatives(users, items)
+            assert not (negatives == items[:, None]).any()
+
+    def test_gradient_clipping_bounds_the_step(self, dataset, events):
+        """One update's row delta can never exceed lr * max_grad."""
+        users, items = events
+        model = _build("MF", dataset)
+        before = {k: v.copy() for k, v in model.state_dict().items()}
+        config = OnlineConfig(lr=0.5, max_grad=0.01, seed=0)
+        IncrementalTrainer(model, dataset, config).update(users, items)
+        for key, after in model.state_dict().items():
+            assert np.abs(after - before[key]).max() <= (
+                config.lr * config.max_grad + 1e-12)
+
+    def test_diverged_loss_raises_without_corrupting_params(self, dataset,
+                                                            events):
+        users, items = events
+        model = _build("MF", dataset)
+        # Force a non-finite loss: squared loss on astronomically large
+        # scores overflows float64.
+        model.user_factors.weight.data[:] = 1e200
+        before = {k: v.copy() for k, v in model.state_dict().items()}
+        trainer = IncrementalTrainer(model, dataset, OnlineConfig(seed=0))
+        watermark = trainer.log.watermark
+        with np.errstate(over="ignore", invalid="ignore"), \
+                pytest.raises(FoldInDivergedError, match="diverged"):
+            trainer.update(users, items)
+        # Not a ValueError: transports map ValueError to client errors,
+        # and divergence is server-side degradation.
+        assert not issubclass(FoldInDivergedError, ValueError)
+        # The observations are real even though the step failed: the
+        # log must stay consistent with any caller-side seen index.
+        assert trainer.log.watermark == watermark + users.size
+        for key, after in model.state_dict().items():
+            np.testing.assert_array_equal(before[key], after)
+
+    def test_rejects_unsupported_model(self, dataset):
+        with pytest.raises(ValueError, match="fold-in"):
+            IncrementalTrainer(RecommenderModel(), dataset)
+
+    def test_rejects_empty_update(self, dataset):
+        trainer = IncrementalTrainer(_build("MF", dataset), dataset)
+        with pytest.raises(ValueError, match="no events"):
+            trainer.update(np.empty(0, dtype=np.int64),
+                           np.empty(0, dtype=np.int64))
+
+
+class TestRefreshPolicy:
+    def test_refresh_fires_every_n_events(self, dataset):
+        model = _build("MF", dataset)
+        calls = []
+        trainer = IncrementalTrainer(
+            model, dataset, OnlineConfig(seed=0, refresh_every=4),
+            refresh_fn=lambda t: calls.append(t.events_seen))
+        users, items = dataset.users[:2], dataset.items[:2]
+        reports = [trainer.update(users, items) for _ in range(5)]
+        # 10 events with refresh_every=4: refresh after events 4 and 8.
+        assert calls == [4, 8]
+        assert [r.refreshed for r in reports] == [False, True, False, True, False]
+        assert trainer.refreshes == 2
+
+    def test_refresh_rebuilds_the_sampler_from_the_log(self, dataset):
+        model = _build("MF", dataset)
+        trainer = IncrementalTrainer(
+            model, dataset, OnlineConfig(seed=0, refresh_every=2),
+            refresh_fn=lambda t: None)
+        before = trainer._sampler
+        trainer.update(dataset.users[:2], dataset.items[:2])
+        after = trainer._sampler
+        assert after is not before
+        assert after.dataset.n_interactions == trainer.log.watermark
+
+
+class TestOnlineConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"lr": 0.0},
+        {"n_negatives": -1},
+        {"objective": "ranking"},
+        {"objective": "pairwise", "n_negatives": 0},
+        {"sides": ()},
+        {"sides": ("user", "catalogue")},
+        {"refresh_every": -5},
+        {"max_grad": 0.0},
+    ])
+    def test_rejects_bad_config(self, kwargs):
+        with pytest.raises(ValueError):
+            OnlineConfig(**kwargs)
