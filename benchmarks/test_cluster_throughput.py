@@ -1,0 +1,189 @@
+"""Cluster + ANN serving throughput: JSON records and gates.
+
+Two records land in ``benchmarks/results/cluster_throughput.json``
+(or ``REPRO_BENCH_JSON``):
+
+- ``cluster_throughput`` — a live single-process HTTP server vs a
+  sharded :class:`~repro.serving.cluster.ServingCluster` under the
+  seeded Zipf load harness (:mod:`tests.serving.loadgen`): req/s and
+  p50/p99 latency for both deployments.  **Gate**: sharded ≥ 2× the
+  single process's req/s — enforced only when the runner has ≥ 2 CPU
+  cores (shard workers are processes; a single-core box caps the whole
+  fleet at one core of scoring, so the record is still written but the
+  gate is marked skipped).
+- ``ann_retrieval`` — IVF candidate retrieval vs exact full-grid
+  scoring on the large synthetic corpus: candidate recall@10 against
+  the exact top-10 and the end-to-end scoring speedup
+  (score + mask + rank, identical blocks).  **Gates**: recall ≥ 0.95
+  and speedup ≥ 5× — both unconditional.
+
+The ANN operating point (``n_clusters ≈ √n``, ``probes = 3``) scans
+under a tenth of the catalogue; the recall-safe *default* probe count
+is far more conservative (half the clusters — see
+:mod:`repro.serving.ann`), so this record doubles as the documented
+recall/latency trade-off measurement.
+"""
+
+import json
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_dataset
+from repro.experiments.registry import build_model
+from repro.serving import RecommendationService, ServingCluster, build_server
+from repro.serving.ann import ANNConfig
+from repro.serving.index import TopKIndex
+from repro.serving.scorer import BatchScorer
+from conftest import emit_bench_records, time_best
+from tests.serving.loadgen import drive, zipf_users
+
+pytestmark = [pytest.mark.serving, pytest.mark.cluster]
+
+MODEL = "BPR-MF"
+TOP_K = 10
+N_REQUESTS = 300
+N_CLIENTS = 8
+ANN_CLUSTERS = 40
+ANN_PROBES = 3
+SHARD_GATE = 2.0
+ANN_RECALL_GATE = 0.95
+ANN_SPEEDUP_GATE = 5.0
+
+
+def _cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _drive_deployment(front, schedule) -> dict:
+    server = build_server(front)
+    accept = threading.Thread(target=server.serve_forever, daemon=True)
+    accept.start()
+    try:
+        result = drive(server.url, schedule, n_threads=N_CLIENTS, k=TOP_K)
+    finally:
+        server.shutdown()
+        server.server_close()
+    assert result.errors == [], result.errors[:3]
+    return result.summary()
+
+
+def measure_sharded(model, dataset, cores) -> dict:
+    schedule = zipf_users(dataset.n_users, N_REQUESTS, seed=0)
+    # cache_size=0 forces real scoring per request — the throughput
+    # comparison must measure compute, not two LRU caches racing.
+    factory = lambda: RecommendationService(  # noqa: E731
+        model, dataset, top_k=TOP_K, cache_size=0)
+
+    single = _drive_deployment(factory(), schedule)
+    n_shards = min(4, cores) if cores >= 2 else 2
+    with ServingCluster(factory, n_shards=n_shards) as cluster:
+        sharded = _drive_deployment(cluster, schedule)
+
+    record = {
+        "benchmark": "cluster_throughput",
+        "model": MODEL,
+        "n_users": dataset.n_users,
+        "n_items": dataset.n_items,
+        "requests": N_REQUESTS,
+        "clients": N_CLIENTS,
+        "cores": cores,
+        "shards": n_shards,
+        "single": single,
+        "sharded": sharded,
+        "speedup_req_per_sec": sharded["req_per_sec"] / single["req_per_sec"],
+        "gate": (f">= {SHARD_GATE}x req/s" if cores >= 2
+                 else "skipped (single-core runner: worker counts are "
+                      "capped by available cores)"),
+    }
+    return record
+
+
+def measure_ann(model, dataset) -> dict:
+    scorer = BatchScorer(model, dataset,
+                         ann=ANNConfig(n_clusters=ANN_CLUSTERS,
+                                       probes=ANN_PROBES, seed=0))
+    assert scorer.ann_active
+    index = TopKIndex.from_dataset(dataset)
+    users = np.arange(min(256, dataset.n_users), dtype=np.int64)
+
+    def run_exact():
+        scores = scorer.score(users)
+        index.mask_seen(scores, users)
+        return index.topk(scores, TOP_K)
+
+    def run_ann():
+        cand = scorer.ann_candidates(users)
+        scores = scorer.score_listed(users, cand)
+        scores[index.pair_seen(users, cand)] = -np.inf
+        cols = index.topk(scores, TOP_K)
+        return np.take_along_axis(cand, cols, axis=1)
+
+    exact_items, exact_time = time_best(run_exact, repeats=3)
+    ann_items, ann_time = time_best(run_ann, repeats=3)
+    recall = float(np.mean([
+        np.isin(exact_items[row], ann_items[row]).mean()
+        for row in range(users.size)]))
+    return {
+        "benchmark": "ann_retrieval",
+        "model": MODEL,
+        "n_users": dataset.n_users,
+        "n_items": dataset.n_items,
+        "block_users": int(users.size),
+        "top_k": TOP_K,
+        "n_clusters": ANN_CLUSTERS,
+        "probes": ANN_PROBES,
+        "scanned_fraction": float(ANN_PROBES / ANN_CLUSTERS),
+        "recall_at_10": recall,
+        "users_per_sec_exact": users.size / exact_time,
+        "users_per_sec_ann": users.size / ann_time,
+        "speedup": exact_time / ann_time,
+        "gate": f"recall >= {ANN_RECALL_GATE}, speedup >= "
+                f"{ANN_SPEEDUP_GATE}x",
+    }
+
+
+def test_cluster_throughput(benchmark):
+    dataset = make_dataset("movielens", seed=0, scale=4.0)
+    model = build_model(MODEL, dataset, k=32, seed=0)
+    cores = _cores()
+
+    def run_sweep():
+        return [measure_sharded(model, dataset, cores),
+                measure_ann(model, dataset)]
+
+    records = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit_bench_records(records, "cluster_throughput.json")
+
+    sharded, ann = records
+    print(f"\nCluster throughput, {sharded['n_users']} users x "
+          f"{sharded['n_items']} items, {cores} core(s), "
+          f"{sharded['shards']} shards")
+    print(f"  single : {sharded['single']['req_per_sec']:8.1f} req/s  "
+          f"p50={sharded['single']['p50_ms']:.1f}ms "
+          f"p99={sharded['single']['p99_ms']:.1f}ms")
+    print(f"  sharded: {sharded['sharded']['req_per_sec']:8.1f} req/s  "
+          f"p50={sharded['sharded']['p50_ms']:.1f}ms "
+          f"p99={sharded['sharded']['p99_ms']:.1f}ms  "
+          f"({sharded['speedup_req_per_sec']:.2f}x)")
+    print(f"  ann    : recall@10={ann['recall_at_10']:.4f}  "
+          f"{ann['users_per_sec_exact']:.0f} -> "
+          f"{ann['users_per_sec_ann']:.0f} users/s "
+          f"({ann['speedup']:.1f}x, scans "
+          f"{ann['scanned_fraction']:.0%} of the catalogue)")
+
+    if cores >= 2:
+        assert sharded["speedup_req_per_sec"] >= SHARD_GATE, (
+            f"sharded serving only {sharded['speedup_req_per_sec']:.2f}x "
+            f"the single process's req/s on {cores} cores")
+    assert ann["recall_at_10"] >= ANN_RECALL_GATE, (
+        f"ANN candidate recall@10 {ann['recall_at_10']:.3f} below "
+        f"{ANN_RECALL_GATE}")
+    assert ann["speedup"] >= ANN_SPEEDUP_GATE, (
+        f"ANN scoring only {ann['speedup']:.1f}x faster than the exact "
+        f"full grid")

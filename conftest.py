@@ -19,3 +19,10 @@ def pytest_configure(config):
         "tests (repro.data.streaming, repro.training.online); run with "
         "`pytest -m streaming`",
     )
+    config.addinivalue_line(
+        "markers",
+        "cluster: sharded-serving / ANN-retrieval subsystem tests "
+        "(repro.serving.cluster, repro.serving.ann): multi-process "
+        "equivalence, load generation, concurrency stress; run with "
+        "`pytest -m cluster`",
+    )

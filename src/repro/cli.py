@@ -17,6 +17,8 @@ the ``slow`` benchmarks, e.g. ``pytest -m slow benchmarks/``.)
     python -m repro serve --artifact bundle.npz --port 8765
     python -m repro serve --dataset movielens --model GML-FMmd --epochs 5
     python -m repro serve --online   # /update folds events into the model
+    python -m repro serve --shards 4 --replicas 2  # sharded worker fleet
+    python -m repro serve --ann      # IVF candidate retrieval (sub-linear)
     python -m repro serve --selfcheck # boot + one query + exit 0 (CI gate)
 
     # Streaming workload: seeded prequential replay (evaluate-then-
@@ -96,6 +98,25 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="0 binds an ephemeral port (printed at startup)")
     serve.add_argument("--top-k", type=int, default=10, dest="top_k")
     serve.add_argument("--cache-size", type=int, default=1024, dest="cache_size")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="user-sharded worker processes; 1 (default) is "
+                            "the single-process path, N>1 forks a "
+                            "ServingCluster with deterministic user routing")
+    serve.add_argument("--replicas", type=int, default=1,
+                       help="replicas per shard (failover; only with "
+                            "--shards > 1)")
+    serve.add_argument("--ann", action="store_true",
+                       help="IVF candidate retrieval: score only the probed "
+                            "item clusters instead of the full catalogue "
+                            "(exact re-rank; models without a bilinear grid "
+                            "decomposition keep the exact path)")
+    serve.add_argument("--ann-clusters", type=int, default=None,
+                       dest="ann_clusters",
+                       help="IVF cluster count (default ~sqrt(n_items))")
+    serve.add_argument("--ann-probes", type=int, default=None,
+                       dest="ann_probes",
+                       help="clusters scanned per query (default: half — "
+                            "recall-safe; lower for throughput)")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request")
     serve.add_argument("--online", action="store_true",

@@ -236,6 +236,30 @@ class GMLFM(FeatureRecommender):
                  - 2.0 * (u["pooled"] @ state["pooled"].T))
         return const + cross
 
+    # -- bilinear decomposition for ANN candidate retrieval ------------
+    # Both closed forms above are sums of cross dot products, so the
+    # whole grid is u_const + i_const + U·Vᵀ with the user/item blocks
+    # concatenated (signs folded into the user side).
+    def grid_factor_items(self, state):
+        if "s1" in state:
+            vectors = np.hstack([state["s2"], state["s1"],
+                                 state["q"], state["r"]])
+        else:
+            vectors = np.hstack([state["sn"][:, None], state["sx"][:, None],
+                                 state["pooled"]])
+        return vectors, state["const"]
+
+    def grid_factor_users(self, users: np.ndarray, state):
+        u = self._half_state(state["dataset"], "user",
+                             np.asarray(users, dtype=np.int64))
+        if self.h is not None:
+            h = self.h.data
+            factors = np.hstack([u["s1"] * h, u["s2"] * h, -u["r"], -u["q"]])
+        else:
+            factors = np.hstack([u["sx"][:, None], u["sn"][:, None],
+                                 -2.0 * u["pooled"]])
+        return factors, self.bias.data + u["const"]
+
 
 def GMLFM_MD(dataset: RecDataset, k: int = 32, init_std: float = 0.1,
              rng: Optional[np.random.Generator] = None, **kwargs) -> GMLFM:

@@ -129,6 +129,37 @@ class RecommenderModel(nn.Module):
         """
         raise NotImplementedError(f"{type(self).__name__} has no grid scorer")
 
+    # -- bilinear grid decomposition (ANN candidate retrieval) ---------
+    # Every grid fast path in this repo is a bilinear form
+    #
+    #     score(u, i) = u_const[u] + i_const[i] + U[u] · V[i]
+    #
+    # and models that expose the two factor hooks below let serving
+    # retrieve candidates with sub-linear maximum-inner-product search
+    # (:mod:`repro.serving.ann`) instead of scoring the whole
+    # catalogue.  Returning None from ``grid_factor_items`` (the base
+    # behavior) keeps the model on the exact full-grid path.
+
+    def grid_factor_items(self, state):
+        """``(V [n_items, d], i_const [n_items])`` of the bilinear form.
+
+        ``state`` is the object :meth:`item_state` returned.  Contract:
+        together with :meth:`grid_factor_users`,
+        ``u_const[:, None] + i_const[None, :] + U @ V.T`` equals
+        :meth:`score_grid` up to float summation order.  ``None`` (the
+        default) declares that no such decomposition is available.
+        """
+        return None
+
+    def grid_factor_users(self, users: np.ndarray, state):
+        """``(U [len(users), d], u_const [len(users)])`` query factors.
+
+        Only called when :meth:`grid_factor_items` returned factors;
+        ``d`` must match the item side.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no grid factor decomposition")
+
 
 class FeatureRecommender(RecommenderModel):
     """FM-family base: scores via the dataset's feature encoding."""

@@ -41,3 +41,11 @@ class BPRMF(EntityRecommender):
         q, item_bias = state
         p = self.user_factors.weight.data[np.asarray(users, dtype=np.int64)]
         return p @ q.T + item_bias[None, :]
+
+    def grid_factor_items(self, state):
+        q, item_bias = state
+        return q, item_bias
+
+    def grid_factor_users(self, users: np.ndarray, state):
+        users = np.asarray(users, dtype=np.int64)
+        return self.user_factors.weight.data[users], np.zeros(users.size)

@@ -70,3 +70,11 @@ class FactorizationMachine(FeatureRecommender):
                                         np.asarray(users, dtype=np.int64))
         cross = s_u @ state["s_i"].T                        # [U, I]
         return (self.bias.data + const_u[:, None]) + state["const_i"][None, :] + cross
+
+    def grid_factor_items(self, state):
+        return state["s_i"], state["const_i"]
+
+    def grid_factor_users(self, users: np.ndarray, state):
+        s_u, const_u = self._half_state(state["dataset"], "user",
+                                        np.asarray(users, dtype=np.int64))
+        return s_u, self.bias.data + const_u

@@ -51,3 +51,12 @@ class MF(EntityRecommender):
         p = self.user_factors.weight.data[users]
         user_bias = self.user_bias.weight.data[users, 0]
         return self.bias.data + user_bias[:, None] + item_bias[None, :] + p @ q.T
+
+    def grid_factor_items(self, state):
+        q, item_bias = state
+        return q, item_bias
+
+    def grid_factor_users(self, users: np.ndarray, state):
+        users = np.asarray(users, dtype=np.int64)
+        p = self.user_factors.weight.data[users]
+        return p, self.bias.data + self.user_bias.weight.data[users, 0]

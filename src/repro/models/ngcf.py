@@ -133,3 +133,11 @@ class NGCF(EntityRecommender):
         user_repr = state[np.asarray(users, dtype=np.int64)]
         item_repr = state[self.n_users:]
         return user_repr @ item_repr.T
+
+    def grid_factor_items(self, state):
+        item_repr = state[self.n_users:]
+        return item_repr, np.zeros(item_repr.shape[0])
+
+    def grid_factor_users(self, users: np.ndarray, state):
+        users = np.asarray(users, dtype=np.int64)
+        return state[users], np.zeros(users.size)

@@ -40,3 +40,10 @@ class PMF(EntityRecommender):
     def score_grid(self, users: np.ndarray, state) -> np.ndarray:
         p = self.user_factors.weight.data[np.asarray(users, dtype=np.int64)]
         return p @ state.T
+
+    def grid_factor_items(self, state):
+        return state, np.zeros(state.shape[0])
+
+    def grid_factor_users(self, users: np.ndarray, state):
+        users = np.asarray(users, dtype=np.int64)
+        return self.user_factors.weight.data[users], np.zeros(users.size)

@@ -4,10 +4,12 @@ The research side trains and evaluates; this package turns a trained
 model into a service.  Module map::
 
     artifact.py   self-describing model bundles (save/load one archive)
-    scorer.py     vectorized [users, catalogue] grid scoring
+    scorer.py     vectorized [users, catalogue] grid scoring (+ ANN)
+    ann.py        seeded IVF candidate index (k-means codebook, probes)
     index.py      CSR seen-item masking + argpartition top-k ranking
-    cache.py      LRU result cache with hit/miss/eviction counters
+    cache.py      thread-safe LRU result cache with hit/miss counters
     service.py    RecommendationService facade (micro-batching, stats)
+    cluster.py    user-sharded multi-process fleet (replicas, failover)
     server.py     stdlib-http JSON endpoint + `repro serve` backing
 
 Typical flow::
@@ -21,6 +23,7 @@ Typical flow::
 or from the shell: ``python -m repro serve --artifact bundle.npz``.
 """
 
+from repro.serving.ann import ANNConfig, IVFIndex, kmeans
 from repro.serving.artifact import (
     ARTIFACT_VERSION,
     LoadedArtifact,
@@ -28,6 +31,7 @@ from repro.serving.artifact import (
     save_artifact,
 )
 from repro.serving.cache import LRUCache
+from repro.serving.cluster import NoLiveReplicaError, ServingCluster
 from repro.serving.index import TopKIndex
 from repro.serving.scorer import BatchScorer
 from repro.serving.server import RecommendationServer, build_server, selfcheck
@@ -38,11 +42,16 @@ __all__ = [
     "LoadedArtifact",
     "save_artifact",
     "load_artifact",
+    "ANNConfig",
+    "IVFIndex",
+    "kmeans",
     "BatchScorer",
     "TopKIndex",
     "LRUCache",
     "Recommendation",
     "RecommendationService",
+    "ServingCluster",
+    "NoLiveReplicaError",
     "RecommendationServer",
     "build_server",
     "selfcheck",

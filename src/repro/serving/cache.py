@@ -4,10 +4,25 @@ Keys are whatever the caller hashes on — the service uses
 ``(user, top_k, exclude_seen)`` — and values are opaque.  Invalidation
 takes a predicate over keys so the service can drop exactly the entries
 of a user whose interaction history just changed.
+
+The cache is internally thread-safe.  ``OrderedDict``'s
+``move_to_end``/``popitem`` pair is not atomic, so an unguarded
+instance shared across threads can corrupt its recency ordering or
+double-evict.  The one instance inside
+:class:`~repro.serving.service.RecommendationService` was never
+actually exposed to that race — every service method already holds the
+service's coarse lock — but the cache is public API
+(``repro.serving.LRUCache``) and nothing ties other consumers to a
+guarded call site, so safety now lives where the invariant does.
+Every public method takes the internal lock; callers may layer their
+own coarser lock on top (re-entrancy is never needed because the cache
+calls nothing back except ``invalidate``'s key predicate, which must
+therefore not touch the cache).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Callable, Hashable, Optional
 
@@ -15,66 +30,73 @@ _MISSING = object()
 
 
 class LRUCache:
-    """Least-recently-used cache; ``capacity=0`` disables caching."""
+    """Thread-safe least-recently-used cache; ``capacity=0`` disables."""
 
     def __init__(self, capacity: int = 1024):
         if capacity < 0:
             raise ValueError("capacity must be >= 0")
         self.capacity = capacity
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._mutex = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._mutex:
+            return len(self._data)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._data
+        with self._mutex:
+            return key in self._data
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Return the cached value (refreshing recency) or ``default``."""
-        value = self._data.get(key, _MISSING)
-        if value is _MISSING:
-            self.misses += 1
-            return default
-        self._data.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._mutex:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert/refresh an entry, evicting the least recent if full."""
         if self.capacity == 0:
             return
-        if key in self._data:
-            self._data.move_to_end(key)
-        self._data[key] = value
-        if len(self._data) > self.capacity:
-            self._data.popitem(last=False)
-            self.evictions += 1
+        with self._mutex:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            if len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
 
     def invalidate(self, predicate: Optional[Callable[[Hashable], bool]] = None) -> int:
         """Drop entries whose key matches ``predicate`` (all when None)."""
-        if predicate is None:
-            dropped = len(self._data)
-            self._data.clear()
-        else:
-            stale = [key for key in self._data if predicate(key)]
-            for key in stale:
-                del self._data[key]
-            dropped = len(stale)
-        self.invalidations += dropped
-        return dropped
+        with self._mutex:
+            if predicate is None:
+                dropped = len(self._data)
+                self._data.clear()
+            else:
+                stale = [key for key in self._data if predicate(key)]
+                for key in stale:
+                    del self._data[key]
+                dropped = len(stale)
+            self.invalidations += dropped
+            return dropped
 
     def stats(self) -> dict:
-        total = self.hits + self.misses
-        return {
-            "size": len(self._data),
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-            "hit_rate": self.hits / total if total else 0.0,
-            "evictions": self.evictions,
-            "invalidations": self.invalidations,
-        }
+        with self._mutex:
+            total = self.hits + self.misses
+            return {
+                "size": len(self._data),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / total if total else 0.0,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }

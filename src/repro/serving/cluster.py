@@ -1,0 +1,520 @@
+"""Sharded multi-process serving: a RecommendationService fleet.
+
+One :class:`~repro.serving.service.RecommendationService` is a single
+process; this module scales it horizontally.  A
+:class:`ServingCluster` owns ``n_shards × replicas`` worker processes,
+each running a full service replica, and exposes *the same call
+surface* as the single service (``recommend`` / ``recommend_batch`` /
+``update_interactions`` / ``stats``), so the stdlib HTTP front-end
+(:mod:`repro.serving.server`) serves a cluster and a single process
+through identical handler code.
+
+Design invariants:
+
+- **User sharding, deterministic routing.**  Every user id maps to
+  exactly one shard via a seeded mix hash (:meth:`ServingCluster.route`)
+  — stable across processes and restarts, so caches stay hot and
+  interaction updates always land where the user is served.
+- **Byte-identical responses.**  Each worker holds a complete replica
+  of the model + dataset (forked copy-on-write from the parent), and
+  updates for a user are broadcast to every replica of that user's
+  shard.  On the default serving path (seen-item masking, no fold-in)
+  a request stream therefore produces byte-for-byte the same JSON
+  bodies for any shard count — including ``--shards 1``, which skips
+  this module entirely and runs the original single-process path.
+  With ``--online`` *fold-in*, each shard's trainer draws negatives
+  from its own seeded RNG stream over its own event sub-stream, so
+  responses are deterministic per fleet shape but not byte-equal
+  across different shard counts; replica *failover* stays
+  byte-identical in every mode, because replicas of one shard apply
+  the identical sub-stream.
+- **Replica failover.**  Per-shard replicas are tried in deterministic
+  order; a dead worker (broken pipe, EOF, timeout, failed heartbeat)
+  is marked down and the call retries transparently on the next
+  replica.  Because replicas apply the same update stream, failover
+  does not change a single byte of any response.
+- **Aggregated observability.**  ``stats()`` merges the serving
+  replicas' counters into one cluster-wide view (plus per-shard
+  detail), so ``/stats`` keeps working unchanged.
+
+The worker protocol is a tuple RPC over a ``multiprocessing.Pipe``:
+``(op, *args)`` in, ``("ok", payload) | ("error", type, msg)`` out.
+``ValueError``/``OverflowError`` raised by the remote service re-raise
+locally under the same type, so HTTP 400 mapping is preserved.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+import time
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.serving.service import Recommendation, RecommendationService
+
+#: Exception types a worker reports that re-raise as client errors.
+_CLIENT_ERRORS = {"ValueError": ValueError, "OverflowError": OverflowError}
+
+
+class NoLiveReplicaError(RuntimeError):
+    """Every replica of a shard is down."""
+
+
+class _ReplicaDown(Exception):
+    """Internal: this replica failed mid-call; try the next one."""
+
+
+def _worker_loop(factory: Callable[[], RecommendationService], conn) -> None:
+    """Worker process body: serve tuple-RPC requests forever.
+
+    Runs in the child.  The service is produced by ``factory`` *after*
+    the fork, so with the default fork start method each worker gets
+    its own copy-on-write clone of any model/dataset the closure
+    captured — no serialization, no shared mutable state.
+    """
+    service = factory()
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, KeyboardInterrupt):
+            break
+        op = msg[0]
+        if op == "stop":
+            conn.send(("ok", None))
+            break
+        try:
+            if op == "ping":
+                out = "pong"
+            elif op == "recommend_batch":
+                _, users, k, exclude_seen = msg
+                out = [rec.to_dict() for rec in service.recommend_batch(
+                    users, k=k, exclude_seen=exclude_seen)]
+            elif op == "update":
+                _, users, items = msg
+                out = service.update_interactions(users, items)
+            elif op == "stats":
+                out = service.stats()
+            else:
+                raise ValueError(f"unknown worker op {op!r}")
+            conn.send(("ok", out))
+        except Exception as exc:  # noqa: BLE001 - forwarded to router
+            conn.send(("error", type(exc).__name__, str(exc)))
+
+
+class _Replica:
+    """One worker process plus the parent-side call plumbing."""
+
+    def __init__(self, shard: int, index: int, process, conn,
+                 call_timeout: float):
+        self.shard = shard
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.call_timeout = call_timeout
+        self.alive = True
+        # Serializes the request/response pairs of concurrent HTTP
+        # handler threads over the single duplex pipe.
+        self._lock = threading.Lock()
+
+    @property
+    def name(self) -> str:
+        return f"shard{self.shard}/replica{self.index}"
+
+    def call(self, op: str, *args):
+        """One RPC round-trip; raises ``_ReplicaDown`` on transport death."""
+        with self._lock:
+            if not self.alive:
+                raise _ReplicaDown(self.name)
+            try:
+                self.conn.send((op, *args))
+                if not self.conn.poll(self.call_timeout):
+                    raise _ReplicaDown(f"{self.name}: no reply in "
+                                       f"{self.call_timeout}s")
+                status, *payload = self.conn.recv()
+            except (BrokenPipeError, EOFError, OSError) as exc:
+                self.alive = False
+                raise _ReplicaDown(f"{self.name}: {exc}") from exc
+            except _ReplicaDown:
+                self.alive = False
+                raise
+        if status == "ok":
+            return payload[0]
+        err_type, message = payload
+        raise _CLIENT_ERRORS.get(err_type, RuntimeError)(message)
+
+    def stop(self, grace: float = 5.0) -> None:
+        try:
+            if self.alive:
+                self.call("stop")
+        except (_ReplicaDown, RuntimeError):
+            pass
+        self.alive = False
+        self.process.join(timeout=grace)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=grace)
+        self.conn.close()
+
+
+class ServingCluster:
+    """User-sharded fleet of service replicas behind one call surface.
+
+    Parameters
+    ----------
+    service_factory:
+        Zero-argument callable producing the
+        :class:`RecommendationService` each worker runs.  Evaluated in
+        the child after fork, so it may close over a fully built
+        model/dataset (the cheap path: copy-on-write memory) or build
+        from scratch.
+    n_shards:
+        User-space partitions (one worker pool each).
+    replicas:
+        Workers per shard; ``> 1`` enables failover.
+    seed:
+        Seeds the user→shard hash.  Any value yields a valid
+        partition; the seed exists so a rolling fleet can re-balance
+        deterministically.
+    call_timeout:
+        Seconds a router call waits for a worker reply before declaring
+        the replica dead and failing over.
+    heartbeat_interval:
+        Background liveness-probe period (seconds); ``0`` disables the
+        prober (failover still happens lazily on call errors).
+    start:
+        Build and launch the workers immediately (else :meth:`start`).
+    """
+
+    def __init__(
+        self,
+        service_factory: Callable[[], RecommendationService],
+        n_shards: int,
+        replicas: int = 1,
+        seed: int = 0,
+        call_timeout: float = 60.0,
+        heartbeat_interval: float = 0.0,
+        start: bool = True,
+    ):
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.service_factory = service_factory
+        self.n_shards = n_shards
+        self.replicas = replicas
+        self.seed = seed
+        self.call_timeout = call_timeout
+        self.heartbeat_interval = heartbeat_interval
+        self.shards: list[list[_Replica]] = []
+        self.requests_routed = 0
+        self.failovers = 0
+        self._counter_lock = threading.Lock()
+        self._heartbeat_thread: Optional[threading.Thread] = None
+        self._closing = threading.Event()
+        self._ctx = mp.get_context("fork")
+        self._started = False
+        if start:
+            self.start()
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError("cluster already started")
+        # A cluster may be restarted after close(); the shutdown flag
+        # must not leak into the new heartbeat thread's wait loop.
+        self._closing.clear()
+        for shard in range(self.n_shards):
+            pool = []
+            for index in range(self.replicas):
+                parent, child = self._ctx.Pipe(duplex=True)
+                process = self._ctx.Process(
+                    target=_worker_loop, args=(self.service_factory, child),
+                    daemon=True, name=f"repro-serve-s{shard}r{index}")
+                process.start()
+                child.close()
+                pool.append(_Replica(shard, index, process, parent,
+                                     self.call_timeout))
+            self.shards.append(pool)
+        self._started = True
+        # First contact doubles as a readiness barrier: every replica
+        # must build its service and answer before traffic flows.
+        for pool in self.shards:
+            for replica in pool:
+                replica.call("ping")
+        if self.heartbeat_interval > 0:
+            self._heartbeat_thread = threading.Thread(
+                target=self._heartbeat_loop, daemon=True,
+                name="repro-serve-heartbeat")
+            self._heartbeat_thread.start()
+
+    def _heartbeat_loop(self) -> None:
+        while not self._closing.wait(self.heartbeat_interval):
+            for pool in self.shards:
+                for replica in pool:
+                    if not replica.alive:
+                        continue
+                    if not replica.process.is_alive():
+                        replica.alive = False
+                        continue
+                    try:
+                        replica.call("ping")
+                    except (_ReplicaDown, RuntimeError):
+                        pass
+
+    # ------------------------------------------------------------------
+    def route(self, user: int) -> int:
+        """Deterministic seeded shard of a user id (valid for any int).
+
+        A splitmix64-style finalizer: unlike CRC (affine in its seed —
+        two seeds can XOR every hash by a low-bits-zero constant and
+        collapse to the same routing), the multiply/xor-shift rounds
+        diffuse the seed through every output bit, so reseeding really
+        re-balances the fleet.
+        """
+        mask = (1 << 64) - 1
+        x = (int(user) + self.seed * 0x9E3779B97F4A7C15) & mask
+        x ^= x >> 30
+        x = (x * 0xBF58476D1CE4E5B9) & mask
+        x ^= x >> 27
+        x = (x * 0x94D049BB133111EB) & mask
+        x ^= x >> 31
+        return x % self.n_shards
+
+    def alive_counts(self) -> list[int]:
+        return [sum(r.alive and r.process.is_alive() for r in pool)
+                for pool in self.shards]
+
+    def _call_shard(self, shard: int, op: str, *args):
+        """Call the shard's first live replica, failing over in order."""
+        last_error: Optional[Exception] = None
+        for replica in self.shards[shard]:
+            if not replica.alive:
+                continue
+            try:
+                return replica.call(op, *args)
+            except _ReplicaDown as exc:
+                last_error = exc
+                with self._counter_lock:
+                    self.failovers += 1
+        raise NoLiveReplicaError(
+            f"shard {shard} has no live replicas"
+            + (f" (last error: {last_error})" if last_error else ""))
+
+    def _broadcast_shard(self, shard: int, op: str, *args) -> list:
+        """Run an op on every live replica of a shard (state mutation).
+
+        Returns the successful replies (first reply first).  Raises if
+        *no* replica succeeded; replicas that die mid-broadcast are
+        marked down exactly like on the read path.
+        """
+        replies = []
+        last_error: Optional[Exception] = None
+        for replica in self.shards[shard]:
+            if not replica.alive:
+                continue
+            try:
+                replies.append(replica.call(op, *args))
+            except _ReplicaDown as exc:
+                last_error = exc
+                with self._counter_lock:
+                    self.failovers += 1
+        if not replies:
+            raise NoLiveReplicaError(
+                f"shard {shard} has no live replicas"
+                + (f" (last error: {last_error})" if last_error else ""))
+        return replies
+
+    # -- service call surface ------------------------------------------
+    def recommend(self, user: int, k: Optional[int] = None,
+                  exclude_seen: Optional[bool] = None) -> Recommendation:
+        """Route one user's request to its shard; same API as the service."""
+        return self.recommend_batch([user], k=k, exclude_seen=exclude_seen)[0]
+
+    def recommend_batch(
+        self,
+        users: Sequence[int],
+        k: Optional[int] = None,
+        exclude_seen: Optional[bool] = None,
+    ) -> list[Recommendation]:
+        """Scatter a multi-user query by shard, gather in request order."""
+        users = [int(u) for u in users]
+        with self._counter_lock:
+            self.requests_routed += len(users)
+        by_shard: dict[int, list[int]] = {}
+        for user in users:
+            by_shard.setdefault(self.route(user), []).append(user)
+        merged: dict[int, Recommendation] = {}
+        for shard, shard_users in by_shard.items():
+            replies = self._call_shard(shard, "recommend_batch",
+                                       shard_users, k, exclude_seen)
+            for payload in replies:
+                merged[payload["user"]] = Recommendation(
+                    user=payload["user"],
+                    items=np.asarray(payload["items"], dtype=np.int64),
+                    scores=np.asarray(payload["scores"], dtype=np.float64))
+        return [merged[user] for user in users]
+
+    def update_interactions(
+        self, users: Sequence[int], items: Sequence[int]
+    ) -> dict:
+        """Ingest events, each routed to (all replicas of) its shard.
+
+        Validation *and* target-shard liveness run up front, so a
+        malformed batch — or one addressing a shard with no live
+        replicas — is rejected before any shard mutates, matching the
+        single service's whole-batch rejection.  Per shard, the slice
+        is broadcast to every live replica (keeping failover
+        byte-identical).  The remaining non-atomic window is a replica
+        fleet dying *mid-batch*: shards already written stay written
+        (there is no cross-process rollback), the error propagates,
+        and the caller must treat a 5xx on ``/update`` as
+        indeterminate rather than retrying blindly.
+
+        The merged report sums the primary replica's counters over
+        shards; ``loss`` is the event-weighted mean of the per-shard
+        batch losses (each shard reports a per-event mean), i.e. the
+        mean over all events of the batch.
+        """
+        users_arr = np.asarray(users, dtype=np.int64)
+        items_arr = np.asarray(items, dtype=np.int64)
+        if users_arr.shape != items_arr.shape or users_arr.ndim != 1:
+            raise ValueError("users and items must be parallel 1-d sequences")
+        if users_arr.size == 0:
+            raise ValueError("no events supplied")
+        bounds = self._bounds()
+        if users_arr.min() < 0 or users_arr.max() >= bounds["n_users"]:
+            raise ValueError("user id out of range")
+        if items_arr.min() < 0 or items_arr.max() >= bounds["n_items"]:
+            raise ValueError("item id out of range")
+
+        shard_of = np.fromiter((self.route(u) for u in users_arr.tolist()),
+                               dtype=np.int64, count=users_arr.size)
+        targets = sorted(set(shard_of.tolist()))
+        # Liveness precheck: refuse the whole batch while nothing has
+        # mutated if any target shard is already dark.
+        for shard in targets:
+            if not any(r.alive and r.process.is_alive()
+                       for r in self.shards[shard]):
+                raise NoLiveReplicaError(
+                    f"shard {shard} has no live replicas; batch rejected "
+                    f"before ingest")
+        report = {"events": 0, "novel": 0, "folded_in": False,
+                  "invalidated": 0}
+        loss_sum = loss_events = 0.0
+        for shard in targets:
+            mask = shard_of == shard
+            replies = self._broadcast_shard(
+                shard, "update",
+                users_arr[mask].tolist(), items_arr[mask].tolist())
+            primary = replies[0]
+            report["events"] += primary["events"]
+            report["novel"] += primary["novel"]
+            report["invalidated"] += primary["invalidated"]
+            report["folded_in"] = report["folded_in"] or primary["folded_in"]
+            if "loss" in primary:
+                loss_sum += primary["loss"] * primary["events"]
+                loss_events += primary["events"]
+        if loss_events:
+            report["loss"] = loss_sum / loss_events
+        return report
+
+    def stats(self) -> dict:
+        """Cluster-wide counters: summed across shards + per-shard detail.
+
+        Counter sums come from each shard's *serving* replica (the one
+        requests currently route to) — update broadcasts would double
+        count if summed across replicas.
+        """
+        per_shard = []
+        for shard in range(self.n_shards):
+            try:
+                per_shard.append(self._call_shard(shard, "stats"))
+            except NoLiveReplicaError:
+                per_shard.append(None)
+        live = [entry for entry in per_shard if entry is not None]
+        if not live:
+            raise NoLiveReplicaError("no live replicas in any shard")
+        merged = {
+            "model": live[0]["model"],
+            "dataset": live[0]["dataset"],
+            "n_users": live[0]["n_users"],
+            "n_items": live[0]["n_items"],
+            "top_k_default": live[0]["top_k_default"],
+            "fast_path": live[0]["fast_path"],
+            "ann": live[0]["ann"],
+            "online_updates": live[0]["online_updates"],
+        }
+        for counter in ("requests", "users_scored", "interactions_added",
+                        "updates_folded_in", "ann_fallbacks"):
+            merged[counter] = sum(entry[counter] for entry in live)
+        cache = {key: sum(entry["cache"][key] for entry in live)
+                 for key in ("size", "capacity", "hits", "misses",
+                             "evictions", "invalidations")}
+        lookups = cache["hits"] + cache["misses"]
+        cache["hit_rate"] = cache["hits"] / lookups if lookups else 0.0
+        merged["cache"] = cache
+        with self._counter_lock:
+            merged["cluster"] = {
+                "shards": self.n_shards,
+                "replicas": self.replicas,
+                "seed": self.seed,
+                "alive": self.alive_counts(),
+                "requests_routed": self.requests_routed,
+                "failovers": self.failovers,
+            }
+        merged["per_shard"] = per_shard
+        return merged
+
+    def _bounds(self) -> dict:
+        """Catalogue bounds for router-side validation (cached).
+
+        Answered by whichever shard is alive — every replica holds the
+        same catalogue, so any one can describe it.
+        """
+        if not hasattr(self, "_cached_bounds"):
+            last_error: Optional[Exception] = None
+            for shard in range(self.n_shards):
+                try:
+                    stats = self._call_shard(shard, "stats")
+                except NoLiveReplicaError as exc:
+                    last_error = exc
+                    continue
+                self._cached_bounds = {"n_users": stats["n_users"],
+                                       "n_items": stats["n_items"]}
+                break
+            else:
+                raise NoLiveReplicaError(
+                    "no live replicas in any shard") from last_error
+        return self._cached_bounds
+
+    # ------------------------------------------------------------------
+    def kill_replica(self, shard: int, index: int = 0) -> None:
+        """Hard-kill one worker (failure injection for tests/drills)."""
+        replica = self.shards[shard][index]
+        replica.process.terminate()
+        replica.process.join(timeout=10)
+        deadline = time.monotonic() + 5
+        # The pipe may deliver EOF slightly after join; the next call
+        # through this replica raises and marks it down either way.
+        while replica.process.is_alive() and time.monotonic() < deadline:
+            time.sleep(0.01)
+
+    def close(self) -> None:
+        """Stop every worker and reap the processes (idempotent)."""
+        self._closing.set()
+        if self._heartbeat_thread is not None:
+            self._heartbeat_thread.join(timeout=10)
+            self._heartbeat_thread = None
+        for pool in self.shards:
+            for replica in pool:
+                replica.stop()
+        self.shards = []
+        self._started = False
+
+    def __enter__(self) -> "ServingCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -123,6 +123,32 @@ class TopKIndex:
         scores[rows, np.concatenate(cols)] = -np.inf
         return scores
 
+    def pair_seen(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """``bool [len(users), m]``: which listed items each user saw.
+
+        ``items`` is a per-user candidate matrix (``-1`` padding allowed
+        and reported as unseen — the scorer already masks pads).  Base
+        CSR membership resolves in one vectorized ``contains`` call;
+        the mutable overlay is consulted only for rows whose user has
+        overlay entries.
+        """
+        users = np.atleast_1d(np.asarray(users, dtype=np.int64))
+        items = np.asarray(items, dtype=np.int64)
+        if items.ndim != 2 or items.shape[0] != users.size:
+            raise ValueError("items must be [len(users), m]")
+        pad = items < 0
+        safe = np.where(pad, 0, items)
+        flat_users = np.repeat(users, items.shape[1])
+        seen = self._membership.contains(
+            flat_users, safe.ravel()).reshape(items.shape)
+        for row, user in enumerate(users.tolist()):
+            extra = self._extra.get(user)
+            if extra:
+                seen[row] |= np.isin(safe[row],
+                                     np.fromiter(extra, dtype=np.int64))
+        seen &= ~pad
+        return seen
+
     def topk(self, scores: np.ndarray, k: int) -> np.ndarray:
         """``int64 [rows, k]`` item ids per row, highest score first."""
         if not 0 < k <= scores.shape[1]:

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.data.dataset import RecDataset
 from repro.models.base import RecommenderModel
+from repro.serving.ann import ANNConfig, IVFIndex, whitening_scale
 
 _MODES = ("auto", "exact")
 
@@ -62,6 +63,7 @@ class BatchScorer:
         mode: str = "auto",
         user_batch: int = 32,
         batch_pairs: int = 32768,
+        ann: Optional[ANNConfig] = None,
     ):
         if mode not in _MODES:
             raise ValueError(f"unknown mode {mode!r}; options: {_MODES}")
@@ -73,18 +75,131 @@ class BatchScorer:
         self.mode = mode
         self.user_batch = user_batch
         self.batch_pairs = batch_pairs
+        self.ann_config = ann
         self._item_ids = np.arange(self.n_items, dtype=np.int64)
         self._state = model.item_state(dataset) if mode == "auto" else None
+        self._ann_index: Optional[IVFIndex] = None
+        self._ann_scale: Optional[np.ndarray] = None
+        self._grid_factors = None
+        self._build_ann()
 
     @property
     def uses_fast_path(self) -> bool:
         """Whether item-side precompute is active for this model."""
         return self._state is not None
 
+    @property
+    def ann_active(self) -> bool:
+        """Whether ANN candidate retrieval backs this scorer.
+
+        Requires an :class:`~repro.serving.ann.ANNConfig`, a grid fast
+        path, a model exposing the bilinear decomposition
+        (:meth:`~repro.models.base.RecommenderModel.grid_factor_items`),
+        and a catalogue at least ``min_items`` large — anything else
+        silently stays on the exact path (the opt-in flag requests
+        *eligibility*, not a crash on CNN-style models).
+        """
+        return self._ann_index is not None
+
     def refresh(self) -> None:
-        """Recompute the item-side state after a parameter update."""
+        """Recompute the item-side state after a parameter update.
+
+        Also rebuilds the ANN codebook: fold-in that moved item-side
+        parameters invalidates both the precomputed ``item_state`` and
+        every inverted list built from it.
+        """
         if self.mode == "auto":
             self._state = self.model.item_state(self.dataset)
+            self._build_ann()
+
+    # -- ANN candidate plane -------------------------------------------
+    def _build_ann(self) -> None:
+        self._ann_index = None
+        self._ann_scale = None
+        self._grid_factors = None
+        if (self.ann_config is None or self._state is None
+                or self.n_items < self.ann_config.min_items):
+            return
+        factors = self.model.grid_factor_items(self._state)
+        if factors is None:
+            return
+        # Cached for score_listed: rebuilding the factor matrix per
+        # request block (GML-FM hstacks an [n_items, 2k + 2k²] matrix)
+        # would dwarf the sub-linear scoring ANN exists to provide.
+        # Pure function of _state, so refresh() invalidates it here.
+        self._grid_factors = factors
+        item_vecs, item_const = factors
+        # Augmentation folds the additive item constant into MIPS:
+        # score-relevant affinity = [U, 1] · [V, i_const].
+        aug_items = np.hstack([np.asarray(item_vecs, dtype=np.float64),
+                               np.asarray(item_const,
+                                          dtype=np.float64)[:, None]])
+        # Query-distribution whitening from a seeded user sample (see
+        # repro.serving.ann): preserves inner products exactly, aligns
+        # the cluster metric with the dimensions that move scores.
+        rng = np.random.default_rng(self.ann_config.seed)
+        n_sample = min(self.dataset.n_users, 512)
+        sample = rng.choice(self.dataset.n_users, size=n_sample,
+                            replace=False)
+        sample_q = self._aug_queries(np.sort(sample))
+        self._ann_scale = whitening_scale(sample_q)
+        self._ann_index = IVFIndex(aug_items * self._ann_scale,
+                                   self.ann_config)
+
+    def _aug_queries(self, users: np.ndarray) -> np.ndarray:
+        user_vecs, _ = self.model.grid_factor_users(users, self._state)
+        return np.hstack([np.asarray(user_vecs, dtype=np.float64),
+                          np.ones((len(user_vecs), 1))])
+
+    def ann_candidates(self, users: np.ndarray,
+                       probes: Optional[int] = None) -> np.ndarray:
+        """``int64 [len(users), m]`` candidate items (``-1``-padded).
+
+        The union of the probed inverted lists per user; callers
+        re-rank exactly with :meth:`score_listed`.
+        """
+        if self._ann_index is None:
+            raise RuntimeError("ANN index not active for this scorer")
+        users = np.atleast_1d(np.asarray(users, dtype=np.int64))
+        queries = self._aug_queries(users) / self._ann_scale
+        return self._ann_index.candidates(queries, probes=probes)
+
+    def score_listed(self, users: np.ndarray,
+                     items: np.ndarray) -> np.ndarray:
+        """Exact scores for per-user candidate lists.
+
+        ``items`` is ``int64 [len(users), m]``, ``-1`` marking padding;
+        padded cells come back as ``-inf``.  Real cells carry the same
+        bilinear-form scores as the full grid (same decomposition the
+        fast path uses, so re-ranked candidates order exactly as
+        :meth:`score` would order them, up to float summation order).
+        """
+        factors = self._grid_factors
+        if factors is None and self._state is not None:
+            factors = self.model.grid_factor_items(self._state)
+        if factors is None:
+            raise RuntimeError("model has no grid factor decomposition")
+        users = np.atleast_1d(np.asarray(users, dtype=np.int64))
+        items = np.asarray(items, dtype=np.int64)
+        item_vecs, item_const = factors
+        user_vecs, user_const = self.model.grid_factor_users(users, self._state)
+        pad = items < 0
+        safe = np.where(pad, 0, items)
+        out = np.empty(items.shape, dtype=np.float64)
+        # The [users, cols, d] gather is the peak allocation; chunk the
+        # candidate axis so wide slates (e.g. the recall-safe default
+        # probe count scanning half the catalogue) stay bounded instead
+        # of materializing ~d x the exact path's score matrix.
+        dim = item_vecs.shape[1]
+        step = max(1, (1 << 22) // max(1, users.size * dim))
+        for start in range(0, items.shape[1], step):
+            cols = slice(start, start + step)
+            out[:, cols] = np.einsum("ud,umd->um", user_vecs,
+                                     item_vecs[safe[:, cols]])
+            out[:, cols] += item_const[safe[:, cols]]
+        out += user_const[:, None]
+        out[pad] = -np.inf
+        return out
 
     # ------------------------------------------------------------------
     def score(self, users: np.ndarray) -> np.ndarray:

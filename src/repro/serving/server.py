@@ -97,8 +97,14 @@ class RecommendHandler(BaseHTTPRequestHandler):
             raise ValueError("invalid Content-Length header") from None
         limit = self.server.max_body_bytes
         if length > limit:
-            # Checked before reading: the event-batch cap must bound
-            # memory, not just event counts.
+            # Checked before buffering: the cap must bound memory, not
+            # just event counts.  The rejected body is still *drained*
+            # (chunked, never held) — answering without reading leaves
+            # the client blocked mid-send on a full socket buffer, and
+            # it sees a connection reset instead of this 400.  Truly
+            # abusive declarations fall past the drain ceiling and get
+            # the reset they deserve.
+            self._discard_body(length)
             raise ValueError(
                 f"request body of {length} bytes exceeds the limit of "
                 f"{limit} bytes")
@@ -112,6 +118,15 @@ class RecommendHandler(BaseHTTPRequestHandler):
         if not isinstance(payload, dict):
             raise ValueError("JSON body must be an object")
         return payload
+
+    def _discard_body(self, length: int, ceiling: int = 16 << 20) -> None:
+        """Read and drop an oversized request body in bounded chunks."""
+        remaining = min(length, ceiling)
+        while remaining > 0:
+            chunk = self.rfile.read(min(65536, remaining))
+            if not chunk:
+                break
+            remaining -= len(chunk)
 
     def _update(self, payload: dict) -> None:
         """Ingest one event or a batch through the attached service."""
@@ -154,11 +169,17 @@ class RecommendHandler(BaseHTTPRequestHandler):
 
 
 class RecommendationServer(ThreadingHTTPServer):
-    """ThreadingHTTPServer carrying the service for its handlers."""
+    """ThreadingHTTPServer carrying the service for its handlers.
+
+    ``service`` is anything with the service call surface —
+    a :class:`RecommendationService` or a
+    :class:`~repro.serving.cluster.ServingCluster`; the handlers only
+    use ``recommend`` / ``update_interactions`` / ``stats``.
+    """
 
     daemon_threads = True
 
-    def __init__(self, service: RecommendationService,
+    def __init__(self, service: "RecommendationService",
                  host: str = "127.0.0.1", port: int = 0,
                  verbose: bool = False, max_update_batch: int = 1024,
                  max_body_bytes: int = 1 << 20):
@@ -196,8 +217,16 @@ def _build_service(args) -> RecommendationService:
     from repro.data.synthetic import make_dataset
     from repro.experiments.configs import get_scale
     from repro.experiments.registry import build_model, is_pairwise
+    from repro.serving.ann import ANNConfig
     from repro.training.online import IncrementalTrainer, OnlineConfig
     from repro.training.trainer import TrainConfig, Trainer
+
+    def ann_config():
+        if not getattr(args, "ann", False):
+            return None
+        return ANNConfig(n_clusters=getattr(args, "ann_clusters", None),
+                         probes=getattr(args, "ann_probes", None),
+                         seed=args.seed)
 
     def online_config_for(model_name: str):
         # Serving default is user-side-only fold-in: cached lists of
@@ -213,7 +242,8 @@ def _build_service(args) -> RecommendationService:
 
     if args.artifact:
         service = RecommendationService.from_artifact(
-            args.artifact, top_k=args.top_k, cache_size=args.cache_size)
+            args.artifact, top_k=args.top_k, cache_size=args.cache_size,
+            ann=ann_config())
         # The objective depends on the bundled model's name, which is
         # only known after loading — attach the trainer afterwards.
         config = online_config_for(service.model_name)
@@ -239,7 +269,8 @@ def _build_service(args) -> RecommendationService:
             trainer.fit_pointwise(users, items, labels)
     service = RecommendationService(model, dataset, top_k=args.top_k,
                                     cache_size=args.cache_size,
-                                    online_config=online_config_for(args.model))
+                                    online_config=online_config_for(args.model),
+                                    ann=ann_config())
     service.model_name = args.model
     return service
 
@@ -279,16 +310,40 @@ def selfcheck(verbose: bool = True) -> int:
 
 
 def serve_main(args) -> int:
-    """Entry point behind ``python -m repro serve``."""
+    """Entry point behind ``python -m repro serve``.
+
+    ``--shards 1`` (the default) is the original single-process path,
+    untouched; ``--shards N`` builds the service once and forks it into
+    a :class:`~repro.serving.cluster.ServingCluster` of
+    ``N × --replicas`` workers behind the same HTTP front-end.
+    """
     if args.selfcheck:
         return selfcheck()
+    shards = getattr(args, "shards", 1)
+    if shards < 1 or getattr(args, "replicas", 1) < 1:
+        raise SystemExit("--shards and --replicas must be >= 1")
     service = _build_service(args)
-    server = build_server(service, host=args.host, port=args.port,
+    cluster = None
+    front = service
+    if shards > 1:
+        from repro.serving.cluster import ServingCluster
+
+        # The factory closes over the fully built service: fork gives
+        # every worker its own copy-on-write clone, so boot cost is
+        # paid once no matter how many replicas launch.
+        cluster = ServingCluster(
+            lambda: service, n_shards=shards,
+            replicas=getattr(args, "replicas", 1), seed=args.seed,
+            heartbeat_interval=2.0)
+        front = cluster
+    server = build_server(front, host=args.host, port=args.port,
                           verbose=args.verbose)
+    stats = front.stats()
     # Printed (and flushed) before blocking so callers binding port 0
     # can discover the ephemeral port.
-    print(f"serving {service.stats()['model']} on {server.url} "
-          f"(dataset={service.dataset.name}, items={service.dataset.n_items})",
+    print(f"serving {stats['model']} on {server.url} "
+          f"(dataset={stats['dataset']}, items={stats['n_items']}, "
+          f"shards={shards})",
           flush=True)
     try:
         server.serve_forever()
@@ -297,4 +352,6 @@ def serve_main(args) -> int:
     finally:
         server.shutdown()
         server.server_close()
+        if cluster is not None:
+            cluster.close()
     return 0

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.data.dataset import RecDataset
 from repro.models.base import RecommenderModel
+from repro.serving.ann import ANNConfig
 from repro.serving.cache import LRUCache
 from repro.serving.index import TopKIndex
 from repro.serving.scorer import BatchScorer
@@ -64,6 +65,15 @@ class RecommendationService:
         (or ``online_config`` to build one): arriving interactions then
         fold into the model instead of only masking, see
         :meth:`update_interactions`.
+    ann:
+        ``True`` or an :class:`~repro.serving.ann.ANNConfig` opts into
+        IVF candidate retrieval: each query scores only the items in
+        the probed clusters (exact re-rank, recall traded per the
+        probe count).  Models without the bilinear grid decomposition,
+        and catalogues under ``min_items``, silently keep the exact
+        full-grid path.  Users whose unseen candidate pool comes back
+        smaller than ``k`` fall back to exact scoring, so responses
+        are always complete and never contain seen items.
     """
 
     def __init__(
@@ -77,16 +87,19 @@ class RecommendationService:
         scorer_mode: str = "auto",
         online: Optional[IncrementalTrainer] = None,
         online_config: Optional[OnlineConfig] = None,
+        ann: Optional[ANNConfig] = None,
     ):
         if top_k <= 0:
             raise ValueError("top_k must be positive")
+        if ann is True:
+            ann = ANNConfig()
         self.model = model
         self.dataset = dataset
         self.top_k = top_k
         self.exclude_seen = exclude_seen
         self.user_batch = user_batch
         self.scorer = BatchScorer(model, dataset, mode=scorer_mode,
-                                  user_batch=user_batch)
+                                  user_batch=user_batch, ann=ann)
         # Private (not the shared per-dataset instance): add_interaction
         # mutates the overlay, which must stay local to this service.
         self.index = TopKIndex.from_dataset(dataset)
@@ -99,6 +112,7 @@ class RecommendationService:
         self.users_scored = 0
         self.interactions_added = 0
         self.updates_folded_in = 0
+        self.ann_fallbacks = 0
         if online is not None and online_config is not None:
             raise ValueError("pass online or online_config, not both")
         if online is None and online_config is not None:
@@ -180,11 +194,12 @@ class RecommendationService:
             for start in range(0, len(missing), self.user_batch):
                 block_users = missing[start:start + self.user_batch]
                 block = np.asarray(block_users, dtype=np.int64)
-                scores = self.scorer.score(block)
-                if exclude_seen:
-                    self.index.mask_seen(scores, block)
-                ranked = self.index.topk(scores, k)
-                ranked_scores = np.take_along_axis(scores, ranked, axis=1)
+                if self.scorer.ann_active:
+                    ranked, ranked_scores = self._rank_block_ann(
+                        block, k, exclude_seen)
+                else:
+                    ranked, ranked_scores = self._rank_block_exact(
+                        block, k, exclude_seen)
                 self.users_scored += block.size
                 for row, user in enumerate(block_users):
                     rec = Recommendation(user=user, items=ranked[row],
@@ -193,6 +208,45 @@ class RecommendationService:
                     results[user] = rec
 
         return [results[user] for user in users_arr.tolist()]
+
+    def _rank_block_exact(self, block: np.ndarray, k: int,
+                          exclude_seen: bool) -> tuple[np.ndarray, np.ndarray]:
+        """Full-grid scoring + masking + ranking for one user block."""
+        scores = self.scorer.score(block)
+        if exclude_seen:
+            self.index.mask_seen(scores, block)
+        ranked = self.index.topk(scores, k)
+        return ranked, np.take_along_axis(scores, ranked, axis=1)
+
+    def _rank_block_ann(self, block: np.ndarray, k: int,
+                        exclude_seen: bool) -> tuple[np.ndarray, np.ndarray]:
+        """IVF candidates + exact re-rank, with per-row exact fallback.
+
+        A row falls back to the full grid when its candidate slate —
+        after seen-item masking — cannot fill ``k`` positions
+        (``_validate_k`` already guaranteed the full catalogue can).
+        """
+        cand = self.scorer.ann_candidates(block)
+        scores = self.scorer.score_listed(block, cand)
+        if exclude_seen:
+            scores[self.index.pair_seen(block, cand)] = -np.inf
+        usable = np.isfinite(scores).sum(axis=1)
+        if cand.shape[1] >= k:
+            cols = self.index.topk(scores, k)
+            items = np.take_along_axis(cand, cols, axis=1)
+            item_scores = np.take_along_axis(scores, cols, axis=1)
+            short_rows = np.flatnonzero(usable < k)
+        else:
+            items = np.zeros((block.size, k), dtype=np.int64)
+            item_scores = np.zeros((block.size, k))
+            short_rows = np.arange(block.size)
+        if short_rows.size:
+            self.ann_fallbacks += short_rows.size
+            exact_items, exact_scores = self._rank_block_exact(
+                block[short_rows], k, exclude_seen)
+            items[short_rows] = exact_items
+            item_scores[short_rows] = exact_scores
+        return items, item_scores
 
     # ------------------------------------------------------------------
     def add_interaction(self, user: int, item: int) -> bool:
@@ -296,5 +350,7 @@ class RecommendationService:
             "online_updates": self.online is not None,
             "updates_folded_in": self.updates_folded_in,
             "fast_path": self.scorer.uses_fast_path,
+            "ann": self.scorer.ann_active,
+            "ann_fallbacks": self.ann_fallbacks,
             "cache": self.cache.stats(),
         }

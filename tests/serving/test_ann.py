@@ -1,0 +1,325 @@
+"""Properties of the IVF candidate index and the top-k retrieval oracle.
+
+Three layers of contract:
+
+- **IVF recall** (hypothesis, derandomized): on random item-state
+  matrices — isotropic Gaussian, the *worst* case for any clustering
+  index — candidate recall@k against exact top-k stays ≥ 0.95 at the
+  default probe count, and ``probes = n_clusters`` degrades to exact
+  retrieval (candidate set = whole catalogue).
+- **Scorer integration**: every grid-fast-path registry model scores
+  listed candidates identically to its full grid, the whitened index
+  is deterministic across rebuilds, and models without the bilinear
+  decomposition fall back to the exact path.
+- **TopKIndex set oracles** (hypothesis): ``mask_seen``/``topk``/
+  ``pair_seen`` against brute-force Python sets and ``np.argsort`` —
+  the ranking properties PR 4's membership suite never covered.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.synthetic import make_dataset
+from repro.experiments.registry import build_model
+from repro.serving.ann import ANNConfig, IVFIndex, kmeans, whitening_scale
+from repro.serving.index import TopKIndex
+from repro.serving.scorer import BatchScorer
+from repro.serving.service import RecommendationService
+
+pytestmark = [pytest.mark.serving, pytest.mark.cluster]
+
+TOP_K = 10
+
+
+def exact_topk(scores: np.ndarray, k: int) -> np.ndarray:
+    return np.argsort(-scores, axis=1, kind="stable")[:, :k]
+
+
+def candidate_recall(index: IVFIndex, queries: np.ndarray,
+                     vectors: np.ndarray, k: int,
+                     probes=None) -> float:
+    """Fraction of exact top-k items present in the candidate sets."""
+    exact = exact_topk(queries @ vectors.T, k)
+    cand = index.candidates(queries, probes=probes)
+    hits = 0
+    for row in range(queries.shape[0]):
+        hits += np.isin(exact[row], cand[row]).sum()
+    return hits / exact.size
+
+
+@st.composite
+def random_states(draw):
+    """Isotropic random item vectors + queries (the worst case)."""
+    n_items = draw(st.integers(150, 400))
+    dim = draw(st.integers(2, 6))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    vectors = rng.normal(size=(n_items, dim))
+    queries = rng.normal(size=(24, dim))
+    return vectors, queries
+
+
+class TestIVFRecallProperties:
+    @settings(max_examples=25, deadline=None, derandomize=True)
+    @given(random_states())
+    def test_recall_at_default_probes(self, state):
+        vectors, queries = state
+        index = IVFIndex(vectors, ANNConfig(seed=0))
+        recall = candidate_recall(index, queries, vectors, TOP_K)
+        assert recall >= 0.95, (
+            f"recall@{TOP_K}={recall:.3f} below 0.95 at default probes "
+            f"(c={index.n_clusters}, p={index.default_probes})")
+
+    @settings(max_examples=25, deadline=None, derandomize=True)
+    @given(random_states())
+    def test_probe_all_clusters_degrades_to_exact(self, state):
+        vectors, queries = state
+        index = IVFIndex(vectors, ANNConfig(seed=0))
+        cand = index.candidates(queries, probes=index.n_clusters)
+        # Every query's candidate set is the whole catalogue …
+        for row in range(queries.shape[0]):
+            row_items = cand[row][cand[row] >= 0]
+            assert sorted(row_items.tolist()) == list(range(len(vectors)))
+        # … so recall is exactly 1.
+        recall = candidate_recall(index, queries, vectors, TOP_K,
+                                  probes=index.n_clusters)
+        assert recall == 1.0
+
+    @settings(max_examples=15, deadline=None, derandomize=True)
+    @given(random_states())
+    def test_more_probes_never_shrink_candidate_sets(self, state):
+        vectors, queries = state
+        index = IVFIndex(vectors, ANNConfig(seed=0))
+        few = index.candidates(queries[:4], probes=1)
+        many = index.candidates(queries[:4], probes=index.n_clusters)
+        for row in range(4):
+            few_set = set(few[row][few[row] >= 0].tolist())
+            many_set = set(many[row][many[row] >= 0].tolist())
+            assert few_set <= many_set
+
+
+class TestKMeansAndIndex:
+    def test_kmeans_is_deterministic_and_partitions(self):
+        rng = np.random.default_rng(3)
+        vectors = rng.normal(size=(120, 5))
+        c1, a1 = kmeans(vectors, 9, seed=42)
+        c2, a2 = kmeans(vectors, 9, seed=42)
+        np.testing.assert_array_equal(a1, a2)
+        np.testing.assert_array_equal(c1, c2)
+        assert a1.min() >= 0 and a1.max() < 9
+        # a different seed is allowed to differ (and here, does)
+        _, a3 = kmeans(vectors, 9, seed=43)
+        assert a3.shape == a1.shape
+
+    def test_kmeans_input_validation(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((0, 3)), 2)
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((10, 3)), 11)
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((10, 3)), 0)
+
+    def test_index_lists_cover_every_item_once(self):
+        rng = np.random.default_rng(0)
+        vectors = rng.normal(size=(200, 4))
+        index = IVFIndex(vectors, ANNConfig(seed=1))
+        assert index.cluster_sizes().sum() == 200
+        everything = index.candidates(rng.normal(size=(1, 4)),
+                                      probes=index.n_clusters)
+        assert sorted(everything[0][everything[0] >= 0].tolist()) == \
+            list(range(200))
+
+    def test_degenerate_tiny_catalogues(self):
+        # 1- and 2-item matrices must index and retrieve, not crash on
+        # a cluster count above the vector count.
+        for n in (1, 2, 3):
+            vectors = np.arange(n * 2, dtype=np.float64).reshape(n, 2)
+            index = IVFIndex(vectors, ANNConfig(seed=0))
+            assert 1 <= index.n_clusters <= n
+            cand = index.candidates(np.ones((1, 2)),
+                                    probes=index.n_clusters)
+            assert sorted(cand[0][cand[0] >= 0].tolist()) == list(range(n))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ANNConfig(n_clusters=0)
+        with pytest.raises(ValueError):
+            ANNConfig(probes=0)
+        index = IVFIndex(np.random.default_rng(0).normal(size=(50, 3)),
+                         ANNConfig(seed=0))
+        with pytest.raises(ValueError):
+            index.candidates(np.zeros((1, 3)), probes=0)
+        with pytest.raises(ValueError):
+            index.candidates(np.zeros((1, 7)))  # dim mismatch
+
+    def test_whitening_scale_preserves_inner_products(self):
+        rng = np.random.default_rng(5)
+        queries = rng.normal(size=(64, 6)) * np.array([10, 1, .1, 1, 5, 0])
+        vectors = rng.normal(size=(30, 6))
+        scale = whitening_scale(queries)
+        assert (scale > 0).all()
+        np.testing.assert_allclose((queries / scale) @ (vectors * scale).T,
+                                   queries @ vectors.T)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_dataset("movielens", seed=0, scale=0.5)
+
+
+class TestScorerANN:
+    FAST_PATH_MODELS = ["MF", "PMF", "BPR-MF", "NGCF", "LibFM", "GML-FMmd"]
+
+    @pytest.mark.parametrize("name", FAST_PATH_MODELS)
+    def test_listed_scores_match_the_grid(self, corpus, name):
+        model = build_model(name, corpus, k=8, seed=0,
+                            train_users=corpus.users,
+                            train_items=corpus.items)
+        scorer = BatchScorer(model, corpus, ann=ANNConfig(min_items=16))
+        assert scorer.ann_active, name
+        users = np.arange(12, dtype=np.int64)
+        grid = scorer.score(users)
+        listed = scorer.score_listed(
+            users, np.tile(np.arange(corpus.n_items), (12, 1)))
+        np.testing.assert_allclose(listed, grid, rtol=1e-9, atol=1e-12)
+
+    def test_candidates_are_deterministic_across_rebuilds(self, corpus):
+        model = build_model("BPR-MF", corpus, k=8, seed=0)
+        users = np.arange(20, dtype=np.int64)
+        first = BatchScorer(model, corpus, ann=ANNConfig(min_items=16))
+        second = BatchScorer(model, corpus, ann=ANNConfig(min_items=16))
+        np.testing.assert_array_equal(first.ann_candidates(users),
+                                      second.ann_candidates(users))
+
+    def test_min_items_gate_keeps_exact_path(self, corpus):
+        model = build_model("MF", corpus, k=8, seed=0)
+        scorer = BatchScorer(model, corpus,
+                             ann=ANNConfig(min_items=corpus.n_items + 1))
+        assert not scorer.ann_active
+        with pytest.raises(RuntimeError):
+            scorer.ann_candidates(np.arange(3))
+
+    def test_model_without_decomposition_falls_back(self, corpus):
+        model = build_model("NCF", corpus, k=8, seed=0)
+        service = RecommendationService(model, corpus, top_k=5,
+                                        ann=ANNConfig(min_items=16))
+        assert not service.scorer.ann_active
+        rec = service.recommend(0)
+        assert len(rec.items) == 5
+
+    def test_service_ann_recall_and_hygiene(self, corpus):
+        """ANN lists: full length, no seen items, high overlap w/ exact."""
+        model = build_model("BPR-MF", corpus, k=16, seed=0)
+        exact = RecommendationService(model, corpus, top_k=TOP_K)
+        approx = RecommendationService(model, corpus, top_k=TOP_K,
+                                       ann=ANNConfig(min_items=16))
+        assert approx.scorer.ann_active
+        hits = total = 0
+        for user in range(80):
+            e = exact.recommend(user)
+            a = approx.recommend(user)
+            assert len(set(a.items.tolist())) == TOP_K
+            assert np.all(np.diff(a.scores) <= 1e-12)      # sorted desc
+            seen = set(approx.index.seen(user).tolist())
+            assert not (set(a.items.tolist()) & seen)
+            hits += len(set(e.items.tolist()) & set(a.items.tolist()))
+            total += TOP_K
+        assert hits / total >= 0.95
+
+    def test_refresh_rebuilds_the_codebook(self, corpus):
+        model = build_model("MF", corpus, k=8, seed=0)
+        scorer = BatchScorer(model, corpus, ann=ANNConfig(min_items=16))
+        before = scorer.ann_candidates(np.arange(8))
+        # Move the item factors: the old inverted lists are stale.
+        model.item_factors.weight.data += \
+            np.random.default_rng(1).normal(size=model.item_factors.weight.data.shape)
+        scorer.refresh()
+        after = scorer.ann_candidates(np.arange(8))
+        assert not np.array_equal(before, after)
+
+    def test_update_interactions_keeps_ann_path_correct(self, corpus):
+        model = build_model("MF", corpus, k=8, seed=0)
+        service = RecommendationService(model, corpus, top_k=5,
+                                        ann=ANNConfig(min_items=16))
+        rec = service.recommend(3)
+        newly_seen = [int(rec.items[0]), int(rec.items[1])]
+        service.update_interactions([3, 3], newly_seen)
+        updated = service.recommend(3)
+        assert not (set(updated.items.tolist()) & set(newly_seen))
+
+
+@st.composite
+def score_matrices(draw):
+    rows = draw(st.integers(1, 6))
+    cols = draw(st.integers(2, 30))
+    seed = draw(st.integers(0, 2**31 - 1))
+    scores = np.random.default_rng(seed).normal(size=(rows, cols))
+    return scores
+
+
+class TestTopKIndexOracles:
+    @settings(max_examples=50, deadline=None)
+    @given(score_matrices(), st.data())
+    def test_topk_matches_argsort_oracle(self, scores, data):
+        k = data.draw(st.integers(1, scores.shape[1]))
+        index = TopKIndex(scores.shape[0], scores.shape[1])
+        got = index.topk(scores.copy(), k)
+        oracle = np.argsort(-scores, axis=1, kind="stable")[:, :k]
+        # Continuous random scores: ties have measure zero, order is
+        # fully determined.
+        np.testing.assert_array_equal(got, oracle)
+        # Per-row: the selected scores are the k largest.
+        for row in range(scores.shape[0]):
+            top_scores = np.sort(scores[row, got[row]])[::-1]
+            np.testing.assert_array_equal(
+                top_scores, np.sort(scores[row])[::-1][:k])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.data())
+    def test_mask_and_pair_seen_match_set_oracle(self, data):
+        n_users = data.draw(st.integers(1, 6))
+        n_items = data.draw(st.integers(1, 15))
+        n_rows = data.draw(st.integers(0, 40))
+        users = np.array(data.draw(st.lists(
+            st.integers(0, n_users - 1), min_size=n_rows, max_size=n_rows)),
+            dtype=np.int64)
+        items = np.array(data.draw(st.lists(
+            st.integers(0, n_items - 1), min_size=n_rows, max_size=n_rows)),
+            dtype=np.int64)
+        index = TopKIndex(n_users, n_items, users=users, items=items)
+        # Overlay mutations participate in both masks.
+        n_extra = data.draw(st.integers(0, 5))
+        oracle = [set() for _ in range(n_users)]
+        for user, item in zip(users.tolist(), items.tolist()):
+            oracle[user].add(item)
+        for _ in range(n_extra):
+            user = data.draw(st.integers(0, n_users - 1))
+            item = data.draw(st.integers(0, n_items - 1))
+            assert index.add(user, item) == (item not in oracle[user])
+            oracle[user].add(item)
+
+        query = np.arange(n_users, dtype=np.int64)
+        scores = np.zeros((n_users, n_items))
+        index.mask_seen(scores, query)
+        for user in range(n_users):
+            masked = set(np.flatnonzero(np.isneginf(scores[user])).tolist())
+            assert masked == oracle[user]
+
+        listed = np.tile(np.arange(n_items), (n_users, 1))
+        # A padding column must always read as unseen.
+        listed_padded = np.hstack(
+            [listed, np.full((n_users, 1), -1, dtype=np.int64)])
+        seen = index.pair_seen(query, listed_padded)
+        for user in range(n_users):
+            assert set(np.flatnonzero(seen[user, :n_items]).tolist()) == \
+                oracle[user]
+            assert not seen[user, n_items]
+
+    def test_pair_seen_validates_shape(self):
+        index = TopKIndex(3, 5)
+        with pytest.raises(ValueError):
+            index.pair_seen(np.arange(3), np.zeros(5, dtype=np.int64))
+        with pytest.raises(ValueError):
+            index.pair_seen(np.arange(2), np.zeros((3, 4), dtype=np.int64))

@@ -65,6 +65,57 @@ class TestLRUCache:
             LRUCache(-1)
 
 
+class TestLRUCacheConcurrency:
+    """The cache must be safe standalone, not only behind the service.
+
+    ``LRUCache`` is public API; without the internal lock, concurrent
+    ``get``/``put``/``invalidate`` race on the ``OrderedDict``
+    (``move_to_end`` of an evicted key, double ``popitem``, resize
+    during iteration) and corrupt the recency order.  The service's own
+    coarse lock happened to shield its instance — consumers outside it
+    had no such guarantee.  This hammer pins the standalone contract.
+    """
+
+    def test_concurrent_hammer_is_consistent(self):
+        import threading
+
+        capacity = 32
+        cache = LRUCache(capacity)
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def worker(thread_id: int) -> None:
+            try:
+                barrier.wait(timeout=30)
+                for round_no in range(400):
+                    key = (round_no * 7 + thread_id) % 80
+                    value = cache.get(key)
+                    assert value is None or value == key * 2
+                    cache.put(key, key * 2)
+                    if round_no % 50 == thread_id:
+                        cache.invalidate(lambda k: k % 8 == thread_id)
+                    if round_no % 97 == 0:
+                        cache.stats()
+                        len(cache)
+            except Exception as exc:  # noqa: BLE001 - collected
+                errors.append(repr(exc))
+
+        threads = [threading.Thread(target=worker, args=(i,), daemon=True)
+                   for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert errors == []
+        assert len(cache) <= capacity
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == 8 * 400
+        # Every surviving entry still carries its own value.
+        for key in range(80):
+            value = cache.get(key)
+            assert value is None or value == key * 2
+
+
 class TestTopKIndex:
     @pytest.fixture(scope="class")
     def ds(self):

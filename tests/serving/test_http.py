@@ -108,6 +108,74 @@ class TestLiveEndpoints:
             assert "error" in body
 
 
+@pytest.mark.cluster
+class TestLiveShardedServer:
+    """`repro serve --shards/--replicas/--ann` end to end."""
+
+    @pytest.fixture(scope="class")
+    def sharded_server(self):
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--dataset",
+             "amazon-auto", "--model", "BPR-MF", "--scale", "quick",
+             "--port", "0", "--k", "8", "--shards", "2", "--replicas", "2",
+             "--ann"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            env=_env(), cwd=REPO_ROOT,
+        )
+        try:
+            deadline = time.monotonic() + 120
+            banner = ""
+            while time.monotonic() < deadline:
+                ready, _, _ = select.select([proc.stdout], [], [],
+                                            max(0.0, deadline - time.monotonic()))
+                if not ready:
+                    break
+                banner = proc.stdout.readline()
+                if "http://" in banner or proc.poll() is not None:
+                    break
+            match = re.search(r"http://[\d.]+:(\d+)", banner)
+            if not match:
+                raise RuntimeError(f"sharded server never announced a port: "
+                                   f"{banner!r}")
+            yield f"http://127.0.0.1:{match.group(1)}"
+        finally:
+            proc.terminate()
+            try:
+                proc.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+
+    def test_recommend_and_cluster_stats(self, sharded_server):
+        status, payload = _get(sharded_server + "/recommend?user=5&k=5")
+        assert status == 200
+        assert len(set(payload["items"])) == 5
+        status, stats = _get(sharded_server + "/stats")
+        assert status == 200
+        assert stats["cluster"]["shards"] == 2
+        assert stats["cluster"]["replicas"] == 2
+        assert stats["cluster"]["alive"] == [2, 2]
+        assert stats["ann"] is True
+
+    def test_update_routes_through_the_cluster(self, sharded_server):
+        _, before = _get(sharded_server + "/recommend?user=5&k=5")
+        target = before["items"][0]
+        body = json.dumps({"user": 5, "item": target}).encode()
+        request = urllib.request.Request(
+            sharded_server + "/update", data=body, method="POST",
+            headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(request, timeout=15) as resp:
+            report = json.loads(resp.read())
+        assert report["novel"] == 1
+        _, after = _get(sharded_server + "/recommend?user=5&k=5")
+        assert target not in after["items"]
+
+    def test_bad_requests_map_to_400_across_shards(self, sharded_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(sharded_server + "/recommend?user=999999&k=5")
+        assert excinfo.value.code == 400
+
+
 class TestSelfcheck:
     def test_cli_selfcheck_exits_zero(self):
         result = subprocess.run(

@@ -162,6 +162,19 @@ class TestUpdateErrors:
         assert status == 400
         assert "bytes exceeds" in payload["error"]
 
+    def test_oversized_body_past_socket_buffers_still_gets_400(self, server):
+        """Regression: the rejected body must be drained, not abandoned.
+
+        A body much larger than the loopback socket buffers leaves the
+        client blocked mid-send; if the server answers without reading,
+        the client sees a connection reset instead of the 400.
+        """
+        padding = "x" * (4 << 20)
+        status, payload = post(server, {"user": 0, "item": 1,
+                                        "padding": padding})
+        assert status == 400
+        assert "bytes exceeds" in payload["error"]
+
     def test_oversized_batch(self, server):
         events = [[0, 1]] * (MAX_BATCH + 1)
         status, payload = post(server, {"events": events})

@@ -1,0 +1,121 @@
+"""Concurrency stress for the online path: update/recommend atomicity.
+
+The invariant under interleaved ``POST /update`` and ``GET /recommend``
+from many clients: once a client's report of ``(user, item)`` has been
+acknowledged, *no later recommendation for that user may contain that
+item* — fold-in, cache invalidation and the seen-item index overlay
+must commit atomically with respect to concurrent readers.  Each
+client thread owns a disjoint set of users, reports items it was just
+recommended, and re-queries after every acknowledgement; any stale
+cache entry, half-applied overlay or unmasked ANN candidate surfaces
+as a violation.
+
+Runs against a live ``ThreadingHTTPServer`` twice: the plain exact
+service and the ANN service (whose candidate path has its own masking
+and fallback logic to get wrong).
+"""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.data.synthetic import make_dataset
+from repro.experiments.registry import build_model
+from repro.serving import ANNConfig, RecommendationService, build_server
+
+pytestmark = [pytest.mark.serving, pytest.mark.cluster]
+
+N_THREADS = 6
+ROUNDS = 12
+TOP_K = 5
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_dataset("amazon-auto", seed=0, scale=0.3)
+
+
+def _get(url, timeout=30):
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return json.loads(resp.read())
+
+
+def _post(url, payload, timeout=30):
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode("utf-8"), method="POST",
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=timeout) as resp:
+        return json.loads(resp.read())
+
+
+def run_stress(service, corpus):
+    server = build_server(service)
+    accept = threading.Thread(target=server.serve_forever, daemon=True)
+    accept.start()
+    violations = []
+    failures = []
+    barrier = threading.Barrier(N_THREADS)
+
+    def client(thread_id: int) -> None:
+        # Disjoint users per thread: the invariant is per-client
+        # (a client only knows what *it* reported was acknowledged).
+        users = [u for u in range(corpus.n_users)
+                 if u % N_THREADS == thread_id][:4]
+        reported: dict[int, set[int]] = {u: set() for u in users}
+        try:
+            barrier.wait(timeout=30)
+            for _ in range(ROUNDS):
+                for user in users:
+                    body = _get(f"{server.url}/recommend?user={user}"
+                                f"&k={TOP_K}")
+                    overlap = set(body["items"]) & reported[user]
+                    if overlap:
+                        violations.append((thread_id, user, overlap))
+                    item = int(body["items"][0])
+                    _post(server.url + "/update",
+                          {"user": user, "item": item})
+                    reported[user].add(item)
+                    after = _get(f"{server.url}/recommend?user={user}"
+                                 f"&k={TOP_K}")
+                    stale = set(after["items"]) & reported[user]
+                    if stale:
+                        violations.append((thread_id, user, stale))
+        except Exception as exc:  # noqa: BLE001 - reported, not raised
+            failures.append((thread_id, repr(exc)))
+
+    threads = [threading.Thread(target=client, args=(i,), daemon=True)
+               for i in range(N_THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    server.shutdown()
+    server.server_close()
+    assert failures == []
+    assert violations == [], (
+        f"served items their client already reported: {violations[:5]}")
+
+
+class TestInterleavedUpdateRecommend:
+    def test_exact_service_never_serves_reported_items(self, corpus):
+        model = build_model("MF", corpus, k=8, seed=0)
+        run_stress(RecommendationService(model, corpus, top_k=TOP_K),
+                   corpus)
+
+    def test_ann_service_never_serves_reported_items(self, corpus):
+        model = build_model("BPR-MF", corpus, k=8, seed=0)
+        service = RecommendationService(model, corpus, top_k=TOP_K,
+                                        ann=ANNConfig(min_items=16))
+        assert service.scorer.ann_active
+        run_stress(service, corpus)
+
+    def test_online_foldin_service_never_serves_reported_items(self, corpus):
+        from repro.training.online import OnlineConfig
+
+        model = build_model("MF", corpus, k=8, seed=0)
+        service = RecommendationService(
+            model, corpus, top_k=TOP_K,
+            online_config=OnlineConfig(sides=("user",), seed=0))
+        run_stress(service, corpus)
