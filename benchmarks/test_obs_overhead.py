@@ -1,0 +1,181 @@
+"""Observability overhead: the instrumented plane must be near-free.
+
+Two records, written to ``benchmarks/results/obs_overhead.json``:
+
+- ``obs_overhead_serving`` — batch-recommend throughput of a
+  metrics-on service (the default) against the same service built with
+  ``metrics=False`` (null registry, structurally uninstrumented).  The
+  gate holds the instrumented path to ≥ 0.97× the uninstrumented
+  throughput: counters and histogram observations on the request path
+  may cost at most 3%.
+- ``obs_training_profile`` — the op-level profile of MF training on
+  the quick-scale MovieLens-like dataset: top ops by cumulative
+  forward+backward time, the measurement the fused-backend roadmap
+  item starts from.  Recorded, not gated — it is attribution, not a
+  race.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_dataset
+from repro.experiments.registry import build_model
+from repro.obs.profiler import profile
+from repro.serving.service import RecommendationService
+from repro.training.trainer import TrainConfig, Trainer
+from conftest import emit_bench_records
+
+pytestmark = [pytest.mark.serving, pytest.mark.obs]
+
+GATE = 0.97
+# The gate sits at 3%, so the measurement protocol has to push every
+# noise source (scheduler spikes, frequency drift, allocation layout)
+# well below that; see the comments inside measure().
+ROUNDS = 16
+REPLICATES = 4
+
+
+def drive(service, batches):
+    for users in batches:
+        service.recommend_batch(users)
+
+
+def drive_timed(service, batches):
+    """Per-batch wall times for one pass over ``batches``."""
+    times = []
+    for users in batches:
+        start = time.perf_counter()
+        service.recommend_batch(users)
+        times.append(time.perf_counter() - start)
+    return times
+
+
+def test_obs_overhead(benchmark, scale):
+    dataset = make_dataset("movielens", seed=0, scale=scale.dataset_scale)
+    model = build_model("BPR-MF", dataset, k=scale.k, seed=0,
+                        train_users=dataset.users,
+                        train_items=dataset.items)
+    rng = np.random.default_rng(7)
+    # Production-shaped batches: per-request instrumentation (a few
+    # counter incs + one histogram observe) is a fixed cost, so the
+    # gate is stated against batches big enough that scoring dominates.
+    batches = [rng.integers(0, dataset.n_users, size=256)
+               for _ in range(12)]
+
+    def measure():
+        # cache_size=0 pins both services to the scoring path — the
+        # quick-scale catalogue is smaller than the default cache, so
+        # a warmed cache would answer every request without scoring
+        # and the gate would measure the degenerate all-hits case
+        # instead of serving work.  Cache accounting still runs (one
+        # batched miss increment per request).
+        #
+        # Several independent service pairs: a service's scorer
+        # precompute arrays keep one allocation for the process
+        # lifetime, and an unlucky layout (cache aliasing) can make
+        # one instance a few percent slower in *every* round.  Fresh
+        # replicate pairs re-roll that dice; the per-batch minimum
+        # across replicates keeps each side's best layout.
+        n = len(batches)
+        best_on = [float("inf")] * n
+        best_off = [float("inf")] * n
+        for replicate in range(REPLICATES):
+            instrumented = RecommendationService(model, dataset, top_k=10,
+                                                 cache_size=0)
+            bare = RecommendationService(model, dataset, top_k=10,
+                                         cache_size=0, metrics=False)
+            assert instrumented.registry.snapshot() != []
+            assert bare.metrics_snapshot() == []
+            # Warm both (first calls pay one-time scorer state).
+            drive(instrumented, batches)
+            drive(bare, batches)
+            # Interleaved rounds (order swapping every round, so
+            # neither side always owns the just-context-switched
+            # slot), reduced to *per-batch* minima: on a noisy shared
+            # box whole-drive times swing ±50%, but each ~1.5 ms
+            # batch only needs one clean scheduler window across all
+            # rounds for its true cost to surface.  Summing the
+            # per-batch bests gives each side's achievable throughput
+            # with the spikes removed.
+            for round_index in range(ROUNDS):
+                first, second = ((instrumented, bare)
+                                 if round_index % 2 == 0
+                                 else (bare, instrumented))
+                t_first = drive_timed(first, batches)
+                t_second = drive_timed(second, batches)
+                t_on, t_off = ((t_first, t_second)
+                               if first is instrumented
+                               else (t_second, t_first))
+                best_on = [min(a, b) for a, b in zip(best_on, t_on)]
+                best_off = [min(a, b) for a, b in zip(best_off, t_off)]
+        return sum(best_on), sum(best_off)
+
+    on_time, off_time = benchmark.pedantic(measure, rounds=1, iterations=1)
+    n_users = sum(len(b) for b in batches)
+    ratio = off_time / on_time  # >1 means metrics-on was faster (noise)
+    attempts = 1
+    if ratio < GATE:
+        # One retry before declaring a regression: the protocol above
+        # pushes noise to ~1%, but a shared box can still hand one
+        # side a bad draw.  A real regression fails both attempts; a
+        # noise failure reproduces at well under the false-fail rate
+        # squared.
+        on_time, off_time = measure()
+        ratio = off_time / on_time
+        attempts = 2
+
+    # -- op-level training profile (recorded, not gated) ---------------
+    train_model = build_model("MF", dataset, k=scale.k, seed=0)
+    rng = np.random.default_rng(0)
+    users = rng.integers(0, dataset.n_users, size=2048)
+    items = rng.integers(0, dataset.n_items, size=2048)
+    labels = 2.0 * rng.integers(0, 2, size=2048) - 1.0
+    trainer = Trainer(train_model, TrainConfig(epochs=2, batch_size=256))
+    with profile() as prof:
+        trainer.fit_pointwise(users, items, labels)
+    top_ops = prof.summary(top=8)
+
+    records = [
+        {
+            "benchmark": "obs_overhead_serving",
+            "scale": scale.name,
+            "model": "BPR-MF",
+            "n_users_scored": n_users,
+            "n_items": int(dataset.n_items),
+            "metrics_on_sec": on_time,
+            "metrics_off_sec": off_time,
+            "users_per_sec_on": n_users / on_time,
+            "users_per_sec_off": n_users / off_time,
+            "throughput_ratio": ratio,
+            "attempts": attempts,
+            "gate": f">= {GATE}x of uninstrumented",
+            "gate_passed": bool(ratio >= GATE),
+        },
+        {
+            "benchmark": "obs_training_profile",
+            "scale": scale.name,
+            "model": "MF",
+            "epochs": 2,
+            "instances": int(users.size),
+            "wall_sec": prof.wall_s,
+            "top_ops": top_ops,
+        },
+    ]
+    emit_bench_records(records, "obs_overhead.json")
+
+    print(f"\nObservability overhead (scale={scale.name}):")
+    print(f"  metrics on  {n_users / on_time:10.0f} users/s "
+          f"({on_time * 1e3:.1f} ms)")
+    print(f"  metrics off {n_users / off_time:10.0f} users/s "
+          f"({off_time * 1e3:.1f} ms)")
+    print(f"  ratio {ratio:.3f}x (gate >= {GATE}x)")
+    print("\nTraining profile (top ops by cumulative time):")
+    print(prof.format(top=8))
+
+    assert ratio >= GATE, (
+        f"metrics-on serving throughput is {ratio:.3f}x the "
+        f"uninstrumented baseline (gate {GATE}x): instrumentation is "
+        f"no longer near-free")
+    assert top_ops and any(row["backward_calls"] > 0 for row in top_ops)

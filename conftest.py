@@ -26,3 +26,9 @@ def pytest_configure(config):
         "equivalence, load generation, concurrency stress; run with "
         "`pytest -m cluster`",
     )
+    config.addinivalue_line(
+        "markers",
+        "obs: observability subsystem tests (repro.obs): metrics "
+        "registry, request tracing, structured logs, op profiler, "
+        "console surfaces; run with `pytest -m obs`",
+    )

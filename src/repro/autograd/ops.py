@@ -14,6 +14,18 @@ import numpy as np
 
 from repro.autograd.tensor import DTYPE, Tensor, unbroadcast
 
+#: Module-level profile surface (see ``Tensor.PROFILE_METHODS``): the
+#: opt-in op profiler patches these by name while active.  Callers must
+#: reach them as ``ops.<name>`` (every model does) for the patch to be
+#: visible; thin aliases of Tensor methods (``exp``/``relu``/...) are
+#: excluded — their timing is captured at the method layer.
+PROFILE_FUNCTIONS = {
+    "softmax": "softmax", "log_softmax": "log_softmax",
+    "maximum": "maximum", "concatenate": "concatenate", "stack": "stack",
+    "embedding": "embedding", "dropout": "dropout", "where": "where",
+    "sum_tensors": "sum_tensors",
+}
+
 
 def exp(x: Tensor) -> Tensor:
     return x.exp()

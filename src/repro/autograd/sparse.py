@@ -12,6 +12,9 @@ import scipy.sparse as sp
 
 from repro.autograd.tensor import Tensor
 
+#: Profile surface for the op profiler (see ``Tensor.PROFILE_METHODS``).
+PROFILE_FUNCTIONS = {"sparse_matmul": "sparse_matmul"}
+
 
 def sparse_matmul(matrix: sp.spmatrix, x: Tensor) -> Tensor:
     """Compute ``matrix @ x`` where ``matrix`` is a constant sparse matrix.

@@ -93,6 +93,25 @@ class Tensor:
 
     __array_priority__ = 100.0  # ensure np_scalar * Tensor dispatches to us
 
+    #: Declared profile surface: method name → canonical op name.  The
+    #: opt-in op profiler (:mod:`repro.obs.profiler`) patches exactly
+    #: these entry points while active and restores them on exit; the
+    #: engine itself carries no profiling branches.  Kept next to the
+    #: class so adding an op and forgetting the profiler is a one-line,
+    #: reviewable omission rather than silent drift.
+    PROFILE_METHODS = {
+        "__add__": "add", "__sub__": "sub", "__rsub__": "sub",
+        "__mul__": "mul", "__truediv__": "div", "__rtruediv__": "div",
+        "__neg__": "neg", "__pow__": "pow", "__matmul__": "matmul",
+        "__rmatmul__": "matmul", "__getitem__": "getitem",
+        "reshape": "reshape", "transpose": "transpose",
+        "swapaxes": "swapaxes", "expand_dims": "expand_dims",
+        "squeeze": "squeeze", "sum": "sum", "mean": "mean", "max": "max",
+        "exp": "exp", "log": "log", "sqrt": "sqrt", "abs": "abs",
+        "tanh": "tanh", "sigmoid": "sigmoid", "relu": "relu",
+        "clip": "clip",
+    }
+
     def __init__(self, data: ArrayLike, requires_grad: bool = False):
         self.data = np.asarray(data, dtype=DTYPE)
         self.requires_grad = bool(requires_grad)

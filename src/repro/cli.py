@@ -19,7 +19,13 @@ the ``slow`` benchmarks, e.g. ``pytest -m slow benchmarks/``.)
     python -m repro serve --online   # /update folds events into the model
     python -m repro serve --shards 4 --replicas 2  # sharded worker fleet
     python -m repro serve --ann      # IVF candidate retrieval (sub-linear)
+    python -m repro serve --trace    # per-request tracing (GET /trace)
     python -m repro serve --selfcheck # boot + one query + exit 0 (CI gate)
+
+    # Observability consoles (repro.obs): watch a live server, or
+    # aggregate the benchmark result records into one trajectory table.
+    python -m repro top --url http://127.0.0.1:8765
+    python -m repro bench report
 
     # Streaming workload: seeded prequential replay (evaluate-then-
     # train over the event stream with incremental fold-in updates).
@@ -123,8 +129,35 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="fold /update events into the model incrementally "
                             "(user-side fold-in; exact per-user cache "
                             "invalidation)")
+    serve.add_argument("--trace", action="store_true",
+                       help="per-request tracing: mint a trace id per "
+                            "/recommend and /update, record spans across "
+                            "shard replicas, expose them on GET /trace "
+                            "(observational only — responses are "
+                            "byte-identical with tracing on or off)")
     serve.add_argument("--selfcheck", action="store_true",
                        help="boot on a synthetic dataset, issue one query, exit")
+
+    top = sub.add_parser(
+        "top", help="live terminal view of a running server's /metrics")
+    top.add_argument("--url", default="http://127.0.0.1:8765",
+                     help="base URL of a running `repro serve` instance")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between refreshes")
+    top.add_argument("--iterations", type=int, default=0,
+                     help="stop after N refreshes (0 = until interrupted)")
+    top.add_argument("--once", action="store_true",
+                     help="print one sample and exit (no screen clearing)")
+
+    bench = sub.add_parser(
+        "bench", help="benchmark tooling (aggregate recorded results)")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    report = bench_sub.add_parser(
+        "report",
+        help="aggregate benchmarks/results/*.json into a trajectory table")
+    report.add_argument("--results-dir", default="benchmarks/results",
+                        dest="results_dir",
+                        help="directory of benchmark JSON records")
 
     replay = sub.add_parser(
         "replay",
@@ -186,6 +219,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.serving.server import serve_main
 
         return serve_main(args)
+    if args.command == "top":
+        from repro.obs.console import top_main
+
+        return top_main(args)
+    if args.command == "bench":
+        from repro.obs.console import bench_report_main
+
+        return bench_report_main(args)
     if args.command == "replay":
         from repro.experiments.streaming import format_replay, run_replay
 

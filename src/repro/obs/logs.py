@@ -1,0 +1,98 @@
+"""Structured JSON logging: one event, one JSON line.
+
+Stdlib ``logging`` is deliberately not used: the cluster logs from
+forked worker parents, HTTP handler threads and a heartbeat thread at
+once, and the global logging tree's handler state is exactly the kind
+of cross-test, cross-process shared mutable state this repo avoids.  A
+:class:`JsonLogger` is a plain object — construct one, inject it,
+capture its stream in tests.
+
+Events are key-value records with three reserved fields: ``ts`` (unix
+seconds), ``level`` and ``event``.  Everything else is caller context
+(``shard``, ``replica``, ``trace_id``, ...).  Lines are written atomically
+(single ``write`` call under a lock) so interleaved threads never split
+a JSON object.
+
+The module-level :func:`default_logger` writes WARNING-and-up to
+stderr: replica failovers, heartbeat misses and dead shards are visible
+by default; routine lifecycle chatter (spawns, closes) only shows when
+a caller opts into an ``info``-level logger (``repro serve --verbose``
+does).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Optional, TextIO
+
+_LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+class JsonLogger:
+    """Thread-safe JSON-lines event logger with bound context fields."""
+
+    def __init__(self, stream: Optional[TextIO] = None,
+                 min_level: str = "info",
+                 bound: Optional[dict] = None):
+        if min_level not in _LEVELS:
+            raise ValueError(
+                f"unknown level {min_level!r}; options: {sorted(_LEVELS)}")
+        self._stream = stream
+        self.min_level = min_level
+        self._bound = dict(bound or {})
+        self._lock = threading.Lock()
+
+    @property
+    def stream(self) -> TextIO:
+        # Resolved lazily so pytest's stderr capture (which swaps
+        # sys.stderr per test) sees the lines.
+        return self._stream if self._stream is not None else sys.stderr
+
+    def bind(self, **fields) -> "JsonLogger":
+        """A child logger whose every event carries ``fields``."""
+        child = JsonLogger(self._stream, self.min_level,
+                           {**self._bound, **fields})
+        child._lock = self._lock  # shared: children interleave safely
+        return child
+
+    def log(self, level: str, event: str, **fields) -> None:
+        if _LEVELS[level] < _LEVELS[self.min_level]:
+            return
+        record = {"ts": round(time.time(), 6), "level": level,
+                  "event": event, **self._bound, **fields}
+        line = json.dumps(record, default=str, sort_keys=False) + "\n"
+        with self._lock:
+            try:
+                self.stream.write(line)
+            except ValueError:
+                # Interpreter teardown / closed capture stream: logging
+                # must never take the serving path down with it.
+                pass
+
+    def debug(self, event: str, **fields) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields) -> None:
+        self.log("error", event, **fields)
+
+
+_DEFAULT: Optional[JsonLogger] = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_logger() -> JsonLogger:
+    """Shared stderr logger for warnings and errors (lazily built)."""
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        if _DEFAULT is None:
+            _DEFAULT = JsonLogger(stream=None, min_level="warning")
+        return _DEFAULT

@@ -1,0 +1,208 @@
+"""Opt-in op-level profiling of the ``repro.autograd`` engine.
+
+The fused-backend roadmap item starts with "measure the hot path": this
+profiler answers *which autograd op dominates an epoch* without adding
+a single branch to the untraced engine.  Entering :func:`profile`
+monkey-patches the declared profile surface —
+``Tensor.PROFILE_METHODS`` (arithmetic/reduction/elementwise methods),
+``repro.autograd.ops.PROFILE_FUNCTIONS`` and
+``repro.autograd.sparse.PROFILE_FUNCTIONS`` (module-level ops), plus
+``Tensor._make`` (every non-leaf tensor's birthplace) — and exiting
+restores the originals, so the cost when not profiling is exactly zero.
+
+Per op the profiler accumulates:
+
+- ``calls`` / ``forward_s`` — invocation count and inclusive wall time
+  of the patched forward entry points (inclusive: ``mean`` includes the
+  ``sum`` it calls, like ``cumtime`` in cProfile);
+- ``backward_s`` — wall time inside the op's backward closure (wrapped
+  at ``_make`` time, so it times exactly the vector-Jacobian product);
+- ``tensors`` / ``bytes`` — outputs allocated and their ndarray sizes.
+
+Scope and caveats: one profiler may be active per process (nesting
+raises), patching is process-global (don't profile while concurrently
+serving), and timings are wall-clock — profile a quiet machine.
+Training is the intended workload::
+
+    with profile() as prof:
+        trainer.fit_pointwise(users, items, labels)
+    for row in prof.summary(top=10):
+        print(row)
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+_ACTIVE_LOCK = threading.Lock()
+_ACTIVE: Optional["OpProfiler"] = None
+
+
+@dataclass
+class OpStats:
+    """Cumulative cost of one op name."""
+
+    op: str
+    calls: int = 0
+    forward_s: float = 0.0
+    backward_s: float = 0.0
+    backward_calls: int = 0
+    tensors: int = 0
+    bytes: int = 0
+
+    @property
+    def total_s(self) -> float:
+        return self.forward_s + self.backward_s
+
+    def to_dict(self) -> dict:
+        return {
+            "op": self.op,
+            "calls": self.calls,
+            "forward_s": self.forward_s,
+            "backward_s": self.backward_s,
+            "backward_calls": self.backward_calls,
+            "total_s": self.total_s,
+            "tensors": self.tensors,
+            "bytes": self.bytes,
+        }
+
+
+@dataclass
+class _Patch:
+    owner: object
+    attr: str
+    original: object = field(repr=False)
+
+
+class OpProfiler:
+    """Collects per-op stats while active; see module docstring."""
+
+    def __init__(self):
+        self.stats: dict[str, OpStats] = {}
+        self._patches: list[_Patch] = []
+        self.wall_s = 0.0
+        self._entered_at = 0.0
+
+    def _stat(self, op: str) -> OpStats:
+        stat = self.stats.get(op)
+        if stat is None:
+            stat = self.stats[op] = OpStats(op)
+        return stat
+
+    # ------------------------------------------------------------------
+    def _wrap_forward(self, fn, op: str):
+        stat = self._stat(op)
+
+        def wrapper(*args, **kwargs):
+            t0 = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                stat.forward_s += time.perf_counter() - t0
+                stat.calls += 1
+
+        wrapper.__name__ = getattr(fn, "__name__", op)
+        wrapper.__doc__ = getattr(fn, "__doc__", None)
+        return wrapper
+
+    def _wrap_make(self, original_make):
+        profiler = self
+
+        def make(data, parents, backward, op):
+            stat = profiler._stat(op)
+            stat.tensors += 1
+            stat.bytes += getattr(data, "nbytes", 0)
+
+            def timed_backward(g):
+                t0 = time.perf_counter()
+                try:
+                    return backward(g)
+                finally:
+                    stat.backward_s += time.perf_counter() - t0
+                    stat.backward_calls += 1
+
+            return original_make(data, parents, timed_backward, op)
+
+        return make
+
+    def _patch_attr(self, owner, attr: str, replacement) -> None:
+        self._patches.append(_Patch(owner, attr, getattr(owner, attr)))
+        setattr(owner, attr, replacement)
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "OpProfiler":
+        global _ACTIVE
+        from repro.autograd import ops, sparse
+        from repro.autograd.tensor import Tensor
+
+        with _ACTIVE_LOCK:
+            if _ACTIVE is not None:
+                raise RuntimeError("an OpProfiler is already active in "
+                                   "this process")
+            _ACTIVE = self
+        self._entered_at = time.perf_counter()
+        try:
+            for method, op in Tensor.PROFILE_METHODS.items():
+                self._patch_attr(Tensor, method,
+                                 self._wrap_forward(getattr(Tensor, method),
+                                                    op))
+            for module in (ops, sparse):
+                for fn_name, op in module.PROFILE_FUNCTIONS.items():
+                    self._patch_attr(module, fn_name,
+                                     self._wrap_forward(
+                                         getattr(module, fn_name), op))
+            self._patch_attr(Tensor, "_make",
+                             staticmethod(self._wrap_make(Tensor._make)))
+        except BaseException:
+            self._restore()
+            raise
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.wall_s += time.perf_counter() - self._entered_at
+        self._restore()
+
+    def _restore(self) -> None:
+        global _ACTIVE
+        while self._patches:
+            patch = self._patches.pop()
+            setattr(patch.owner, patch.attr, patch.original)
+        with _ACTIVE_LOCK:
+            if _ACTIVE is self:
+                _ACTIVE = None
+
+    # ------------------------------------------------------------------
+    def summary(self, top: Optional[int] = None) -> list[dict]:
+        """Per-op rows sorted by cumulative (forward+backward) time."""
+        rows = sorted(self.stats.values(),
+                      key=lambda stat: stat.total_s, reverse=True)
+        if top is not None:
+            rows = rows[:top]
+        return [stat.to_dict() for stat in rows]
+
+    def format(self, top: int = 12) -> str:
+        """Human-readable table of :meth:`summary`."""
+        header = (f"{'op':16s} {'calls':>8s} {'fwd_ms':>10s} "
+                  f"{'bwd_ms':>10s} {'total_ms':>10s} {'alloc_mb':>9s}")
+        lines = [header, "-" * len(header)]
+        for row in self.summary(top):
+            lines.append(
+                f"{row['op']:16s} {row['calls']:8d} "
+                f"{row['forward_s'] * 1e3:10.2f} "
+                f"{row['backward_s'] * 1e3:10.2f} "
+                f"{row['total_s'] * 1e3:10.2f} "
+                f"{row['bytes'] / 1e6:9.2f}")
+        if self.wall_s:
+            accounted = sum(stat.total_s for stat in self.stats.values())
+            lines.append(f"wall {self.wall_s * 1e3:.1f} ms, op time "
+                         f"{accounted * 1e3:.1f} ms (inclusive; nested ops "
+                         f"double-count)")
+        return "\n".join(lines)
+
+
+def profile() -> OpProfiler:
+    """``with profile() as prof:`` — the one-liner entry point."""
+    return OpProfiler()

@@ -26,22 +26,57 @@ import threading
 from collections import OrderedDict
 from typing import Any, Callable, Hashable, Optional
 
+from repro.obs.metrics import MetricsRegistry
+
 _MISSING = object()
 
 
 class LRUCache:
-    """Thread-safe least-recently-used cache; ``capacity=0`` disables."""
+    """Thread-safe least-recently-used cache; ``capacity=0`` disables.
 
-    def __init__(self, capacity: int = 1024):
+    Accounting lives on a metrics registry (a private one when none is
+    shared in), so a service exposing the registry's ``/metrics`` and
+    this cache's ``stats()`` can never report diverging numbers — both
+    read the same counters.  ``hits``/``misses``/... stay readable as
+    plain attributes via the properties below.
+    """
+
+    def __init__(self, capacity: int = 1024, registry=None,
+                 prefix: str = "repro_cache"):
         if capacity < 0:
             raise ValueError("capacity must be >= 0")
         self.capacity = capacity
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
         self._mutex = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.invalidations = 0
+        registry = registry if registry is not None else MetricsRegistry()
+        self._m_hits = registry.counter(
+            f"{prefix}_hits_total", "cache lookups answered from cache")
+        self._m_misses = registry.counter(
+            f"{prefix}_misses_total", "cache lookups that missed")
+        self._m_evictions = registry.counter(
+            f"{prefix}_evictions_total", "entries evicted by capacity")
+        self._m_invalidations = registry.counter(
+            f"{prefix}_invalidations_total", "entries dropped by invalidate")
+        # len() on the dict is atomic, so the live-read callback needs
+        # no lock of its own.
+        registry.gauge(f"{prefix}_size", "entries currently cached",
+                       collect=lambda: len(self._data))
+
+    @property
+    def hits(self) -> int:
+        return int(self._m_hits.value)
+
+    @property
+    def misses(self) -> int:
+        return int(self._m_misses.value)
+
+    @property
+    def evictions(self) -> int:
+        return int(self._m_evictions.value)
+
+    @property
+    def invalidations(self) -> int:
+        return int(self._m_invalidations.value)
 
     def __len__(self) -> int:
         with self._mutex:
@@ -56,11 +91,53 @@ class LRUCache:
         with self._mutex:
             value = self._data.get(key, _MISSING)
             if value is _MISSING:
-                self.misses += 1
+                self._m_misses.inc()
                 return default
             self._data.move_to_end(key)
-            self.hits += 1
+            self._m_hits.inc()
             return value
+
+    def get_many(self, keys: list) -> list:
+        """Values for ``keys`` in order, ``None`` marking a miss.
+
+        One lock acquisition and one hit/miss counter update for the
+        whole batch: the serving request path's accounting cost is O(1)
+        in batch size, not O(users).  Entries storing a literal ``None``
+        are indistinguishable from misses here — don't cache ``None``.
+        """
+        hits = 0
+        out = []
+        with self._mutex:
+            for key in keys:
+                value = self._data.get(key, _MISSING)
+                if value is _MISSING:
+                    out.append(None)
+                else:
+                    self._data.move_to_end(key)
+                    hits += 1
+                    out.append(value)
+        if hits:
+            self._m_hits.inc(hits)
+        if len(out) - hits:
+            self._m_misses.inc(len(out) - hits)
+        return out
+
+    def put_many(self, items: list) -> None:
+        """Insert ``(key, value)`` pairs under one lock, batching the
+        eviction accounting like :meth:`get_many` does for lookups."""
+        if self.capacity == 0:
+            return
+        evicted = 0
+        with self._mutex:
+            for key, value in items:
+                if key in self._data:
+                    self._data.move_to_end(key)
+                self._data[key] = value
+                if len(self._data) > self.capacity:
+                    self._data.popitem(last=False)
+                    evicted += 1
+        if evicted:
+            self._m_evictions.inc(evicted)
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert/refresh an entry, evicting the least recent if full."""
@@ -72,7 +149,7 @@ class LRUCache:
             self._data[key] = value
             if len(self._data) > self.capacity:
                 self._data.popitem(last=False)
-                self.evictions += 1
+                self._m_evictions.inc()
 
     def invalidate(self, predicate: Optional[Callable[[Hashable], bool]] = None) -> int:
         """Drop entries whose key matches ``predicate`` (all when None)."""
@@ -85,18 +162,20 @@ class LRUCache:
                 for key in stale:
                     del self._data[key]
                 dropped = len(stale)
-            self.invalidations += dropped
+            if dropped:
+                self._m_invalidations.inc(dropped)
             return dropped
 
     def stats(self) -> dict:
         with self._mutex:
-            total = self.hits + self.misses
+            hits, misses = self.hits, self.misses
+            total = hits + misses
             return {
                 "size": len(self._data),
                 "capacity": self.capacity,
-                "hits": self.hits,
-                "misses": self.misses,
-                "hit_rate": self.hits / total if total else 0.0,
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": hits / total if total else 0.0,
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
             }

@@ -52,6 +52,9 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from repro.obs.logs import default_logger
+from repro.obs.metrics import MetricsRegistry, merge_snapshots, render_snapshot
+from repro.obs.tracing import Tracer
 from repro.serving.service import Recommendation, RecommendationService
 
 #: Exception types a worker reports that re-raise as client errors.
@@ -66,6 +69,25 @@ class _ReplicaDown(Exception):
     """Internal: this replica failed mid-call; try the next one."""
 
 
+def _dispatch(service: RecommendationService, msg: tuple):
+    """Execute one worker op against the replica's service."""
+    op = msg[0]
+    if op == "ping":
+        return "pong"
+    if op == "recommend_batch":
+        _, users, k, exclude_seen = msg
+        return [rec.to_dict() for rec in service.recommend_batch(
+            users, k=k, exclude_seen=exclude_seen)]
+    if op == "update":
+        _, users, items = msg
+        return service.update_interactions(users, items)
+    if op == "stats":
+        return service.stats()
+    if op == "metrics":
+        return service.metrics_snapshot()
+    raise ValueError(f"unknown worker op {op!r}")
+
+
 def _worker_loop(factory: Callable[[], RecommendationService], conn) -> None:
     """Worker process body: serve tuple-RPC requests forever.
 
@@ -73,6 +95,14 @@ def _worker_loop(factory: Callable[[], RecommendationService], conn) -> None:
     the fork, so with the default fork start method each worker gets
     its own copy-on-write clone of any model/dataset the closure
     captured — no serialization, no shared mutable state.
+
+    ``("traced", trace_id, inner_msg)`` wraps any op: the replica runs
+    it under a *forced* trace carrying the router's id (active even
+    though the worker's tracer is disabled by default — the service's
+    internal ``start`` then nests as a child span) and replies
+    ``("ok", (payload, spans))`` so the router can absorb the spans
+    into the request's trace.  Tracing never touches the payload, so
+    responses stay byte-identical with it on or off.
     """
     service = factory()
     while True:
@@ -85,19 +115,13 @@ def _worker_loop(factory: Callable[[], RecommendationService], conn) -> None:
             conn.send(("ok", None))
             break
         try:
-            if op == "ping":
-                out = "pong"
-            elif op == "recommend_batch":
-                _, users, k, exclude_seen = msg
-                out = [rec.to_dict() for rec in service.recommend_batch(
-                    users, k=k, exclude_seen=exclude_seen)]
-            elif op == "update":
-                _, users, items = msg
-                out = service.update_interactions(users, items)
-            elif op == "stats":
-                out = service.stats()
+            if op == "traced":
+                _, trace_id, inner = msg
+                with service.tracer.start(inner[0], trace_id=trace_id) as t:
+                    payload = _dispatch(service, inner)
+                out = (payload, t.export_spans())
             else:
-                raise ValueError(f"unknown worker op {op!r}")
+                out = _dispatch(service, msg)
             conn.send(("ok", out))
         except Exception as exc:  # noqa: BLE001 - forwarded to router
             conn.send(("error", type(exc).__name__, str(exc)))
@@ -196,6 +220,8 @@ class ServingCluster:
         call_timeout: float = 60.0,
         heartbeat_interval: float = 0.0,
         start: bool = True,
+        tracing: bool = False,
+        log=None,
     ):
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
@@ -208,15 +234,35 @@ class ServingCluster:
         self.call_timeout = call_timeout
         self.heartbeat_interval = heartbeat_interval
         self.shards: list[list[_Replica]] = []
-        self.requests_routed = 0
-        self.failovers = 0
-        self._counter_lock = threading.Lock()
+        # Router-local metrics + the request tracer.  Lifecycle events
+        # (spawn, heartbeat miss, failover, dead shard) go to the
+        # structured JSON log, tagged with the active trace id when a
+        # request is in flight.  The default logger only emits
+        # warnings and errors; inject a JsonLogger to capture more.
+        self.registry = MetricsRegistry()
+        self._m_routed = self.registry.counter(
+            "repro_cluster_requests_routed_total",
+            "users routed through the cluster front-end")
+        self._m_failovers = self.registry.counter(
+            "repro_cluster_failovers_total",
+            "calls retried on the next replica after one died")
+        self.tracer = Tracer(enabled=tracing)
+        self.log = (log if log is not None else default_logger()).bind(
+            component="cluster")
         self._heartbeat_thread: Optional[threading.Thread] = None
         self._closing = threading.Event()
         self._ctx = mp.get_context("fork")
         self._started = False
         if start:
             self.start()
+
+    @property
+    def requests_routed(self) -> int:
+        return int(self._m_routed.value)
+
+    @property
+    def failovers(self) -> int:
+        return int(self._m_failovers.value)
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -236,6 +282,8 @@ class ServingCluster:
                 child.close()
                 pool.append(_Replica(shard, index, process, parent,
                                      self.call_timeout))
+                self.log.info("replica_spawn", shard=shard, replica=index,
+                              pid=process.pid)
             self.shards.append(pool)
         self._started = True
         # First contact doubles as a readiness barrier: every replica
@@ -243,6 +291,8 @@ class ServingCluster:
         for pool in self.shards:
             for replica in pool:
                 replica.call("ping")
+        self.log.info("cluster_ready", shards=self.n_shards,
+                      replicas=self.replicas)
         if self.heartbeat_interval > 0:
             self._heartbeat_thread = threading.Thread(
                 target=self._heartbeat_loop, daemon=True,
@@ -257,11 +307,16 @@ class ServingCluster:
                         continue
                     if not replica.process.is_alive():
                         replica.alive = False
+                        self.log.warning("heartbeat_miss", shard=replica.shard,
+                                         replica=replica.index,
+                                         reason="process dead")
                         continue
                     try:
                         replica.call("ping")
-                    except (_ReplicaDown, RuntimeError):
-                        pass
+                    except (_ReplicaDown, RuntimeError) as exc:
+                        self.log.warning("heartbeat_miss", shard=replica.shard,
+                                         replica=replica.index,
+                                         reason=str(exc))
 
     # ------------------------------------------------------------------
     def route(self, user: int) -> int:
@@ -286,6 +341,39 @@ class ServingCluster:
         return [sum(r.alive and r.process.is_alive() for r in pool)
                 for pool in self.shards]
 
+    def _traced_call(self, replica: _Replica, shard: int, op: str, *args):
+        """One replica call, propagating the active trace if any.
+
+        With a trace in flight the message is wrapped as
+        ``("traced", id, (op, *args))``; the replica's spans come back
+        in the reply and are absorbed into the trace prefixed with the
+        replica's identity, so one trace id spans client → router →
+        replica.
+        """
+        trace = self.tracer.current()
+        if trace is None:
+            return replica.call(op, *args)
+        payload, spans = replica.call("traced", trace.trace_id, (op, *args))
+        trace.absorb(spans, prefix=f"s{shard}r{replica.index}:",
+                     shard=shard, replica=replica.index)
+        return payload
+
+    def _note_failover(self, shard: int, replica: _Replica, op: str,
+                       exc: Exception) -> None:
+        self._m_failovers.inc()
+        self.log.warning("replica_failover", shard=shard,
+                         replica=replica.index, op=op, error=str(exc),
+                         trace_id=self.tracer.current_id())
+
+    def _no_live_replica(self, shard: int, op: str,
+                         last_error: Optional[Exception]) -> NoLiveReplicaError:
+        self.log.error("no_live_replica", shard=shard, op=op,
+                       error=str(last_error) if last_error else None,
+                       trace_id=self.tracer.current_id())
+        return NoLiveReplicaError(
+            f"shard {shard} has no live replicas"
+            + (f" (last error: {last_error})" if last_error else ""))
+
     def _call_shard(self, shard: int, op: str, *args):
         """Call the shard's first live replica, failing over in order."""
         last_error: Optional[Exception] = None
@@ -293,14 +381,11 @@ class ServingCluster:
             if not replica.alive:
                 continue
             try:
-                return replica.call(op, *args)
+                return self._traced_call(replica, shard, op, *args)
             except _ReplicaDown as exc:
                 last_error = exc
-                with self._counter_lock:
-                    self.failovers += 1
-        raise NoLiveReplicaError(
-            f"shard {shard} has no live replicas"
-            + (f" (last error: {last_error})" if last_error else ""))
+                self._note_failover(shard, replica, op, exc)
+        raise self._no_live_replica(shard, op, last_error)
 
     def _broadcast_shard(self, shard: int, op: str, *args) -> list:
         """Run an op on every live replica of a shard (state mutation).
@@ -315,15 +400,12 @@ class ServingCluster:
             if not replica.alive:
                 continue
             try:
-                replies.append(replica.call(op, *args))
+                replies.append(self._traced_call(replica, shard, op, *args))
             except _ReplicaDown as exc:
                 last_error = exc
-                with self._counter_lock:
-                    self.failovers += 1
+                self._note_failover(shard, replica, op, exc)
         if not replies:
-            raise NoLiveReplicaError(
-                f"shard {shard} has no live replicas"
-                + (f" (last error: {last_error})" if last_error else ""))
+            raise self._no_live_replica(shard, op, last_error)
         return replies
 
     # -- service call surface ------------------------------------------
@@ -340,21 +422,21 @@ class ServingCluster:
     ) -> list[Recommendation]:
         """Scatter a multi-user query by shard, gather in request order."""
         users = [int(u) for u in users]
-        with self._counter_lock:
-            self.requests_routed += len(users)
-        by_shard: dict[int, list[int]] = {}
-        for user in users:
-            by_shard.setdefault(self.route(user), []).append(user)
-        merged: dict[int, Recommendation] = {}
-        for shard, shard_users in by_shard.items():
-            replies = self._call_shard(shard, "recommend_batch",
-                                       shard_users, k, exclude_seen)
-            for payload in replies:
-                merged[payload["user"]] = Recommendation(
-                    user=payload["user"],
-                    items=np.asarray(payload["items"], dtype=np.int64),
-                    scores=np.asarray(payload["scores"], dtype=np.float64))
-        return [merged[user] for user in users]
+        self._m_routed.inc(len(users))
+        with self.tracer.start("recommend_batch"):
+            by_shard: dict[int, list[int]] = {}
+            for user in users:
+                by_shard.setdefault(self.route(user), []).append(user)
+            merged: dict[int, Recommendation] = {}
+            for shard, shard_users in by_shard.items():
+                replies = self._call_shard(shard, "recommend_batch",
+                                           shard_users, k, exclude_seen)
+                for payload in replies:
+                    merged[payload["user"]] = Recommendation(
+                        user=payload["user"],
+                        items=np.asarray(payload["items"], dtype=np.int64),
+                        scores=np.asarray(payload["scores"], dtype=np.float64))
+            return [merged[user] for user in users]
 
     def update_interactions(
         self, users: Sequence[int], items: Sequence[int]
@@ -403,19 +485,20 @@ class ServingCluster:
         report = {"events": 0, "novel": 0, "folded_in": False,
                   "invalidated": 0}
         loss_sum = loss_events = 0.0
-        for shard in targets:
-            mask = shard_of == shard
-            replies = self._broadcast_shard(
-                shard, "update",
-                users_arr[mask].tolist(), items_arr[mask].tolist())
-            primary = replies[0]
-            report["events"] += primary["events"]
-            report["novel"] += primary["novel"]
-            report["invalidated"] += primary["invalidated"]
-            report["folded_in"] = report["folded_in"] or primary["folded_in"]
-            if "loss" in primary:
-                loss_sum += primary["loss"] * primary["events"]
-                loss_events += primary["events"]
+        with self.tracer.start("update_interactions"):
+            for shard in targets:
+                mask = shard_of == shard
+                replies = self._broadcast_shard(
+                    shard, "update",
+                    users_arr[mask].tolist(), items_arr[mask].tolist())
+                primary = replies[0]
+                report["events"] += primary["events"]
+                report["novel"] += primary["novel"]
+                report["invalidated"] += primary["invalidated"]
+                report["folded_in"] = report["folded_in"] or primary["folded_in"]
+                if "loss" in primary:
+                    loss_sum += primary["loss"] * primary["events"]
+                    loss_events += primary["events"]
         if loss_events:
             report["loss"] = loss_sum / loss_events
         return report
@@ -455,17 +538,50 @@ class ServingCluster:
         lookups = cache["hits"] + cache["misses"]
         cache["hit_rate"] = cache["hits"] / lookups if lookups else 0.0
         merged["cache"] = cache
-        with self._counter_lock:
-            merged["cluster"] = {
-                "shards": self.n_shards,
-                "replicas": self.replicas,
-                "seed": self.seed,
-                "alive": self.alive_counts(),
-                "requests_routed": self.requests_routed,
-                "failovers": self.failovers,
-            }
+        merged["cluster"] = {
+            "shards": self.n_shards,
+            "replicas": self.replicas,
+            "seed": self.seed,
+            "alive": self.alive_counts(),
+            "requests_routed": self.requests_routed,
+            "failovers": self.failovers,
+        }
         merged["per_shard"] = per_shard
         return merged
+
+    # -- observability surfaces ----------------------------------------
+    def metrics_snapshot(self) -> list[dict]:
+        """Cluster metrics: router counters + fleet aggregate + detail.
+
+        One snapshot is pulled from each shard's serving replica; the
+        aggregate is their :func:`~repro.obs.metrics.merge_snapshots`
+        sum (matching how ``stats()`` sums counters), and the same
+        per-shard entries are re-emitted labeled ``shard="i"`` so a
+        scrape can tell a hot shard from a uniform load.
+        """
+        per_shard: list[tuple[int, list[dict]]] = []
+        for shard in range(self.n_shards):
+            try:
+                per_shard.append((shard, self._call_shard(shard, "metrics")))
+            except NoLiveReplicaError:
+                continue
+        if not per_shard:
+            raise NoLiveReplicaError("no live replicas in any shard")
+        entries = list(self.registry.snapshot())
+        entries.extend(merge_snapshots([snap for _, snap in per_shard]))
+        for shard, snap in per_shard:
+            for entry in snap:
+                entry["labels"] = {**entry["labels"], "shard": str(shard)}
+                entries.append(entry)
+        return entries
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition for ``GET /metrics``."""
+        return render_snapshot(self.metrics_snapshot())
+
+    def traces(self, n: Optional[int] = None) -> list[dict]:
+        """Recent router traces (replica spans absorbed), newest first."""
+        return self.tracer.traces(n)
 
     def _bounds(self) -> dict:
         """Catalogue bounds for router-side validation (cached).
@@ -493,6 +609,7 @@ class ServingCluster:
     def kill_replica(self, shard: int, index: int = 0) -> None:
         """Hard-kill one worker (failure injection for tests/drills)."""
         replica = self.shards[shard][index]
+        self.log.warning("replica_kill", shard=shard, replica=index)
         replica.process.terminate()
         replica.process.join(timeout=10)
         deadline = time.monotonic() + 5
@@ -510,6 +627,8 @@ class ServingCluster:
         for pool in self.shards:
             for replica in pool:
                 replica.stop()
+        if self.shards:
+            self.log.info("cluster_close", shards=self.n_shards)
         self.shards = []
         self._started = False
 

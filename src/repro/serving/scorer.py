@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.data.dataset import RecDataset
 from repro.models.base import RecommenderModel
+from repro.obs.metrics import NULL_REGISTRY
 from repro.serving.ann import ANNConfig, IVFIndex, whitening_scale
 
 _MODES = ("auto", "exact")
@@ -64,6 +65,7 @@ class BatchScorer:
         user_batch: int = 32,
         batch_pairs: int = 32768,
         ann: Optional[ANNConfig] = None,
+        registry=None,
     ):
         if mode not in _MODES:
             raise ValueError(f"unknown mode {mode!r}; options: {_MODES}")
@@ -76,6 +78,17 @@ class BatchScorer:
         self.user_batch = user_batch
         self.batch_pairs = batch_pairs
         self.ann_config = ann
+        # Refresh cost and ANN query volume feed the shared registry
+        # (no-op unless the owning service passes its own in).
+        registry = registry if registry is not None else NULL_REGISTRY
+        self._m_refresh_seconds = registry.histogram(
+            "repro_scorer_refresh_seconds",
+            "item-state + ANN codebook rebuild wall time")
+        self._m_ann_queries = registry.counter(
+            "repro_ann_queries_total", "users answered from the ANN index")
+        self._m_ann_candidates = registry.counter(
+            "repro_ann_candidates_total",
+            "candidate slots returned by ANN probes (incl. padding)")
         self._item_ids = np.arange(self.n_items, dtype=np.int64)
         self._state = model.item_state(dataset) if mode == "auto" else None
         self._ann_index: Optional[IVFIndex] = None
@@ -109,8 +122,9 @@ class BatchScorer:
         every inverted list built from it.
         """
         if self.mode == "auto":
-            self._state = self.model.item_state(self.dataset)
-            self._build_ann()
+            with self._m_refresh_seconds.time():
+                self._state = self.model.item_state(self.dataset)
+                self._build_ann()
 
     # -- ANN candidate plane -------------------------------------------
     def _build_ann(self) -> None:
@@ -162,7 +176,10 @@ class BatchScorer:
             raise RuntimeError("ANN index not active for this scorer")
         users = np.atleast_1d(np.asarray(users, dtype=np.int64))
         queries = self._aug_queries(users) / self._ann_scale
-        return self._ann_index.candidates(queries, probes=probes)
+        candidates = self._ann_index.candidates(queries, probes=probes)
+        self._m_ann_queries.inc(int(users.size))
+        self._m_ann_candidates.inc(int(candidates.size))
+        return candidates
 
     def score_listed(self, users: np.ndarray,
                      items: np.ndarray) -> np.ndarray:

@@ -9,6 +9,11 @@ Endpoints (JSON over ``http.server``; no third-party dependencies):
   With ``--online``, events also fold into the model incrementally.
 - ``GET /healthz`` — liveness probe
 - ``GET /stats`` — service counters (requests, cache hit rate, …)
+- ``GET /metrics`` — Prometheus text exposition (``?format=json`` for
+  the raw snapshot entries); clusters aggregate across shards and add
+  per-shard detail
+- ``GET /trace?n=<count>`` — recent request traces (requires
+  ``--trace``; empty list otherwise)
 
 ``serve_main`` backs the CLI subcommand: it boots a service from an
 artifact bundle or a freshly built (optionally quick-trained) model and
@@ -43,6 +48,15 @@ class RecommendHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _reply_text(self, status: int, text: str,
+                    content_type: str = "text/plain; version=0.0.4") -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         url = urlsplit(self.path)
         try:
@@ -50,6 +64,10 @@ class RecommendHandler(BaseHTTPRequestHandler):
                 self._reply(200, {"status": "ok"})
             elif url.path == "/stats":
                 self._reply(200, self.server.service.stats())
+            elif url.path == "/metrics":
+                self._metrics(parse_qs(url.query))
+            elif url.path == "/trace":
+                self._trace(parse_qs(url.query))
             elif url.path == "/recommend":
                 self._recommend(parse_qs(url.query))
             else:
@@ -75,6 +93,26 @@ class RecommendHandler(BaseHTTPRequestHandler):
                             not in ("0", "false", "no"))
         rec = self.server.service.recommend(user, k=k, exclude_seen=exclude_seen)
         self._reply(200, rec.to_dict())
+
+    def _metrics(self, query: dict) -> None:
+        """Prometheus text by default; ``?format=json`` for entries."""
+        fmt = query.get("format", ["text"])[0].strip().lower()
+        if fmt == "json":
+            self._reply(200, {"metrics": self.server.service.metrics_snapshot()})
+        elif fmt == "text":
+            self._reply_text(200, self.server.service.metrics_text())
+        else:
+            raise ValueError(f"unknown metrics format {fmt!r} "
+                             f"(options: text, json)")
+
+    def _trace(self, query: dict) -> None:
+        try:
+            n = int(query["n"][0]) if "n" in query else 20
+        except ValueError:
+            raise ValueError("'n' must be an integer") from None
+        if n < 0:
+            raise ValueError("'n' must be non-negative")
+        self._reply(200, {"traces": self.server.service.traces(n)})
 
     # ------------------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
@@ -240,10 +278,11 @@ def _build_service(args) -> RecommendationService:
             sides=("user",), seed=args.seed,
             objective="pairwise" if is_pairwise(model_name) else "pointwise")
 
+    tracing = getattr(args, "trace", False)
     if args.artifact:
         service = RecommendationService.from_artifact(
             args.artifact, top_k=args.top_k, cache_size=args.cache_size,
-            ann=ann_config())
+            ann=ann_config(), tracing=tracing)
         # The objective depends on the bundled model's name, which is
         # only known after loading — attach the trainer afterwards.
         config = online_config_for(service.model_name)
@@ -270,13 +309,19 @@ def _build_service(args) -> RecommendationService:
     service = RecommendationService(model, dataset, top_k=args.top_k,
                                     cache_size=args.cache_size,
                                     online_config=online_config_for(args.model),
-                                    ann=ann_config())
+                                    ann=ann_config(), tracing=tracing)
     service.model_name = args.model
     return service
 
 
 def selfcheck(verbose: bool = True) -> int:
-    """Boot on a synthetic dataset, issue one HTTP query, exit 0 on success."""
+    """Boot on a synthetic dataset, probe every endpoint, exit 0 on success.
+
+    Covers the observability surfaces too: ``/metrics`` must expose the
+    request counters the query just incremented and ``/trace`` must
+    show the request's trace (the selfcheck service runs with tracing
+    on).
+    """
     import urllib.request
 
     from repro.data.synthetic import make_dataset
@@ -284,7 +329,8 @@ def selfcheck(verbose: bool = True) -> int:
 
     dataset = make_dataset("amazon-auto", seed=0, scale=0.1)
     model = build_model("GML-FMmd", dataset, k=8, seed=0)
-    service = RecommendationService(model, dataset, top_k=5, cache_size=64)
+    service = RecommendationService(model, dataset, top_k=5, cache_size=64,
+                                    tracing=True)
     service.model_name = "GML-FMmd"
     server = build_server(service)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
@@ -295,14 +341,24 @@ def selfcheck(verbose: bool = True) -> int:
         with urllib.request.urlopen(server.url + "/recommend?user=0&k=5",
                                     timeout=10) as resp:
             rec = json.loads(resp.read())
+        with urllib.request.urlopen(server.url + "/metrics", timeout=10) as resp:
+            metrics = resp.read().decode("utf-8")
+        with urllib.request.urlopen(server.url + "/trace?n=5", timeout=10) as resp:
+            traces = json.loads(resp.read())["traces"]
         ok = (health.get("status") == "ok"
               and rec.get("user") == 0
               and len(rec.get("items", [])) == 5
-              and len(set(rec["items"])) == 5)
+              and len(set(rec["items"])) == 5
+              and "repro_requests_total 1" in metrics
+              and "repro_request_seconds_bucket" in metrics
+              and any(t["name"] == "recommend_batch" and t["spans"]
+                      for t in traces))
         if verbose:
-            state = "ok" if ok else f"FAILED (health={health}, rec={rec})"
+            state = ("ok" if ok
+                     else f"FAILED (health={health}, rec={rec}, "
+                          f"traces={len(traces)})")
             print(f"selfcheck {state}: served user 0 top-5 {rec.get('items')} "
-                  f"on {server.url}")
+                  f"on {server.url}; /metrics and /trace answered")
         return 0 if ok else 1
     finally:
         server.shutdown()
@@ -326,15 +382,20 @@ def serve_main(args) -> int:
     cluster = None
     front = service
     if shards > 1:
+        from repro.obs.logs import JsonLogger
         from repro.serving.cluster import ServingCluster
 
         # The factory closes over the fully built service: fork gives
         # every worker its own copy-on-write clone, so boot cost is
-        # paid once no matter how many replicas launch.
+        # paid once no matter how many replicas launch.  --verbose
+        # surfaces routine lifecycle events (spawns, readiness), not
+        # just the default warnings (failover, heartbeat miss).
         cluster = ServingCluster(
             lambda: service, n_shards=shards,
             replicas=getattr(args, "replicas", 1), seed=args.seed,
-            heartbeat_interval=2.0)
+            heartbeat_interval=2.0,
+            tracing=getattr(args, "trace", False),
+            log=JsonLogger(min_level="info") if args.verbose else None)
         front = cluster
     server = build_server(front, host=args.host, port=args.port,
                           verbose=args.verbose)

@@ -20,6 +20,8 @@ import numpy as np
 
 from repro.data.dataset import RecDataset
 from repro.models.base import RecommenderModel
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY, render_snapshot
+from repro.obs.tracing import Tracer
 from repro.serving.ann import ANNConfig
 from repro.serving.cache import LRUCache
 from repro.serving.index import TopKIndex
@@ -88,6 +90,9 @@ class RecommendationService:
         online: Optional[IncrementalTrainer] = None,
         online_config: Optional[OnlineConfig] = None,
         ann: Optional[ANNConfig] = None,
+        metrics: bool = True,
+        tracing: bool = False,
+        registry: Optional[MetricsRegistry] = None,
     ):
         if top_k <= 0:
             raise ValueError("top_k must be positive")
@@ -98,26 +103,70 @@ class RecommendationService:
         self.top_k = top_k
         self.exclude_seen = exclude_seen
         self.user_batch = user_batch
+        # Metrics are on by default (gated ≤3% overhead in
+        # benchmarks/test_obs_overhead.py); ``metrics=False`` swaps in
+        # no-op handles with the same API.  Tracing is opt-in and
+        # purely observational: responses are byte-identical either
+        # way.  One registry is shared with the cache, the scorer and
+        # any service-built online trainer, so /stats and /metrics read
+        # the same counters and can never disagree.
+        self.registry = registry if registry is not None else (
+            MetricsRegistry() if metrics else NULL_REGISTRY)
+        self.tracer = Tracer(enabled=tracing)
+        self._m_requests = self.registry.counter(
+            "repro_requests_total", "users requested across recommend calls")
+        self._m_users_scored = self.registry.counter(
+            "repro_users_scored_total", "users scored past the cache")
+        self._m_interactions = self.registry.counter(
+            "repro_interactions_added_total", "novel interactions recorded")
+        self._m_folded = self.registry.counter(
+            "repro_updates_folded_in_total",
+            "events folded into the model online")
+        self._m_ann_fallbacks = self.registry.counter(
+            "repro_ann_fallbacks_total",
+            "ANN rows that fell back to exact scoring")
+        self._m_request_seconds = self.registry.histogram(
+            "repro_request_seconds", "recommend_batch wall time (seconds)")
+        self._m_update_seconds = self.registry.histogram(
+            "repro_update_seconds", "update_interactions wall time (seconds)")
         self.scorer = BatchScorer(model, dataset, mode=scorer_mode,
-                                  user_batch=user_batch, ann=ann)
+                                  user_batch=user_batch, ann=ann,
+                                  registry=self.registry)
         # Private (not the shared per-dataset instance): add_interaction
         # mutates the overlay, which must stay local to this service.
         self.index = TopKIndex.from_dataset(dataset)
-        self.cache = LRUCache(cache_size)
+        self.cache = LRUCache(cache_size, registry=self.registry)
         # One coarse lock covers cache + index + counters: the HTTP
         # front-end is a ThreadingHTTPServer, and the OrderedDict/
         # overlay mutations are not thread-safe on their own.
         self._lock = threading.RLock()
-        self.requests = 0
-        self.users_scored = 0
-        self.interactions_added = 0
-        self.updates_folded_in = 0
-        self.ann_fallbacks = 0
         if online is not None and online_config is not None:
             raise ValueError("pass online or online_config, not both")
         if online is None and online_config is not None:
-            online = IncrementalTrainer(model, dataset, online_config)
+            online = IncrementalTrainer(model, dataset, online_config,
+                                        registry=self.registry)
         self.online = online
+
+    # -- registry-backed counters, readable as plain attributes --------
+    @property
+    def requests(self) -> int:
+        return int(self._m_requests.value)
+
+    @property
+    def users_scored(self) -> int:
+        return int(self._m_users_scored.value)
+
+    @property
+    def interactions_added(self) -> int:
+        return int(self._m_interactions.value)
+
+    @property
+    def updates_folded_in(self) -> int:
+        return int(self._m_folded.value)
+
+    @property
+    def ann_fallbacks(self) -> int:
+        return int(self._m_ann_fallbacks.value)
 
     @classmethod
     def from_artifact(cls, path: str, **kwargs) -> "RecommendationService":
@@ -171,22 +220,22 @@ class RecommendationService:
             raise ValueError("user id out of range")
         k = self.top_k if k is None else int(k)
         exclude_seen = self.exclude_seen if exclude_seen is None else exclude_seen
-        with self._lock:
+        with self._m_request_seconds.time(), \
+                self.tracer.start("recommend_batch"), self._lock:
             self._validate_k(k, exclude_seen, users_arr)
-            self.requests += users_arr.size
+            self._m_requests.inc(int(users_arr.size))
 
             results: dict[int, Recommendation] = {}
             missing: list[int] = []
-            pending: set[int] = set()
-            for user in users_arr.tolist():
-                if user in results or user in pending:
-                    continue
-                cached = self.cache.get((user, k, exclude_seen))
-                if cached is not None:
-                    results[user] = cached
-                else:
-                    missing.append(user)
-                    pending.add(user)
+            with self.tracer.span("cache_lookup", users=int(users_arr.size)):
+                unique_users = list(dict.fromkeys(users_arr.tolist()))
+                cached_values = self.cache.get_many(
+                    [(user, k, exclude_seen) for user in unique_users])
+                for user, cached in zip(unique_users, cached_values):
+                    if cached is not None:
+                        results[user] = cached
+                    else:
+                        missing.append(user)
 
             # Blocks of ``user_batch`` bound peak memory: each block's
             # [user_batch, n_items] score matrix is ranked and freed
@@ -200,22 +249,26 @@ class RecommendationService:
                 else:
                     ranked, ranked_scores = self._rank_block_exact(
                         block, k, exclude_seen)
-                self.users_scored += block.size
+                self._m_users_scored.inc(int(block.size))
+                block_entries = []
                 for row, user in enumerate(block_users):
                     rec = Recommendation(user=user, items=ranked[row],
                                          scores=ranked_scores[row])
-                    self.cache.put((user, k, exclude_seen), rec)
+                    block_entries.append(((user, k, exclude_seen), rec))
                     results[user] = rec
+                self.cache.put_many(block_entries)
 
-        return [results[user] for user in users_arr.tolist()]
+            return [results[user] for user in users_arr.tolist()]
 
     def _rank_block_exact(self, block: np.ndarray, k: int,
                           exclude_seen: bool) -> tuple[np.ndarray, np.ndarray]:
         """Full-grid scoring + masking + ranking for one user block."""
-        scores = self.scorer.score(block)
-        if exclude_seen:
-            self.index.mask_seen(scores, block)
-        ranked = self.index.topk(scores, k)
+        with self.tracer.span("rerank", path="exact", users=int(block.size)):
+            scores = self.scorer.score(block)
+            if exclude_seen:
+                with self.tracer.span("mask_seen"):
+                    self.index.mask_seen(scores, block)
+            ranked = self.index.topk(scores, k)
         return ranked, np.take_along_axis(scores, ranked, axis=1)
 
     def _rank_block_ann(self, block: np.ndarray, k: int,
@@ -226,22 +279,25 @@ class RecommendationService:
         after seen-item masking — cannot fill ``k`` positions
         (``_validate_k`` already guaranteed the full catalogue can).
         """
-        cand = self.scorer.ann_candidates(block)
-        scores = self.scorer.score_listed(block, cand)
-        if exclude_seen:
-            scores[self.index.pair_seen(block, cand)] = -np.inf
-        usable = np.isfinite(scores).sum(axis=1)
-        if cand.shape[1] >= k:
-            cols = self.index.topk(scores, k)
-            items = np.take_along_axis(cand, cols, axis=1)
-            item_scores = np.take_along_axis(scores, cols, axis=1)
-            short_rows = np.flatnonzero(usable < k)
-        else:
-            items = np.zeros((block.size, k), dtype=np.int64)
-            item_scores = np.zeros((block.size, k))
-            short_rows = np.arange(block.size)
+        with self.tracer.span("ann_candidates", users=int(block.size)):
+            cand = self.scorer.ann_candidates(block)
+        with self.tracer.span("rerank", path="ann", users=int(block.size)):
+            scores = self.scorer.score_listed(block, cand)
+            if exclude_seen:
+                with self.tracer.span("mask_seen"):
+                    scores[self.index.pair_seen(block, cand)] = -np.inf
+            usable = np.isfinite(scores).sum(axis=1)
+            if cand.shape[1] >= k:
+                cols = self.index.topk(scores, k)
+                items = np.take_along_axis(cand, cols, axis=1)
+                item_scores = np.take_along_axis(scores, cols, axis=1)
+                short_rows = np.flatnonzero(usable < k)
+            else:
+                items = np.zeros((block.size, k), dtype=np.int64)
+                item_scores = np.zeros((block.size, k))
+                short_rows = np.arange(block.size)
         if short_rows.size:
-            self.ann_fallbacks += short_rows.size
+            self._m_ann_fallbacks.inc(int(short_rows.size))
             exact_items, exact_scores = self._rank_block_exact(
                 block[short_rows], k, exclude_seen)
             items[short_rows] = exact_items
@@ -298,11 +354,12 @@ class RecommendationService:
             raise ValueError("user id out of range")
         if items_arr.min() < 0 or items_arr.max() >= self.dataset.n_items:
             raise ValueError("item id out of range")
-        with self._lock:
+        with self._m_update_seconds.time(), \
+                self.tracer.start("update_interactions"), self._lock:
             novel = 0
             for user, item in zip(users_arr.tolist(), items_arr.tolist()):
                 novel += bool(self.index.add(user, item))
-            self.interactions_added += novel
+            self._m_interactions.inc(novel)
             report = {
                 "events": int(users_arr.size),
                 "novel": novel,
@@ -317,8 +374,9 @@ class RecommendationService:
                 report["invalidated"] = self.cache.invalidate(
                     lambda key: key[0] in touched)
             if self.online is not None:
-                update = self.online.update(users_arr, items_arr)
-                self.updates_folded_in += update.events
+                with self.tracer.span("fold_in", events=int(users_arr.size)):
+                    update = self.online.update(users_arr, items_arr)
+                self._m_folded.inc(update.events)
                 report["folded_in"] = True
                 report["loss"] = update.loss
                 if (update.item_side_updated
@@ -336,6 +394,19 @@ class RecommendationService:
         """Operational counters for the ``/stats`` endpoint."""
         with self._lock:
             return self._stats_locked()
+
+    # -- observability surfaces ----------------------------------------
+    def metrics_snapshot(self) -> list[dict]:
+        """Plain-JSON metric entries (mergeable across processes)."""
+        return self.registry.snapshot()
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition for ``GET /metrics``."""
+        return render_snapshot(self.metrics_snapshot())
+
+    def traces(self, n: Optional[int] = None) -> list[dict]:
+        """Recent finished traces, newest first (``GET /trace``)."""
+        return self.tracer.traces(n)
 
     def _stats_locked(self) -> dict:
         return {

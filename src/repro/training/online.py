@@ -26,6 +26,7 @@ plain masked SGD with no hidden state.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -35,6 +36,7 @@ from repro.data.dataset import RecDataset
 from repro.data.sampling import NegativeSampler
 from repro.data.streaming import InteractionLog
 from repro.models.base import RecommenderModel
+from repro.obs.metrics import MetricsRegistry
 from repro.training.losses import bpr_loss, squared_loss
 
 _OBJECTIVES = ("pointwise", "pairwise")
@@ -150,6 +152,7 @@ class IncrementalTrainer:
         config: Optional[OnlineConfig] = None,
         log: Optional[InteractionLog] = None,
         refresh_fn: Optional[Callable[["IncrementalTrainer"], None]] = None,
+        registry=None,
     ):
         self.model = model
         self.dataset = dataset
@@ -162,10 +165,34 @@ class IncrementalTrainer:
                 f"{type(model).__name__} exposes no fold-in targets for "
                 f"sides={self.config.sides}; incremental updates unsupported")
         self._sampler = NegativeSampler(dataset, seed=self.config.seed)
-        self.events_seen = 0
-        self.updates_applied = 0
-        self.refreshes = 0
         self._events_since_refresh = 0
+        # Counters live on a metrics registry (a private one when none
+        # is shared in) but stay readable as plain attributes via the
+        # properties below — the public surface predates the registry.
+        registry = registry if registry is not None else MetricsRegistry()
+        self.registry = registry
+        self._m_events = registry.counter(
+            "repro_online_events_total", "streamed interaction events ingested")
+        self._m_updates = registry.counter(
+            "repro_online_updates_total", "fold-in SGD steps applied")
+        self._m_refreshes = registry.counter(
+            "repro_online_refreshes_total", "full-refresh policy firings")
+        self._m_step_seconds = registry.histogram(
+            "repro_online_step_seconds", "wall time per fold-in step")
+        self._m_loss = registry.gauge(
+            "repro_online_loss", "loss of the last fold-in step")
+
+    @property
+    def events_seen(self) -> int:
+        return int(self._m_events.value)
+
+    @property
+    def updates_applied(self) -> int:
+        return int(self._m_updates.value)
+
+    @property
+    def refreshes(self) -> int:
+        return int(self._m_refreshes.value)
 
     # ------------------------------------------------------------------
     def update(
@@ -195,13 +222,16 @@ class IncrementalTrainer:
             raise ValueError("update called with no events")
 
         self.log.extend(users, items, timestamps)
-        self.events_seen += users.size
+        self._m_events.inc(int(users.size))
         self._events_since_refresh += users.size
 
         config = self.config
+        step_start = time.perf_counter()
         negatives = self._draw_negatives(users, items)
         loss_value = self._step(users, items, negatives)
-        self.updates_applied += 1
+        self._m_step_seconds.observe(time.perf_counter() - step_start)
+        self._m_loss.set(loss_value)
+        self._m_updates.inc()
 
         refreshed = False
         if (config.refresh_every > 0
@@ -209,7 +239,7 @@ class IncrementalTrainer:
             if self.refresh_fn is not None:
                 self.refresh_fn(self)
                 refreshed = True
-            self.refreshes += 1
+            self._m_refreshes.inc()
             self._events_since_refresh = 0
             # Rebuild the sampler over everything ingested so far, so
             # future negatives respect the accumulated interactions.

@@ -8,6 +8,7 @@ early stopping on a validation metric.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -16,6 +17,7 @@ import numpy as np
 from repro.autograd.optim import Adam, Optimizer, SGD
 from repro.data.batching import minibatches
 from repro.models.base import RecommenderModel
+from repro.obs.metrics import MetricsRegistry
 from repro.training.losses import bpr_loss, squared_loss
 
 _OPTIMIZERS: dict[str, Callable[..., Optimizer]] = {
@@ -58,7 +60,8 @@ class TrainResult:
 class Trainer:
     """Drives gradient-descent training of any :class:`RecommenderModel`."""
 
-    def __init__(self, model: RecommenderModel, config: Optional[TrainConfig] = None):
+    def __init__(self, model: RecommenderModel, config: Optional[TrainConfig] = None,
+                 registry=None):
         self.model = model
         self.config = config if config is not None else TrainConfig()
         self._optimizer = _OPTIMIZERS[self.config.optimizer](
@@ -67,6 +70,29 @@ class Trainer:
             weight_decay=self.config.weight_decay,
         )
         self._rng = np.random.default_rng(self.config.seed)
+        # Per-epoch throughput/loss instrumentation (repro.obs): the
+        # baseline the fused-backend work will be measured against.
+        # One observation per epoch, so a private registry costs
+        # nothing measurable when none is shared in.
+        registry = registry if registry is not None else MetricsRegistry()
+        self.registry = registry
+        self._m_epoch_seconds = registry.histogram(
+            "repro_train_epoch_seconds", "wall time per training epoch",
+            boundaries=tuple(10.0 ** (e / 4.0) for e in range(-12, 13)))
+        self._m_epochs = registry.counter(
+            "repro_train_epochs_total", "training epochs completed")
+        self._m_instances = registry.counter(
+            "repro_train_instances_total",
+            "training instances processed (rows x epochs)")
+        self._m_loss = registry.gauge(
+            "repro_train_loss", "mean training loss of the last epoch")
+
+    def _observe_epoch(self, seconds: float, instances: int,
+                       loss: float) -> None:
+        self._m_epoch_seconds.observe(seconds)
+        self._m_epochs.inc()
+        self._m_instances.inc(instances)
+        self._m_loss.set(loss)
 
     # ------------------------------------------------------------------
     def fit_pointwise(
@@ -106,6 +132,7 @@ class Trainer:
         score_batch = self.model.batch_scorer(users, items)
 
         for epoch in range(self.config.epochs):
+            epoch_start = time.perf_counter()
             self.model.train()
             losses = []
             for batch in minibatches(users.size, self.config.batch_size, rng=self._rng):
@@ -116,6 +143,8 @@ class Trainer:
                 self._optimizer.step()
                 losses.append(loss.item())
             result.train_losses.append(float(np.mean(losses)))
+            self._observe_epoch(time.perf_counter() - epoch_start,
+                                int(users.size), result.train_losses[-1])
             if self.config.verbose:
                 print(f"epoch {epoch}: loss={result.train_losses[-1]:.4f}")
 
@@ -175,6 +204,7 @@ class Trainer:
         score_negative = self.model.batch_scorer(users, negatives)
 
         for epoch in range(self.config.epochs):
+            epoch_start = time.perf_counter()
             self.model.train()
             losses = []
             for batch in minibatches(users.size, self.config.batch_size, rng=self._rng):
@@ -186,6 +216,8 @@ class Trainer:
                 self._optimizer.step()
                 losses.append(loss.item())
             result.train_losses.append(float(np.mean(losses)))
+            self._observe_epoch(time.perf_counter() - epoch_start,
+                                int(users.size), result.train_losses[-1])
             if self.config.verbose:
                 print(f"epoch {epoch}: bpr={result.train_losses[-1]:.4f}")
 

@@ -1,0 +1,85 @@
+"""JsonLogger: level filtering, bound context, atomic JSON lines."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.obs.logs import JsonLogger, default_logger
+
+pytestmark = pytest.mark.obs
+
+
+def lines(stream):
+    return [json.loads(line) for line in
+            stream.getvalue().splitlines() if line]
+
+
+class TestJsonLogger:
+    def test_event_shape_and_reserved_fields(self):
+        stream = io.StringIO()
+        log = JsonLogger(stream=stream)
+        log.info("replica_spawn", shard=0, replica=1, pid=4242)
+        (record,) = lines(stream)
+        assert record["level"] == "info"
+        assert record["event"] == "replica_spawn"
+        assert record["shard"] == 0 and record["pid"] == 4242
+        assert isinstance(record["ts"], float)
+
+    def test_min_level_filters(self):
+        stream = io.StringIO()
+        log = JsonLogger(stream=stream, min_level="warning")
+        log.debug("d")
+        log.info("i")
+        log.warning("w")
+        log.error("e")
+        assert [r["event"] for r in lines(stream)] == ["w", "e"]
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown level"):
+            JsonLogger(min_level="loud")
+
+    def test_bind_carries_context_and_allows_override(self):
+        stream = io.StringIO()
+        log = JsonLogger(stream=stream).bind(component="cluster")
+        log.info("heartbeat_miss", shard=2)
+        log.bind(component="router").info("routed")
+        first, second = lines(stream)
+        assert first["component"] == "cluster" and first["shard"] == 2
+        assert second["component"] == "router"
+
+    def test_concurrent_writes_stay_line_atomic(self):
+        stream = io.StringIO()
+        log = JsonLogger(stream=stream)
+
+        def worker(i):
+            for j in range(200):
+                log.info("tick", worker=i, seq=j, pad="x" * 64)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        records = lines(stream)  # json.loads raises if any line split
+        assert len(records) == 6 * 200
+
+    def test_closed_stream_swallowed(self):
+        stream = io.StringIO()
+        log = JsonLogger(stream=stream)
+        stream.close()
+        log.error("late_event")  # must not raise
+
+    def test_lazy_stderr_resolution(self, capsys):
+        JsonLogger(stream=None, min_level="info").info("to_stderr")
+        (record,) = [json.loads(line) for line in
+                     capsys.readouterr().err.splitlines()]
+        assert record["event"] == "to_stderr"
+
+
+def test_default_logger_is_shared_and_quiet():
+    log = default_logger()
+    assert log is default_logger()
+    assert log.min_level == "warning"

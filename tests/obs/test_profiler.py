@@ -1,0 +1,111 @@
+"""Op profiler: patch/restore hygiene and real training attribution."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import ops, sparse
+from repro.autograd.tensor import Tensor
+from repro.obs.profiler import OpProfiler, profile
+
+pytestmark = pytest.mark.obs
+
+
+def profile_surface():
+    """(owner, attr) pairs the profiler is declared to patch."""
+    pairs = [(Tensor, m) for m in Tensor.PROFILE_METHODS]
+    pairs += [(ops, f) for f in ops.PROFILE_FUNCTIONS]
+    pairs += [(sparse, f) for f in sparse.PROFILE_FUNCTIONS]
+    pairs.append((Tensor, "_make"))
+    return pairs
+
+
+class TestPatchHygiene:
+    def test_patches_applied_then_restored(self):
+        originals = {(o, a): getattr(o, a) for o, a in profile_surface()}
+        with profile():
+            changed = [a for (o, a), fn in originals.items()
+                       if getattr(o, a) is not fn]
+            assert len(changed) == len(originals)
+        for (owner, attr), fn in originals.items():
+            assert getattr(owner, attr) is fn
+
+    def test_restored_on_exception(self):
+        original_make = Tensor._make
+        with pytest.raises(RuntimeError, match="boom"):
+            with profile():
+                raise RuntimeError("boom")
+        assert Tensor._make is original_make
+
+    def test_nesting_raises_and_outer_survives(self):
+        original_make = Tensor._make
+        with profile():
+            with pytest.raises(RuntimeError, match="already active"):
+                with profile():
+                    pass
+            assert Tensor._make is not original_make
+        assert Tensor._make is original_make
+
+
+class TestAttribution:
+    def test_forward_backward_and_alloc_recorded(self):
+        rng = np.random.default_rng(0)
+        a = Tensor(rng.normal(size=(16, 8)), requires_grad=True)
+        b = Tensor(rng.normal(size=(16, 8)), requires_grad=True)
+        with profile() as prof:
+            loss = ((a * b).sum() + (a + b).sum()) * Tensor(0.5)
+            loss.backward()
+        stats = {row["op"]: row for row in prof.summary()}
+        for op in ("mul", "add", "sum"):
+            assert stats[op]["calls"] >= 1
+            assert stats[op]["forward_s"] >= 0.0
+            assert stats[op]["backward_calls"] >= 1
+            assert stats[op]["tensors"] >= 1
+        assert stats["mul"]["bytes"] >= 16 * 8 * 8  # float64 output
+
+    def test_nothing_recorded_outside_context(self):
+        with profile() as prof:
+            pass
+        a = Tensor(np.ones((4, 4)), requires_grad=True)
+        (a * a).sum().backward()
+        # Zero-count entries exist from patch time, but nothing ran
+        # inside the context, so no activity may be attributed.
+        assert all(s.calls == 0 and s.tensors == 0 and s.backward_calls == 0
+                   for s in prof.stats.values())
+
+    def test_summary_sorted_and_truncated(self):
+        with profile() as prof:
+            pass
+        prof._stat("fast").forward_s = 0.001
+        prof._stat("slow").forward_s = 0.5
+        prof._stat("mid").backward_s = 0.1
+        rows = prof.summary(top=2)
+        assert [r["op"] for r in rows] == ["slow", "mid"]
+        assert rows[0]["total_s"] == pytest.approx(0.5)
+
+    def test_format_is_a_table(self):
+        with profile() as prof:
+            a = Tensor(np.ones((8, 8)), requires_grad=True)
+            (a * a).sum().backward()
+        text = prof.format(top=5)
+        assert "op" in text.splitlines()[0]
+        assert "mul" in text
+        assert "wall" in text.splitlines()[-1]
+
+    def test_real_training_step_attributes_hot_ops(self):
+        from repro.data.synthetic import make_dataset
+        from repro.experiments.registry import build_model
+        from repro.training.trainer import TrainConfig, Trainer
+
+        corpus = make_dataset("amazon-auto", seed=0, scale=0.1)
+        model = build_model("MF", corpus, k=4, seed=0)
+        rng = np.random.default_rng(0)
+        users = rng.integers(0, corpus.n_users, size=256)
+        items = rng.integers(0, corpus.n_items, size=256)
+        labels = (2.0 * rng.integers(0, 2, size=256) - 1.0)
+        trainer = Trainer(model, TrainConfig(epochs=1, batch_size=128))
+        with profile() as prof:
+            trainer.fit_pointwise(users, items, labels)
+        summary = prof.summary(top=5)
+        assert summary, "training produced no profiled ops"
+        assert all(row["total_s"] >= 0.0 for row in summary)
+        assert any(row["backward_calls"] > 0 for row in summary)

@@ -1,0 +1,107 @@
+"""Tracer contracts: opt-in cost model, nesting, forcing, bounded ring."""
+
+import threading
+
+import pytest
+
+from repro.obs.tracing import Tracer, _NULL_CONTEXT
+
+pytestmark = pytest.mark.obs
+
+
+class TestDisabled:
+    def test_start_and_span_are_shared_noops(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.start("req") is _NULL_CONTEXT
+        assert tracer.span("section") is _NULL_CONTEXT
+        with tracer.start("req"):
+            pass
+        assert tracer.traces() == []
+
+    def test_forced_trace_id_overrides_disabled(self):
+        tracer = Tracer(enabled=False)
+        with tracer.start("remote_op", trace_id="deadbeefdeadbeef"):
+            with tracer.span("inner"):
+                pass
+        (trace,) = tracer.traces()
+        assert trace["trace_id"] == "deadbeefdeadbeef"
+        assert [s["name"] for s in trace["spans"]] == ["inner"]
+
+
+class TestEnabled:
+    def test_trace_collects_spans_with_offsets(self):
+        tracer = Tracer(enabled=True)
+        with tracer.start("recommend") as trace:
+            assert tracer.current() is trace
+            with tracer.span("cache_lookup", users=3):
+                pass
+            with tracer.span("rerank"):
+                pass
+        assert tracer.current() is None
+        (exported,) = tracer.traces()
+        assert exported["name"] == "recommend"
+        assert len(exported["trace_id"]) == 16
+        names = [s["name"] for s in exported["spans"]]
+        assert names == ["cache_lookup", "rerank"]
+        assert exported["spans"][0]["tags"] == {"users": 3}
+        assert exported["duration_ms"] >= 0.0
+
+    def test_trace_ids_unique(self):
+        tracer = Tracer(enabled=True)
+        for _ in range(50):
+            with tracer.start("req"):
+                pass
+        ids = [t["trace_id"] for t in tracer.traces()]
+        assert len(set(ids)) == 50
+
+    def test_nested_start_becomes_child_span(self):
+        # The cross-process shape: the router owns the trace, the
+        # service's own start() must nest instead of clobbering it.
+        tracer = Tracer(enabled=True)
+        with tracer.start("router_op") as trace:
+            with tracer.start("service_op"):
+                with tracer.span("deep"):
+                    pass
+            assert tracer.current() is trace
+        (exported,) = tracer.traces()
+        assert exported["name"] == "router_op"
+        assert {"service_op", "deep"} <= {s["name"] for s in exported["spans"]}
+
+    def test_ring_is_bounded_newest_first(self):
+        tracer = Tracer(enabled=True, capacity=4)
+        for index in range(10):
+            with tracer.start(f"req{index}"):
+                pass
+        names = [t["name"] for t in tracer.traces()]
+        assert names == ["req9", "req8", "req7", "req6"]
+        assert [t["name"] for t in tracer.traces(2)] == ["req9", "req8"]
+
+    def test_absorb_remote_spans_with_prefix_and_tags(self):
+        tracer = Tracer(enabled=True)
+        remote = [{"name": "rerank", "start_ms": 1.0, "duration_ms": 2.0}]
+        with tracer.start("router_op") as trace:
+            trace.absorb(remote, prefix="s0r1:", shard=0, replica=1)
+        (exported,) = tracer.traces()
+        (span,) = exported["spans"]
+        assert span["name"] == "s0r1:rerank"
+        assert span["tags"] == {"shard": 0, "replica": 1}
+
+    def test_thread_isolation(self):
+        tracer = Tracer(enabled=True)
+        seen = {}
+
+        def worker(name):
+            with tracer.start(name):
+                seen[name] = tracer.current().name
+
+        threads = [threading.Thread(target=worker, args=(f"t{i}",))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert seen == {f"t{i}": f"t{i}" for i in range(4)}
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            Tracer(capacity=0)
