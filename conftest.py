@@ -32,3 +32,10 @@ def pytest_configure(config):
         "registry, request tracing, structured logs, op profiler, "
         "console surfaces; run with `pytest -m obs`",
     )
+    config.addinivalue_line(
+        "markers",
+        "lint: static contract checker tests (repro.lint): rule "
+        "fixtures, suppression mechanics, and the codebase-clean gate "
+        "(`repro lint --strict` over src/repro); run with "
+        "`pytest -m lint`",
+    )

@@ -13,13 +13,13 @@ from repro.autograd.tensor import DTYPE, Tensor
 
 def normal(shape, std: float = 0.01, rng: np.random.Generator | None = None) -> Tensor:
     """Gaussian init with mean 0 — the paper's default (std=0.01)."""
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng()  # repro: allow(det-unseeded-rng): explicit opt-out — caller omitted rng
     return Tensor(rng.normal(0.0, std, size=shape).astype(DTYPE), requires_grad=True)
 
 
 def xavier_uniform(shape, rng: np.random.Generator | None = None) -> Tensor:
     """Glorot/Xavier uniform init for 2-D weight matrices."""
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng()  # repro: allow(det-unseeded-rng): explicit opt-out — caller omitted rng
     fan_in, fan_out = shape[0], shape[-1]
     limit = np.sqrt(6.0 / (fan_in + fan_out))
     return Tensor(rng.uniform(-limit, limit, size=shape).astype(DTYPE), requires_grad=True)

@@ -169,7 +169,7 @@ class Dropout(Module):
         if not 0.0 <= rate < 1.0:
             raise ValueError("dropout rate must be in [0, 1)")
         self.rate = rate
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else np.random.default_rng()  # repro: allow(det-unseeded-rng): explicit opt-out — caller omitted rng
 
     def forward(self, x: Tensor) -> Tensor:
         return ops.dropout(x, self.rate, self.training, rng=self._rng)

@@ -137,7 +137,7 @@ def dropout(x: Tensor, rate: float, training: bool, rng: Optional[np.random.Gene
         return x
     if rate >= 1.0:
         raise ValueError("dropout rate must be < 1")
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng()  # repro: allow(det-unseeded-rng): explicit opt-out — caller omitted rng
     mask = (rng.random(x.data.shape) >= rate).astype(DTYPE) / (1.0 - rate)
     out = x.data * mask
 

@@ -138,6 +138,10 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--selfcheck", action="store_true",
                        help="boot on a synthetic dataset, issue one query, exit")
 
+    from repro.lint.cli import add_lint_parser
+
+    add_lint_parser(sub)
+
     top = sub.add_parser(
         "top", help="live terminal view of a running server's /metrics")
     top.add_argument("--url", default="http://127.0.0.1:8765",
@@ -219,6 +223,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.serving.server import serve_main
 
         return serve_main(args)
+    if args.command == "lint":
+        from repro.lint.cli import lint_main
+
+        return lint_main(args)
     if args.command == "top":
         from repro.obs.console import top_main
 

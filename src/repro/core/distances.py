@@ -42,7 +42,7 @@ class MahalanobisTransform(nn.Module):
     def __init__(self, dim: int, rng: Optional[np.random.Generator] = None,
                  noise: float = 0.01):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng()  # repro: allow(det-unseeded-rng): explicit opt-out — caller omitted rng
         matrix = np.eye(dim) + rng.normal(0.0, noise, size=(dim, dim))
         self.L = Tensor(matrix, requires_grad=True)
 

@@ -101,7 +101,7 @@ class GMLFM(FeatureRecommender):
                 "the efficient closed form only exists for the squared "
                 "Euclidean distance family; use mode='naive'"
             )
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng()  # repro: allow(det-unseeded-rng): explicit opt-out — caller omitted rng
         self.k = k
         self.transform_kind = transform
         self.distance_name = distance

@@ -33,7 +33,7 @@ def minibatches(
     if batch_size <= 0:
         raise ValueError("batch_size must be positive")
     if shuffle:
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng()  # repro: allow(det-unseeded-rng): explicit opt-out — caller omitted rng
         order = rng.permutation(n)
     else:
         order = np.arange(n)

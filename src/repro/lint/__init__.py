@@ -1,0 +1,32 @@
+"""Static contract checking for the repro codebase (``repro lint``).
+
+This package is a *linter*, not a paper-analysis tool — the paper's
+t-SNE / cold-start studies live in :mod:`repro.analysis`; nothing here
+touches model outputs.  ``repro.lint`` walks the source tree's ASTs and
+machine-checks the contracts the rest of the repo only promises in
+docstrings:
+
+- **Determinism** (:mod:`repro.lint.determinism`): no unseeded RNG
+  streams, no ``PYTHONHASHSEED``-dependent ``hash()``, no wall-clock
+  reads in scoring paths, no iteration over unordered sets feeding
+  ordered output.
+- **Lock discipline** (:mod:`repro.lint.locks`): attributes a class
+  guards with ``with self._lock:`` in one method must be guarded in
+  every method, and no blocking call may run while a lock is held.
+- **Registry contracts** (:mod:`repro.lint.contracts`): every model in
+  the live :mod:`repro.experiments.registry` implements the
+  grid-factor hooks in pairs and supports fold-in; counter properties
+  stay ints; obs metric names follow the snake_case unit-suffix
+  convention.
+
+Findings carry ``file:line`` plus a rule id and can be silenced inline
+with ``# repro: allow(<rule-id>): <justification>`` — see
+:mod:`repro.lint.engine`.  The tier-1 gate
+(``tests/lint/test_codebase_clean.py``) keeps ``src/repro`` free of
+unsuppressed findings on every commit.
+"""
+
+from repro.lint.engine import Finding, LintReport, run_lint
+from repro.lint.rules import RULES, Rule
+
+__all__ = ["Finding", "LintReport", "Rule", "RULES", "run_lint"]

@@ -1,0 +1,57 @@
+"""``repro lint`` — run the static contract checker from the CLI.
+
+Exit status is the gate: 0 when clean, 1 when any finding survives
+(suppression hygiene included).  ``--format json`` emits a
+machine-readable report (findings + the rule catalog) for CI
+annotation; ``--strict`` additionally requires every suppression to
+carry a justification.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import run_lint
+from repro.lint.rules import load_rules
+
+
+def add_lint_parser(sub) -> None:
+    """Attach the ``lint`` subcommand to the main CLI's subparsers."""
+    lint = sub.add_parser(
+        "lint",
+        help="static contract checker: determinism, lock discipline, "
+             "registry hooks (repro.lint)")
+    lint.add_argument(
+        "paths", nargs="*", default=None,
+        help="files or directories to check (default: the installed "
+             "repro package source)")
+    lint.add_argument("--format", default="text", choices=["text", "json"],
+                      dest="output_format",
+                      help="human-readable lines or a JSON report")
+    lint.add_argument("--strict", action="store_true",
+                      help="suppressions without a justification comment "
+                           "become findings")
+    lint.add_argument("--no-registry", action="store_true",
+                      dest="no_registry",
+                      help="skip the live model-registry cross-checks "
+                           "(pure AST rules only; faster, no imports)")
+    lint.add_argument("--rules", nargs="+", default=None,
+                      help="restrict the run to these rule ids")
+
+
+def lint_main(args) -> int:
+    report = run_lint(
+        paths=args.paths or None,
+        strict=args.strict,
+        project_rules=not args.no_registry,
+        rule_ids=args.rules,
+    )
+    if args.output_format == "json":
+        print(report.to_json())
+    else:
+        print(report.format_text())
+    return 0 if report.ok else 1
+
+
+def rule_catalog() -> dict[str, str]:
+    """``{rule id: summary}`` for docs and the JSON report."""
+    return {rule_id: rule.summary
+            for rule_id, rule in sorted(load_rules().items())}

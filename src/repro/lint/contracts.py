@@ -1,0 +1,261 @@
+"""Registry-contract rules: cross-check the live model registry.
+
+Unlike the AST families, the two ``reg-*`` rules import
+:mod:`repro.experiments.registry`, instantiate every registered model
+on a tiny synthetic dataset, and verify class-level contracts the
+serving plane depends on:
+
+- ``reg-grid-pair`` — :meth:`grid_factor_items` and
+  :meth:`grid_factor_users` are overridden *in pairs*: overriding only
+  one leaves ANN retrieval with factors it cannot query (or queries it
+  cannot factor), which fails at serving time, not import time.
+- ``reg-fold-in`` — every registered model overrides
+  :meth:`fold_in_targets` (the base returns ``[]`` = "no fold-in"), so
+  ``repro serve --online`` and ``repro replay`` cover the whole
+  registry.
+
+Two further contracts are checkable purely from source and run as
+module rules over the whole tree:
+
+- ``reg-counter-int`` — a property reading a registry counter
+  (``self._m_*.value``) must wrap it in ``int()``: metric values are
+  floats, and the PR 6 refresh-sampling bug came from exactly one
+  counter property leaking a float into a seed expression.
+- ``obs-metric-name`` — metric names handed to a registry follow the
+  Prometheus convention: snake_case, counters end ``_total``,
+  histograms end with a unit suffix.
+"""
+
+from __future__ import annotations
+
+import ast
+import functools
+import inspect
+import re
+from typing import Iterable, Optional
+
+from repro.lint.engine import Finding, SourceModule
+from repro.lint.rules import Rule, register
+
+_HISTOGRAM_SUFFIXES = ("_seconds", "_bytes", "_total", "_ratio", "_ns")
+
+
+@functools.lru_cache(maxsize=1)
+def registry_model_classes() -> dict[str, type]:
+    """``{paper name: class}`` for every registered model (deduplicated).
+
+    Instantiates each model once on a tiny synthetic dataset — the
+    registry's factory is the only source of truth for what is
+    actually servable, so the check builds what serving would build.
+    """
+    from repro.data.synthetic import make_dataset
+    from repro.experiments.registry import (RATING_MODELS, TOPN_MODELS,
+                                            build_model)
+
+    dataset = make_dataset("movielens", seed=0, scale=0.05)
+    names = list(dict.fromkeys(RATING_MODELS + TOPN_MODELS))
+    return {name: type(build_model(name, dataset, k=4, seed=0))
+            for name in names}
+
+
+def _class_anchor(cls: type) -> tuple[str, int]:
+    """``(path, line)`` of a class definition for finding anchors."""
+    try:
+        path = inspect.getsourcefile(cls) or "<unknown>"
+        line = inspect.getsourcelines(cls)[1]
+    except (OSError, TypeError):  # pragma: no cover - C extensions only
+        path, line = "<unknown>", 0
+    return path, line
+
+
+def _overrides(cls: type, base: type, method: str) -> bool:
+    return getattr(cls, method) is not getattr(base, method)
+
+
+def check_model_contracts(models: dict[str, type]) -> list[Finding]:
+    """Grid-pair and fold-in findings for a name → class mapping.
+
+    Parameterized so the fixture tests can feed deliberately broken
+    classes; the registered rules call it with the live registry.
+    """
+    from repro.models.base import RecommenderModel
+
+    findings: list[Finding] = []
+    for name, cls in sorted(models.items()):
+        path, line = _class_anchor(cls)
+        items = _overrides(cls, RecommenderModel, "grid_factor_items")
+        users = _overrides(cls, RecommenderModel, "grid_factor_users")
+        if items != users:
+            present, missing = (("grid_factor_items", "grid_factor_users")
+                                if items else
+                                ("grid_factor_users", "grid_factor_items"))
+            findings.append(Finding(
+                path, line, "reg-grid-pair",
+                f"model {name!r} ({cls.__name__}) overrides {present} but "
+                f"not {missing}; the bilinear decomposition hooks must be "
+                f"overridden in pairs or ANN retrieval fails at serving "
+                f"time"))
+        fold_in = getattr(cls, "fold_in_targets", None)
+        if fold_in is None or not callable(fold_in) or not _overrides(
+                cls, RecommenderModel, "fold_in_targets"):
+            findings.append(Finding(
+                path, line, "reg-fold-in",
+                f"model {name!r} ({cls.__name__}) does not override "
+                f"fold_in_targets; every registered model must support "
+                f"incremental fold-in (repro serve --online, repro "
+                f"replay)"))
+    return findings
+
+
+@register
+class GridFactorPair(Rule):
+    id = "reg-grid-pair"
+    summary = ("registry models must override grid_factor_items/"
+               "grid_factor_users in pairs (ANN decomposition hooks)")
+    project = True
+
+    def check_project(self) -> Iterable[Finding]:
+        return [finding for finding in
+                check_model_contracts(registry_model_classes())
+                if finding.rule_id == self.id]
+
+
+@register
+class FoldInSupported(Rule):
+    id = "reg-fold-in"
+    summary = ("every registered model must override fold_in_targets "
+               "(incremental updates cover the whole registry)")
+    project = True
+
+    def check_project(self) -> Iterable[Finding]:
+        return [finding for finding in
+                check_model_contracts(registry_model_classes())
+                if finding.rule_id == self.id]
+
+
+# ----------------------------------------------------------------------
+# Source-level contracts (module rules)
+# ----------------------------------------------------------------------
+@register
+class CounterPropertyInt(Rule):
+    id = "reg-counter-int"
+    summary = ("a property reading a metric handle (self._m_*.value) must "
+               "return int(...) — metric values are floats")
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        parents = module.parents()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            if not any(isinstance(dec, ast.Name) and dec.id == "property"
+                       for dec in node.decorator_list):
+                continue
+            for read in ast.walk(node):
+                if not self._is_metric_value_read(read):
+                    continue
+                if not self._int_wrapped(read, node, parents):
+                    yield Finding(
+                        module.display_path, read.lineno, self.id,
+                        f"property {node.name!r} returns a metric value "
+                        f"without int(): Counter/Gauge values are floats, "
+                        f"and a float leaking into seed arithmetic caused "
+                        f"the PR 6 refresh-sampling bug — wrap in int()")
+
+    @staticmethod
+    def _is_metric_value_read(node: ast.AST) -> bool:
+        return (isinstance(node, ast.Attribute) and node.attr == "value"
+                and isinstance(node.value, ast.Attribute)
+                and node.value.attr.startswith("_m_")
+                and isinstance(node.value.value, ast.Name)
+                and node.value.value.id == "self")
+
+    @staticmethod
+    def _int_wrapped(node: ast.AST, stop: ast.AST, parents: dict) -> bool:
+        current = parents.get(node)
+        while current is not None and current is not stop:
+            if (isinstance(current, ast.Call)
+                    and isinstance(current.func, ast.Name)
+                    and current.func.id == "int"):
+                return True
+            current = parents.get(current)
+        return False
+
+
+@register
+class MetricNameConvention(Rule):
+    id = "obs-metric-name"
+    summary = ("metric names must be snake_case; counters end _total, "
+               "histograms end with a unit suffix (_seconds/_bytes/...)")
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            kind = node.func.attr
+            if kind not in ("counter", "gauge", "histogram"):
+                continue
+            # Only calls through an object that is recognizably a
+            # metrics registry; keeps collections.Counter and friends
+            # out of scope.
+            receiver = ast.unparse(node.func.value).lower()
+            if "registry" not in receiver:
+                continue
+            name_arg = self._name_arg(node)
+            if name_arg is None:
+                continue
+            constant, trailing = self._literal_parts(name_arg)
+            if constant is None:
+                continue
+            for message in self._violations(kind, constant, trailing):
+                yield Finding(module.display_path, node.lineno, self.id,
+                              message)
+
+    @staticmethod
+    def _name_arg(node: ast.Call) -> Optional[ast.expr]:
+        if node.args:
+            return node.args[0]
+        for keyword in node.keywords:
+            if keyword.arg == "name":
+                return keyword.value
+        return None
+
+    @staticmethod
+    def _literal_parts(arg: ast.expr) -> tuple[Optional[str], Optional[str]]:
+        """``(all constant text, trailing constant)`` of the name arg.
+
+        Plain strings return themselves twice; f-strings return their
+        constant segments joined (charset check) and the last segment
+        (suffix check), skipping interpolated holes.  Non-literal names
+        return ``(None, None)`` — not statically checkable.
+        """
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value, arg.value
+        if isinstance(arg, ast.JoinedStr):
+            constants = [part.value for part in arg.values
+                         if isinstance(part, ast.Constant)
+                         and isinstance(part.value, str)]
+            if not constants:
+                return None, None
+            trailing = (arg.values[-1].value
+                        if isinstance(arg.values[-1], ast.Constant)
+                        else None)
+            return "".join(constants), trailing
+        return None, None
+
+    @staticmethod
+    def _violations(kind: str, constant: str,
+                    trailing: Optional[str]) -> Iterable[str]:
+        if not re.fullmatch(r"[a-z0-9_]+", constant) or "__" in constant:
+            yield (f"metric name {constant!r} is not snake_case "
+                   f"(lowercase letters, digits, single underscores)")
+        if kind == "counter" and (trailing is None
+                                  or not trailing.endswith("_total")):
+            yield (f"counter name {constant!r} must end with '_total' "
+                   f"(Prometheus counter convention)")
+        if kind == "histogram" and (
+                trailing is None
+                or not trailing.endswith(_HISTOGRAM_SUFFIXES)):
+            yield (f"histogram name {constant!r} must end with a unit "
+                   f"suffix ({', '.join(_HISTOGRAM_SUFFIXES)})")

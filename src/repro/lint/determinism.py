@@ -1,0 +1,205 @@
+"""Determinism rules: the byte-identical-results contract, statically.
+
+Every past determinism regression in this repo entered through one of
+four doors: an unseeded RNG stream, a ``PYTHONHASHSEED``-salted
+``hash()`` (the PR 1 synthetic-corpus bug), a wall-clock read on a
+scoring path, or set-iteration order leaking into ordered output.
+These rules close each door at commit time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.lint.engine import Finding, SourceModule
+from repro.lint.rules import Rule, register
+
+#: Modules whose responses/records must be wall-clock free (monotonic
+#: measurement clocks excepted): the serving plane, the evaluation
+#: scorers, and the experiment runners that write paper tables.
+SCORING_SCOPE = ("serving/", "experiments/", "training/evaluation.py")
+
+#: Legacy numpy module-level RNG entry points (global hidden state).
+_NUMPY_GLOBAL_FNS = frozenset({
+    "seed", "rand", "randn", "randint", "random", "random_sample",
+    "choice", "shuffle", "permutation", "normal", "uniform", "binomial",
+    "poisson", "beta", "gamma", "exponential", "standard_normal",
+})
+
+#: Stdlib ``random`` module functions that draw from the global stream.
+_STDLIB_RANDOM_FNS = frozenset({
+    "seed", "random", "randint", "randrange", "choice", "choices",
+    "shuffle", "sample", "uniform", "gauss", "betavariate", "randbytes",
+    "getrandbits",
+})
+
+#: Order-insensitive consumers: a set-typed iterable feeding one of
+#: these cannot leak iteration order into output.
+_ORDER_INSENSITIVE = frozenset({
+    "sorted", "set", "frozenset", "sum", "min", "max", "any", "all", "len",
+})
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@register
+class UnseededRng(Rule):
+    id = "det-unseeded-rng"
+    summary = ("RNG with no seed: np.random.default_rng()/RandomState() "
+               "without arguments, numpy's module-level global stream, or "
+               "the stdlib random module")
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            parts = name.split(".")
+            tail = parts[-1]
+            if tail in ("default_rng", "RandomState"):
+                if not node.args and not node.keywords:
+                    yield module.finding(
+                        self, node,
+                        f"{tail}() with no seed draws from OS entropy; "
+                        f"pass a seed (or a Generator) so the stream is "
+                        f"reproducible")
+                continue
+            if (len(parts) >= 3 and parts[-2] == "random"
+                    and parts[0] in ("np", "numpy")
+                    and tail in _NUMPY_GLOBAL_FNS):
+                yield module.finding(
+                    self, node,
+                    f"np.random.{tail} uses numpy's hidden global RNG "
+                    f"state; use an explicit np.random.default_rng(seed)")
+            elif (len(parts) == 2 and parts[0] == "random"
+                    and tail in _STDLIB_RANDOM_FNS):
+                yield module.finding(
+                    self, node,
+                    f"random.{tail} draws from the stdlib global RNG; use "
+                    f"an explicit np.random.default_rng(seed)")
+
+
+@register
+class HashBuiltin(Rule):
+    id = "det-hash-builtin"
+    summary = ("builtin hash() is salted per process (PYTHONHASHSEED) for "
+               "str/bytes and anything containing them")
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "hash"):
+                yield module.finding(
+                    self, node,
+                    "builtin hash() is PYTHONHASHSEED-salted for strings "
+                    "and tuples of strings — results change across "
+                    "processes; derive keys with zlib.crc32 or a stable "
+                    "encoding instead (the PR 1 hash(category) seed bug)")
+
+
+@register
+class WallClock(Rule):
+    id = "det-wallclock"
+    summary = ("wall-clock / entropy read in a scoring or response module "
+               "(serving/, experiments/, training/evaluation.py); only "
+               "monotonic measurement clocks are allowed there")
+    scope = SCORING_SCOPE
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            parts = name.split(".")
+            tail = parts[-1]
+            base = parts[0]
+            # Carve-out: monotonic measurement clocks never enter
+            # response payloads' *values*; benchmarking with them is
+            # the sanctioned pattern (time.monotonic/perf_counter).
+            if base == "time" and tail in ("time", "time_ns"):
+                offender = f"time.{tail}"
+            elif "datetime" in parts[:-1] and tail in ("now", "utcnow",
+                                                       "today"):
+                offender = name
+            elif base == "os" and tail == "urandom":
+                offender = "os.urandom"
+            elif base == "uuid" and len(parts) == 2:
+                offender = name
+            else:
+                continue
+            yield module.finding(
+                self, node,
+                f"{offender} in a scoring/response module breaks "
+                f"replayability; use time.monotonic()/time.perf_counter() "
+                f"for measurement, and carry request-supplied timestamps "
+                f"for payloads")
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Does this expression produce a set (unordered iteration)?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        return name in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)):
+        # Set algebra: the result of &, |, ^, - over sets is a set.
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+@register
+class SetIteration(Rule):
+    id = "det-set-iteration"
+    summary = ("iterating a set feeds hash-order into downstream output; "
+               "sort before iterating (order-insensitive reducers like "
+               "sorted()/sum() are exempt)")
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        parents = module.parents()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.For) and _is_set_expr(node.iter):
+                yield self._finding(module, node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.GeneratorExp, ast.DictComp)):
+                if not any(_is_set_expr(gen.iter)
+                           for gen in node.generators):
+                    continue
+                if self._order_insensitive_consumer(node, parents):
+                    continue
+                yield self._finding(module, node)
+
+    def _order_insensitive_consumer(self, node: ast.AST,
+                                    parents: dict) -> bool:
+        """``sorted(x for x in some_set)`` and friends are fine."""
+        if isinstance(node, ast.SetComp):
+            return True     # produces a set again; order never existed
+        parent = parents.get(node)
+        return (isinstance(parent, ast.Call)
+                and isinstance(parent.func, ast.Name)
+                and parent.func.id in _ORDER_INSENSITIVE
+                and node in parent.args)
+
+    def _finding(self, module: SourceModule, node: ast.AST) -> Finding:
+        return module.finding(
+            self, node,
+            "set iteration order depends on element hashes "
+            "(PYTHONHASHSEED for strings); wrap the set in sorted() "
+            "before iterating, or feed an order-insensitive reducer")

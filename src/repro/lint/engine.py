@@ -1,0 +1,283 @@
+"""The shared AST-walking engine behind ``repro lint``.
+
+Responsibilities: file discovery, parsing, running the registered rules
+(:mod:`repro.lint.rules`), inline suppressions, and rendering a
+:class:`LintReport` as human text or JSON.
+
+Suppressions
+------------
+A finding is silenced by an inline comment on the *same physical line*::
+
+    rng = np.random.default_rng()  # repro: allow(det-unseeded-rng): caller opted out of seeding
+
+The comment names exactly the rule ids it silences (comma-separated for
+several) and everything after the closing ``):`` is the justification.
+Suppression hygiene is itself linted:
+
+- an unknown rule id in an allow comment is a ``lint-unknown-rule``
+  finding (typos must not silently disable nothing);
+- under ``--strict``, an allow comment with no justification text is a
+  ``lint-no-justification`` finding — every suppression must say *why*
+  the contract does not apply.
+
+Meta findings (``lint-*``) cannot themselves be suppressed, and
+project-rule findings (live registry cross-checks) have no source line
+to carry a comment, so they cannot be suppressed either.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.lint.rules import RULES, Rule, load_rules, register
+
+#: Matches ``repro: allow(rule-a, rule-b): why`` inside comment tokens.
+_ALLOW_RE = re.compile(
+    r"#\s*repro:\s*allow\(\s*([^)]*?)\s*\)\s*(?::\s*(.*\S))?\s*$")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One allow comment: which rules it silences on its line, and why."""
+
+    line: int
+    rule_ids: tuple[str, ...]
+    justification: str
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored at ``path:line``."""
+
+    path: str
+    line: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule_id}] {self.message}"
+
+    def to_dict(self) -> dict:
+        return {"path": self.path, "line": self.line,
+                "rule": self.rule_id, "message": self.message}
+
+
+class SourceModule:
+    """A parsed source file plus the per-file facts rules share.
+
+    ``scoped_path`` is the path relative to the scan root that
+    discovered the file (``serving/cache.py`` when scanning the
+    package dir) — rule scoping matches against it, so fixture trees
+    can reproduce any scope by mirroring the directory name.
+    """
+
+    def __init__(self, path: Path, root: Path):
+        self.path = path
+        self.display_path = _display(path)
+        try:
+            self.scoped_path = path.relative_to(root).as_posix()
+        except ValueError:
+            self.scoped_path = path.name
+        self.source = path.read_text(encoding="utf-8")
+        self.tree = ast.parse(self.source, filename=str(path))
+        self.suppressions: dict[int, Suppression] = _parse_suppressions(
+            self.source)
+        self._parents: Optional[dict[ast.AST, ast.AST]] = None
+
+    def parents(self) -> dict[ast.AST, ast.AST]:
+        """Child → parent map over the module AST (computed once)."""
+        if self._parents is None:
+            self._parents = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    self._parents[child] = node
+        return self._parents
+
+    def finding(self, rule: Rule, node: ast.AST, message: str) -> Finding:
+        return Finding(self.display_path, getattr(node, "lineno", 0),
+                       rule.id, message)
+
+
+def _display(path: Path) -> str:
+    """Repo-relative path when possible, else the absolute path."""
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.resolve().as_posix()
+
+
+def _parse_suppressions(source: str) -> dict[int, Suppression]:
+    """Allow comments by line, read from real comment tokens.
+
+    Tokenizing (rather than regex over raw lines) keeps string literals
+    that merely *mention* the allow syntax — like the examples in this
+    docstring — from acting as suppressions.
+    """
+    out: dict[int, Suppression] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        return out
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _ALLOW_RE.search(token.string)
+        if match is None:
+            continue
+        ids = tuple(part.strip() for part in match.group(1).split(",")
+                    if part.strip())
+        out[token.start[0]] = Suppression(
+            line=token.start[0], rule_ids=ids,
+            justification=(match.group(2) or "").strip())
+    return out
+
+
+# ----------------------------------------------------------------------
+# Meta rules: suppression hygiene, emitted by the engine itself
+# ----------------------------------------------------------------------
+@register
+class UnknownRuleInAllow(Rule):
+    id = "lint-unknown-rule"
+    summary = ("an allow comment names a rule id that does not exist "
+               "(typo: it silences nothing)")
+    meta = True
+
+
+@register
+class AllowWithoutJustification(Rule):
+    id = "lint-no-justification"
+    summary = ("strict mode: an allow comment carries no justification "
+               "text after the rule list")
+    meta = True
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: list[Finding]
+    files_checked: int
+    suppressed: int
+    strict: bool = False
+    rule_ids: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "ok": self.ok,
+            "strict": self.strict,
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed,
+            "rules": list(self.rule_ids),
+            "findings": [finding.to_dict() for finding in self.findings],
+        }, indent=2, sort_keys=False)
+
+    def format_text(self) -> str:
+        lines = [finding.format() for finding in self.findings]
+        state = "clean" if self.ok else f"{len(self.findings)} finding(s)"
+        lines.append(
+            f"repro lint: {state} — {self.files_checked} file(s) checked, "
+            f"{self.suppressed} finding(s) suppressed"
+            f"{' [strict]' if self.strict else ''}")
+        return "\n".join(lines)
+
+
+def default_target() -> Path:
+    """The installed ``repro`` package directory (the default scan)."""
+    return Path(__file__).resolve().parents[1]
+
+
+def discover(paths: Optional[Sequence[Union[str, Path]]] = None,
+             ) -> list[tuple[Path, Path]]:
+    """Resolve arguments to ``(file, scan_root)`` pairs.
+
+    Directories scan recursively with themselves as the scope root;
+    bare files use their parent directory.
+    """
+    targets = [Path(p) for p in paths] if paths else [default_target()]
+    out: list[tuple[Path, Path]] = []
+    for target in targets:
+        if target.is_dir():
+            out.extend((file, target)
+                       for file in sorted(target.rglob("*.py"))
+                       if "__pycache__" not in file.parts)
+        elif target.is_file():
+            out.append((target, target.parent))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {target}")
+    return out
+
+
+def run_lint(
+    paths: Optional[Sequence[Union[str, Path]]] = None,
+    strict: bool = False,
+    project_rules: bool = True,
+    rule_ids: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Lint ``paths`` (default: the ``repro`` package) with all rules.
+
+    ``rule_ids`` restricts the run to a subset (unknown ids raise);
+    ``project_rules=False`` skips the live-registry cross-checks, which
+    import and instantiate the model registry.
+    """
+    catalog = load_rules()
+    if rule_ids is not None:
+        unknown = sorted(set(rule_ids) - set(catalog))
+        if unknown:
+            raise ValueError(f"unknown rule ids: {unknown}")
+        selected = {rid: catalog[rid] for rid in rule_ids}
+    else:
+        selected = dict(catalog)
+
+    findings: list[Finding] = []
+    suppressed = 0
+    files = discover(paths)
+    for path, root in files:
+        module = SourceModule(path, root)
+        raw: list[Finding] = []
+        for rule in selected.values():
+            if rule.meta or rule.project or not rule.applies_to(module):
+                continue
+            raw.extend(rule.check_module(module))
+        for finding in raw:
+            sup = module.suppressions.get(finding.line)
+            if sup is not None and finding.rule_id in sup.rule_ids:
+                suppressed += 1
+            else:
+                findings.append(finding)
+        findings.extend(_suppression_hygiene(module, catalog, strict))
+    if project_rules:
+        for rule in selected.values():
+            if rule.project:
+                findings.extend(rule.check_project())
+    return LintReport(findings=sorted(findings), files_checked=len(files),
+                      suppressed=suppressed, strict=strict,
+                      rule_ids=tuple(sorted(selected)))
+
+
+def _suppression_hygiene(module: SourceModule, catalog: dict[str, Rule],
+                         strict: bool) -> Iterable[Finding]:
+    """Meta findings over the module's allow comments (unsuppressable)."""
+    for sup in module.suppressions.values():
+        for rid in sup.rule_ids:
+            if rid not in catalog:
+                yield Finding(
+                    module.display_path, sup.line, "lint-unknown-rule",
+                    f"allow comment names unknown rule {rid!r}; it "
+                    f"silences nothing (known ids: see `repro lint "
+                    f"--format json`)")
+        if strict and not sup.justification:
+            yield Finding(
+                module.display_path, sup.line, "lint-no-justification",
+                "allow comment has no justification; write "
+                "`# repro: allow(<rule>): <why this is safe>`")

@@ -1,0 +1,235 @@
+"""Lock-discipline rules: a lightweight static race detector.
+
+The contract (serving/obs planes): if a class creates a
+``threading.Lock``/``RLock`` in ``__init__`` and guards writes to some
+attribute with ``with self._lock:`` in *one* method, then *every*
+method writing that attribute must hold the lock — a guarded-sometimes
+attribute is exactly the shape of the public-``LRUCache`` race fixed in
+PR 5.  Separately, blocking calls (sleep, subprocess, socket) must not
+run while a lock is held: they turn a mutex into a convoy.
+
+False-positive guard (asserted in the fixture tests): a private method
+whose every intra-class call site already holds the lock is treated as
+lock-held itself (``stats()`` taking the lock then delegating to
+``_stats_locked()`` is the sanctioned pattern), propagated to a
+fixpoint so locked helpers calling locked helpers stay clean.  Known
+blind spots, on purpose: writes through ``other.attr`` (cross-object),
+mutation via method calls (``self._data.clear()`` — tracked only for
+subscript stores), and closures defined under a lock but run later
+(scanned as unlocked-neutral: neither guarded nor violating).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.lint.determinism import dotted_name
+from repro.lint.engine import Finding, SourceModule
+from repro.lint.rules import Rule, register
+
+#: Calls that block the holder of a lock (module-qualified prefixes
+#: checked against the dotted call name).
+_BLOCKING_PREFIXES = ("subprocess.", "socket.")
+_BLOCKING_EXACT = frozenset({"time.sleep", "sleep", "os.system",
+                             "os.wait", "os.waitpid"})
+
+
+def _is_lock_ctor(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    name = dotted_name(node.func)
+    return name is not None and name.split(".")[-1] in ("Lock", "RLock")
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``X`` for an ``self.X`` expression, else None."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def _write_targets(node: ast.stmt) -> list[ast.expr]:
+    if isinstance(node, ast.Assign):
+        return list(node.targets)
+    if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        return [node.target]
+    return []
+
+
+def _written_attr(target: ast.expr) -> Optional[str]:
+    """Attribute of ``self`` this target stores into (incl. ``self.x[k]``)."""
+    if isinstance(target, ast.Subscript):
+        return _self_attr(target.value)
+    return _self_attr(target)
+
+
+@dataclass
+class _Event:
+    """One fact recorded inside a method body."""
+
+    line: int
+    locked: bool
+    attr: str = ""       # writes
+    callee: str = ""     # intra-class self.<m>() calls
+    blocking: str = ""   # blocking call description
+
+
+@dataclass
+class _MethodFacts:
+    name: str
+    writes: list[_Event] = field(default_factory=list)
+    calls: list[_Event] = field(default_factory=list)
+    blocking: list[_Event] = field(default_factory=list)
+
+
+class _ClassAnalysis:
+    """Per-class lock facts: lock attrs, per-method events, fixpoint."""
+
+    def __init__(self, classdef: ast.ClassDef):
+        self.classdef = classdef
+        self.methods: dict[str, _MethodFacts] = {}
+        self.lock_attrs = self._find_lock_attrs()
+        if self.lock_attrs:
+            for item in classdef.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    facts = _MethodFacts(item.name)
+                    for stmt in item.body:
+                        self._scan(stmt, False, facts)
+                    self.methods[item.name] = facts
+        self.assumed_locked = self._fixpoint()
+
+    def _find_lock_attrs(self) -> frozenset[str]:
+        for item in self.classdef.body:
+            if isinstance(item, ast.FunctionDef) and item.name == "__init__":
+                return frozenset(
+                    attr for stmt in ast.walk(item)
+                    for target in _write_targets(stmt)
+                    if (attr := _self_attr(target)) is not None
+                    and _is_lock_ctor(getattr(stmt, "value", None)))
+        return frozenset()
+
+    def _holds_lock(self, with_node: ast.With) -> bool:
+        return any(_self_attr(item.context_expr) in self.lock_attrs
+                   for item in with_node.items)
+
+    def _scan(self, node: ast.AST, locked: bool, facts: _MethodFacts) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda, ast.ClassDef)):
+            return  # closures/nested defs run in an unknown lock context
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = locked or self._holds_lock(node)
+            for item in node.items:
+                self._scan(item.context_expr, locked, facts)
+            for stmt in node.body:
+                self._scan(stmt, inner, facts)
+            return
+        for target in _write_targets(node) if isinstance(node, ast.stmt) else ():
+            attr = _written_attr(target)
+            if attr is not None:
+                facts.writes.append(_Event(node.lineno, locked, attr=attr))
+        if isinstance(node, ast.Call):
+            callee = _self_attr(node.func)
+            if callee is not None:
+                facts.calls.append(_Event(node.lineno, locked, callee=callee))
+            name = dotted_name(node.func)
+            if name is not None and (
+                    name in _BLOCKING_EXACT
+                    or name.startswith(_BLOCKING_PREFIXES)):
+                facts.blocking.append(
+                    _Event(node.lineno, locked, blocking=name))
+        for child in ast.iter_child_nodes(node):
+            self._scan(child, locked, facts)
+
+    def _fixpoint(self) -> frozenset[str]:
+        """Private methods whose every call site holds the lock."""
+        sites: dict[str, list[tuple[str, bool]]] = {}
+        for caller, facts in self.methods.items():
+            for event in facts.calls:
+                sites.setdefault(event.callee, []).append(
+                    (caller, event.locked))
+        assumed: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for name in self.methods:
+                if (name in assumed or not name.startswith("_")
+                        or name == "__init__"):
+                    continue
+                callers = sites.get(name)
+                if callers and all(locked or caller in assumed
+                                   for caller, locked in callers):
+                    assumed.add(name)
+                    changed = True
+        return frozenset(assumed)
+
+    def effective_locked(self, method: str, event: _Event) -> bool:
+        return event.locked or method in self.assumed_locked
+
+    def guarded_attrs(self) -> frozenset[str]:
+        return frozenset(
+            event.attr for name, facts in self.methods.items()
+            if name != "__init__"
+            for event in facts.writes
+            if self.effective_locked(name, event))
+
+
+def _classes(module: SourceModule) -> Iterable[ast.ClassDef]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ClassDef):
+            yield node
+
+
+@register
+class UnguardedWrite(Rule):
+    id = "lock-unguarded-write"
+    summary = ("an attribute guarded by `with self._lock:` in one method "
+               "is written without the lock in another")
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        for classdef in _classes(module):
+            analysis = _ClassAnalysis(classdef)
+            if not analysis.lock_attrs:
+                continue
+            guarded = analysis.guarded_attrs()
+            if not guarded:
+                continue
+            locks = "/".join(sorted(analysis.lock_attrs))
+            for name, facts in analysis.methods.items():
+                if name == "__init__":
+                    continue
+                for event in facts.writes:
+                    if (event.attr in guarded
+                            and not analysis.effective_locked(name, event)):
+                        yield Finding(
+                            module.display_path, event.line, self.id,
+                            f"{classdef.name}.{name} writes "
+                            f"'self.{event.attr}' without holding "
+                            f"self.{locks}, but other methods guard that "
+                            f"attribute with the lock — hold it here too "
+                            f"(or route through a locked helper)")
+
+
+@register
+class BlockingUnderLock(Rule):
+    id = "lock-blocking-call"
+    summary = ("a blocking call (sleep/subprocess/socket) runs while a "
+               "threading lock is held")
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        for classdef in _classes(module):
+            analysis = _ClassAnalysis(classdef)
+            if not analysis.lock_attrs:
+                continue
+            for name, facts in analysis.methods.items():
+                for event in facts.blocking:
+                    if analysis.effective_locked(name, event):
+                        yield Finding(
+                            module.display_path, event.line, self.id,
+                            f"{classdef.name}.{name} calls "
+                            f"{event.blocking} while holding a lock; "
+                            f"every other thread convoys behind this "
+                            f"call — move it outside the locked region")

@@ -1,0 +1,78 @@
+"""Rule protocol and registry for :mod:`repro.lint`.
+
+A rule is a small object with a stable ``id`` (the token used in
+``# repro: allow(<id>)`` suppressions), a one-line ``summary`` for the
+rule catalog, and one of two check surfaces:
+
+- :meth:`Rule.check_module` — called once per parsed source file with a
+  :class:`~repro.lint.engine.SourceModule`; the common, pure-AST case.
+- :meth:`Rule.check_project` — called once per lint run, independent of
+  which files were scanned; used by the registry-contract rules that
+  import the live model registry and cross-check it.
+
+``scope`` restricts a module rule to path prefixes *relative to the
+scan root* (``"serving/"``, ``"training/evaluation.py"``), which is how
+the wall-clock rule applies only to scoring/response modules while the
+RNG rules cover everything.
+
+Rules self-register at import time via :func:`register`; the engine
+calls :func:`load_rules` so importing :mod:`repro.lint` is enough to
+see the full catalog in :data:`RULES`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.engine import Finding, SourceModule
+
+
+class Rule:
+    """One checkable contract; subclass and :func:`register`."""
+
+    #: Stable identifier, e.g. ``det-unseeded-rng``.
+    id: str = ""
+    #: One-line description for ``--format json`` and the docs catalog.
+    summary: str = ""
+    #: Path prefixes (scan-root relative, posix) the rule applies to;
+    #: ``None`` applies everywhere.
+    scope: Optional[tuple[str, ...]] = None
+    #: Meta rules are emitted by the engine itself (suppression
+    #: hygiene) and can never be suppressed.
+    meta: bool = False
+    #: Project rules run once per lint run via :meth:`check_project`.
+    project: bool = False
+
+    def applies_to(self, module: "SourceModule") -> bool:
+        if self.scope is None:
+            return True
+        return module.scoped_path.startswith(self.scope)
+
+    def check_module(self, module: "SourceModule") -> Iterable["Finding"]:
+        return ()
+
+    def check_project(self) -> Iterable["Finding"]:
+        return ()
+
+
+#: All registered rules keyed by id; populated by :func:`load_rules`.
+RULES: dict[str, Rule] = {}
+
+
+def register(rule_cls: type) -> type:
+    """Class decorator: instantiate and index the rule by id."""
+    rule = rule_cls()
+    if not rule.id:
+        raise ValueError(f"{rule_cls.__name__} has no rule id")
+    if rule.id in RULES:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    RULES[rule.id] = rule
+    return rule_cls
+
+
+def load_rules() -> dict[str, Rule]:
+    """Import every rule module (idempotent) and return the catalog."""
+    from repro.lint import contracts, determinism, locks  # noqa: F401
+
+    return RULES

@@ -38,7 +38,7 @@ class MAMO(RecommenderModel):
                  local_lr: float = 0.05, local_steps: int = 3,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng()  # repro: allow(det-unseeded-rng): explicit opt-out — caller omitted rng
         self.dataset = dataset
         self.k = k
         self.n_memory = n_memory

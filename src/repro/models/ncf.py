@@ -23,7 +23,7 @@ class NCF(EntityRecommender):
                  hidden: Optional[list[int]] = None, dropout: float = 0.1,
                  rng: Optional[np.random.Generator] = None):
         super().__init__(n_users, n_items)
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng()  # repro: allow(det-unseeded-rng): explicit opt-out — caller omitted rng
         self.k = k
         self.gmf_user = nn.Embedding(n_users, k, std=0.01, rng=rng)
         self.gmf_item = nn.Embedding(n_items, k, std=0.01, rng=rng)

@@ -53,7 +53,7 @@ class NGCF(EntityRecommender):
                  train_items: Optional[np.ndarray] = None,
                  rng: Optional[np.random.Generator] = None):
         super().__init__(n_users, n_items)
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng()  # repro: allow(det-unseeded-rng): explicit opt-out — caller omitted rng
         self.k = k
         self.n_layers = n_layers
         self.embeddings = nn.Embedding(n_users + n_items, k, std=0.01, rng=rng)

@@ -29,7 +29,7 @@ class TransFM(FeatureRecommender):
     def __init__(self, dataset: RecDataset, k: int = 32, init_std: float = 0.01,
                  rng: Optional[np.random.Generator] = None):
         super().__init__(dataset)
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng()  # repro: allow(det-unseeded-rng): explicit opt-out — caller omitted rng
         self.k = k
         # The purely non-negative distance interaction is prone to
         # divergence; it needs a small init and a conservative learning

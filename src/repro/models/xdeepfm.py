@@ -29,7 +29,7 @@ class XDeepFM(FeatureRecommender):
                  hidden: Optional[list[int]] = None, dropout: float = 0.1,
                  rng: Optional[np.random.Generator] = None):
         super().__init__(dataset)
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng()  # repro: allow(det-unseeded-rng): explicit opt-out — caller omitted rng
         self.k = k
         self.embeddings = nn.Embedding(self.n_features, k, std=0.01, rng=rng)
         self.linear = nn.Embedding(self.n_features, 1, std=0.01, rng=rng)

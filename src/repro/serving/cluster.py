@@ -168,13 +168,21 @@ class _Replica:
         err_type, message = payload
         raise _CLIENT_ERRORS.get(err_type, RuntimeError)(message)
 
+    def mark_down(self) -> None:
+        """Mark the replica dead, under the same lock ``call`` writes
+        ``alive`` with — the heartbeat thread and ``stop()`` race
+        against in-flight RPCs, so the flag flip must serialize with
+        them (found by ``repro lint``'s lock-unguarded-write rule)."""
+        with self._lock:
+            self.alive = False
+
     def stop(self, grace: float = 5.0) -> None:
         try:
             if self.alive:
                 self.call("stop")
         except (_ReplicaDown, RuntimeError):
             pass
-        self.alive = False
+        self.mark_down()
         self.process.join(timeout=grace)
         if self.process.is_alive():
             self.process.terminate()
@@ -306,7 +314,7 @@ class ServingCluster:
                     if not replica.alive:
                         continue
                     if not replica.process.is_alive():
-                        replica.alive = False
+                        replica.mark_down()
                         self.log.warning("heartbeat_miss", shard=replica.shard,
                                          replica=replica.index,
                                          reason="process dead")

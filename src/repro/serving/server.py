@@ -320,12 +320,17 @@ def selfcheck(verbose: bool = True) -> int:
     Covers the observability surfaces too: ``/metrics`` must expose the
     request counters the query just incremented and ``/trace`` must
     show the request's trace (the selfcheck service runs with tracing
-    on).
+    on).  The static contract checker runs as part of the gate: a
+    ``repro lint --strict`` violation anywhere in the package fails
+    the selfcheck exactly like a broken endpoint would.
     """
     import urllib.request
 
     from repro.data.synthetic import make_dataset
     from repro.experiments.registry import build_model
+    from repro.lint.engine import run_lint
+
+    lint_report = run_lint(strict=True)
 
     dataset = make_dataset("amazon-auto", seed=0, scale=0.1)
     model = build_model("GML-FMmd", dataset, k=8, seed=0)
@@ -352,13 +357,18 @@ def selfcheck(verbose: bool = True) -> int:
               and "repro_requests_total 1" in metrics
               and "repro_request_seconds_bucket" in metrics
               and any(t["name"] == "recommend_batch" and t["spans"]
-                      for t in traces))
+                      for t in traces)
+              and lint_report.ok)
         if verbose:
+            lint_state = ("clean" if lint_report.ok
+                          else f"{len(lint_report.findings)} finding(s)")
             state = ("ok" if ok
                      else f"FAILED (health={health}, rec={rec}, "
-                          f"traces={len(traces)})")
+                          f"traces={len(traces)}, lint={lint_state})")
             print(f"selfcheck {state}: served user 0 top-5 {rec.get('items')} "
-                  f"on {server.url}; /metrics and /trace answered")
+                  f"on {server.url}; /metrics and /trace answered; "
+                  f"lint {lint_state} "
+                  f"({lint_report.files_checked} files)")
         return 0 if ok else 1
     finally:
         server.shutdown()

@@ -1,0 +1,14 @@
+"""Clean twin: metric-backed properties wrap the value in int()."""
+
+
+class CacheStats:
+    @property
+    def hits(self):
+        return int(self._m_hits.value)
+
+    @property
+    def ratio(self):
+        return self._cached_ratio
+
+    def raw_value(self):
+        return self._m_hits.value

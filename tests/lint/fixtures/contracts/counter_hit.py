@@ -1,0 +1,8 @@
+"""Seeded violation for reg-counter-int: a property leaking a raw
+(float) metric value (one finding)."""
+
+
+class CacheStats:
+    @property
+    def hits(self):
+        return self._m_hits.value

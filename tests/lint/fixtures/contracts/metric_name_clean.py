@@ -1,0 +1,15 @@
+"""Clean twin: convention-following names, f-string names with a
+constant suffix, and non-registry receivers that must stay exempt."""
+
+from collections import Counter
+
+
+def instrument(registry, stats, prefix):
+    hits = registry.counter("cache_hits_total")
+    latency = registry.histogram("request_latency_seconds")
+    depth = registry.gauge("queue_depth")
+    shard_hits = registry.counter(f"{prefix}_hits_total")
+    flushed = registry.histogram(name="flush_bytes")
+    tally = Counter(["a", "b"])
+    unrelated = stats.counter("Not-A-Metric")
+    return hits, latency, depth, shard_hits, flushed, tally, unrelated

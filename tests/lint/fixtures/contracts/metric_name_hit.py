@@ -1,0 +1,9 @@
+"""Seeded violations for obs-metric-name (three findings: counter
+without _total, histogram without unit suffix, non-snake_case name)."""
+
+
+def instrument(registry):
+    hits = registry.counter("cache_hits")
+    latency = registry.histogram("request_latency")
+    bad = registry.counter("Bad-Name_total")
+    return hits, latency, bad

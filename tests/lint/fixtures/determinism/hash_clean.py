@@ -1,0 +1,11 @@
+"""Clean twin: stable key derivation without builtin hash()."""
+
+import zlib
+
+
+def category_seed(category):
+    return zlib.crc32(category.encode("utf-8")) % 1000
+
+
+def method_named_hash_is_fine(hasher, category):
+    return hasher.hash(category)

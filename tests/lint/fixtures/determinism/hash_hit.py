@@ -1,0 +1,5 @@
+"""Seeded violation for det-hash-builtin (one finding)."""
+
+
+def category_seed(category):
+    return hash(category) % 1000

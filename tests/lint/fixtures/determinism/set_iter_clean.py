@@ -1,0 +1,14 @@
+"""Clean twin: sets are sorted first or feed order-insensitive reducers."""
+
+
+def ordered_from_sets(names, extra, lengths):
+    out = []
+    for name in sorted(set(names) - set(extra)):
+        out.append(name)
+    total = sum(n for n in set(lengths))
+    longest = max(len(n) for n in set(names))
+    unique = {n.lower() for n in set(names)}
+    rows = sorted([n.upper() for n in set(names)])
+    for item in names:
+        out.append(item)
+    return out, total, longest, unique, rows

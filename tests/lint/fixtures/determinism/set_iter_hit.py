@@ -1,0 +1,9 @@
+"""Seeded violations for det-set-iteration (two findings)."""
+
+
+def ordered_from_sets(names, extra):
+    out = []
+    for name in set(names) - set(extra):
+        out.append(name)
+    rows = [name.upper() for name in {n for n in names}]
+    return out, rows

@@ -1,0 +1,12 @@
+"""Clean twin: every RNG stream is explicitly seeded."""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def draw(items, seed):
+    rng = default_rng(seed)
+    other = np.random.default_rng(0)
+    rng.shuffle(items)
+    state = np.random.RandomState(seed)
+    return rng, other, state

@@ -1,0 +1,12 @@
+"""Seeded violations for det-unseeded-rng (three findings)."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def draw(items):
+    rng = default_rng()
+    np.random.shuffle(items)
+    return rng, random.randint(0, len(items))

@@ -1,0 +1,15 @@
+"""Clean twin: the sleep happens outside the locked region."""
+
+import threading
+import time
+
+
+class PolitePoller:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.ready = False
+
+    def wait_turn(self):
+        time.sleep(0.01)
+        with self._lock:
+            self.ready = True

@@ -1,0 +1,14 @@
+"""Seeded violation for lock-blocking-call: sleeping while every other
+thread convoys behind the held lock (one finding)."""
+
+import threading
+import time
+
+
+class Poller:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def wait_turn(self):
+        with self._lock:
+            time.sleep(0.01)

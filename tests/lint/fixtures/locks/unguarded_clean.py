@@ -1,0 +1,30 @@
+"""Clean twin, including the caller-holds-lock pattern: every call
+site of ``_bump_locked`` holds the lock, so its bare write is inferred
+lock-held (the false-positive guard the rule must not trip on)."""
+
+import threading
+
+
+class CleanCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+        self.history = {}
+
+    def bump(self):
+        with self._lock:
+            self._bump_locked()
+
+    def bump_many(self, n):
+        with self._lock:
+            for _ in range(n):
+                self._bump_locked()
+
+    def _bump_locked(self):
+        self.count += 1
+        self.history[self.count] = True
+
+    def on_change(self):
+        def callback():
+            self.count += 1
+        return callback

@@ -1,0 +1,17 @@
+"""Seeded violation for lock-unguarded-write: ``reset`` writes an
+attribute that ``bump`` guards with the lock (one finding)."""
+
+import threading
+
+
+class HitCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+
+    def reset(self):
+        self.count = 0

@@ -1,0 +1,8 @@
+"""Wall-clock reads outside SCORING_SCOPE: det-wallclock must not fire
+(the rule is scoped to serving/, experiments/, training/evaluation.py)."""
+
+import time
+
+
+def log_line(message):
+    return f"{time.time():.3f} {message}"

@@ -1,0 +1,12 @@
+"""Clean twin: only monotonic measurement clocks (the carve-out)."""
+
+import time
+
+
+def timed_respond(user, score_fn, request_ts):
+    start = time.monotonic()
+    t0 = time.perf_counter()
+    items = score_fn(user)
+    elapsed = time.perf_counter() - t0
+    return {"user": user, "items": items, "ts": request_ts,
+            "elapsed": elapsed, "queued": time.monotonic() - start}

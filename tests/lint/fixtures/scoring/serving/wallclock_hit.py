@@ -1,0 +1,17 @@
+"""Seeded violations for det-wallclock in a serving-scoped file
+(four findings: time.time, datetime.now, uuid4, os.urandom)."""
+
+import datetime
+import os
+import time
+import uuid
+
+
+def respond(user):
+    return {
+        "user": user,
+        "ts": time.time(),
+        "when": datetime.datetime.now().isoformat(),
+        "request_id": str(uuid.uuid4()),
+        "nonce": os.urandom(8).hex(),
+    }

@@ -1,0 +1,5 @@
+"""One allow comment naming two rules silences both on its line."""
+
+
+def noisy(names):
+    return [hash(n) for n in {str(x) for x in names}]  # repro: allow(det-hash-builtin, det-set-iteration): fixture exercises the multi-id allow grammar

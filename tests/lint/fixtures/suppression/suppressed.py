@@ -1,0 +1,9 @@
+"""An allow comment silences its rule on its line — and nothing else."""
+
+
+def stable_key(name):
+    return hash(name)  # repro: allow(det-hash-builtin): single-process cache key, never persisted
+
+
+def unstable_key(name):
+    return hash(name)

@@ -1,0 +1,10 @@
+"""A typo'd rule id: the original finding survives AND the engine
+emits lint-unknown-rule for the dangling allow."""
+
+
+def stable_key(name):
+    return hash(name)  # repro: allow(det-hash-bulitin): typo silences nothing
+
+
+def try_to_silence_the_checker(value):
+    return value  # repro: allow(no-such-rule, lint-unknown-rule): meta findings are unsuppressable

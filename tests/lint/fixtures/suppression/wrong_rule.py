@@ -1,0 +1,6 @@
+"""An allow naming a *different* (but real) rule suppresses nothing:
+the det-hash-builtin finding must survive."""
+
+
+def stable_key(name):
+    return hash(name)  # repro: allow(det-unseeded-rng): names the wrong rule on purpose

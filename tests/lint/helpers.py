@@ -1,0 +1,17 @@
+"""Shared plumbing for the lint test suite."""
+
+from pathlib import Path
+
+from repro.lint.engine import run_lint
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def lint_fixture(*parts, strict=False, rules=None):
+    """Lint one fixture file/dir with the AST rules only (no registry)."""
+    return run_lint(paths=[FIXTURES.joinpath(*parts)], strict=strict,
+                    project_rules=False, rule_ids=rules)
+
+
+def rule_ids(report):
+    return [finding.rule_id for finding in report.findings]

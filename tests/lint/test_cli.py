@@ -1,0 +1,63 @@
+"""``repro lint`` CLI surface: exit codes, text/JSON output, discovery."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lint.engine import Finding, discover
+from tests.lint.helpers import FIXTURES
+
+pytestmark = pytest.mark.lint
+
+
+def test_exit_one_on_findings(capsys):
+    target = str(FIXTURES / "determinism" / "hash_hit.py")
+    assert main(["lint", target, "--no-registry"]) == 1
+    out = capsys.readouterr().out
+    assert "[det-hash-builtin]" in out
+    assert "1 finding(s)" in out
+
+
+def test_exit_zero_on_clean(capsys):
+    target = str(FIXTURES / "determinism" / "hash_clean.py")
+    assert main(["lint", target, "--no-registry"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_json_report_shape(capsys):
+    target = str(FIXTURES / "determinism" / "unseeded_hit.py")
+    assert main(["lint", target, "--no-registry", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    assert payload["files_checked"] == 1
+    assert "det-unseeded-rng" in payload["rules"]
+    assert len(payload["findings"]) == 3
+    finding = payload["findings"][0]
+    assert set(finding) == {"path", "line", "rule", "message"}
+
+
+def test_rules_flag_restricts_the_run(capsys):
+    target = str(FIXTURES / "determinism" / "unseeded_hit.py")
+    assert main(["lint", target, "--no-registry",
+                 "--rules", "det-hash-builtin"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_finding_format_is_clickable():
+    finding = Finding("src/repro/x.py", 12, "det-hash-builtin", "boom")
+    assert finding.format() == "src/repro/x.py:12: [det-hash-builtin] boom"
+
+
+def test_discover_rejects_missing_path():
+    with pytest.raises(FileNotFoundError):
+        discover([FIXTURES / "does-not-exist.py"])
+
+
+def test_discover_skips_pycache(tmp_path):
+    (tmp_path / "mod.py").write_text("x = 1\n")
+    cache = tmp_path / "__pycache__"
+    cache.mkdir()
+    (cache / "mod.cpython-311.py").write_text("x = 1\n")
+    files = [file for file, _ in discover([tmp_path])]
+    assert files == [tmp_path / "mod.py"]

@@ -1,0 +1,72 @@
+"""Registry-contract rule family: the live registry satisfies the
+contracts, and deliberately broken classes are caught."""
+
+import pytest
+
+from repro.lint.contracts import check_model_contracts, registry_model_classes
+from repro.models.base import RecommenderModel
+from tests.lint.helpers import lint_fixture, rule_ids
+
+pytestmark = pytest.mark.lint
+
+
+def test_live_registry_satisfies_contracts():
+    models = registry_model_classes()
+    assert len(models) == 13
+    assert check_model_contracts(models) == []
+
+
+def test_grid_pair_violation_detected():
+    class HalfGrid(RecommenderModel):
+        def grid_factor_items(self):
+            return None
+
+        def fold_in_targets(self):
+            return []
+
+    findings = check_model_contracts({"HalfGrid": HalfGrid})
+    assert [f.rule_id for f in findings] == ["reg-grid-pair"]
+    assert "grid_factor_users" in findings[0].message
+    assert findings[0].path.endswith("test_contract_rules.py")
+
+
+def test_fold_in_violation_detected():
+    class NoFoldIn(RecommenderModel):
+        pass
+
+    findings = check_model_contracts({"NoFoldIn": NoFoldIn})
+    assert [f.rule_id for f in findings] == ["reg-fold-in"]
+
+
+def test_paired_overrides_are_clean():
+    class FullGrid(RecommenderModel):
+        def grid_factor_items(self):
+            return None
+
+        def grid_factor_users(self):
+            return None
+
+        def fold_in_targets(self):
+            return []
+
+    assert check_model_contracts({"FullGrid": FullGrid}) == []
+
+
+def test_counter_property_int_hit_and_clean():
+    report = lint_fixture("contracts", "counter_hit.py")
+    assert rule_ids(report) == ["reg-counter-int"]
+    assert lint_fixture("contracts", "counter_clean.py").ok
+
+
+def test_metric_name_convention_hit():
+    report = lint_fixture("contracts", "metric_name_hit.py")
+    assert rule_ids(report) == ["obs-metric-name"] * 3
+    messages = " ".join(f.message for f in report.findings)
+    assert "_total" in messages
+    assert "unit" in messages
+    assert "snake_case" in messages
+
+
+def test_metric_name_convention_clean_and_receiver_guard():
+    # collections.Counter() and non-registry receivers stay exempt.
+    assert lint_fixture("contracts", "metric_name_clean.py").ok

@@ -1,0 +1,59 @@
+"""Determinism rule family: each rule catches its seeded fixture and
+passes the clean twin (incl. the monotonic carve-out and scoping)."""
+
+import pytest
+
+from tests.lint.helpers import lint_fixture, rule_ids
+
+pytestmark = pytest.mark.lint
+
+
+def test_unseeded_rng_catches_all_three_doors():
+    report = lint_fixture("determinism", "unseeded_hit.py")
+    assert rule_ids(report) == ["det-unseeded-rng"] * 3
+    messages = " ".join(f.message for f in report.findings)
+    assert "default_rng" in messages
+    assert "np.random.shuffle" in messages
+    assert "random.randint" in messages
+
+
+def test_unseeded_rng_clean_twin():
+    assert lint_fixture("determinism", "unseeded_clean.py").ok
+
+
+def test_hash_builtin_hit_and_clean():
+    report = lint_fixture("determinism", "hash_hit.py")
+    assert rule_ids(report) == ["det-hash-builtin"]
+    assert lint_fixture("determinism", "hash_clean.py").ok
+
+
+def test_set_iteration_hit():
+    report = lint_fixture("determinism", "set_iter_hit.py")
+    assert rule_ids(report) == ["det-set-iteration"] * 2
+
+
+def test_set_iteration_clean_twin_exempts_reducers():
+    # sorted()/sum()/max() consumers, set comprehensions, and plain
+    # list iteration must all stay silent.
+    assert lint_fixture("determinism", "set_iter_clean.py").ok
+
+
+def test_wallclock_scoped_to_scoring_modules():
+    report = lint_fixture("scoring")
+    assert set(rule_ids(report)) == {"det-wallclock"}
+    assert len(report.findings) == 4
+    # All four findings are in the serving-scoped hit file; the clean
+    # twin (monotonic/perf_counter only) and the out-of-scope file
+    # (time.time outside serving/) contribute nothing.
+    assert all(f.path.endswith("serving/wallclock_hit.py")
+               for f in report.findings)
+
+
+def test_wallclock_monotonic_carveout():
+    assert lint_fixture("scoring", "serving", "wallclock_clean.py").ok
+
+
+def test_wallclock_silent_outside_scope():
+    # Linting the file directly makes its scoped path just the file
+    # name, which no SCORING_SCOPE prefix matches.
+    assert lint_fixture("scoring", "other", "wallclock_elsewhere.py").ok

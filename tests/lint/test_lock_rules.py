@@ -1,0 +1,33 @@
+"""Lock-discipline rule family: seeded races are caught, the
+caller-holds-lock delegation pattern is not a false positive."""
+
+import pytest
+
+from tests.lint.helpers import lint_fixture, rule_ids
+
+pytestmark = pytest.mark.lint
+
+
+def test_unguarded_write_hit():
+    report = lint_fixture("locks", "unguarded_hit.py")
+    assert rule_ids(report) == ["lock-unguarded-write"]
+    finding = report.findings[0]
+    assert "HitCounter.reset" in finding.message
+    assert "self.count" in finding.message
+
+
+def test_unguarded_write_caller_holds_lock_guard():
+    """``bump`` takes the lock then delegates to ``_bump_locked``; the
+    helper's bare writes are inferred lock-held because every call
+    site holds the lock — this must NOT be flagged."""
+    assert lint_fixture("locks", "unguarded_clean.py").ok
+
+
+def test_blocking_under_lock_hit():
+    report = lint_fixture("locks", "blocking_hit.py")
+    assert rule_ids(report) == ["lock-blocking-call"]
+    assert "time.sleep" in report.findings[0].message
+
+
+def test_blocking_outside_lock_clean():
+    assert lint_fixture("locks", "blocking_clean.py").ok

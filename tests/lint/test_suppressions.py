@@ -1,0 +1,67 @@
+"""The suppression mechanism (satellite contract): an allow comment
+silences exactly its rule on its line, dangling ids are themselves
+findings, and --strict demands justifications."""
+
+import pytest
+
+from tests.lint.helpers import lint_fixture, rule_ids
+
+pytestmark = pytest.mark.lint
+
+
+def test_allow_silences_exactly_that_line():
+    report = lint_fixture("suppression", "suppressed.py")
+    # The annotated hash() is silenced; the identical call three lines
+    # down (no comment) still fires.
+    assert rule_ids(report) == ["det-hash-builtin"]
+    assert report.suppressed == 1
+    assert report.findings[0].line == 9
+
+
+def test_allow_naming_a_different_rule_suppresses_nothing():
+    report = lint_fixture("suppression", "wrong_rule.py")
+    assert rule_ids(report) == ["det-hash-builtin"]
+    assert report.suppressed == 0
+
+
+def test_unknown_rule_id_is_itself_a_finding():
+    report = lint_fixture("suppression", "unknown_rule.py")
+    ids = rule_ids(report)
+    # The typo'd allow silences nothing (original finding survives),
+    # and each dangling id is reported — including on the line that
+    # tries to allow lint-unknown-rule itself (meta findings are
+    # unsuppressable).
+    assert ids.count("det-hash-builtin") == 1
+    assert ids.count("lint-unknown-rule") == 2
+    assert report.suppressed == 0
+
+
+def test_multi_rule_allow_silences_both():
+    report = lint_fixture("suppression", "multi_rule.py")
+    assert report.ok
+    assert report.suppressed == 2
+
+
+def test_missing_justification_fine_by_default():
+    report = lint_fixture("suppression", "no_justification.py")
+    assert report.ok
+    assert report.suppressed == 1
+
+
+def test_missing_justification_is_a_finding_under_strict():
+    report = lint_fixture("suppression", "no_justification.py", strict=True)
+    assert rule_ids(report) == ["lint-no-justification"]
+    assert report.suppressed == 1   # the hash finding stays silenced
+    assert report.strict
+
+
+def test_rule_subset_runs_only_selected_rules():
+    report = lint_fixture("suppression", "wrong_rule.py",
+                          rules=["det-unseeded-rng"])
+    assert report.ok          # the hash rule was not selected
+    assert report.rule_ids == ("det-unseeded-rng",)
+
+
+def test_unknown_rule_subset_raises():
+    with pytest.raises(ValueError, match="no-such-rule"):
+        lint_fixture("suppression", "wrong_rule.py", rules=["no-such-rule"])

@@ -1,0 +1,150 @@
+"""Regression tests for the ``_Replica.alive`` lock-discipline fix.
+
+``repro lint``'s ``lock-unguarded-write`` rule found that
+``_Replica.stop`` (and the heartbeat loop) flipped ``self.alive``
+without holding ``self._lock``, while ``call`` reads and writes the
+same flag under the lock.  The fix routes both through a locked
+``mark_down()``.  These tests pin the behaviour the fix guarantees:
+the flag flip serializes with in-flight RPCs, and a marked-down
+replica rejects every subsequent call.
+"""
+
+import threading
+
+import pytest
+
+from repro.serving.cluster import _Replica, _ReplicaDown
+
+pytestmark = [pytest.mark.serving, pytest.mark.cluster]
+
+
+class _FakeProcess:
+    def __init__(self):
+        self.terminated = False
+
+    def is_alive(self):
+        return False
+
+    def join(self, timeout=None):
+        pass
+
+    def terminate(self):
+        self.terminated = True
+
+
+class _FakeConn:
+    """Duplex-pipe stand-in: answers ``ok`` after an optional gate."""
+
+    def __init__(self, gate=None):
+        self.gate = gate
+        self.sent = []
+        self.closed = False
+
+    def send(self, msg):
+        self.sent.append(msg)
+
+    def poll(self, timeout):
+        if self.gate is not None:
+            return self.gate.wait(timeout)
+        return True
+
+    def recv(self):
+        return ("ok", None)
+
+    def close(self):
+        self.closed = True
+
+
+def _replica(conn):
+    return _Replica(shard=0, index=0, process=_FakeProcess(), conn=conn,
+                    call_timeout=5.0)
+
+
+def test_mark_down_rejects_subsequent_calls():
+    replica = _replica(_FakeConn())
+    assert replica.call("recommend", 0) is None
+    replica.mark_down()
+    assert not replica.alive
+    with pytest.raises(_ReplicaDown):
+        replica.call("recommend", 0)
+
+
+def test_mark_down_serializes_with_inflight_call():
+    """``mark_down`` must wait for the RPC holding the lock to finish.
+
+    Before the fix the bare ``self.alive = False`` write could land in
+    the middle of ``call``'s send/recv critical section; now it blocks
+    on the same lock, so the in-flight round-trip completes (and
+    returns its payload) before the flag flips.
+    """
+    gate = threading.Event()
+    replica = _replica(_FakeConn(gate=gate))
+    results = []
+
+    def rpc():
+        results.append(replica.call("recommend", 0))
+
+    caller = threading.Thread(target=rpc)
+    caller.start()
+    # Wait until the RPC is inside the critical section (blocked in
+    # poll() with the lock held).
+    while not replica.conn.sent:
+        pass
+
+    marker = threading.Thread(target=replica.mark_down)
+    marker.start()
+    marker.join(timeout=0.2)
+    assert marker.is_alive(), "mark_down must block while an RPC holds the lock"
+    assert replica.alive, "flag must not flip mid-RPC"
+
+    gate.set()
+    caller.join(timeout=5.0)
+    marker.join(timeout=5.0)
+    assert not caller.is_alive() and not marker.is_alive()
+    assert results == [None]
+    assert not replica.alive
+
+
+def test_concurrent_calls_and_mark_down_converge():
+    """Hammer ``call`` from many threads while one marks the replica
+    down: every call either completes or raises ``_ReplicaDown``, and
+    the replica ends dead — no torn state, no other exception."""
+    replica = _replica(_FakeConn())
+    outcomes = []
+    outcomes_lock = threading.Lock()
+    start = threading.Barrier(9)
+
+    def caller():
+        start.wait()
+        for _ in range(50):
+            try:
+                replica.call("recommend", 0)
+                result = "ok"
+            except _ReplicaDown:
+                result = "down"
+            with outcomes_lock:
+                outcomes.append(result)
+
+    def killer():
+        start.wait()
+        replica.mark_down()
+
+    threads = [threading.Thread(target=caller) for _ in range(8)]
+    threads.append(threading.Thread(target=killer))
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=10.0)
+    assert all(not thread.is_alive() for thread in threads)
+    assert len(outcomes) == 8 * 50
+    assert set(outcomes) <= {"ok", "down"}
+    assert not replica.alive
+
+
+def test_stop_marks_down_via_locked_helper():
+    replica = _replica(_FakeConn())
+    replica.stop(grace=0.1)
+    assert not replica.alive
+    assert replica.conn.closed
+    with pytest.raises(_ReplicaDown):
+        replica.call("recommend", 0)
