@@ -1,0 +1,47 @@
+"""Gated capacity records for the fast adversarial scenarios.
+
+One record per scenario lands in
+``benchmarks/results/scenario_capacity.json`` (or ``REPRO_BENCH_JSON``):
+the scenario engine's own capacity record — requests/sec, p50/p99
+latency, peak RSS, per-window stats — with its ``gate``/``gate_passed``
+verdict, so ``repro bench report`` renders and enforces scenario gates
+alongside the other throughput gates.
+
+The five fast scenarios run here at their default (CI) scale: real
+HTTP serving, real registry models, a few hundred requests each.  The
+million-user capacity run has its own module
+(``test_scenario_million_user.py``, ``slow`` tier) because its peak-RSS
+gate is only meaningful in a fresh process.
+
+**Gate** (per scenario): zero errors, every response a full-length
+list, a conservative requests/sec floor (single-core safe), a peak-RSS
+ceiling, plus the scenario's own structural check (cold users queried,
+all sessions folded in, ANN active across churn, cache hits under the
+stampede, diurnal volume actually uneven).
+"""
+
+import pytest
+
+from conftest import emit_bench_records, run_once
+from repro.scenarios.engine import run_scenario
+
+pytestmark = [pytest.mark.scenario, pytest.mark.serving]
+
+FAST_SCENARIOS = ["cold-start-surge", "session-traffic", "catalog-churn",
+                  "flash-crowd", "diurnal"]
+
+
+def test_scenario_capacity_gates(benchmark):
+    def run_sweep():
+        return [run_scenario(name, seed=0) for name in FAST_SCENARIOS]
+
+    records = run_once(benchmark, run_sweep)
+    emit_bench_records(records, "scenario_capacity.json")
+
+    for record in records:
+        failed = {check: ok for check, ok in record["checks"].items()
+                  if not ok}
+        assert record["gate_passed"], (record["scenario"], failed)
+        assert record["requests"] > 0
+        assert record["errors"] == 0
+        assert 0.0 < record["p50_ms"] <= record["p99_ms"]

@@ -1,0 +1,57 @@
+"""The million-user capacity benchmark (slow tier, fresh process).
+
+Runs ``repro scenario run million-user --json`` in a subprocess and
+records the emitted capacity record in
+``benchmarks/results/scenario_million_user.json``.  The subprocess is
+the point: ``peak_rss_mb`` is a process-lifetime high-water mark, so
+only a fresh interpreter makes the RSS ceiling a real measurement of
+*this* scenario — generation, artifact build, serving — rather than of
+whatever the test session touched before.
+
+**Gate** (inside the record, enforced by ``repro bench report`` too):
+every sampled list full-length, generation ≥ 100k events/s, serving
+≥ 20 users/s, peak RSS ≤ 1536 MB for the 10⁶-user / 10⁵-item corpus
+(~10⁷ events, ~90 MB artifact), and the no-materialization bound —
+peak buffered events stay within window + in-flight chunks while the
+full interaction set is ~20× larger.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from conftest import emit_bench_records, run_once
+
+pytestmark = [pytest.mark.slow, pytest.mark.scenario, pytest.mark.serving]
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def run_cli_scenario():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(REPO_ROOT, "src"),
+                    env.get("PYTHONPATH")) if p)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "scenario", "run", "million-user",
+         "--json"],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=600)
+    assert proc.stdout, proc.stderr
+    return json.loads(proc.stdout), proc.returncode
+
+
+def test_million_user_capacity(benchmark):
+    (record, exit_code) = run_once(benchmark, run_cli_scenario)
+    emit_bench_records([record], "scenario_million_user.json")
+
+    failed = {check: ok for check, ok in record["checks"].items() if not ok}
+    assert record["gate_passed"], failed
+    assert exit_code == 0
+    assert record["n_users"] == 1_000_000
+    assert record["n_items"] == 100_000
+    assert record["n_events"] > 5_000_000
+    assert record["peak_buffered_events"] < record["n_events"] / 10
+    assert record["peak_rss_mb"] > 0.0

@@ -34,6 +34,13 @@ def pytest_configure(config):
     )
     config.addinivalue_line(
         "markers",
+        "scenario: scenario-engine tests (repro.scenarios): streamed "
+        "corpus invariants, arrival schedules, workload runs and the "
+        "gated capacity benchmarks; run with `pytest -m scenario` "
+        "(the million-user capacity sweep is additionally `slow`)",
+    )
+    config.addinivalue_line(
+        "markers",
         "lint: static contract checker tests (repro.lint): rule "
         "fixtures, suppression mechanics, and the codebase-clean gate "
         "(`repro lint --strict` over src/repro); run with "

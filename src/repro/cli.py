@@ -27,6 +27,12 @@ the ``slow`` benchmarks, e.g. ``pytest -m slow benchmarks/``.)
     python -m repro top --url http://127.0.0.1:8765
     python -m repro bench report
 
+    # Scenario engine (repro.scenarios): adversarial workloads with
+    # gated capacity records (exit 0 iff the gate passed).
+    python -m repro scenario list
+    python -m repro scenario run flash-crowd
+    python -m repro scenario run million-user --json
+
     # Streaming workload: seeded prequential replay (evaluate-then-
     # train over the event stream with incremental fold-in updates).
     python -m repro replay --dataset movielens --model MF
@@ -40,7 +46,8 @@ from typing import Optional, Sequence
 
 from repro.data.synthetic import DATASET_BUILDERS, make_dataset
 from repro.experiments.configs import get_scale
-from repro.experiments.registry import RATING_MODELS, TOPN_MODELS
+from repro.experiments.registry import (RATING_MODELS, SERVING_ONLY_MODELS,
+                                        TOPN_MODELS)
 from repro.experiments.runner import run_rating_table, run_topn_table
 from repro.experiments.tables import format_table
 
@@ -92,7 +99,8 @@ def _build_parser() -> argparse.ArgumentParser:
                         choices=sorted(DATASET_BUILDERS),
                         help="synthetic dataset to build a model on")
     serve.add_argument("--model", default="GML-FMmd",
-                       choices=sorted(set(RATING_MODELS) | set(TOPN_MODELS)),
+                       choices=sorted(set(RATING_MODELS) | set(TOPN_MODELS)
+                                      | set(SERVING_ONLY_MODELS)),
                        help="registry model name (ignored with --artifact)")
     serve.add_argument("--scale", default=None, choices=["quick", "full"])
     serve.add_argument("--seed", type=int, default=0)
@@ -141,6 +149,10 @@ def _build_parser() -> argparse.ArgumentParser:
     from repro.lint.cli import add_lint_parser
 
     add_lint_parser(sub)
+
+    from repro.scenarios.cli import add_scenario_parser
+
+    add_scenario_parser(sub)
 
     top = sub.add_parser(
         "top", help="live terminal view of a running server's /metrics")
@@ -227,6 +239,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.lint.cli import lint_main
 
         return lint_main(args)
+    if args.command == "scenario":
+        from repro.scenarios.cli import scenario_main
+
+        return scenario_main(args)
     if args.command == "top":
         from repro.obs.console import top_main
 

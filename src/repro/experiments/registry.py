@@ -11,6 +11,7 @@ from repro.data.dataset import RecDataset
 from repro.models import (
     AFM,
     BPRMF,
+    MAMO,
     NCF,
     NFM,
     NGCF,
@@ -50,6 +51,14 @@ TOPN_MODELS = [
     "xDeepFM",
     "GML-FMmd",
     "GML-FMdnn",
+]
+
+#: Serving-only extensions: models wired through artifacts and the
+#: scenario engine (:mod:`repro.scenarios`) but deliberately kept out
+#: of the paper-table lists above — adding them there would change the
+#: table sweeps and the golden-value suite.
+SERVING_ONLY_MODELS = [
+    "MAMO",
 ]
 
 _PAIRWISE = {"BPR-MF", "NGCF"}
@@ -100,6 +109,8 @@ def build_model(
         return DeepFM(dataset, k=k, rng=rng)
     if name == "xDeepFM":
         return XDeepFM(dataset, k=k, rng=rng)
+    if name == "MAMO":
+        return MAMO(dataset, k=k, rng=rng)
     if name == "GML-FMmd":
         return GMLFM_MD(dataset, k=k, rng=rng)
     if name == "GML-FMdnn":

@@ -49,11 +49,13 @@ def registry_model_classes() -> dict[str, type]:
     actually servable, so the check builds what serving would build.
     """
     from repro.data.synthetic import make_dataset
-    from repro.experiments.registry import (RATING_MODELS, TOPN_MODELS,
+    from repro.experiments.registry import (RATING_MODELS,
+                                            SERVING_ONLY_MODELS, TOPN_MODELS,
                                             build_model)
 
     dataset = make_dataset("movielens", seed=0, scale=0.05)
-    names = list(dict.fromkeys(RATING_MODELS + TOPN_MODELS))
+    names = list(dict.fromkeys(RATING_MODELS + TOPN_MODELS
+                               + SERVING_ONLY_MODELS))
     return {name: type(build_model(name, dataset, k=4, seed=0))
             for name in names}
 

@@ -17,8 +17,10 @@ from repro.lint.rules import Rule, register
 
 #: Modules whose responses/records must be wall-clock free (monotonic
 #: measurement clocks excepted): the serving plane, the evaluation
-#: scorers, and the experiment runners that write paper tables.
-SCORING_SCOPE = ("serving/", "experiments/", "training/evaluation.py")
+#: scorers, the experiment runners that write paper tables, and the
+#: scenario engine whose capacity records must replay identically.
+SCORING_SCOPE = ("serving/", "experiments/", "scenarios/",
+                 "training/evaluation.py")
 
 #: Legacy numpy module-level RNG entry points (global hidden state).
 _NUMPY_GLOBAL_FNS = frozenset({
@@ -115,8 +117,9 @@ class HashBuiltin(Rule):
 class WallClock(Rule):
     id = "det-wallclock"
     summary = ("wall-clock / entropy read in a scoring or response module "
-               "(serving/, experiments/, training/evaluation.py); only "
-               "monotonic measurement clocks are allowed there")
+               "(serving/, experiments/, scenarios/, "
+               "training/evaluation.py); only monotonic measurement clocks "
+               "are allowed there")
     scope = SCORING_SCOPE
 
     def check_module(self, module: SourceModule) -> Iterable[Finding]:

@@ -202,3 +202,66 @@ class MAMO(RecommenderModel):
         rows = [self._score_items(self.personalized_init(int(u)), items[b:b + 1])
                 for b, u in enumerate(users)]
         return ops.concatenate(rows, axis=0)
+
+    # -- batch-serving fast path ---------------------------------------
+    # Non-adapted scoring is the bilinear form
+    #
+    #     score(u, i) = bias + item_bias[i] + q_i · e_u
+    #
+    # with e_u the personalized init (profile + memory read) — a pure
+    # function of the *parameters*, not of any per-pair tape.  That
+    # makes MAMO grid-servable (and ANN-eligible) exactly like MF: the
+    # per-pair Python loop in :meth:`score` never runs in serving.
+
+    def _personalized_init_grid(self, users: np.ndarray) -> np.ndarray:
+        """``[len(users), k]`` personalized inits, tape-free numpy."""
+        weights = self.profile_embeddings.weight.data
+        keys = self.memory_keys.data
+        values = self.memory_values.data
+        out = np.empty((users.size, self.k))
+        for row, user in enumerate(users.tolist()):
+            profile = weights[self._profile_indices(int(user))].mean(axis=0)
+            logits = keys @ profile
+            logits = logits - logits.max()
+            attention = np.exp(logits)
+            attention /= attention.sum()
+            out[row] = profile + attention @ values
+        return out
+
+    def item_state(self, dataset=None):
+        return (self.item_factors.weight.data,
+                self.item_bias.weight.data[:, 0])
+
+    def score_grid(self, users: np.ndarray, state) -> np.ndarray:
+        q, item_bias = state
+        users = np.asarray(users, dtype=np.int64)
+        e = self._personalized_init_grid(users)
+        return float(self.bias.data) + item_bias[None, :] + e @ q.T
+
+    def grid_factor_items(self, state):
+        q, item_bias = state
+        return q, item_bias
+
+    def grid_factor_users(self, users: np.ndarray, state):
+        users = np.asarray(users, dtype=np.int64)
+        return (self._personalized_init_grid(users),
+                np.full(users.size, float(self.bias.data)))
+
+    # -- incremental-update (fold-in) hook -----------------------------
+    def fold_in_targets(
+        self, users: np.ndarray, items: np.ndarray,
+        sides: tuple[str, ...] = ("user", "item"),
+    ) -> list[tuple[Tensor, np.ndarray]]:
+        """Item-tower rows only — MAMO has no per-user table to fold.
+
+        Personalization flows through the profile encoder and the
+        memories, which are *shared* across users; updating them from
+        one user's events would shift every sibling's scores, exactly
+        what fold-in must not do.  Item factors and biases are
+        per-entity rows, so item-side fold-in is safe and local.
+        """
+        if "item" not in sides:
+            return []
+        rows = np.unique(np.asarray(items, dtype=np.int64))
+        return [(self.item_factors.weight, rows),
+                (self.item_bias.weight, rows)]

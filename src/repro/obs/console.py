@@ -208,6 +208,10 @@ def format_report(records: list[dict]) -> str:
     for record in records:
         name = str(record.get("benchmark") or
                    record["_file"].rsplit(".", 1)[0])
+        # Scenario capacity records all share one benchmark id; the
+        # scenario name is what distinguishes the rows.
+        if record.get("scenario"):
+            name = f"scenario:{record['scenario']}"
         measured = _measured(record)
         if measured is None:
             shown = "--"

@@ -1,0 +1,74 @@
+"""Million-user scenario engine: streamed corpora + adversarial load.
+
+Three layers, composed by :mod:`repro.scenarios.engine`:
+
+- :mod:`repro.scenarios.corpus` — chunked, seeded corpus streaming
+  (any chunk size yields the byte-identical corpus) with adapters into
+  ``InteractionLog`` snapshots and serving artifacts;
+- :mod:`repro.scenarios.schedules` — seeded arrival schedules (Zipf,
+  flash crowd, diurnal, cold-start surge, sessions);
+- :mod:`repro.scenarios.loadgen` — the multi-threaded HTTP load driver
+  with per-window error/latency stats (grown out of the test harness).
+
+``repro scenario run <name>`` executes one scenario and emits a gated
+capacity record; the benchmarks pin one record per scenario under
+``benchmarks/results/``.
+"""
+
+from repro.scenarios.corpus import (
+    BLOCK_USERS,
+    CorpusChunk,
+    CorpusStats,
+    StreamConfig,
+    build_stream_artifact,
+    materialize,
+    stream_corpus,
+    stream_to_log,
+    windowed_snapshot,
+)
+from repro.scenarios.engine import (
+    SCENARIOS,
+    ScenarioSpec,
+    list_scenarios,
+    peak_rss_mb,
+    run_scenario,
+)
+from repro.scenarios.loadgen import LoadResult, drive, resolve_schedule
+from repro.scenarios.schedules import (
+    Schedule,
+    cold_start_surge,
+    diurnal,
+    even_windows,
+    flash_crowd,
+    sessions,
+    uniform_users,
+    zipf_users,
+)
+
+__all__ = [
+    "BLOCK_USERS",
+    "CorpusChunk",
+    "CorpusStats",
+    "LoadResult",
+    "SCENARIOS",
+    "Schedule",
+    "ScenarioSpec",
+    "StreamConfig",
+    "build_stream_artifact",
+    "cold_start_surge",
+    "diurnal",
+    "drive",
+    "even_windows",
+    "flash_crowd",
+    "list_scenarios",
+    "materialize",
+    "peak_rss_mb",
+    "resolve_schedule",
+    "run_scenario",
+    "sessions",
+    "stream_corpus",
+    "stream_to_log",
+    "uniform_users",
+    "windowed_snapshot",
+    "zipf_users",
+]

@@ -1,0 +1,93 @@
+"""``repro scenario`` — run the adversarial workload scenarios.
+
+Usage::
+
+    python -m repro scenario list
+    python -m repro scenario run flash-crowd
+    python -m repro scenario run million-user --json
+    python -m repro scenario run diurnal --set n_requests=64 --set n_users=80
+
+``run`` exits 0 iff the scenario's capacity gate passed, so a CI step
+can invoke one scenario directly.  ``--json`` prints the full record as
+one JSON document on stdout (the million-user capacity benchmark runs
+the CLI in a fresh subprocess exactly for this: the record's
+``peak_rss_mb`` is then the *scenario's* peak, not the test session's).
+``--set key=value`` overrides any runner keyword (ints/floats/strings
+are coerced by literal shape).
+"""
+
+from __future__ import annotations
+
+import json
+
+
+def add_scenario_parser(sub) -> None:
+    """Attach the ``scenario`` subcommand to the root CLI parser."""
+    scenario = sub.add_parser(
+        "scenario",
+        help="run adversarial workload scenarios (repro.scenarios)")
+    scenario_sub = scenario.add_subparsers(dest="scenario_command",
+                                           required=True)
+    scenario_sub.add_parser("list", help="list scenario names + summaries")
+    run = scenario_sub.add_parser(
+        "run", help="run one scenario and print its capacity record")
+    run.add_argument("name", help="scenario name (see `repro scenario list`)")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--json", action="store_true", dest="as_json",
+                     help="print the full record as JSON (machine path)")
+    run.add_argument("--set", action="append", default=[], dest="overrides",
+                     metavar="KEY=VALUE",
+                     help="override a scenario parameter, e.g. "
+                          "--set n_requests=64 (repeatable)")
+
+
+def _coerce(text: str):
+    """int → float → string, by literal shape."""
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_overrides(pairs: list[str]) -> dict:
+    overrides = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--set expects KEY=VALUE, got {pair!r}")
+        overrides[key] = _coerce(value)
+    return overrides
+
+
+def scenario_main(args) -> int:
+    """Back the ``repro scenario`` subcommand; returns the exit code."""
+    from repro.scenarios.engine import list_scenarios, run_scenario
+
+    if args.scenario_command == "list":
+        for spec in list_scenarios():
+            print(f"{spec.name:18s} {spec.summary}")
+        return 0
+
+    overrides = _parse_overrides(args.overrides)
+    overrides.setdefault("seed", args.seed)
+    try:
+        record = run_scenario(args.name, **overrides)
+    except KeyError as exc:
+        raise SystemExit(str(exc.args[0]))
+    except TypeError as exc:
+        raise SystemExit(f"bad override for scenario {args.name!r}: {exc}")
+
+    if args.as_json:
+        print(json.dumps(record, indent=2, sort_keys=True))
+    else:
+        print(f"scenario {args.name}: "
+              f"{'PASS' if record['gate_passed'] else 'FAIL'}")
+        for key in sorted(record):
+            if key in ("checks", "windows", "gate_passed"):
+                continue
+            print(f"  {key}: {record[key]}")
+        for name, ok in record["checks"].items():
+            print(f"  [{'ok' if ok else 'FAIL'}] {name}")
+    return 0 if record["gate_passed"] else 1

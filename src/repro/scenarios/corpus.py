@@ -1,0 +1,434 @@
+"""Chunked, seeded corpus streaming for million-user scenarios.
+
+``data.synthetic`` materializes whole corpora in memory, which caps it
+at benchmark scale.  This module generates the same *kind* of corpus —
+Zipf-popular items, clustered tastes, bursty per-user sessions — as a
+**stream of chunks**, so a 10⁶-user / 10⁵-item interaction set flows
+through artifact builds and serving without ever existing as one array.
+
+Determinism contract (the whole point of this module):
+
+- Events are derived per fixed-size **user block** of :data:`BLOCK_USERS`
+  users from ``SeedSequence((seed, _BLOCK_TAG, block))``.  The consumer's
+  chunk size only *slices* that stream — it never touches an RNG — so
+  any chunk size (1, 7, 64, everything) yields the byte-identical
+  corpus.  ``tests/scenarios/test_corpus_stream.py`` asserts this
+  byte-exactly with Hypothesis.
+- The item catalogue (cluster assignment + popularity weights) is a
+  pure function of ``(seed, n_items, n_clusters, zipf_alpha)`` and
+  costs O(n_items) memory; per-block state costs O(block events).
+
+The adapters at the bottom feed the streamed chunks into the existing
+online data plane: :func:`stream_to_log` fills an
+:class:`~repro.data.streaming.InteractionLog` (small corpora),
+:func:`windowed_snapshot` keeps only the newest ``window_events`` in
+memory (capacity corpora), and :func:`build_stream_artifact` turns a
+windowed snapshot into a serving bundle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.data.dataset import RecDataset
+from repro.data.streaming import InteractionLog
+
+#: Users per internal RNG block.  This is part of the corpus *format*:
+#: changing it changes every generated corpus, exactly like changing
+#: the seed.  Small enough that a block (~12k events) is cheap to
+#: regenerate when a consumer asks for 1-user chunks, large enough
+#: that per-block vectorization dominates.
+BLOCK_USERS = 1024
+
+#: Sub-stream tags under the corpus seed (catalogue vs. event blocks).
+_CATALOG_TAG = 0
+_BLOCK_TAG = 1
+
+#: Log-normal shape of the per-user event counts (heavy-ish tail, like
+#: the real activity distributions the paper's datasets show).
+_COUNT_SIGMA = 0.6
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Pure-value recipe for one streamed corpus.
+
+    Two configs are the same corpus iff they are equal — every event is
+    a deterministic function of these fields and nothing else.
+
+    ``mean_events`` is the nominal per-user activity scale (the median
+    of the log-normal count distribution); ``cold_frac`` reserves the
+    trailing fraction of the user space as *cold* users that generate
+    no interactions at all (the cold-start scenarios query them).
+    """
+
+    n_users: int
+    n_items: int
+    seed: int = 0
+    mean_events: float = 10.0
+    min_events: int = 1
+    n_clusters: int = 64
+    affinity: float = 0.7
+    zipf_alpha: float = 1.0
+    cold_frac: float = 0.0
+    horizon: int = 1_000_000
+
+    def __post_init__(self):
+        if self.n_users < 1 or self.n_items < 1:
+            raise ValueError("n_users and n_items must be positive")
+        if self.mean_events <= 0:
+            raise ValueError("mean_events must be positive")
+        if self.min_events < 0:
+            raise ValueError("min_events must be >= 0")
+        if self.n_clusters < 1:
+            raise ValueError("n_clusters must be positive")
+        if not 0.0 <= self.affinity <= 1.0:
+            raise ValueError("affinity must be in [0, 1]")
+        if not 0.0 <= self.cold_frac < 1.0:
+            raise ValueError("cold_frac must be in [0, 1)")
+        if self.horizon < 1:
+            raise ValueError("horizon must be positive")
+
+    @property
+    def n_cold(self) -> int:
+        """Trailing users that generate no events."""
+        return min(int(round(self.cold_frac * self.n_users)),
+                   self.n_users - 1)
+
+    @property
+    def warm_users(self) -> int:
+        """Users ``[0, warm_users)`` generate events."""
+        return self.n_users - self.n_cold
+
+    @property
+    def cold_user_ids(self) -> np.ndarray:
+        """``int64`` ids of the interaction-free cold users."""
+        return np.arange(self.warm_users, self.n_users, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class CorpusChunk:
+    """All events of users ``[user_lo, user_hi)``, in user order."""
+
+    user_lo: int
+    user_hi: int
+    users: np.ndarray
+    items: np.ndarray
+    timestamps: np.ndarray
+
+    @property
+    def n_events(self) -> int:
+        return int(self.users.size)
+
+
+@dataclass
+class _Catalog:
+    """O(n_items) item-side state shared by every block."""
+
+    n_clusters: int
+    order: np.ndarray      # item ids grouped by cluster
+    starts: np.ndarray     # [n_clusters] group start in ``order``
+    stops: np.ndarray      # [n_clusters] group stop in ``order``
+    cum: np.ndarray        # cumulative popularity over ``order``
+
+
+@dataclass
+class _Block:
+    """One generated user block (users ``[lo, hi)``)."""
+
+    lo: int
+    hi: int
+    users: np.ndarray
+    items: np.ndarray
+    timestamps: np.ndarray
+    bounds: np.ndarray     # [hi-lo+1] per-user event offsets
+
+
+def _catalog(config: StreamConfig) -> _Catalog:
+    """Cluster assignment + popularity CDF, seeded under the config."""
+    rng = np.random.default_rng(
+        np.random.SeedSequence((config.seed, _CATALOG_TAG)))
+    n_clusters = min(config.n_clusters, config.n_items)
+    # A shuffled round-robin keeps every cluster non-empty (an empty
+    # cluster would make the inverse-CDF draw below degenerate).
+    clusters = rng.permutation(config.n_items) % n_clusters
+    # Zipf popularity over a seeded rank permutation, so "popular" is
+    # decoupled from "low item id" (mirrors data.synthetic).
+    ranks = rng.permutation(config.n_items).astype(np.float64)
+    weights = (ranks + 1.0) ** -config.zipf_alpha
+    order = np.argsort(clusters, kind="stable").astype(np.int64)
+    sorted_clusters = clusters[order]
+    starts = np.searchsorted(sorted_clusters, np.arange(n_clusters), "left")
+    stops = np.searchsorted(sorted_clusters, np.arange(n_clusters), "right")
+    return _Catalog(n_clusters=n_clusters, order=order, starts=starts,
+                    stops=stops, cum=np.cumsum(weights[order]))
+
+
+def _block_events(config: StreamConfig, catalog: _Catalog,
+                  block: int) -> _Block:
+    """Generate one fixed user block; pure in ``(config, block)``."""
+    lo = block * BLOCK_USERS
+    hi = min(lo + BLOCK_USERS, config.warm_users)
+    rng = np.random.default_rng(
+        np.random.SeedSequence((config.seed, _BLOCK_TAG, block)))
+    n = hi - lo
+    raw = rng.lognormal(mean=np.log(config.mean_events),
+                        sigma=_COUNT_SIGMA, size=n)
+    counts = np.maximum(config.min_events, np.rint(raw)).astype(np.int64)
+    home = rng.integers(0, catalog.n_clusters, size=n)
+    session_start = rng.integers(0, config.horizon, size=n)
+
+    total = int(counts.sum())
+    users = np.repeat(np.arange(lo, hi, dtype=np.int64), counts)
+    ev_cluster = np.repeat(home, counts)
+    stray = rng.random(total) >= config.affinity
+    n_stray = int(stray.sum())
+    if n_stray:
+        ev_cluster[stray] = rng.integers(0, catalog.n_clusters, size=n_stray)
+
+    # Popularity-weighted item draw per cluster: inverse CDF over the
+    # cluster's slice of the global cumulative weights.  The loop runs
+    # over <= n_clusters groups, never over events.
+    pick = rng.random(total)
+    items = np.empty(total, dtype=np.int64)
+    for c in range(catalog.n_clusters):
+        mask = ev_cluster == c
+        if not mask.any():
+            continue
+        start, stop = int(catalog.starts[c]), int(catalog.stops[c])
+        base = catalog.cum[start - 1] if start else 0.0
+        span = catalog.cum[stop - 1] - base
+        pos = np.searchsorted(catalog.cum[start:stop],
+                              base + pick[mask] * span, "left")
+        items[mask] = catalog.order[start
+                                    + np.minimum(pos, stop - start - 1)]
+
+    bounds = np.concatenate(
+        ([0], np.cumsum(counts))).astype(np.int64)
+    # Each user's events tick monotonically from their session start.
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(bounds[:-1], counts)
+    timestamps = np.repeat(session_start, counts) + offsets
+    return _Block(lo=lo, hi=hi, users=users, items=items,
+                  timestamps=timestamps, bounds=bounds)
+
+
+def stream_corpus(config: StreamConfig,
+                  chunk_users: Optional[int] = None) -> Iterator[CorpusChunk]:
+    """Yield the corpus as user-aligned chunks of ``chunk_users`` users.
+
+    A chunk carries every event of its user range (possibly zero, for
+    cold ranges).  Concatenating the chunks of *any* ``chunk_users``
+    yields byte-identical ``users``/``items``/``timestamps`` streams:
+    generation happens per fixed internal block and chunking only
+    slices.  Peak memory is O(block + chunk) events.
+    """
+    chunk_users = BLOCK_USERS if chunk_users is None else int(chunk_users)
+    if chunk_users < 1:
+        raise ValueError("chunk_users must be positive")
+    catalog = _catalog(config)
+    current: Optional[_Block] = None
+    empty = np.empty(0, dtype=np.int64)
+    for lo in range(0, config.n_users, chunk_users):
+        hi = min(lo + chunk_users, config.n_users)
+        warm_hi = min(hi, config.warm_users)
+        parts: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        user = lo
+        while user < warm_hi:
+            block = user // BLOCK_USERS
+            if current is None or current.lo != block * BLOCK_USERS:
+                current = _block_events(config, catalog, block)
+            seg_hi = min(warm_hi, current.hi)
+            s = int(current.bounds[user - current.lo])
+            e = int(current.bounds[seg_hi - current.lo])
+            parts.append((current.users[s:e], current.items[s:e],
+                          current.timestamps[s:e]))
+            user = seg_hi
+        if not parts:
+            users = items = timestamps = empty
+        elif len(parts) == 1:
+            users, items, timestamps = parts[0]
+        else:
+            users = np.concatenate([p[0] for p in parts])
+            items = np.concatenate([p[1] for p in parts])
+            timestamps = np.concatenate([p[2] for p in parts])
+        yield CorpusChunk(user_lo=lo, user_hi=hi, users=users,
+                          items=items, timestamps=timestamps)
+
+
+def materialize(config: StreamConfig,
+                chunk_users: Optional[int] = None
+                ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Whole corpus as three arrays — test oracle for small configs."""
+    chunks = list(stream_corpus(config, chunk_users=chunk_users))
+    return (np.concatenate([c.users for c in chunks]),
+            np.concatenate([c.items for c in chunks]),
+            np.concatenate([c.timestamps for c in chunks]))
+
+
+# ----------------------------------------------------------------------
+# Streaming aggregates (the set-oracle side of the property tests, and
+# the stats block of capacity records).
+# ----------------------------------------------------------------------
+@dataclass
+class CorpusStats:
+    """O(n_items + max degree) aggregates accumulated while streaming."""
+
+    config: StreamConfig
+    n_events: int = 0
+    n_active_users: int = 0
+    max_chunk_events: int = 0
+    item_degrees: np.ndarray = field(default=None)  # type: ignore[assignment]
+    user_degree_hist: np.ndarray = field(
+        default_factory=lambda: np.zeros(1, dtype=np.int64))
+    min_timestamp: int = np.iinfo(np.int64).max
+    max_timestamp: int = np.iinfo(np.int64).min
+
+    def __post_init__(self):
+        if self.item_degrees is None:
+            self.item_degrees = np.zeros(self.config.n_items, dtype=np.int64)
+
+    def update(self, chunk: CorpusChunk) -> None:
+        span = chunk.user_hi - chunk.user_lo
+        self.max_chunk_events = max(self.max_chunk_events, chunk.n_events)
+        if chunk.n_events == 0:
+            self.user_degree_hist[0] += span
+            return
+        self.n_events += chunk.n_events
+        self.item_degrees += np.bincount(chunk.items,
+                                         minlength=self.config.n_items)
+        # chunk.users is sorted (user-order by construction), so the
+        # per-user degrees fall out of one unique pass.
+        uniques, counts = np.unique(chunk.users, return_counts=True)
+        self.n_active_users += int(uniques.size)
+        top = int(counts.max())
+        if top >= self.user_degree_hist.size:
+            grown = np.zeros(top + 1, dtype=np.int64)
+            grown[:self.user_degree_hist.size] = self.user_degree_hist
+            self.user_degree_hist = grown
+        self.user_degree_hist += np.bincount(
+            counts, minlength=self.user_degree_hist.size)
+        self.user_degree_hist[0] += span - int(uniques.size)
+        self.min_timestamp = min(self.min_timestamp,
+                                 int(chunk.timestamps.min()))
+        self.max_timestamp = max(self.max_timestamp,
+                                 int(chunk.timestamps.max()))
+
+    def summary(self) -> dict:
+        return {
+            "n_users": self.config.n_users,
+            "n_items": self.config.n_items,
+            "n_events": self.n_events,
+            "n_active_users": self.n_active_users,
+            "n_cold_users": self.config.n_cold,
+            "max_item_degree": int(self.item_degrees.max()),
+            "max_user_degree": int(self.user_degree_hist.size - 1),
+        }
+
+
+# ----------------------------------------------------------------------
+# Adapters into the online data plane
+# ----------------------------------------------------------------------
+def stream_to_log(config: StreamConfig,
+                  chunk_users: Optional[int] = None,
+                  max_events: Optional[int] = None) -> InteractionLog:
+    """Fill an :class:`InteractionLog` from the stream.
+
+    This *does* materialize (the log holds every ingested event), so it
+    is the small-corpus adapter; ``max_events`` truncates the stream at
+    a chunk boundary for bounded smoke runs.  Capacity corpora go
+    through :func:`windowed_snapshot` instead.
+    """
+    log = InteractionLog(config.n_users, config.n_items, capacity=1024)
+    for chunk in stream_corpus(config, chunk_users=chunk_users):
+        if chunk.n_events:
+            log.extend(chunk.users, chunk.items, chunk.timestamps)
+        if max_events is not None and len(log) >= max_events:
+            break
+    return log
+
+
+def windowed_snapshot(
+    config: StreamConfig,
+    window_events: int,
+    chunk_users: Optional[int] = None,
+    name: str = "scenario-stream",
+    stats: Optional[CorpusStats] = None,
+) -> tuple[RecDataset, int]:
+    """Stream the corpus, keeping only the newest ``window_events``.
+
+    Returns ``(dataset, peak_buffered_events)``: the dataset holds the
+    final window over the *full* entity space (``n_users`` × ``n_items``
+    straight from the config, so models and serving address every user),
+    and the peak counts how many events were ever buffered at once —
+    the million-user capacity gate asserts it stays O(window + chunk),
+    i.e. the full interaction set was never materialized.
+
+    Pass a :class:`CorpusStats` to also accumulate whole-corpus
+    aggregates in the same single pass.
+    """
+    if window_events < 1:
+        raise ValueError("window_events must be positive")
+    buffer: deque[tuple[np.ndarray, np.ndarray, np.ndarray]] = deque()
+    buffered = 0
+    peak_buffered = 0
+    for chunk in stream_corpus(config, chunk_users=chunk_users):
+        if stats is not None:
+            stats.update(chunk)
+        if chunk.n_events == 0:
+            continue
+        buffer.append((chunk.users, chunk.items, chunk.timestamps))
+        buffered += chunk.n_events
+        peak_buffered = max(peak_buffered, buffered)
+        while buffer and buffered - buffer[0][0].size >= window_events:
+            buffered -= buffer.popleft()[0].size
+    if buffer:
+        users = np.concatenate([part[0] for part in buffer])
+        items = np.concatenate([part[1] for part in buffer])
+        timestamps = np.concatenate([part[2] for part in buffer])
+        if users.size > window_events:
+            users = users[-window_events:]
+            items = items[-window_events:]
+            timestamps = timestamps[-window_events:]
+    else:  # pragma: no cover - requires an all-cold corpus
+        users = items = timestamps = np.empty(0, dtype=np.int64)
+    dataset = RecDataset(
+        name=f"{name}@{users.size}",
+        n_users=config.n_users,
+        n_items=config.n_items,
+        users=users,
+        items=items,
+        timestamps=timestamps,
+    )
+    return dataset, peak_buffered
+
+
+def build_stream_artifact(
+    config: StreamConfig,
+    path: str,
+    model_name: str = "BPR-MF",
+    k: int = 8,
+    window_events: int = 262_144,
+    chunk_users: Optional[int] = None,
+    seed: int = 0,
+    stats: Optional[CorpusStats] = None,
+) -> tuple[str, RecDataset, int]:
+    """Stream → windowed snapshot → registry model → serving bundle.
+
+    Returns ``(artifact_path, snapshot_dataset, peak_buffered_events)``.
+    The model is *initialized*, not trained — capacity scenarios gate
+    throughput and memory, not quality, and an init-state model scores
+    through exactly the same serving path as a trained one.
+    """
+    from repro.experiments.registry import build_model
+    from repro.serving.artifact import save_artifact
+
+    dataset, peak_buffered = windowed_snapshot(
+        config, window_events, chunk_users=chunk_users, stats=stats)
+    model = build_model(model_name, dataset, k=k, seed=seed)
+    real_path = save_artifact(model, dataset, path, model_name,
+                              hyperparams={"k": k, "seed": seed})
+    return real_path, dataset, peak_buffered

@@ -49,9 +49,10 @@ class LoadedArtifact:
 
 
 def _known_model_names() -> set[str]:
-    from repro.experiments.registry import RATING_MODELS, TOPN_MODELS
+    from repro.experiments.registry import (RATING_MODELS,
+                                            SERVING_ONLY_MODELS, TOPN_MODELS)
 
-    return set(RATING_MODELS) | set(TOPN_MODELS)
+    return set(RATING_MODELS) | set(TOPN_MODELS) | set(SERVING_ONLY_MODELS)
 
 
 def save_artifact(

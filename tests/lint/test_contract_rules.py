@@ -12,7 +12,9 @@ pytestmark = pytest.mark.lint
 
 def test_live_registry_satisfies_contracts():
     models = registry_model_classes()
-    assert len(models) == 13
+    # 13 paper-table models + MAMO (serving-only, scenario engine).
+    assert len(models) == 14
+    assert "MAMO" in models
     assert check_model_contracts(models) == []
 
 

@@ -1,0 +1,216 @@
+"""Property tests for the chunked corpus stream (repro.scenarios.corpus).
+
+The determinism contract under test: the consumer's chunk size only
+*slices* the event stream — generation happens per fixed internal user
+block — so any chunk size yields the byte-identical corpus.  Hypothesis
+drives the contract over random configs; the aggregate checks use
+:func:`materialize` as the set oracle for :class:`CorpusStats`.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios.corpus import (
+    BLOCK_USERS,
+    CorpusStats,
+    StreamConfig,
+    materialize,
+    stream_corpus,
+    stream_to_log,
+    windowed_snapshot,
+)
+
+pytestmark = pytest.mark.scenario
+
+
+@st.composite
+def stream_configs(draw):
+    return StreamConfig(
+        n_users=draw(st.integers(1, 200)),
+        n_items=draw(st.integers(2, 50)),
+        seed=draw(st.integers(0, 2**16)),
+        mean_events=draw(st.sampled_from([1.0, 3.0, 8.0])),
+        n_clusters=draw(st.sampled_from([1, 4, 16])),
+        affinity=draw(st.sampled_from([0.0, 0.7, 1.0])),
+        cold_frac=draw(st.sampled_from([0.0, 0.25])),
+    )
+
+
+class TestChunkSizeInvariance:
+    @settings(max_examples=25, deadline=None)
+    @given(stream_configs(), st.sampled_from([1, 7, 64]))
+    def test_any_chunk_size_yields_identical_events(self, config, chunk):
+        """chunk_users in {1, 7, 64, all} -> byte-identical streams."""
+        ref_users, ref_items, ref_ts = materialize(
+            config, chunk_users=config.n_users)
+        users, items, ts = materialize(config, chunk_users=chunk)
+        np.testing.assert_array_equal(users, ref_users)
+        np.testing.assert_array_equal(items, ref_items)
+        np.testing.assert_array_equal(ts, ref_ts)
+
+    def test_invariance_across_block_boundaries(self):
+        """Chunk sizes straddling the internal 1024-user block."""
+        config = StreamConfig(n_users=2500, n_items=40, seed=3)
+        reference = materialize(config, chunk_users=config.n_users)
+        for chunk in (1000, BLOCK_USERS, BLOCK_USERS + 1, 2499):
+            for ref, got in zip(reference, materialize(config, chunk)):
+                np.testing.assert_array_equal(got, ref)
+
+    def test_default_chunk_is_block_sized(self):
+        config = StreamConfig(n_users=2 * BLOCK_USERS + 5, n_items=20, seed=1)
+        chunks = list(stream_corpus(config))
+        assert [c.user_hi - c.user_lo for c in chunks] == \
+            [BLOCK_USERS, BLOCK_USERS, 5]
+
+    def test_chunks_are_user_aligned_and_sorted(self):
+        config = StreamConfig(n_users=90, n_items=15, seed=2)
+        cursor = 0
+        for chunk in stream_corpus(config, chunk_users=17):
+            assert chunk.user_lo == cursor
+            cursor = chunk.user_hi
+            if chunk.n_events:
+                assert chunk.users.min() >= chunk.user_lo
+                assert chunk.users.max() < chunk.user_hi
+                assert np.all(np.diff(chunk.users) >= 0)
+        assert cursor == config.n_users
+
+
+class TestDeterminismAndRanges:
+    def test_same_config_same_bytes_different_seed_differs(self):
+        config = StreamConfig(n_users=120, n_items=30, seed=9)
+        first = materialize(config)
+        again = materialize(config)
+        for a, b in zip(first, again):
+            np.testing.assert_array_equal(a, b)
+        other = materialize(StreamConfig(n_users=120, n_items=30, seed=10))
+        assert not all(np.array_equal(a, b)
+                       for a, b in zip(first, other))
+
+    @settings(max_examples=25, deadline=None)
+    @given(stream_configs())
+    def test_ids_and_timestamps_in_range(self, config):
+        users, items, ts = materialize(config)
+        if users.size == 0:
+            return
+        assert users.min() >= 0 and users.max() < config.warm_users
+        assert items.min() >= 0 and items.max() < config.n_items
+        # Each user's clock ticks from a session start < horizon.
+        assert ts.min() >= 0
+        assert ts.max() < config.horizon + users.size
+
+    def test_cold_users_generate_no_events(self):
+        config = StreamConfig(n_users=100, n_items=20, seed=4, cold_frac=0.3)
+        assert config.n_cold == 30
+        np.testing.assert_array_equal(config.cold_user_ids,
+                                      np.arange(70, 100))
+        users, _items, _ts = materialize(config)
+        assert users.size > 0
+        assert not np.isin(config.cold_user_ids, users).any()
+
+    def test_min_events_floor(self):
+        config = StreamConfig(n_users=50, n_items=10, seed=0,
+                              mean_events=1.0, min_events=2)
+        users, _items, _ts = materialize(config)
+        _uniques, counts = np.unique(users, return_counts=True)
+        assert _uniques.size == 50
+        assert counts.min() >= 2
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(n_users=0, n_items=5),
+        dict(n_users=5, n_items=0),
+        dict(n_users=5, n_items=5, mean_events=0.0),
+        dict(n_users=5, n_items=5, min_events=-1),
+        dict(n_users=5, n_items=5, n_clusters=0),
+        dict(n_users=5, n_items=5, affinity=1.5),
+        dict(n_users=5, n_items=5, cold_frac=1.0),
+        dict(n_users=5, n_items=5, horizon=0),
+    ])
+    def test_config_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            StreamConfig(**kwargs)
+
+    def test_bad_chunk_users_rejected(self):
+        config = StreamConfig(n_users=5, n_items=5)
+        with pytest.raises(ValueError):
+            next(stream_corpus(config, chunk_users=0))
+
+
+class TestCorpusStatsOracle:
+    @settings(max_examples=20, deadline=None)
+    @given(stream_configs(), st.sampled_from([1, 13, 64]))
+    def test_degree_aggregates_match_materialized_oracle(self, config, chunk):
+        """Streaming aggregates == one-shot numpy over the full arrays."""
+        stats = CorpusStats(config)
+        for piece in stream_corpus(config, chunk_users=chunk):
+            stats.update(piece)
+        users, items, ts = materialize(config)
+
+        assert stats.n_events == users.size
+        np.testing.assert_array_equal(
+            stats.item_degrees,
+            np.bincount(items, minlength=config.n_items))
+        degrees = np.bincount(users, minlength=config.n_users)
+        np.testing.assert_array_equal(
+            stats.user_degree_hist,
+            np.bincount(degrees, minlength=stats.user_degree_hist.size))
+        assert stats.n_active_users == int((degrees > 0).sum())
+        if users.size:
+            assert stats.min_timestamp == int(ts.min())
+            assert stats.max_timestamp == int(ts.max())
+
+    def test_summary_fields_and_chunk_tracking(self):
+        config = StreamConfig(n_users=150, n_items=25, seed=7, cold_frac=0.2)
+        stats = CorpusStats(config)
+        for piece in stream_corpus(config, chunk_users=40):
+            stats.update(piece)
+        summary = stats.summary()
+        assert summary["n_users"] == 150
+        assert summary["n_items"] == 25
+        assert summary["n_cold_users"] == 30
+        assert summary["n_events"] == stats.n_events > 0
+        assert summary["max_item_degree"] == int(stats.item_degrees.max())
+        assert 0 < stats.max_chunk_events <= stats.n_events
+
+
+class TestAdapters:
+    def test_stream_to_log_holds_the_whole_corpus(self):
+        config = StreamConfig(n_users=80, n_items=16, seed=5)
+        log = stream_to_log(config, chunk_users=11)
+        users, items, ts = materialize(config)
+        assert len(log) == users.size
+        snapshot = log.snapshot()
+        np.testing.assert_array_equal(snapshot.users, users)
+        np.testing.assert_array_equal(snapshot.items, items)
+        np.testing.assert_array_equal(snapshot.timestamps, ts)
+
+    def test_stream_to_log_max_events_truncates_at_chunk_boundary(self):
+        config = StreamConfig(n_users=80, n_items=16, seed=5)
+        log = stream_to_log(config, chunk_users=10, max_events=50)
+        total = materialize(config)[0].size
+        assert 50 <= len(log) < total
+
+    def test_windowed_snapshot_keeps_exactly_the_newest_window(self):
+        config = StreamConfig(n_users=300, n_items=30, seed=6)
+        users, items, ts = materialize(config)
+        window = users.size // 3
+        dataset, peak = windowed_snapshot(config, window, chunk_users=37)
+        # Full entity space, windowed interactions.
+        assert dataset.n_users == config.n_users
+        assert dataset.n_items == config.n_items
+        np.testing.assert_array_equal(dataset.users, users[-window:])
+        np.testing.assert_array_equal(dataset.items, items[-window:])
+        np.testing.assert_array_equal(dataset.timestamps, ts[-window:])
+        assert window <= peak < users.size
+
+    def test_windowed_snapshot_window_larger_than_corpus(self):
+        config = StreamConfig(n_users=40, n_items=12, seed=8)
+        users, _items, _ts = materialize(config)
+        dataset, peak = windowed_snapshot(config, 10 * users.size)
+        assert dataset.users.size == users.size
+        assert peak == users.size
+
+    def test_windowed_snapshot_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            windowed_snapshot(StreamConfig(n_users=5, n_items=5), 0)

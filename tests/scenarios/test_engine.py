@@ -1,0 +1,188 @@
+"""Scenario engine end-to-end at smoke scale, plus the CLI surface.
+
+Every scenario runner executes here with tiny parameters — a real HTTP
+server, a real registry model, the real gate logic — so the capacity
+benchmarks in ``benchmarks/`` only re-run what is already known to work
+at full scale.  The CLI tests drive ``repro scenario`` through the root
+parser, and the bench-report test pins that a failed scenario gate
+fails ``repro bench report``.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.scenarios.engine import (
+    SCENARIOS,
+    list_scenarios,
+    peak_rss_mb,
+    run_scenario,
+)
+
+pytestmark = [pytest.mark.scenario, pytest.mark.serving]
+
+#: Smoke-scale overrides: small corpora, few requests, single-core-safe
+#: throughput floors.  The RSS ceiling stays loose — in-process runs
+#: inherit the whole test session's high-water mark.
+TINY = {
+    "cold-start-surge": dict(scale=0.1, n_requests=60, n_threads=2,
+                             min_req_per_sec=0.5),
+    "session-traffic": dict(scale=0.15, n_sessions=6, session_len=4,
+                            min_req_per_sec=0.5),
+    "catalog-churn": dict(n_users=120, n_items=80, churn_rounds=2,
+                          requests_per_round=20, events_per_round=8,
+                          min_req_per_sec=0.5),
+    "flash-crowd": dict(n_users=150, n_items=80, n_requests=60,
+                        min_req_per_sec=0.5),
+    "diurnal": dict(n_users=120, n_items=80, n_requests=60,
+                    min_req_per_sec=0.5),
+    "million-user": dict(n_users=3000, n_items=400, window_events=8000,
+                         sample_users=16, min_gen_events_per_sec=1.0,
+                         min_serve_users_per_sec=0.5,
+                         max_peak_rss_mb=100000.0),
+}
+
+
+class TestRegistry:
+    def test_every_scenario_is_listed_with_a_summary(self):
+        specs = list_scenarios()
+        assert [spec.name for spec in specs] == list(SCENARIOS)
+        assert sorted(SCENARIOS) == sorted(TINY)
+        for spec in specs:
+            assert spec.summary
+            assert callable(spec.runner)
+
+    def test_unknown_scenario_raises_keyerror(self):
+        with pytest.raises(KeyError, match="no-such-scenario"):
+            run_scenario("no-such-scenario")
+
+    def test_peak_rss_is_measured_on_this_platform(self):
+        assert peak_rss_mb() > 0.0
+
+
+def _run(name):
+    record = run_scenario(name, **TINY[name])
+    assert record["benchmark"] == "scenario_capacity"
+    assert record["scenario"] == name
+    assert record["gate"]
+    assert record["checks"]
+    failed = {check: ok for check, ok in record["checks"].items() if not ok}
+    assert record["gate_passed"], failed
+    return record
+
+
+class TestScenarioRuns:
+    def test_cold_start_surge(self):
+        record = _run("cold-start-surge")
+        assert record["model"] == "MAMO"
+        assert record["cold_requests"] > 0
+        assert record["errors"] == 0
+        assert len(record["windows"]) == 8
+
+    def test_session_traffic(self):
+        record = _run("session-traffic")
+        assert record["model"] == "TransFM"
+        assert record["folded_in"] == record["sessions"] == 6
+        assert record["requests"] == 24
+
+    def test_catalog_churn(self):
+        record = _run("catalog-churn")
+        assert record["model"] == "BPR-MF"
+        assert record["ann"] is True
+        assert record["folded_rounds"] == 2
+        assert len(record["windows"]) == 2
+
+    def test_flash_crowd(self):
+        record = _run("flash-crowd")
+        assert record["cache_hit_rate"] > 0.0
+
+    def test_diurnal(self):
+        record = _run("diurnal")
+        assert record["peak_window_requests"] > \
+            record["trough_window_requests"]
+
+    def test_million_user_smoke(self):
+        record = _run("million-user")
+        assert record["n_users"] == 3000
+        assert record["n_events"] > 0
+        assert record["n_active_users"] > 0
+        assert record["artifact_mb"] > 0.0
+        assert record["peak_buffered_events"] < record["n_events"]
+
+    def test_scenarios_are_deterministic_where_gated(self):
+        """Same seed -> identical corpus/schedule-derived record fields."""
+        first = run_scenario("diurnal", **TINY["diurnal"])
+        again = run_scenario("diurnal", **TINY["diurnal"])
+        for key in ("requests", "errors", "peak_window_requests",
+                    "trough_window_requests", "gate"):
+            assert first[key] == again[key]
+
+
+class TestScenarioCLI:
+    def test_list_prints_every_scenario(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in SCENARIOS:
+            assert name in out
+
+    def test_run_human_output_exits_zero_on_pass(self, capsys):
+        argv = ["scenario", "run", "diurnal"]
+        for key, value in TINY["diurnal"].items():
+            argv += ["--set", f"{key}={value}"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "scenario diurnal: PASS" in out
+        assert "[ok]" in out and "[FAIL]" not in out
+
+    def test_run_json_output_is_the_record(self, capsys):
+        argv = ["scenario", "run", "flash-crowd", "--json"]
+        for key, value in TINY["flash-crowd"].items():
+            argv += ["--set", f"{key}={value}"]
+        assert main(argv) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["scenario"] == "flash-crowd"
+        assert record["gate_passed"] is True
+
+    def test_failed_gate_exits_nonzero(self, capsys):
+        argv = ["scenario", "run", "diurnal",
+                "--set", "min_req_per_sec=1e9"]
+        for key, value in TINY["diurnal"].items():
+            if key != "min_req_per_sec":
+                argv += ["--set", f"{key}={value}"]
+        assert main(argv) == 1
+        assert "[FAIL]" in capsys.readouterr().out
+
+    def test_unknown_scenario_and_bad_overrides_are_cli_errors(self):
+        with pytest.raises(SystemExit, match="unknown scenario"):
+            main(["scenario", "run", "nope"])
+        with pytest.raises(SystemExit, match="bad override"):
+            main(["scenario", "run", "diurnal", "--set", "nonsense=1"])
+        with pytest.raises(SystemExit, match="KEY=VALUE"):
+            main(["scenario", "run", "diurnal", "--set", "oops"])
+
+
+class TestBenchReportGate:
+    def _report(self, tmp_path, record, capsys):
+        path = os.path.join(tmp_path, "scenario_capacity.json")
+        with open(path, "w") as fh:
+            json.dump([record], fh)
+        code = main(["bench", "report", "--results-dir", str(tmp_path)])
+        return code, capsys.readouterr().out
+
+    def test_failed_scenario_gate_fails_the_report(self, tmp_path, capsys):
+        record = {"benchmark": "scenario_capacity", "scenario": "diurnal",
+                  "gate": "zero errors", "gate_passed": False,
+                  "checks": {"zero errors": False}}
+        code, out = self._report(tmp_path, record, capsys)
+        assert code == 1
+        assert "FAIL" in out
+
+    def test_passed_scenario_gate_passes_the_report(self, tmp_path, capsys):
+        record = {"benchmark": "scenario_capacity", "scenario": "diurnal",
+                  "gate": "zero errors", "gate_passed": True,
+                  "checks": {"zero errors": True}}
+        code, out = self._report(tmp_path, record, capsys)
+        assert code == 0
+        assert "scenario_capacity" in out

@@ -1,0 +1,154 @@
+"""Property tests for the arrival-schedule builders.
+
+Every builder is a pure function of its arguments plus a seed, so the
+tests pin determinism, id ranges and boundary well-formedness for each
+shape, then the shape-specific structure: the flash-crowd burst really
+concentrates, diurnal volume really varies, the cold-start surge really
+shifts onto cold ids, sessions really repeat their owner.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios import schedules
+
+pytestmark = pytest.mark.scenario
+
+BUILDERS = {
+    "flash-crowd": lambda n, r, s: schedules.flash_crowd(n, r, seed=s),
+    "diurnal": lambda n, r, s: schedules.diurnal(n, r, seed=s),
+    "cold-start-surge": lambda n, r, s: schedules.cold_start_surge(
+        n, np.arange(max(1, n // 5)), r, seed=s),
+    "sessions": lambda n, r, s: schedules.sessions(n, max(1, r // 4), 4,
+                                                   seed=s),
+}
+
+
+class TestScheduleWellFormedness:
+    @settings(max_examples=25, deadline=None)
+    @given(st.sampled_from(sorted(BUILDERS)), st.integers(5, 200),
+           st.integers(8, 200), st.integers(0, 2**16))
+    def test_deterministic_in_range_well_bounded(self, name, n_users,
+                                                 n_requests, seed):
+        build = BUILDERS[name]
+        schedule = build(n_users, n_requests, seed)
+        again = build(n_users, n_requests, seed)
+        np.testing.assert_array_equal(schedule.users, again.users)
+        np.testing.assert_array_equal(schedule.boundaries, again.boundaries)
+
+        assert schedule.users.dtype == np.int64
+        assert schedule.users.min() >= 0
+        assert schedule.users.max() < n_users
+        bounds = schedule.boundaries
+        assert bounds[0] == 0 and bounds[-1] == schedule.n_requests
+        assert np.all(np.diff(bounds) >= 0)
+        assert schedule.n_windows == bounds.size - 1
+
+    def test_seed_actually_matters(self):
+        for name, build in sorted(BUILDERS.items()):
+            a = build(100, 160, 0).users
+            b = build(100, 160, 1).users
+            assert not np.array_equal(a, b), name
+
+
+class TestZipfAndUniform:
+    def test_zipf_is_skewed_uniform_is_not(self):
+        zipf = schedules.zipf_users(200, 4000, seed=0)
+        uniform = schedules.uniform_users(200, 4000, seed=0)
+        assert np.bincount(zipf).max() > 3 * np.bincount(uniform).max()
+
+    def test_validation(self):
+        for builder in (schedules.zipf_users, schedules.uniform_users):
+            with pytest.raises(ValueError):
+                builder(0, 10)
+            with pytest.raises(ValueError):
+                builder(10, 0)
+        with pytest.raises(ValueError):
+            schedules.even_windows(0, 4)
+
+    def test_even_windows_cover_the_stream_evenly(self):
+        bounds = schedules.even_windows(100, 8)
+        assert bounds[0] == 0 and bounds[-1] == 100
+        sizes = np.diff(bounds)
+        assert sizes.max() - sizes.min() <= 1
+        # More windows than requests degrades gracefully.
+        assert schedules.even_windows(3, 10).size == 4
+
+
+class TestFlashCrowd:
+    def test_burst_concentrates_on_a_tiny_hot_set(self):
+        schedule = schedules.flash_crowd(500, 800, seed=0, hot_users=4,
+                                         burst_start=0.5, burst_frac=0.25,
+                                         burst_share=1.0)
+        lo, hi = 400, 600
+        burst = schedule.users[lo:hi]
+        outside = np.concatenate((schedule.users[:lo], schedule.users[hi:]))
+        assert np.unique(burst).size <= 4
+        assert np.unique(outside).size > 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            schedules.flash_crowd(10, 10, burst_frac=0.0)
+        with pytest.raises(ValueError):
+            schedules.flash_crowd(10, 10, burst_share=1.5)
+
+
+class TestDiurnal:
+    def test_volume_follows_the_cosine(self):
+        schedule = schedules.diurnal(100, 640, seed=0, n_windows=8,
+                                     trough=0.25)
+        sizes = np.diff(schedule.boundaries)
+        assert int(sizes.sum()) == 640
+        assert sizes.min() >= 1
+        assert sizes.max() > 2 * sizes.min()
+        # Peak mid-cycle (the cosine trough is at window 0).
+        assert int(np.argmax(sizes)) in (3, 4, 5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            schedules.diurnal(10, 10, trough=0.0)
+
+
+class TestColdStartSurge:
+    def test_warm_before_cold_after(self):
+        cold = np.arange(80, 100)
+        schedule = schedules.cold_start_surge(100, cold, 400, seed=0,
+                                              surge_start=0.5,
+                                              surge_share=1.0)
+        pre, post = schedule.users[:200], schedule.users[200:]
+        assert not np.isin(pre, cold).any()
+        assert np.isin(post, cold).all()
+
+    def test_exclude_drops_users_from_the_warm_pool(self):
+        cold = np.arange(90, 100)
+        exclude = np.arange(0, 40)
+        schedule = schedules.cold_start_surge(100, cold, 400, seed=0,
+                                              exclude=exclude)
+        warm_mask = ~np.isin(schedule.users, cold)
+        assert not np.isin(schedule.users[warm_mask], exclude).any()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            schedules.cold_start_surge(10, np.array([], dtype=np.int64), 10)
+        with pytest.raises(ValueError):
+            schedules.cold_start_surge(10, np.arange(10), 10)
+        with pytest.raises(ValueError):
+            schedules.cold_start_surge(10, np.arange(5), 10, surge_share=2.0)
+
+
+class TestSessions:
+    def test_runs_of_same_user_with_session_boundaries(self):
+        schedule = schedules.sessions(50, 12, 6, seed=0)
+        assert schedule.n_requests == 72
+        users = schedule.users.reshape(12, 6)
+        assert (users == users[:, :1]).all()
+        np.testing.assert_array_equal(schedule.boundaries,
+                                      np.arange(13) * 6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            schedules.sessions(10, 0, 5)
+        with pytest.raises(ValueError):
+            schedules.sessions(10, 5, 0)

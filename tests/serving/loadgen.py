@@ -1,115 +1,18 @@
 """Seeded load generation against a live recommendation HTTP server.
 
-Shared by the load test (``tests/serving/test_load.py``) and the
-cluster throughput benchmark
-(``benchmarks/test_cluster_throughput.py``): both need the same
-reproducible request mix and the same multi-threaded driver, and both
-must agree on how latency percentiles are computed.
-
-The request mix is Zipf-skewed over user *rank* — a fixed seeded
-permutation of the user space assigns ranks, and request ``i`` queries
-the user at rank ``Z_i - 1`` where ``Z_i`` is a bounded Zipf draw.
-This mirrors production traffic (a head of hot users dominating the
-stream) and exercises the per-shard LRU caches realistically; the
-whole schedule is a pure function of ``(n_users, n_requests, seed)``.
+The harness graduated into the shipped package as
+:mod:`repro.scenarios.loadgen` (schedule builders live in
+:mod:`repro.scenarios.schedules`) so the scenario engine and the CLI
+can drive traffic without importing test code.  This module re-exports
+the original surface — ``zipf_users`` / ``LoadResult`` / ``drive`` are
+the same objects, so every existing load test and cluster benchmark
+runs byte-identically; ``tests/scenarios/test_loadgen.py`` pins the
+Zipf schedule bytes against drift.
 """
 
-from __future__ import annotations
-
-import json
-import threading
-import time
-import urllib.request
-from dataclasses import dataclass, field
-
-import numpy as np
-
-
-def zipf_users(n_users: int, n_requests: int, seed: int = 0,
-               alpha: float = 1.3) -> np.ndarray:
-    """``int64 [n_requests]`` seeded Zipf-skewed user ids.
-
-    ``alpha`` is the Zipf exponent (heavier head for larger values);
-    draws beyond ``n_users`` are redrawn by modular fold so every id
-    stays valid without truncating the distribution's support order.
-    """
-    if n_users < 1 or n_requests < 1:
-        raise ValueError("n_users and n_requests must be positive")
-    rng = np.random.default_rng(seed)
-    ranks = (rng.zipf(alpha, size=n_requests) - 1) % n_users
-    # Decouple "hot" from "low id": rank r serves the r-th user of a
-    # seeded permutation, so shard routing sees scattered hot users.
-    permutation = rng.permutation(n_users)
-    return permutation[ranks].astype(np.int64)
-
-
-@dataclass
-class LoadResult:
-    """Outcome of one multi-threaded drive against a server."""
-
-    latencies: np.ndarray               # seconds, request order per thread
-    responses: list                     # parsed JSON bodies, schedule order
-    errors: list = field(default_factory=list)
-    wall_seconds: float = 0.0
-
-    @property
-    def n_requests(self) -> int:
-        return int(self.latencies.size)
-
-    @property
-    def requests_per_sec(self) -> float:
-        return self.n_requests / self.wall_seconds if self.wall_seconds else 0.0
-
-    def percentile_ms(self, q: float) -> float:
-        return float(np.percentile(self.latencies, q) * 1000.0)
-
-    def summary(self) -> dict:
-        return {
-            "requests": self.n_requests,
-            "errors": len(self.errors),
-            "req_per_sec": self.requests_per_sec,
-            "p50_ms": self.percentile_ms(50),
-            "p99_ms": self.percentile_ms(99),
-        }
-
-
-def drive(base_url: str, users: np.ndarray, n_threads: int = 4,
-          k: int = 5, timeout: float = 30.0) -> LoadResult:
-    """Drive ``GET /recommend`` for every scheduled user, concurrently.
-
-    The schedule is split round-robin across ``n_threads`` client
-    threads (deterministic partition, so reruns issue identical
-    per-thread streams).  Responses land back in schedule order;
-    failures are collected, never raised — the caller asserts on
-    ``errors`` so a load test reports *all* failures, not the first.
-    """
-    users = np.asarray(users, dtype=np.int64)
-    slots: list = [None] * users.size
-    latencies = np.zeros(users.size)
-    errors: list = []
-    error_lock = threading.Lock()
-
-    def client(thread_id: int) -> None:
-        for pos in range(thread_id, users.size, n_threads):
-            url = f"{base_url}/recommend?user={users[pos]}&k={k}"
-            start = time.perf_counter()
-            try:
-                with urllib.request.urlopen(url, timeout=timeout) as resp:
-                    body = json.loads(resp.read())
-                latencies[pos] = time.perf_counter() - start
-                slots[pos] = body
-            except Exception as exc:  # noqa: BLE001 - reported, not raised
-                latencies[pos] = time.perf_counter() - start
-                with error_lock:
-                    errors.append((pos, int(users[pos]), repr(exc)))
-
-    threads = [threading.Thread(target=client, args=(i,), daemon=True)
-               for i in range(n_threads)]
-    wall_start = time.perf_counter()
-    for thread in threads:
-        thread.start()
-    for thread in threads:
-        thread.join()
-    wall = time.perf_counter() - wall_start
-    return LoadResult(latencies=latencies, responses=slots, errors=errors,
-                      wall_seconds=wall)
+from repro.scenarios.loadgen import (  # noqa: F401
+    LoadResult,
+    drive,
+    resolve_schedule,
+    zipf_users,
+)

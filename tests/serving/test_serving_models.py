@@ -1,0 +1,179 @@
+"""MAMO and TransFM through the *whole* serving path.
+
+The scenario engine wires ``models.mamo`` (cold-start) and
+``models.transfm`` (sequential traffic) into serving; this module pins
+each layer of that path in isolation so a scenario failure localizes:
+
+- scorer equivalence — the batch scorer's grid fast path returns the
+  same scores as per-pair ``predict`` (MAMO's bilinear decomposition
+  is new code; TransFM's grid hook predates this suite);
+- artifact round-trip — ``save_artifact``/``load_artifact`` preserve
+  scores and metadata for both models (MAMO's memory tensors ride the
+  state dict);
+- ``/recommend`` end-to-end over live HTTP equals the in-process
+  service byte-for-byte;
+- online fold-in — MAMO supports item-side fold-in only (a user-only
+  online config is a constructor-time error, not a silent no-op).
+"""
+
+import json
+import threading
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_dataset
+from repro.experiments.registry import SERVING_ONLY_MODELS, build_model
+from repro.serving import RecommendationService, build_server
+from repro.serving.artifact import load_artifact, save_artifact
+from repro.serving.scorer import BatchScorer
+from repro.training.online import OnlineConfig
+
+pytestmark = pytest.mark.serving
+
+MODELS = ["MAMO", "TransFM"]
+TOP_K = 5
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_dataset("movielens", seed=0, scale=0.2)
+
+
+@pytest.fixture(scope="module", params=MODELS)
+def named_model(request, corpus):
+    return request.param, build_model(request.param, corpus, k=8, seed=0)
+
+
+def test_mamo_is_serving_only_but_registered():
+    assert "MAMO" in SERVING_ONLY_MODELS
+    from repro.experiments.registry import RATING_MODELS, TOPN_MODELS
+
+    # Paper tables stay untouched: MAMO never enters the table sweeps.
+    assert "MAMO" not in RATING_MODELS
+    assert "MAMO" not in TOPN_MODELS
+
+
+class TestScorerEquivalence:
+    def test_scorer_matches_predict_on_its_path(self, named_model, corpus):
+        """Whichever path the scorer picks, scores equal ``predict``.
+
+        MAMO's bilinear decomposition takes the grid fast path; TransFM
+        has no grid hook and must fall back to the exact path — both
+        must agree with per-pair prediction.
+        """
+        name, model = named_model
+        scorer = BatchScorer(model, corpus)
+        assert scorer.uses_fast_path == \
+            (model.item_state(corpus) is not None), name
+        assert scorer.uses_fast_path == (name == "MAMO")
+        users = np.arange(0, corpus.n_users, 7, dtype=np.int64)
+        grid = scorer.score(users)
+        assert grid.shape == (users.size, corpus.n_items)
+        items = np.arange(corpus.n_items, dtype=np.int64)
+        for row, user in enumerate(users[:6]):
+            exact = model.predict(np.full(items.size, user), items)
+            np.testing.assert_allclose(grid[row], exact, atol=1e-8)
+
+    def test_mamo_grid_factor_pair_reconstructs_the_grid(self, corpus):
+        model = build_model("MAMO", corpus, k=8, seed=0)
+        users = np.arange(0, min(24, corpus.n_users), dtype=np.int64)
+        state = model.item_state(corpus)
+        q, item_const = model.grid_factor_items(state)
+        e, user_const = model.grid_factor_users(users, state)
+        rebuilt = user_const[:, None] + item_const[None, :] + e @ q.T
+        np.testing.assert_allclose(rebuilt, model.score_grid(users, state),
+                                   atol=1e-8)
+
+
+class TestArtifactRoundTrip:
+    def test_scores_survive_save_load(self, named_model, corpus, tmp_path):
+        name, model = named_model
+        path = save_artifact(model, corpus, str(tmp_path / "bundle.npz"),
+                             name, hyperparams={"k": 8, "seed": 0})
+        loaded = load_artifact(path)
+        assert loaded.model_name == name
+        assert type(loaded.model) is type(model)
+        rng = np.random.default_rng(0)
+        users = rng.integers(0, corpus.n_users, size=64)
+        items = rng.integers(0, corpus.n_items, size=64)
+        np.testing.assert_allclose(loaded.model.predict(users, items),
+                                   model.predict(users, items), atol=1e-10)
+
+    def test_service_boots_from_artifact(self, named_model, corpus,
+                                         tmp_path):
+        name, model = named_model
+        path = save_artifact(model, corpus, str(tmp_path / "bundle.npz"),
+                             name)
+        service = RecommendationService.from_artifact(path, top_k=TOP_K)
+        direct = RecommendationService(model, corpus, top_k=TOP_K)
+        for user in (0, 3, corpus.n_users - 1):
+            np.testing.assert_array_equal(service.recommend(user).items,
+                                          direct.recommend(user).items)
+
+
+class TestHttpEndToEnd:
+    def test_recommend_over_live_http_matches_in_process(self, named_model,
+                                                         corpus):
+        _name, model = named_model
+        service = RecommendationService(model, corpus, top_k=TOP_K)
+        reference = {user: service.recommend(user).to_dict()
+                     for user in range(0, corpus.n_users, 9)}
+        server = build_server(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            for user, expected in reference.items():
+                url = (f"http://127.0.0.1:{server.server_port}"
+                       f"/recommend?user={user}&k={TOP_K}")
+                with urllib.request.urlopen(url, timeout=30) as resp:
+                    body = json.loads(resp.read())
+                assert body == expected
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5.0)
+
+
+class TestOnlineFoldIn:
+    def test_mamo_folds_item_side_and_moves_item_state(self, corpus):
+        model = build_model("MAMO", corpus, k=8, seed=0)
+        before = model.item_factors.weight.data.copy()
+        service = RecommendationService(
+            model, corpus, top_k=TOP_K,
+            online_config=OnlineConfig(sides=("user", "item")))
+        report = service.update_interactions([1, 2, 3], [4, 5, 6])
+        assert report["folded_in"]
+        assert service.updates_folded_in == 3
+        assert not np.allclose(model.item_factors.weight.data, before)
+
+    def test_mamo_rejects_user_only_online_config(self, corpus):
+        model = build_model("MAMO", corpus, k=8, seed=0)
+        empty = np.empty(0, dtype=np.int64)
+        assert model.fold_in_targets(empty, empty, sides=("user",)) == []
+        with pytest.raises(ValueError):
+            RecommendationService(model, corpus, top_k=TOP_K,
+                                  online_config=OnlineConfig(sides=("user",)))
+
+    def test_transfm_folds_user_side_over_http(self, corpus):
+        model = build_model("TransFM", corpus, k=8, seed=0)
+        service = RecommendationService(
+            model, corpus, top_k=TOP_K,
+            online_config=OnlineConfig(sides=("user",)))
+        server = build_server(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            body = json.dumps({"events": [[0, 1], [2, 3]]}).encode()
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{server.server_port}/update", data=body,
+                headers={"Content-Type": "application/json"}, method="POST")
+            with urllib.request.urlopen(request, timeout=30) as resp:
+                report = json.loads(resp.read())
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5.0)
+        assert report["folded_in"]
+        assert service.updates_folded_in == 2
