@@ -1,0 +1,171 @@
+"""Fused-backend training throughput: the engine's headline gate.
+
+One record, written to ``benchmarks/results/training_throughput.json``:
+MF epoch throughput (instances/second) of the fused float32 backend
+against the float64 reference engine on a MovieLens-scale corpus
+(12k users x 8k items — the synthetic ``movielens`` key at 20x scale,
+where the embedding tables are large enough that the reference
+backend's dense ``zeros_like(table)`` gradients and full-table Adam
+updates dominate the epoch).  The gate holds the fused backend to
+**>= 5x** the reference epoch throughput.
+
+The record also carries per-backend op profiles
+(:mod:`repro.obs.profiler`): the embedding share of accounted op time
+must *shrink* under the fused backend — proof the win comes from the
+sparse gather/scatter path, not from an unrelated constant factor.
+
+Both engines train the same instances from the same seed.  The timed
+runs use Adam (the paper protocol), whose lazy sparse variant follows
+a *different, documented* trajectory than dense Adam — so correctness
+is pinned by a separate plain-SGD probe, where sparse and dense steps
+are the same mathematics and the loss trajectories must agree to
+float32 precision.  A "fast but wrong" backend cannot pass.
+"""
+
+import numpy as np
+
+from repro.data.synthetic import make_dataset
+from repro.experiments.registry import build_model
+from repro.obs.profiler import profile
+from repro.training.trainer import TrainConfig, Trainer
+from conftest import emit_bench_records, time_best
+
+GATE_SPEEDUP = 5.0
+#: MovieLens-scale: the synthetic movielens corpus at 20x its unit
+#: scale (12k users x 8k items).  The gap between the backends grows
+#: with the embedding-table size (dense gradients and full-table Adam
+#: updates are O(table), the sparse path is O(batch)), so this scale
+#: buys enough headroom over the 5x gate that allocator / page-cache
+#: state from earlier tests in the same process cannot flip the
+#: verdict (solo the ratio measures ~25x; a full benchmark run
+#: compresses it roughly 2x).
+DATASET_SCALE = 20.0
+K = 64
+EPOCHS = 2
+N_INSTANCES = 4096
+BATCH_SIZE = 256
+
+
+def _training_set(dataset):
+    rng = np.random.default_rng(0)
+    users = rng.integers(0, dataset.n_users, size=N_INSTANCES)
+    items = rng.integers(0, dataset.n_items, size=N_INSTANCES)
+    labels = 2.0 * rng.integers(0, 2, size=N_INSTANCES) - 1.0
+    return users, items, labels
+
+
+def _fit(dataset, instances, backend, optimizer="adam"):
+    users, items, labels = instances
+    model = build_model("MF", dataset, k=K, seed=0)
+    trainer = Trainer(model, TrainConfig(epochs=EPOCHS,
+                                         batch_size=BATCH_SIZE,
+                                         backend=backend,
+                                         optimizer=optimizer))
+    return trainer.fit_pointwise(users, items, labels)
+
+
+def _embedding_share(dataset, instances, backend, repeats=3):
+    """Embedding fraction of accounted op time, best profiled fit.
+
+    "Best" = the fit with the least accounted op time: a profiled run
+    is a single timing sample per op, so the fastest of ``repeats``
+    fits is the one least distorted by scheduler noise.
+    """
+    users, items, labels = instances
+    best = None
+    for _ in range(repeats):
+        model = build_model("MF", dataset, k=K, seed=0)
+        trainer = Trainer(model, TrainConfig(epochs=EPOCHS,
+                                             batch_size=BATCH_SIZE,
+                                             backend=backend))
+        with profile() as prof:
+            trainer.fit_pointwise(users, items, labels)
+        rows = prof.summary()
+        accounted = sum(row["total_s"] for row in rows)
+        embedding = sum(row["total_s"] for row in rows
+                        if row["op"] == "embedding")
+        if best is None or accounted < best[0]:
+            best = (accounted, embedding / accounted, prof.summary(top=6))
+    return best[1], best[2]
+
+
+def test_training_throughput(benchmark, scale):
+    dataset = make_dataset("movielens", seed=0, scale=DATASET_SCALE)
+    instances = _training_set(dataset)
+
+    def measure():
+        ref_result, ref_time = time_best(
+            lambda: _fit(dataset, instances, "reference"), repeats=3)
+        fused_result, fused_time = time_best(
+            lambda: _fit(dataset, instances, "fused"), repeats=3)
+        return ref_result, ref_time, fused_result, fused_time
+
+    ref_result, ref_time, fused_result, fused_time = benchmark.pedantic(
+        measure, rounds=1, iterations=1)
+    speedup = ref_time / fused_time
+    attempts = 1
+    if speedup < GATE_SPEEDUP:
+        # One retry before declaring a regression: time_best(3) absorbs
+        # scheduler spikes, but a shared box can still starve one side.
+        ref_result, ref_time, fused_result, fused_time = measure()
+        speedup = ref_time / fused_time
+        attempts = 2
+
+    total = EPOCHS * N_INSTANCES
+    ref_share, _ref_ops = _embedding_share(dataset, instances, "reference")
+    fused_share, fused_ops = _embedding_share(dataset, instances, "fused")
+
+    record = {
+        "benchmark": "training_throughput_mf",
+        "scale": scale.name,
+        "model": "MF",
+        "dataset_shape": [int(dataset.n_users), int(dataset.n_items)],
+        "k": K,
+        "epochs": EPOCHS,
+        "instances": N_INSTANCES,
+        "batch_size": BATCH_SIZE,
+        "reference_sec": ref_time,
+        "fused_sec": fused_time,
+        "reference_instances_per_sec": total / ref_time,
+        "fused_instances_per_sec": total / fused_time,
+        "speedup": speedup,
+        "attempts": attempts,
+        "embedding_share_reference": ref_share,
+        "embedding_share_fused": fused_share,
+        "fused_top_ops": fused_ops,
+        "final_loss_reference": ref_result.train_losses[-1],
+        "final_loss_fused": fused_result.train_losses[-1],
+        "gate": f">= {GATE_SPEEDUP}x reference epoch throughput",
+        "gate_passed": bool(speedup >= GATE_SPEEDUP),
+    }
+    emit_bench_records([record], "training_throughput.json")
+
+    print(f"\nTraining throughput, MF on {dataset.n_users}x"
+          f"{dataset.n_items} (k={K}):")
+    print(f"  reference {total / ref_time:10.0f} inst/s "
+          f"({ref_time * 1e3:.1f} ms)")
+    print(f"  fused     {total / fused_time:10.0f} inst/s "
+          f"({fused_time * 1e3:.1f} ms)")
+    print(f"  speedup {speedup:.2f}x (gate >= {GATE_SPEEDUP}x)")
+    print(f"  embedding share of op time: reference {ref_share:.1%} "
+          f"-> fused {fused_share:.1%}")
+
+    # Correctness guards.  Lazy sparse Adam follows a different
+    # (documented) trajectory than dense Adam, so the Adam runs only
+    # assert sanity; the mathematics of the sparse gather/scatter and
+    # optimizer row updates are pinned with plain SGD, where sparse
+    # and dense steps are the same formula and must agree to float32
+    # precision.
+    assert np.isfinite(fused_result.train_losses).all()
+    assert fused_result.train_losses[-1] < fused_result.train_losses[0]
+    sgd_ref = _fit(dataset, instances, "reference", optimizer="sgd")
+    sgd_fused = _fit(dataset, instances, "fused", optimizer="sgd")
+    np.testing.assert_allclose(sgd_fused.train_losses,
+                               sgd_ref.train_losses, rtol=1e-4)
+    # The win must land where the roadmap aimed it: the embedding
+    # gather/scatter share shrinks under the sparse backward.
+    assert fused_share < ref_share
+    assert speedup >= GATE_SPEEDUP, (
+        f"fused backend trained at {speedup:.2f}x the reference epoch "
+        f"throughput (gate {GATE_SPEEDUP}x): the float32/fusion/sparse-"
+        f"gradient stack lost its win")

@@ -14,9 +14,16 @@ This package is the substrate that replaces PyTorch in this reproduction
   by the NGCF baseline.
 
 The engine intentionally supports exactly the operations the paper's
-models require, with float64 precision for numerically trustworthy tests.
+models require.  Execution strategy is pluggable
+(:mod:`~repro.autograd.backend`): the **reference** backend is the
+original float64 engine (numerically trustworthy tests, golden
+reproduction), the **fused** backend is the float32 training default
+with elementwise-chain fusion and sparse embedding gradients.
 """
 
+from repro.autograd import backend
+from repro.autograd.backend import (active_backend, active_dtype,
+                                    resolve_backend, use_backend)
 from repro.autograd.tensor import Tensor, no_grad, tensor, zeros, ones
 from repro.autograd import ops
 from repro.autograd import nn
@@ -35,4 +42,9 @@ __all__ = [
     "optim",
     "init",
     "sparse_matmul",
+    "backend",
+    "active_backend",
+    "active_dtype",
+    "resolve_backend",
+    "use_backend",
 ]

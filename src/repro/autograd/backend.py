@@ -1,0 +1,276 @@
+"""Pluggable execution backends for the autograd engine.
+
+The engine originally had exactly one execution strategy: eager float64
+numpy with a dense gradient for every op.  That strategy survives here,
+byte-for-byte, as the **reference** backend; next to it lives the
+**fused** backend — the training default — which borrows the tinygrad
+playbook for the pieces that dominate the MF/FM epoch profile
+(``benchmarks/results/obs_overhead.json``):
+
+- **float32 compute** — parameters, activations and gradients carry
+  ``np.float32``, halving memory traffic on every kernel;
+- **elementwise-chain fusion** — a run of elementwise ops
+  (``sigmoid``/``relu``/``mul``/``add``/…) collapses into a single tape
+  node whose backward is one multiply by the accumulated local
+  derivative, instead of one ``Tensor._make`` node (and one backward
+  closure dispatch, and one gradient dict round-trip) per op;
+- **sparse embedding gradients** — ``ops.embedding``'s backward
+  returns a :class:`SparseRowGrad` (unique-index bincount scatter:
+  per-row gradients for exactly the looked-up rows) instead of
+  materializing ``np.zeros_like(table)`` per step, and the optimizers
+  apply it directly to the touched rows.
+
+Backend state is a process-global, like :func:`~repro.autograd.tensor.no_grad`:
+activate one around a training loop with :func:`use_backend`.  The
+global is not per-thread — do not train under two different backends
+concurrently in one process (serving threads never activate one).
+
+Numerical contract
+------------------
+The reference backend reproduces the pre-seam engine bit-for-bit.  The
+fused backend is *mathematically* equivalent (guarded by the
+numerical-jacobian gradchecks in ``tests/autograd/test_gradcheck.py``
+on both backends) but not bitwise: float32 rounding, fused backward
+reassociation, and lazy (touched-rows-only) optimizer state make it a
+different — much faster — arithmetic.  Goldens were regenerated once
+for the fused training default; the reference path stays selectable
+everywhere a backend can be named.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Backend:
+    """One execution strategy for the autograd engine.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``"reference"`` / ``"fused"``) or a descriptive
+        label for ad-hoc instances (the gradcheck suite builds a
+        float64 variant of the fused strategy to test the fusion and
+        sparse-gradient machinery at full precision).
+    dtype:
+        The dtype new tensors are created with while the backend is
+        active.  Float32/float64 only.
+    fuse_elementwise:
+        Collapse elementwise chains into single tape nodes.
+    sparse_embedding_grad:
+        ``ops.embedding`` returns :class:`SparseRowGrad` instead of a
+        dense full-table gradient.
+    """
+
+    name: str
+    dtype: np.dtype
+    fuse_elementwise: bool = False
+    sparse_embedding_grad: bool = False
+
+
+#: The pre-seam engine: eager float64, dense gradients. Byte-identical
+#: to the code this module factored out.
+REFERENCE = Backend("reference", np.dtype(np.float64))
+
+#: The optimized training default (see module docstring).
+FUSED = Backend("fused", np.dtype(np.float32),
+                fuse_elementwise=True, sparse_embedding_grad=True)
+
+BACKENDS: dict[str, Backend] = {
+    REFERENCE.name: REFERENCE,
+    FUSED.name: FUSED,
+}
+
+#: What ``TrainConfig`` (and everything above it) defaults to.
+DEFAULT_TRAINING_BACKEND = FUSED.name
+
+_ACTIVE: Backend = REFERENCE
+
+
+def resolve_backend(backend: Union[str, Backend, None]) -> Backend:
+    """Resolve a name / instance / ``None`` (→ reference) to a Backend."""
+    if backend is None:
+        return REFERENCE
+    if isinstance(backend, Backend):
+        return backend
+    try:
+        return BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend!r}; options: {sorted(BACKENDS)}"
+        ) from None
+
+
+def active_backend() -> Backend:
+    """The backend new tensor operations execute under right now."""
+    return _ACTIVE
+
+
+def active_dtype() -> np.dtype:
+    """Dtype of tensors created under the active backend."""
+    return _ACTIVE.dtype
+
+
+@contextlib.contextmanager
+def use_backend(backend: Union[str, Backend]) -> Iterator[Backend]:
+    """Activate ``backend`` for the duration of the ``with`` block.
+
+    Process-global, not thread-local (mirrors ``no_grad``): intended to
+    wrap a training loop, not to race across threads.
+    """
+    global _ACTIVE
+    resolved = resolve_backend(backend)
+    previous = _ACTIVE
+    _ACTIVE = resolved
+    try:
+        yield resolved
+    finally:
+        _ACTIVE = previous
+
+
+def infer_backend(parameters) -> Backend:
+    """The backend a trained model's dtype implies (``"auto"`` policy).
+
+    Float32 parameters were produced by fused training, so incremental
+    updates keep the fused execution strategy; anything else stays on
+    the reference path, preserving the pre-seam fold-in numerics.
+    """
+    for param in parameters:
+        if param.data.dtype == np.float32:
+            return FUSED
+    return REFERENCE
+
+
+# ----------------------------------------------------------------------
+# Sparse per-row gradients (embedding backward under the fused backend)
+# ----------------------------------------------------------------------
+class SparseRowGrad:
+    """Gradient of an ``[V, k]`` table touched only at ``rows``.
+
+    ``rows`` is sorted and unique; ``values[i]`` is the accumulated
+    gradient of ``table[rows[i]]``.  Everything that consumes parameter
+    gradients — tape accumulation, the optimizers, fold-in's
+    ``grad[rows]`` gather — understands this class, so a minibatch's
+    embedding backward costs O(batch · k) instead of O(V · k).
+    """
+
+    # Keep numpy from treating us as an array in `ndarray + self`:
+    # addition must dispatch to __radd__ below.
+    __array_ufunc__ = None
+
+    __slots__ = ("shape", "rows", "values")
+
+    def __init__(self, shape: tuple, rows: np.ndarray, values: np.ndarray):
+        self.shape = tuple(shape)
+        self.rows = rows
+        self.values = values
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.values.dtype
+
+    @property
+    def nbytes(self) -> int:
+        return self.rows.nbytes + self.values.nbytes
+
+    def __repr__(self) -> str:
+        return (f"SparseRowGrad(shape={self.shape}, "
+                f"rows={self.rows.size}, dtype={self.dtype})")
+
+    # -- conversions ---------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        """Materialize the full-table gradient (tests / fallbacks)."""
+        full = np.zeros(self.shape, dtype=self.values.dtype)
+        full[self.rows] = self.values
+        return full
+
+    def copy(self) -> "SparseRowGrad":
+        return SparseRowGrad(self.shape, self.rows.copy(),
+                             self.values.copy())
+
+    # -- arithmetic the gradient pipeline needs ------------------------
+    def __add__(self, other):
+        if isinstance(other, SparseRowGrad):
+            if other.shape != self.shape:
+                raise ValueError(
+                    f"sparse grad shape mismatch: {self.shape} vs "
+                    f"{other.shape}")
+            rows = np.concatenate([self.rows, other.rows])
+            values = np.concatenate([self.values, other.values])
+            uniq, inverse = np.unique(rows, return_inverse=True)
+            merged = np.zeros((uniq.size,) + self.shape[1:],
+                              dtype=values.dtype)
+            np.add.at(merged, inverse, values)
+            return SparseRowGrad(self.shape, uniq, merged)
+        if isinstance(other, np.ndarray):
+            if other.shape != self.shape:
+                raise ValueError(
+                    f"cannot add sparse grad of shape {self.shape} to "
+                    f"dense array of shape {other.shape}")
+            out = other.copy()
+            out[self.rows] += self.values
+            return out
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def __getitem__(self, index) -> np.ndarray:
+        """Gather rows as a dense ``[len(index), k]`` block.
+
+        Supports the fold-in pattern ``param.grad[rows]``: absent rows
+        come back zero, exactly like indexing the dense gradient.
+        """
+        index = np.asarray(index)
+        if index.ndim != 1 or not np.issubdtype(index.dtype, np.integer):
+            raise TypeError(
+                "SparseRowGrad only supports gathering a 1-d integer "
+                "row index (the fold-in access pattern)")
+        position = np.searchsorted(self.rows, index)
+        position = np.minimum(position, max(self.rows.size - 1, 0))
+        present = (self.rows[position] == index) if self.rows.size else \
+            np.zeros(index.shape, dtype=bool)
+        out = np.zeros((index.size,) + self.shape[1:],
+                       dtype=self.values.dtype)
+        out[present] = self.values[position[present]]
+        return out
+
+    def add_scaled_rows(self, dense: np.ndarray,
+                        scale: float) -> "SparseRowGrad":
+        """``self + scale * dense`` restricted to the touched rows.
+
+        This is lazy L2 regularization: the optimizer decays only the
+        rows this step updates.  (The reference backend's dense
+        gradients decay every row every step; the fused backend trades
+        that for O(touched) work, the standard sparse-training
+        approximation.)
+        """
+        return SparseRowGrad(
+            self.shape, self.rows,
+            self.values + scale * dense[self.rows])
+
+
+def scatter_rows(indices: np.ndarray, grad: np.ndarray,
+                 table_shape: tuple) -> SparseRowGrad:
+    """Unique-index scatter: sum ``grad`` rows that share an index.
+
+    ``indices`` is the flat lookup index array (duplicates allowed);
+    ``grad`` is ``[indices.size, k]``.  A single ``np.bincount`` over
+    the flattened ``(inverse row, column)`` keys beats ``np.add.at`` on
+    a freshly allocated full-size table by orders of magnitude for
+    realistic batch sizes — it touches O(batch · k) memory instead of
+    O(V · k) — and beats a per-column bincount loop by ~k fewer numpy
+    dispatches.
+    """
+    uniq, inverse = np.unique(indices, return_inverse=True)
+    k = grad.shape[-1]
+    keys = (inverse[:, None] * k + np.arange(k)).ravel()
+    values = np.bincount(keys, weights=grad.ravel(),
+                         minlength=uniq.size * k)
+    return SparseRowGrad(table_shape, uniq,
+                         values.reshape(uniq.size, k).astype(
+                             grad.dtype, copy=False))

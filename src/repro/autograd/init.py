@@ -8,13 +8,19 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.autograd.tensor import DTYPE, Tensor
+from repro.autograd.backend import active_dtype
+from repro.autograd.tensor import Tensor
 
 
 def normal(shape, std: float = 0.01, rng: np.random.Generator | None = None) -> Tensor:
-    """Gaussian init with mean 0 — the paper's default (std=0.01)."""
+    """Gaussian init with mean 0 — the paper's default (std=0.01).
+
+    The random draw is always float64 (so the stream of variates is
+    backend-independent), then cast to the active backend's dtype.
+    """
     rng = rng if rng is not None else np.random.default_rng()  # repro: allow(det-unseeded-rng): explicit opt-out — caller omitted rng
-    return Tensor(rng.normal(0.0, std, size=shape).astype(DTYPE), requires_grad=True)
+    return Tensor(rng.normal(0.0, std, size=shape).astype(active_dtype()),
+                  requires_grad=True)
 
 
 def xavier_uniform(shape, rng: np.random.Generator | None = None) -> Tensor:
@@ -22,14 +28,15 @@ def xavier_uniform(shape, rng: np.random.Generator | None = None) -> Tensor:
     rng = rng if rng is not None else np.random.default_rng()  # repro: allow(det-unseeded-rng): explicit opt-out — caller omitted rng
     fan_in, fan_out = shape[0], shape[-1]
     limit = np.sqrt(6.0 / (fan_in + fan_out))
-    return Tensor(rng.uniform(-limit, limit, size=shape).astype(DTYPE), requires_grad=True)
+    return Tensor(rng.uniform(-limit, limit, size=shape).astype(active_dtype()),
+                  requires_grad=True)
 
 
 def zeros(shape) -> Tensor:
     """Zero init (used for biases)."""
-    return Tensor(np.zeros(shape, dtype=DTYPE), requires_grad=True)
+    return Tensor(np.zeros(shape, dtype=active_dtype()), requires_grad=True)
 
 
 def identity_matrix(k: int) -> Tensor:
     """Identity init (used to start Mahalanobis L near Euclidean)."""
-    return Tensor(np.eye(k, dtype=DTYPE), requires_grad=True)
+    return Tensor(np.eye(k, dtype=active_dtype()), requires_grad=True)

@@ -75,6 +75,29 @@ class Module:
             module.eval()
         return self
 
+    def to_dtype(self, dtype) -> "Module":
+        """Convert every parameter to ``dtype``, in place.
+
+        Conversion keeps each ``Tensor``'s identity (only ``.data`` is
+        replaced) so references held elsewhere stay valid — but any
+        optimizer constructed *before* the conversion holds state
+        buffers of the old dtype and will refuse to step.  Convert
+        first, then build the optimizer.  Subclasses carrying
+        non-parameter numeric state (e.g. a cached adjacency matrix)
+        convert it in :meth:`_convert_extras`.
+        """
+        dtype = np.dtype(dtype)
+        for module in self.modules():
+            for param in module._parameters.values():
+                if param.data.dtype != dtype:
+                    param.data = param.data.astype(dtype)
+                    param.grad = None
+            module._convert_extras(dtype)
+        return self
+
+    def _convert_extras(self, dtype: np.dtype) -> None:
+        """Hook for subclasses holding non-parameter numeric state."""
+
     def state_dict(self) -> dict[str, np.ndarray]:
         """Copy of all parameter arrays keyed by dotted name."""
         return {name: p.data.copy() for name, p in self.named_parameters()}

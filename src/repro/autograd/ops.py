@@ -12,7 +12,8 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.autograd.tensor import DTYPE, Tensor, unbroadcast
+from repro.autograd import backend as _backend
+from repro.autograd.tensor import Tensor, _fuse_active, unbroadcast
 
 #: Module-level profile surface (see ``Tensor.PROFILE_METHODS``): the
 #: opt-in op profiler patches these by name while active.  Callers must
@@ -57,20 +58,20 @@ def square(x: Tensor) -> Tensor:
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis``."""
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    shifted = x - Tensor._from_data(x.data.max(axis=axis, keepdims=True))
     exps = shifted.exp()
     return exps / exps.sum(axis=axis, keepdims=True)
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    shifted = x - Tensor._from_data(x.data.max(axis=axis, keepdims=True))
     return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
 
 
 def maximum(a: Tensor, b: Tensor) -> Tensor:
     """Elementwise maximum; ties send the full gradient to ``a``."""
     out = np.maximum(a.data, b.data)
-    mask = (a.data >= b.data).astype(DTYPE)
+    mask = (a.data >= b.data).astype(a.data.dtype)
 
     def backward(g: np.ndarray):
         return (
@@ -117,16 +118,40 @@ def embedding(table: Tensor, indices: np.ndarray) -> Tensor:
     ``indices`` may have any shape; the result has shape
     ``indices.shape + (k,)``.  The backward pass scatter-adds into the
     table, which is the operation that makes sparse FM training feasible.
+    Under a backend with ``sparse_embedding_grad`` the backward returns a
+    :class:`~repro.autograd.backend.SparseRowGrad` covering only the
+    looked-up rows instead of a dense full-table array.
+
+    Indices are range-checked: numpy fancy indexing would silently wrap
+    ``-1`` to the last vocabulary row, so a bad user/item id must raise
+    instead of training the wrong embedding.
     """
     indices = np.asarray(indices)
     if not np.issubdtype(indices.dtype, np.integer):
         raise TypeError("embedding indices must be integers")
+    n_rows = table.data.shape[0]
+    if indices.size:
+        low = int(indices.min())
+        high = int(indices.max())
+        if low < 0 or high >= n_rows:
+            raise IndexError(
+                f"embedding index {low if low < 0 else high} out of range "
+                f"for table with {n_rows} rows")
     out = table.data[indices]
 
-    def backward(g: np.ndarray):
-        full = np.zeros_like(table.data)
-        np.add.at(full, indices.reshape(-1), g.reshape(-1, table.data.shape[-1]))
-        return (full,)
+    if _backend.active_backend().sparse_embedding_grad:
+        table_shape = table.data.shape
+
+        def backward(g: np.ndarray):
+            return (_backend.scatter_rows(
+                indices.reshape(-1), g.reshape(-1, table_shape[-1]),
+                table_shape),)
+    else:
+        def backward(g: np.ndarray):
+            full = np.zeros_like(table.data)
+            np.add.at(full, indices.reshape(-1),
+                      g.reshape(-1, table.data.shape[-1]))
+            return (full,)
 
     return Tensor._make(out, (table,), backward, "embedding")
 
@@ -138,8 +163,10 @@ def dropout(x: Tensor, rate: float, training: bool, rng: Optional[np.random.Gene
     if rate >= 1.0:
         raise ValueError("dropout rate must be < 1")
     rng = rng if rng is not None else np.random.default_rng()  # repro: allow(det-unseeded-rng): explicit opt-out — caller omitted rng
-    mask = (rng.random(x.data.shape) >= rate).astype(DTYPE) / (1.0 - rate)
+    mask = (rng.random(x.data.shape) >= rate).astype(x.data.dtype) / (1.0 - rate)
     out = x.data * mask
+    if _fuse_active() and x.requires_grad:
+        return x._chain(out, mask, "dropout")
 
     def backward(g: np.ndarray):
         return (g * mask,)
@@ -162,8 +189,31 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
 
 
 def sum_tensors(tensors: Sequence[Tensor]) -> Tensor:
-    """Sum a list of same-shaped tensors."""
-    total = tensors[0]
+    """Sum a list of same-shaped tensors as a single n-ary node.
+
+    One tape node for the whole sum: the old implementation folded the
+    list through binary ``add``, building an O(n)-deep chain (one graph
+    node + backward closure per operand) that NGCF's layer-sum and the
+    FM pairwise terms paid per-node dispatch for.  Accumulation is
+    in-place left-to-right, so the result is byte-identical to the
+    binary chain; each operand's gradient is the upstream gradient.
+    """
+    tensors = list(tensors)
+    if not tensors:
+        raise ValueError("sum_tensors needs at least one tensor")
+    if len(tensors) == 1:
+        return tensors[0]
+    shape = tensors[0].data.shape
     for t in tensors[1:]:
-        total = total + t
-    return total
+        if t.data.shape != shape:
+            raise ValueError(
+                f"sum_tensors needs same-shaped tensors; got {shape} "
+                f"and {t.data.shape}")
+    out = tensors[0].data.copy()
+    for t in tensors[1:]:
+        out += t.data
+
+    def backward(g: np.ndarray):
+        return (g,) * len(tensors)
+
+    return Tensor._make(out, tuple(tensors), backward, "sum_tensors")

@@ -3,15 +3,32 @@
 The paper optimizes with Adam (Section 4.4); SGD is provided because the
 LibFM baseline was trained with SGD and for the learning-strategy section
 (Eq. 14).
+
+Both optimizers understand sparse embedding gradients
+(:class:`~repro.autograd.backend.SparseRowGrad`, produced by the fused
+backend): state buffers and weights are updated only on the touched
+rows — "lazy" momentum / Adam moments, the standard sparse-training
+formulation.  Lazy Adam deliberately diverges from dense Adam (untouched
+rows keep stale moments instead of decaying); reference-backend training
+produces dense gradients and keeps the paper-exact dense update.
+
+State buffers are captured at construction as ``np.zeros_like(p.data)``;
+``step()`` asserts they still agree with ``param.data``'s shape and
+dtype so a later swap of the parameter array (a dtype migration, a
+re-initialization) fails loudly instead of silently training with stale
+or mis-typed state.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Union
 
 import numpy as np
 
+from repro.autograd.backend import SparseRowGrad
 from repro.autograd.tensor import Tensor
+
+Grad = Union[np.ndarray, SparseRowGrad]
 
 
 class Optimizer:
@@ -32,13 +49,30 @@ class Optimizer:
         for param in self.parameters:
             param.zero_grad()
 
-    def _grad(self, param: Tensor) -> np.ndarray | None:
+    def _grad(self, param: Tensor) -> Grad | None:
         grad = param.grad
         if grad is None:
             return None
         if self.weight_decay:
-            grad = grad + self.weight_decay * param.data
+            if isinstance(grad, SparseRowGrad):
+                # Lazy L2: decay only the rows this step touches.
+                grad = grad.add_scaled_rows(param.data, self.weight_decay)
+            else:
+                grad = grad + self.weight_decay * param.data
         return grad
+
+    def _check_state(self, param: Tensor, buffer: np.ndarray,
+                     name: str) -> None:
+        """Fail loudly if ``param.data`` was swapped under the optimizer."""
+        if (buffer.shape != param.data.shape
+                or buffer.dtype != param.data.dtype):
+            raise RuntimeError(
+                f"{type(self).__name__} {name} state buffer is "
+                f"shape={buffer.shape} dtype={buffer.dtype} but param.data "
+                f"is now shape={param.data.shape} dtype={param.data.dtype}; "
+                f"param.data was swapped after the optimizer captured its "
+                f"state — rebuild the optimizer (convert the model's dtype "
+                f"before constructing it)")
 
     def step(self) -> None:
         raise NotImplementedError
@@ -57,8 +91,16 @@ class SGD(Optimizer):
 
     def step(self) -> None:
         for param, velocity in zip(self.parameters, self._velocity):
+            self._check_state(param, velocity, "velocity")
             grad = self._grad(param)
             if grad is None:
+                continue
+            if isinstance(grad, SparseRowGrad):
+                rows, update = grad.rows, grad.values
+                if self.momentum:
+                    velocity[rows] = self.momentum * velocity[rows] + update
+                    update = velocity[rows]
+                param.data[rows] -= self.lr * update
                 continue
             if self.momentum:
                 velocity *= self.momentum
@@ -89,8 +131,20 @@ class Adam(Optimizer):
         correction1 = 1.0 - self.beta1 ** t
         correction2 = 1.0 - self.beta2 ** t
         for param, m, v in zip(self.parameters, self._m, self._v):
+            self._check_state(param, m, "m")
+            self._check_state(param, v, "v")
             grad = self._grad(param)
             if grad is None:
+                continue
+            if isinstance(grad, SparseRowGrad):
+                rows, vals = grad.rows, grad.values
+                m_rows = self.beta1 * m[rows] + (1.0 - self.beta1) * vals
+                v_rows = self.beta2 * v[rows] + (1.0 - self.beta2) * vals * vals
+                m[rows] = m_rows
+                v[rows] = v_rows
+                m_hat = m_rows / correction1
+                v_hat = v_rows / correction2
+                param.data[rows] -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
                 continue
             m *= self.beta1
             m += (1.0 - self.beta1) * grad

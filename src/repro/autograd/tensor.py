@@ -9,6 +9,13 @@ topological sort of the recorded graph and accumulates gradients into the
 All arithmetic supports numpy broadcasting; gradients of broadcast
 operands are reduced back to the operand's original shape by
 :func:`unbroadcast`.
+
+Execution strategy is pluggable (:mod:`repro.autograd.backend`): leaf
+tensors are created in the active backend's dtype, and under a fusing
+backend a run of elementwise ops collapses into a single tape node (see
+:meth:`Tensor._chain`).  Under the default **reference** backend this
+module behaves exactly as the original float64 engine did — same dtypes,
+same closures, same flop order.
 """
 
 from __future__ import annotations
@@ -18,6 +25,12 @@ from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.autograd import backend as _backend
+
+#: Reference dtype (the pre-backend engine's only dtype).  New code
+#: should consult :func:`repro.autograd.backend.active_dtype` instead;
+#: this survives as the reference backend's dtype and for eval-side
+#: accumulators that deliberately stay float64.
 DTYPE = np.float64
 
 Number = Union[int, float, np.floating]
@@ -46,6 +59,11 @@ def grad_enabled() -> bool:
     return _GRAD_ENABLED
 
 
+def _fuse_active() -> bool:
+    """Whether new elementwise ops should extend fused chains."""
+    return _GRAD_ENABLED and _backend.active_backend().fuse_elementwise
+
+
 def unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
     """Reduce ``grad`` so it matches ``shape`` after numpy broadcasting.
 
@@ -65,16 +83,19 @@ def unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
     return grad
 
 
-def _as_array(value: ArrayLike) -> np.ndarray:
+def _as_array(value: ArrayLike, dtype: Optional[np.dtype] = None) -> np.ndarray:
     if isinstance(value, Tensor):
         return value.data
-    return np.asarray(value, dtype=DTYPE)
+    return np.asarray(value, dtype=dtype if dtype is not None
+                      else _backend.active_dtype())
 
 
-def _as_tensor(value: ArrayLike) -> "Tensor":
+def _as_tensor(value: ArrayLike, dtype: Optional[np.dtype] = None) -> "Tensor":
     if isinstance(value, Tensor):
         return value
-    return Tensor(np.asarray(value, dtype=DTYPE))
+    return Tensor._from_data(
+        np.asarray(value, dtype=dtype if dtype is not None
+                   else _backend.active_dtype()))
 
 
 class Tensor:
@@ -83,13 +104,15 @@ class Tensor:
     Parameters
     ----------
     data:
-        Anything convertible to a float64 numpy array.
+        Anything convertible to a numpy array; cast to the active
+        backend's dtype (float64 under the reference backend).
     requires_grad:
         Whether gradients should be accumulated into ``self.grad`` when
         :meth:`backward` is called on a downstream tensor.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_op")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
+                 "_op", "_chain_root", "_chain_deriv")
 
     __array_priority__ = 100.0  # ensure np_scalar * Tensor dispatches to us
 
@@ -113,16 +136,34 @@ class Tensor:
     }
 
     def __init__(self, data: ArrayLike, requires_grad: bool = False):
-        self.data = np.asarray(data, dtype=DTYPE)
+        self.data = np.asarray(data, dtype=_backend.active_dtype())
         self.requires_grad = bool(requires_grad)
-        self.grad: Optional[np.ndarray] = None
+        self.grad = None
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: tuple = ()
         self._op: str = "leaf"
+        self._chain_root: Optional["Tensor"] = None
+        self._chain_deriv = None
 
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
+    @classmethod
+    def _from_data(cls, data: np.ndarray,
+                   requires_grad: bool = False) -> "Tensor":
+        """Wrap an array as-is — no dtype cast (derived tensors keep the
+        dtype their op produced; numpy promotion rules apply)."""
+        out = cls.__new__(cls)
+        out.data = np.asarray(data)
+        out.requires_grad = requires_grad
+        out.grad = None
+        out._backward = None
+        out._parents = ()
+        out._op = "leaf"
+        out._chain_root = None
+        out._chain_deriv = None
+        return out
+
     @staticmethod
     def _make(
         data: np.ndarray,
@@ -133,11 +174,46 @@ class Tensor:
         """Create a non-leaf tensor, recording the tape when enabled."""
         parents = tuple(p for p in parents if isinstance(p, Tensor))
         requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
-        out = Tensor(data, requires_grad=requires)
+        out = Tensor._from_data(data, requires_grad=requires)
         if requires:
             out._backward = backward
             out._parents = parents
             out._op = op
+        return out
+
+    def _chain(self, data: np.ndarray, deriv, op: str) -> "Tensor":
+        """Extend (or start) a fused elementwise chain ending at ``self``.
+
+        ``deriv`` is the new op's local derivative w.r.t. its input —
+        an array of the op's shape, a scalar, or ``None`` for identity
+        (add/sub of a constant).  The produced node's parent is the
+        *chain root*, not ``self``: backward multiplies the upstream
+        gradient once by the accumulated derivative instead of
+        dispatching one closure per op in the chain.
+
+        Only called when ``_fuse_active()`` and ``self.requires_grad``;
+        shapes are the caller's responsibility (elementwise, no
+        broadcasting of the grad operand).
+        """
+        root = self._chain_root if self._chain_root is not None else self
+        if self._chain_deriv is None:
+            acc = deriv
+        elif deriv is None:
+            acc = self._chain_deriv
+        else:
+            acc = self._chain_deriv * deriv
+
+        if acc is None:
+            def backward(g: np.ndarray):
+                return (g,)
+        else:
+            def backward(g: np.ndarray):
+                return (g * acc,)
+
+        out = Tensor._make(data, (root,), backward, op)
+        if out.requires_grad:
+            out._chain_root = root
+            out._chain_deriv = acc
         return out
 
     # ------------------------------------------------------------------
@@ -175,7 +251,7 @@ class Tensor:
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but cut off from the tape."""
-        return Tensor(self.data, requires_grad=False)
+        return Tensor._from_data(self.data, requires_grad=False)
 
     def zero_grad(self) -> None:
         self.grad = None
@@ -195,7 +271,7 @@ class Tensor:
             if self.data.size != 1:
                 raise RuntimeError("grad must be provided for non-scalar backward()")
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=DTYPE)
+        grad = np.asarray(grad, dtype=self.data.dtype)
 
         order: list[Tensor] = []
         seen: set[int] = set()
@@ -217,7 +293,9 @@ class Tensor:
 
         visit(self)
 
-        grads: dict[int, np.ndarray] = {id(self): grad}
+        # Values are ndarrays or SparseRowGrads (fused embedding
+        # backward); both support `+` accumulation and `.copy()`.
+        grads: dict = {id(self): grad}
         for node in reversed(order):
             node_grad = grads.pop(id(node), None)
             if node_grad is None:
@@ -232,7 +310,7 @@ class Tensor:
             node._accumulate_parent_grads(node_grad, grads)
 
     def _accumulate_parent_grads(
-        self, node_grad: np.ndarray, grads: dict[int, np.ndarray]
+        self, node_grad: np.ndarray, grads: dict
     ) -> None:
         parent_grads = self._backward(node_grad)
         if not isinstance(parent_grads, tuple):
@@ -250,9 +328,13 @@ class Tensor:
     # Arithmetic
     # ------------------------------------------------------------------
     def __add__(self, other: ArrayLike) -> "Tensor":
-        other_t = _as_tensor(other)
+        other_t = _as_tensor(other, self.data.dtype)
         a, b = self.data, other_t.data
         out = a + b
+        if _fuse_active() and self.requires_grad != other_t.requires_grad:
+            node = self if self.requires_grad else other_t
+            if out.shape == node.data.shape:
+                return node._chain(out, None, "add")
 
         def backward(g: np.ndarray):
             return unbroadcast(g, a.shape), unbroadcast(g, b.shape)
@@ -262,9 +344,13 @@ class Tensor:
     __radd__ = __add__
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
-        other_t = _as_tensor(other)
+        other_t = _as_tensor(other, self.data.dtype)
         a, b = self.data, other_t.data
         out = a - b
+        if _fuse_active() and self.requires_grad != other_t.requires_grad:
+            node, deriv = (self, None) if self.requires_grad else (other_t, -1.0)
+            if out.shape == node.data.shape:
+                return node._chain(out, deriv, "sub")
 
         def backward(g: np.ndarray):
             return unbroadcast(g, a.shape), unbroadcast(-g, b.shape)
@@ -272,12 +358,16 @@ class Tensor:
         return Tensor._make(out, (self, other_t), backward, "sub")
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
-        return _as_tensor(other).__sub__(self)
+        return _as_tensor(other, self.data.dtype).__sub__(self)
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
-        other_t = _as_tensor(other)
+        other_t = _as_tensor(other, self.data.dtype)
         a, b = self.data, other_t.data
         out = a * b
+        if _fuse_active() and self.requires_grad != other_t.requires_grad:
+            node, deriv = (self, b) if self.requires_grad else (other_t, a)
+            if out.shape == node.data.shape:
+                return node._chain(out, deriv, "mul")
 
         def backward(g: np.ndarray):
             return unbroadcast(g * b, a.shape), unbroadcast(g * a, b.shape)
@@ -287,9 +377,16 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
-        other_t = _as_tensor(other)
+        other_t = _as_tensor(other, self.data.dtype)
         a, b = self.data, other_t.data
         out = a / b
+        if _fuse_active() and self.requires_grad != other_t.requires_grad:
+            if self.requires_grad:
+                node, deriv = self, 1.0 / b
+            else:
+                node, deriv = other_t, -a / (b * b)
+            if out.shape == node.data.shape:
+                return node._chain(out, deriv, "div")
 
         def backward(g: np.ndarray):
             return (
@@ -300,10 +397,12 @@ class Tensor:
         return Tensor._make(out, (self, other_t), backward, "div")
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
-        return _as_tensor(other).__truediv__(self)
+        return _as_tensor(other, self.data.dtype).__truediv__(self)
 
     def __neg__(self) -> "Tensor":
         out = -self.data
+        if _fuse_active() and self.requires_grad:
+            return self._chain(out, -1.0, "neg")
 
         def backward(g: np.ndarray):
             return (-g,)
@@ -315,6 +414,8 @@ class Tensor:
             raise TypeError("only scalar exponents are supported")
         a = self.data
         out = a ** exponent
+        if _fuse_active() and self.requires_grad:
+            return self._chain(out, exponent * a ** (exponent - 1), "pow")
 
         def backward(g: np.ndarray):
             return (g * exponent * a ** (exponent - 1),)
@@ -322,7 +423,7 @@ class Tensor:
         return Tensor._make(out, (self,), backward, "pow")
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
-        other_t = _as_tensor(other)
+        other_t = _as_tensor(other, self.data.dtype)
         a, b = self.data, other_t.data
         out = a @ b
 
@@ -354,22 +455,22 @@ class Tensor:
         return Tensor._make(out, (self, other_t), backward, "matmul")
 
     def __rmatmul__(self, other: ArrayLike) -> "Tensor":
-        return _as_tensor(other).__matmul__(self)
+        return _as_tensor(other, self.data.dtype).__matmul__(self)
 
     # ------------------------------------------------------------------
     # Comparison (no gradient; returns plain numpy boolean arrays)
     # ------------------------------------------------------------------
     def __gt__(self, other: ArrayLike) -> np.ndarray:
-        return self.data > _as_array(other)
+        return self.data > _as_array(other, self.data.dtype)
 
     def __lt__(self, other: ArrayLike) -> np.ndarray:
-        return self.data < _as_array(other)
+        return self.data < _as_array(other, self.data.dtype)
 
     def __ge__(self, other: ArrayLike) -> np.ndarray:
-        return self.data >= _as_array(other)
+        return self.data >= _as_array(other, self.data.dtype)
 
     def __le__(self, other: ArrayLike) -> np.ndarray:
-        return self.data <= _as_array(other)
+        return self.data <= _as_array(other, self.data.dtype)
 
     # ------------------------------------------------------------------
     # Shape manipulation
@@ -471,7 +572,7 @@ class Tensor:
 
         def backward(g: np.ndarray):
             out_b = a.max(axis=axis, keepdims=True)
-            mask = (a == out_b).astype(DTYPE)
+            mask = (a == out_b).astype(a.dtype)
             mask /= mask.sum(axis=axis, keepdims=True)
             g_expanded = g
             if axis is not None and not keepdims:
@@ -487,6 +588,8 @@ class Tensor:
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
         out = np.exp(self.data)
+        if _fuse_active() and self.requires_grad:
+            return self._chain(out, out, "exp")
 
         def backward(g: np.ndarray):
             return (g * out,)
@@ -496,6 +599,8 @@ class Tensor:
     def log(self) -> "Tensor":
         a = self.data
         out = np.log(a)
+        if _fuse_active() and self.requires_grad:
+            return self._chain(out, 1.0 / a, "log")
 
         def backward(g: np.ndarray):
             return (g / a,)
@@ -504,6 +609,8 @@ class Tensor:
 
     def sqrt(self) -> "Tensor":
         out = np.sqrt(self.data)
+        if _fuse_active() and self.requires_grad:
+            return self._chain(out, 0.5 / out, "sqrt")
 
         def backward(g: np.ndarray):
             return (g * 0.5 / out,)
@@ -513,6 +620,8 @@ class Tensor:
     def abs(self) -> "Tensor":
         a = self.data
         out = np.abs(a)
+        if _fuse_active() and self.requires_grad:
+            return self._chain(out, np.sign(a), "abs")
 
         def backward(g: np.ndarray):
             return (g * np.sign(a),)
@@ -521,6 +630,8 @@ class Tensor:
 
     def tanh(self) -> "Tensor":
         out = np.tanh(self.data)
+        if _fuse_active() and self.requires_grad:
+            return self._chain(out, 1.0 - out * out, "tanh")
 
         def backward(g: np.ndarray):
             return (g * (1.0 - out * out),)
@@ -534,6 +645,8 @@ class Tensor:
         out[positive] = 1.0 / (1.0 + np.exp(-a[positive]))
         exp_a = np.exp(a[~positive])
         out[~positive] = exp_a / (1.0 + exp_a)
+        if _fuse_active() and self.requires_grad:
+            return self._chain(out, out * (1.0 - out), "sigmoid")
 
         def backward(g: np.ndarray):
             return (g * out * (1.0 - out),)
@@ -543,6 +656,8 @@ class Tensor:
     def relu(self) -> "Tensor":
         a = self.data
         out = np.maximum(a, 0.0)
+        if _fuse_active() and self.requires_grad:
+            return self._chain(out, a > 0.0, "relu")
 
         def backward(g: np.ndarray):
             return (g * (a > 0.0),)
@@ -552,6 +667,8 @@ class Tensor:
     def clip(self, low: Number, high: Number) -> "Tensor":
         a = self.data
         out = np.clip(a, low, high)
+        if _fuse_active() and self.requires_grad:
+            return self._chain(out, (a >= low) & (a <= high), "clip")
 
         def backward(g: np.ndarray):
             return (g * ((a >= low) & (a <= high)),)
@@ -569,9 +686,11 @@ def tensor(data: ArrayLike, requires_grad: bool = False) -> Tensor:
 
 def zeros(shape, requires_grad: bool = False) -> Tensor:
     """Create a zero-filled tensor of the given shape."""
-    return Tensor(np.zeros(shape, dtype=DTYPE), requires_grad=requires_grad)
+    return Tensor(np.zeros(shape, dtype=_backend.active_dtype()),
+                  requires_grad=requires_grad)
 
 
 def ones(shape, requires_grad: bool = False) -> Tensor:
     """Create a one-filled tensor of the given shape."""
-    return Tensor(np.ones(shape, dtype=DTYPE), requires_grad=requires_grad)
+    return Tensor(np.ones(shape, dtype=_backend.active_dtype()),
+                  requires_grad=requires_grad)

@@ -89,6 +89,12 @@ def _build_parser() -> argparse.ArgumentParser:
                 help="training processes for the model x dataset sweep "
                      "(0 = one per CPU core; default $REPRO_WORKERS or 1). "
                      "Results are byte-identical for any value.")
+            cmd.add_argument(
+                "--backend", default=None, choices=["reference", "fused"],
+                help="autograd training backend: 'fused' (default) is the "
+                     "float32 engine with fused elementwise chains and "
+                     "sparse embedding gradients; 'reference' is the "
+                     "original float64 engine")
 
     serve = sub.add_parser(
         "serve", help="serve top-k recommendations over HTTP (repro.serving)")
@@ -107,6 +113,10 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--k", type=int, default=16, help="embedding size")
     serve.add_argument("--epochs", type=int, default=0,
                        help="quick-train this many epochs before serving")
+    serve.add_argument("--backend", default=None,
+                       choices=["reference", "fused"],
+                       help="autograd backend for --epochs quick-training "
+                            "(default: the TrainConfig default, 'fused')")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8765,
                        help="0 binds an ephemeral port (printed at startup)")
@@ -201,6 +211,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         dest="refresh_every",
                         help="full-retrain on the accumulated log every N "
                              "streamed events (0 disables)")
+    replay.add_argument("--backend", default=None,
+                        choices=["reference", "fused"],
+                        help="autograd backend for warmup/fold-in/refresh "
+                             "training (default: fused offline, dtype-"
+                             "inferred fold-in)")
     return parser
 
 
@@ -266,6 +281,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             window=args.window,
             epochs=args.epochs,
             refresh_every=args.refresh_every,
+            backend=args.backend,
         )
         print(format_replay(result))
         return 0
@@ -276,7 +292,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if unknown:
             raise SystemExit(f"unknown rating models: {sorted(unknown)}")
         results = run_rating_table(args.datasets, args.models, scale=scale,
-                                   seed=args.seed, workers=args.workers)
+                                   seed=args.seed, workers=args.workers,
+                                   backend=args.backend)
         print(format_table(results, args.datasets,
                            title="Rating prediction, test RMSE (* = best)",
                            lower_is_better=True))
@@ -286,7 +303,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if unknown:
             raise SystemExit(f"unknown top-n models: {sorted(unknown)}")
         results = run_topn_table(args.datasets, args.models, scale=scale,
-                                 seed=args.seed, workers=args.workers)
+                                 seed=args.seed, workers=args.workers,
+                                 backend=args.backend)
         print(format_table(results, args.datasets,
                            title="Top-n recommendation, HR@10 / NDCG@10 (* = best)"))
         return 0

@@ -62,6 +62,9 @@ class CellSpec:
     dataset: Optional[RecDataset] = None
     scale: Optional[ExperimentScale] = None
     seed: int = 0
+    #: Autograd backend for the cell's training run (``None`` → the
+    #: ``TrainConfig`` default, currently ``"fused"``).
+    backend: Optional[str] = None
 
     def __post_init__(self):
         if self.task not in TASKS:
@@ -69,6 +72,10 @@ class CellSpec:
         if (self.dataset_key is None) == (self.dataset is None):
             raise ValueError(
                 "exactly one of dataset_key / dataset must be provided")
+        if self.backend is not None:
+            from repro.autograd.backend import resolve_backend
+
+            resolve_backend(self.backend)  # raises on unknown names
 
 
 def available_cpus() -> int:
@@ -131,8 +138,10 @@ def _execute_cell(spec: CellSpec, dataset: RecDataset, scale: ExperimentScale):
     from repro.experiments.runner import run_rating_cell, run_topn_cell
 
     if spec.task == "rating":
-        return run_rating_cell(spec.model_name, dataset, scale=scale, seed=spec.seed)
-    return run_topn_cell(spec.model_name, dataset, scale=scale, seed=spec.seed)
+        return run_rating_cell(spec.model_name, dataset, scale=scale,
+                               seed=spec.seed, backend=spec.backend)
+    return run_topn_cell(spec.model_name, dataset, scale=scale,
+                         seed=spec.seed, backend=spec.backend)
 
 
 def _cell_scale(spec: CellSpec) -> ExperimentScale:
@@ -211,12 +220,13 @@ def grid_specs(
     dataset_keys: Sequence[str],
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
+    backend: Optional[str] = None,
 ) -> list[CellSpec]:
     """Specs for a full model × dataset table, in table iteration order."""
     scale = scale if scale is not None else get_scale()
     return [
         CellSpec(task=task, model_name=model_name, dataset_key=key,
-                 scale=scale, seed=seed)
+                 scale=scale, seed=seed, backend=backend)
         for model_name in model_names
         for key in dataset_keys
     ]

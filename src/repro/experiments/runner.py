@@ -54,7 +54,9 @@ _LEARNING_RATES = {
 }
 
 
-def _train_config(model_name: str, scale: ExperimentScale, seed: int) -> TrainConfig:
+def _train_config(model_name: str, scale: ExperimentScale, seed: int,
+                  backend: Optional[str] = None) -> TrainConfig:
+    extra = {} if backend is None else {"backend": backend}
     return TrainConfig(
         epochs=scale.epochs,
         batch_size=256,
@@ -62,6 +64,7 @@ def _train_config(model_name: str, scale: ExperimentScale, seed: int) -> TrainCo
         weight_decay=1e-4,
         patience=5,
         seed=seed,
+        **extra,
     )
 
 
@@ -73,19 +76,22 @@ def run_rating_cell(
     dataset: RecDataset,
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
+    backend: Optional[str] = None,
 ) -> float:
     """Train ``model_name`` on the rating task; return test RMSE.
 
     Deterministic: the instance split, model initialization and batch
     order all derive from ``seed``, so equal ``(model_name, dataset,
-    scale, seed)`` gives the exact same RMSE wherever it runs — this
-    is what lets :func:`run_rating_table` farm cells out to worker
-    processes without changing a digit of the table.
+    scale, seed, backend)`` gives the exact same RMSE wherever it runs
+    — this is what lets :func:`run_rating_table` farm cells out to
+    worker processes without changing a digit of the table.  ``backend``
+    picks the autograd execution strategy (``None`` → the
+    :class:`TrainConfig` default, currently ``"fused"``).
     """
     scale = scale if scale is not None else get_scale()
     instances = build_rating_instances(dataset, seed=seed)
     model = build_model(model_name, dataset, k=scale.k, seed=seed)
-    trainer = Trainer(model, _train_config(model_name, scale, seed))
+    trainer = Trainer(model, _train_config(model_name, scale, seed, backend))
     users, items, labels = instances.split("train")
     trainer.fit_pointwise(
         users,
@@ -103,6 +109,7 @@ def run_rating_table(
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
     workers: Union[int, str, None] = None,
+    backend: Optional[str] = None,
 ) -> dict[str, dict[str, float]]:
     """``{model: {dataset: test RMSE}}`` for Table 3.
 
@@ -110,11 +117,12 @@ def run_rating_table(
     (:func:`repro.experiments.parallel.resolve_workers`: ``None`` →
     ``$REPRO_WORKERS`` or serial, ``0``/``"auto"`` → all cores).  The
     table is byte-identical for every worker count: each cell is a
-    pure function of ``(model, dataset key, scale, seed)`` and workers
-    rebuild the named datasets deterministically.
+    pure function of ``(model, dataset key, scale, seed, backend)`` and
+    workers rebuild the named datasets deterministically.
     """
     scale = scale if scale is not None else get_scale()
-    specs = grid_specs("rating", model_names, dataset_keys, scale=scale, seed=seed)
+    specs = grid_specs("rating", model_names, dataset_keys, scale=scale,
+                       seed=seed, backend=backend)
     values = run_cells(specs, workers=workers)
     results: dict[str, dict[str, float]] = {m: {} for m in model_names}
     for spec, value in zip(specs, values):
@@ -130,6 +138,7 @@ def run_topn_cell(
     dataset: RecDataset,
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
+    backend: Optional[str] = None,
 ) -> tuple[float, float]:
     """Train ``model_name`` under leave-one-out; return (HR@10, NDCG@10).
 
@@ -152,7 +161,7 @@ def run_topn_cell(
         train_users=train_view.users,
         train_items=train_view.items,
     )
-    trainer = Trainer(model, _train_config(model_name, scale, seed))
+    trainer = Trainer(model, _train_config(model_name, scale, seed, backend))
     all_rows = np.arange(train_view.n_interactions)
     if is_pairwise(model_name):
         users, positives, negatives = sampler.build_pairwise_training_set(all_rows, n_neg=2)
@@ -172,6 +181,7 @@ def run_custom_rating(
     scale: Optional[ExperimentScale] = None,
     lr: float = 0.02,
     seed: int = 0,
+    backend: Optional[str] = None,
 ) -> float:
     """Rating-task test RMSE for a caller-supplied model factory.
 
@@ -182,8 +192,9 @@ def run_custom_rating(
     scale = scale if scale is not None else get_scale()
     instances = build_rating_instances(dataset, seed=seed)
     model = build(dataset, np.random.default_rng(seed))
+    extra = {} if backend is None else {"backend": backend}
     config = TrainConfig(epochs=scale.epochs, batch_size=256, lr=lr,
-                         weight_decay=1e-4, patience=5, seed=seed)
+                         weight_decay=1e-4, patience=5, seed=seed, **extra)
     trainer = Trainer(model, config)
     users, items, labels = instances.split("train")
     trainer.fit_pointwise(
@@ -200,6 +211,7 @@ def run_custom_topn(
     scale: Optional[ExperimentScale] = None,
     lr: float = 0.02,
     seed: int = 0,
+    backend: Optional[str] = None,
 ) -> tuple[float, float]:
     """Top-n (HR@10, NDCG@10) for a caller-supplied model factory."""
     scale = scale if scale is not None else get_scale()
@@ -209,8 +221,9 @@ def run_custom_topn(
     train_view = dataset.subset(train_index)
     sampler = NegativeSampler(train_view, seed=seed)
     model = build(dataset, np.random.default_rng(seed))
+    extra = {} if backend is None else {"backend": backend}
     config = TrainConfig(epochs=scale.epochs, batch_size=256, lr=lr,
-                         weight_decay=1e-4, seed=seed)
+                         weight_decay=1e-4, seed=seed, **extra)
     trainer = Trainer(model, config)
     users, items, labels = sampler.build_pointwise_training_set(
         np.arange(train_view.n_interactions), n_neg=2
@@ -226,6 +239,7 @@ def run_topn_table(
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
     workers: Union[int, str, None] = None,
+    backend: Optional[str] = None,
 ) -> dict[str, dict[str, tuple[float, float]]]:
     """``{model: {dataset: (HR, NDCG)}}`` for Table 4.
 
@@ -234,7 +248,8 @@ def run_topn_table(
     never a value in the returned table.
     """
     scale = scale if scale is not None else get_scale()
-    specs = grid_specs("topn", model_names, dataset_keys, scale=scale, seed=seed)
+    specs = grid_specs("topn", model_names, dataset_keys, scale=scale,
+                       seed=seed, backend=backend)
     values = run_cells(specs, workers=workers)
     results: dict[str, dict[str, tuple[float, float]]] = {m: {} for m in model_names}
     for spec, value in zip(specs, values):

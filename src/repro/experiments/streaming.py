@@ -127,6 +127,7 @@ def warmup_model(
     scale: ExperimentScale,
     seed: int = 0,
     epochs: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> RecommenderModel:
     """Train a registry model offline on the warmup interactions.
 
@@ -139,7 +140,7 @@ def warmup_model(
     model = build_model(model_name, dataset, k=scale.k, seed=seed,
                         train_users=warmup_view.users,
                         train_items=warmup_view.items)
-    config = _train_config(model_name, scale, seed)
+    config = _train_config(model_name, scale, seed, backend)
     if epochs is not None:
         config = TrainConfig(**{**vars(config), "epochs": epochs})
     fit_offline(model, warmup_view, config, is_pairwise(model_name), seed)
@@ -160,6 +161,7 @@ def run_replay(
     online_config: Optional[OnlineConfig] = None,
     refresh_every: int = 0,
     refresh_epochs: int = 2,
+    backend: Optional[str] = None,
 ) -> ReplayResult:
     """Run one seeded prequential sweep; returns rolling + overall metrics.
 
@@ -187,6 +189,10 @@ def run_replay(
         When ``refresh_every > 0``, every that-many streamed events the
         model is fully retrained for ``refresh_epochs`` epochs on the
         accumulated log snapshot (the periodic full-refresh policy).
+    backend:
+        Autograd backend for warmup, fold-in, and refresh training
+        (``None`` → the ``TrainConfig`` default for offline phases and
+        ``"auto"`` dtype inference for fold-in steps).
     """
     scale = scale if scale is not None else get_scale()
     if isinstance(dataset, str):
@@ -201,13 +207,14 @@ def run_replay(
         raise ValueError("warmup_frac leaves no events to stream")
     warmup_view = dataset.subset(warmup_index, "-warmup")
     model = warmup_model(model_name, dataset, warmup_view, scale,
-                         seed=seed, epochs=epochs)
+                         seed=seed, epochs=epochs, backend=backend)
 
     if online_config is None:
         online_config = OnlineConfig(
             objective="pairwise" if is_pairwise(model_name) else "pointwise",
             seed=seed,
             refresh_every=refresh_every,
+            backend="auto" if backend is None else backend,
         )
     elif refresh_every:
         # An explicit config must not silently drop the caller's
@@ -225,7 +232,7 @@ def run_replay(
         # Same tuned per-model protocol as warmup (learning rate,
         # weight decay), only shorter: a refresh that retrained at
         # different hyper-parameters would measure a different model.
-        config = _train_config(model_name, scale, refresh_seed)
+        config = _train_config(model_name, scale, refresh_seed, backend)
         config = TrainConfig(**{**vars(config), "epochs": refresh_epochs})
         fit_offline(
             trainer.model,

@@ -1,0 +1,71 @@
+"""Dtype-discipline rule: keep model/training code backend-polymorphic.
+
+The training engine's precision is owned by one seam —
+:mod:`repro.autograd.backend` — and every tensor created under a
+backend context inherits its dtype (``active_dtype()``).  A hard-coded
+``np.float64`` / ``np.float32`` (or the legacy ``DTYPE`` constant from
+``repro.autograd.tensor``) inside ``models/`` or ``training/`` pins an
+array to one precision regardless of the selected backend, which either
+silently upcasts a float32 training run back to float64 (losing the
+fused backend's bandwidth win) or desyncs parameter dtypes from the
+optimizer's state buffers.
+
+The fix is almost always one of:
+
+- derive the dtype from data that already has one
+  (``param.data.dtype``, ``scores.data.dtype``);
+- call :func:`repro.autograd.backend.active_dtype` for fresh arrays;
+- or, where a float64 policy is deliberate (metric accumulation,
+  degree normalization), keep the literal and suppress with a
+  justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.determinism import dotted_name
+from repro.lint.engine import Finding, SourceModule
+from repro.lint.rules import Rule, register
+
+#: Where backend polymorphism is mandatory: the model zoo and the
+#: training stack.  The backend seam itself (``autograd/``) and
+#: precision-pinned planes (serving responses, analysis) are exempt.
+DTYPE_SCOPE = ("models/", "training/")
+
+_FLOAT_LITERALS = frozenset({"float64", "float32"})
+
+
+@register
+class HardcodedDtype(Rule):
+    id = "dtype-hardcoded"
+    summary = ("hard-coded np.float64/np.float32 (or the legacy DTYPE "
+               "constant) in models/ or training/ pins arrays to one "
+               "precision behind the backend seam's back; use "
+               "active_dtype() or an existing array's .dtype")
+    scope = DTYPE_SCOPE
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute):
+                name = dotted_name(node)
+                if name is None:
+                    continue
+                parts = name.split(".")
+                if (len(parts) == 2 and parts[0] in ("np", "numpy")
+                        and parts[1] in _FLOAT_LITERALS):
+                    yield module.finding(
+                        self, node,
+                        f"{name} hard-codes the array precision; derive it "
+                        f"from repro.autograd.backend.active_dtype() or an "
+                        f"existing array's .dtype so both backends train "
+                        f"in their own dtype")
+            elif isinstance(node, ast.Name) and node.id == "DTYPE":
+                if isinstance(node.ctx, ast.Load):
+                    yield module.finding(
+                        self, node,
+                        "DTYPE is the legacy reference-backend constant "
+                        "(float64); model/training code must follow the "
+                        "active backend via active_dtype() or an existing "
+                        "array's .dtype")

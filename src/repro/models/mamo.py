@@ -106,7 +106,7 @@ class MAMO(RecommenderModel):
         """
         init_embedding = self.personalized_init(user)
         fast = init_embedding.data.copy()
-        labels = np.asarray(support_labels, dtype=np.float64)
+        labels = np.asarray(support_labels, dtype=fast.dtype)
         for _ in range(self.local_steps):
             fast_t = Tensor(fast, requires_grad=True)
             with_tape = self._score_items(fast_t, support_items)
@@ -164,7 +164,8 @@ class MAMO(RecommenderModel):
                     )
                     adapted = init_node + Tensor(delta)
                     scores = self._score_items(adapted, train_items[query])
-                    labels = np.asarray(train_labels[query], dtype=np.float64)
+                    labels = np.asarray(train_labels[query],
+                                        dtype=scores.data.dtype)
                     loss = ((scores - labels) ** 2).mean()
                     total = loss if total is None else total + loss
                     counted += 1

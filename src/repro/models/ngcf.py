@@ -33,7 +33,7 @@ def build_normalized_adjacency(
     n = n_users + n_items
     rows = np.concatenate([users, items + n_users])
     cols = np.concatenate([items + n_users, users])
-    data = np.ones(rows.size, dtype=np.float64)
+    data = np.ones(rows.size, dtype=np.float64)  # repro: allow(dtype-hardcoded): degree normalization stays float64; cast to the model dtype at assignment
     adjacency = sp.coo_matrix((data, (rows, cols)), shape=(n, n)).tocsr()
     degrees = np.asarray(adjacency.sum(axis=1)).ravel()
     inv_sqrt = np.zeros_like(degrees)
@@ -64,13 +64,19 @@ class NGCF(EntityRecommender):
             train_items = np.empty(0, dtype=np.int64)
         self.adjacency = build_normalized_adjacency(
             n_users, n_items, np.asarray(train_users), np.asarray(train_items)
-        )
+        ).astype(self.embeddings.weight.data.dtype)
 
     def set_training_graph(self, users: np.ndarray, items: np.ndarray) -> None:
         """Rebuild the propagation graph (train split only, no leakage)."""
         self.adjacency = build_normalized_adjacency(
             self.n_users, self.n_items, np.asarray(users), np.asarray(items)
-        )
+        ).astype(self.embeddings.weight.data.dtype)
+
+    def _convert_extras(self, dtype: np.dtype) -> None:
+        # The adjacency is non-parameter state; a float64 matrix would
+        # upcast every propagation under a float32 backend.
+        if self.adjacency.dtype != dtype:
+            self.adjacency = self.adjacency.astype(dtype)
 
     def propagate(self) -> Tensor:
         """All-entity representations: concat of every propagation layer."""

@@ -298,7 +298,10 @@ def _build_service(args) -> RecommendationService:
                         train_users=dataset.users, train_items=dataset.items)
     if args.epochs > 0:
         sampler = NegativeSampler(dataset, seed=args.seed)
-        trainer = Trainer(model, TrainConfig(epochs=args.epochs, seed=args.seed))
+        backend = getattr(args, "backend", None)
+        extra = {} if backend is None else {"backend": backend}
+        trainer = Trainer(model, TrainConfig(epochs=args.epochs,
+                                             seed=args.seed, **extra))
         index = np.arange(dataset.n_interactions)
         if is_pairwise(args.model):
             users, pos, neg = sampler.build_pairwise_training_set(index)

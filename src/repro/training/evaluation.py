@@ -178,7 +178,7 @@ def evaluate_topn_grid(
     scorer = BatchScorer(model, dataset, user_batch=user_batch)
     if not scorer.uses_fast_path:
         return evaluate_topn(model, dataset, test_users, candidates, top_k=top_k)
-    scores = np.empty(candidates.shape, dtype=np.float64)
+    scores = np.empty(candidates.shape, dtype=np.float64)  # repro: allow(dtype-hardcoded): eval scores accumulate in float64 regardless of the training backend
     for start in range(0, test_users.size, user_batch):
         stop = start + user_batch
         grid = scorer.score(test_users[start:stop])

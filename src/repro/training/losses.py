@@ -13,8 +13,12 @@ from repro.autograd.tensor import Tensor
 
 
 def squared_loss(predictions: Tensor, targets: np.ndarray) -> Tensor:
-    """Mean squared error ``mean((ŷ − y)²)`` (Eq. 13, batch-averaged)."""
-    diff = predictions - np.asarray(targets, dtype=np.float64)
+    """Mean squared error ``mean((ŷ − y)²)`` (Eq. 13, batch-averaged).
+
+    Targets follow the predictions' dtype so the loss graph stays in
+    the training backend's precision.
+    """
+    diff = predictions - np.asarray(targets, dtype=predictions.data.dtype)
     return (diff * diff).mean()
 
 

@@ -7,8 +7,8 @@ import numpy as np
 
 def rmse(predictions: np.ndarray, targets: np.ndarray) -> float:
     """Root mean square error."""
-    predictions = np.asarray(predictions, dtype=np.float64)
-    targets = np.asarray(targets, dtype=np.float64)
+    predictions = np.asarray(predictions, dtype=np.float64)  # repro: allow(dtype-hardcoded): metrics accumulate in float64 regardless of the training backend
+    targets = np.asarray(targets, dtype=np.float64)  # repro: allow(dtype-hardcoded): metrics accumulate in float64 regardless of the training backend
     if predictions.shape != targets.shape:
         raise ValueError("predictions and targets must have equal shapes")
     if predictions.size == 0:

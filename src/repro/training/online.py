@@ -32,6 +32,8 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.autograd.backend import (infer_backend, resolve_backend,
+                                    use_backend)
 from repro.data.dataset import RecDataset
 from repro.data.sampling import NegativeSampler
 from repro.data.streaming import InteractionLog
@@ -72,6 +74,12 @@ class OnlineConfig:
     positive feedback loop and blow the embeddings up to overflow.
     The clip bounds any single update without touching the (small)
     healthy-regime gradients.
+
+    ``backend`` picks the autograd execution strategy for fold-in
+    steps.  The default ``"auto"`` follows the model: float32
+    parameters (fused training) keep the fused strategy, anything else
+    stays on the float64 reference path — so a reference-trained
+    model's fold-in numerics are untouched by the backend seam.
     """
 
     lr: float = 0.05
@@ -81,8 +89,11 @@ class OnlineConfig:
     max_grad: float = 1.0
     seed: int = 0
     refresh_every: int = 0
+    backend: str = "auto"
 
     def __post_init__(self):
+        if self.backend != "auto":
+            resolve_backend(self.backend)  # raises on unknown names
         if self.lr <= 0:
             raise ValueError("lr must be positive")
         if self.max_grad <= 0:
@@ -165,6 +176,10 @@ class IncrementalTrainer:
                 f"{type(model).__name__} exposes no fold-in targets for "
                 f"sides={self.config.sides}; incremental updates unsupported")
         self._sampler = NegativeSampler(dataset, seed=self.config.seed)
+        if self.config.backend == "auto":
+            self._backend = infer_backend(model.parameters())
+        else:
+            self._backend = resolve_backend(self.config.backend)
         self._events_since_refresh = 0
         # Counters live on a metrics registry (a private one when none
         # is shared in) but stay readable as plain attributes via the
@@ -239,6 +254,11 @@ class IncrementalTrainer:
             if self.refresh_fn is not None:
                 self.refresh_fn(self)
                 refreshed = True
+                if self.config.backend == "auto":
+                    # A full retrain may have migrated the model's
+                    # dtype (e.g. a fused-backend Trainer converts to
+                    # float32); follow it.
+                    self._backend = infer_backend(self.model.parameters())
             self._m_refreshes.inc()
             self._events_since_refresh = 0
             # Rebuild the sampler over everything ingested so far, so
@@ -286,51 +306,61 @@ class IncrementalTrainer:
         was_training = model.training
         model.eval()
         try:
-            model.zero_grad()
-            if config.objective == "pairwise":
-                flat_users = np.repeat(users, n_neg)
-                n_rows = flat_users.size
-                loss = bpr_loss(
-                    model.score(flat_users, np.repeat(items, n_neg)),
-                    model.score(flat_users, negatives.reshape(-1)),
-                )
-            else:
-                all_users = np.concatenate([users, np.repeat(users, n_neg)])
-                all_items = np.concatenate([items, negatives.reshape(-1)])
-                labels = np.concatenate(
-                    [np.ones(users.size), -np.ones(users.size * n_neg)])
-                n_rows = all_users.size
-                loss = squared_loss(model.score(all_users, all_items), labels)
-            # Backprop the *sum* (mean x rows), not the mean: each event
-            # must contribute a fixed-size step to its own rows no
-            # matter how many events share the micro-batch, so the
-            # effective per-event learning rate is batch-size-invariant
-            # (a mean-reduced gradient would shrink fold-in by 1/B and
-            # make large ingestion batches learn nothing).
-            (loss * float(n_rows)).backward()
-            loss_value = float(loss.item())
-            if not np.isfinite(loss_value):
-                # Refuse to touch the parameters with a non-finite
-                # gradient (np.clip passes NaN through): the model
-                # stays intact, only this update is lost.
-                raise FoldInDivergedError(
-                    f"fold-in loss diverged ({loss_value}); lower "
-                    f"OnlineConfig.lr/max_grad or refresh the model "
-                    f"from a snapshot")
-            # Negatives' item rows carry gradient too (they are pushed
-            # down), so they count as touched items.
-            targets = model.fold_in_targets(
-                users, np.concatenate([items, negatives.reshape(-1)]),
-                sides=config.sides,
-            )
-            for param, rows in targets:
-                grad = param.grad
-                if grad is None or rows.size == 0:
-                    continue
-                param.data[rows] -= config.lr * np.clip(
-                    grad[rows], -config.max_grad, config.max_grad)
-            model.zero_grad()
+            with use_backend(self._backend):
+                return self._step_inner(users, items, negatives, n_neg)
         finally:
             if was_training:
                 model.train()
+
+    def _step_inner(self, users: np.ndarray, items: np.ndarray,
+                    negatives: np.ndarray, n_neg: int) -> float:
+        """The step body, run under the resolved backend."""
+        model = self.model
+        config = self.config
+        model.zero_grad()
+        if config.objective == "pairwise":
+            flat_users = np.repeat(users, n_neg)
+            n_rows = flat_users.size
+            loss = bpr_loss(
+                model.score(flat_users, np.repeat(items, n_neg)),
+                model.score(flat_users, negatives.reshape(-1)),
+            )
+        else:
+            all_users = np.concatenate([users, np.repeat(users, n_neg)])
+            all_items = np.concatenate([items, negatives.reshape(-1)])
+            labels = np.concatenate(
+                [np.ones(users.size), -np.ones(users.size * n_neg)])
+            n_rows = all_users.size
+            loss = squared_loss(model.score(all_users, all_items), labels)
+        # Backprop the *sum* (mean x rows), not the mean: each event
+        # must contribute a fixed-size step to its own rows no
+        # matter how many events share the micro-batch, so the
+        # effective per-event learning rate is batch-size-invariant
+        # (a mean-reduced gradient would shrink fold-in by 1/B and
+        # make large ingestion batches learn nothing).
+        (loss * float(n_rows)).backward()
+        loss_value = float(loss.item())
+        if not np.isfinite(loss_value):
+            # Refuse to touch the parameters with a non-finite
+            # gradient (np.clip passes NaN through): the model
+            # stays intact, only this update is lost.
+            raise FoldInDivergedError(
+                f"fold-in loss diverged ({loss_value}); lower "
+                f"OnlineConfig.lr/max_grad or refresh the model "
+                f"from a snapshot")
+        # Negatives' item rows carry gradient too (they are pushed
+        # down), so they count as touched items.  ``grad[rows]`` works
+        # for dense gradients and SparseRowGrads alike (the latter
+        # gather touched rows densely, absent rows read as zero).
+        targets = model.fold_in_targets(
+            users, np.concatenate([items, negatives.reshape(-1)]),
+            sides=config.sides,
+        )
+        for param, rows in targets:
+            grad = param.grad
+            if grad is None or rows.size == 0:
+                continue
+            param.data[rows] -= config.lr * np.clip(
+                grad[rows], -config.max_grad, config.max_grad)
+        model.zero_grad()
         return loss_value

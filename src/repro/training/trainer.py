@@ -14,6 +14,8 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.autograd.backend import (DEFAULT_TRAINING_BACKEND, resolve_backend,
+                                    use_backend)
 from repro.autograd.optim import Adam, Optimizer, SGD
 from repro.data.batching import minibatches
 from repro.models.base import RecommenderModel
@@ -28,7 +30,14 @@ _OPTIMIZERS: dict[str, Callable[..., Optimizer]] = {
 
 @dataclass
 class TrainConfig:
-    """Hyper-parameters of one training run."""
+    """Hyper-parameters of one training run.
+
+    ``backend`` selects the autograd execution strategy
+    (:mod:`repro.autograd.backend`): ``"fused"`` (the default) trains in
+    float32 with fused elementwise chains and sparse embedding
+    gradients; ``"reference"`` is the original float64 engine,
+    bit-identical to pre-backend training.
+    """
 
     epochs: int = 10
     batch_size: int = 256
@@ -39,12 +48,14 @@ class TrainConfig:
     patience: int = 3
     min_delta: float = 1e-5
     verbose: bool = False
+    backend: str = DEFAULT_TRAINING_BACKEND
 
     def __post_init__(self):
         if self.optimizer not in _OPTIMIZERS:
             raise ValueError(
                 f"unknown optimizer {self.optimizer!r}; options: {sorted(_OPTIMIZERS)}"
             )
+        resolve_backend(self.backend)  # raises on unknown names
 
 
 @dataclass
@@ -64,6 +75,11 @@ class Trainer:
                  registry=None):
         self.model = model
         self.config = config if config is not None else TrainConfig()
+        # Convert the model to the backend's dtype *before* the
+        # optimizer captures its state buffers — the optimizer asserts
+        # shape/dtype agreement on every step.
+        self._backend = resolve_backend(self.config.backend)
+        model.to_dtype(self._backend.dtype)
         self._optimizer = _OPTIMIZERS[self.config.optimizer](
             list(model.parameters()),
             lr=self.config.lr,
@@ -120,7 +136,7 @@ class Trainer:
         """
         users = np.asarray(users)
         items = np.asarray(items)
-        labels = np.asarray(labels, dtype=np.float64)
+        labels = np.asarray(labels, dtype=self._backend.dtype)
         if users.size == 0:
             raise ValueError(
                 "fit_pointwise called with an empty training set "
@@ -131,42 +147,43 @@ class Trainer:
         stale = 0
         score_batch = self.model.batch_scorer(users, items)
 
-        for epoch in range(self.config.epochs):
-            epoch_start = time.perf_counter()
-            self.model.train()
-            losses = []
-            for batch in minibatches(users.size, self.config.batch_size, rng=self._rng):
-                self._optimizer.zero_grad()
-                scores = score_batch(batch)
-                loss = squared_loss(scores, labels[batch])
-                loss.backward()
-                self._optimizer.step()
-                losses.append(loss.item())
-            result.train_losses.append(float(np.mean(losses)))
-            self._observe_epoch(time.perf_counter() - epoch_start,
-                                int(users.size), result.train_losses[-1])
-            if self.config.verbose:
-                print(f"epoch {epoch}: loss={result.train_losses[-1]:.4f}")
+        with use_backend(self._backend):
+            for epoch in range(self.config.epochs):
+                epoch_start = time.perf_counter()
+                self.model.train()
+                losses = []
+                for batch in minibatches(users.size, self.config.batch_size, rng=self._rng):
+                    self._optimizer.zero_grad()
+                    scores = score_batch(batch)
+                    loss = squared_loss(scores, labels[batch])
+                    loss.backward()
+                    self._optimizer.step()
+                    losses.append(loss.item())
+                result.train_losses.append(float(np.mean(losses)))
+                self._observe_epoch(time.perf_counter() - epoch_start,
+                                    int(users.size), result.train_losses[-1])
+                if self.config.verbose:
+                    print(f"epoch {epoch}: loss={result.train_losses[-1]:.4f}")
 
-            if validate is None:
-                continue
-            score = float(validate(self.model))
-            result.valid_scores.append(score)
-            improved = (
-                score > best_score + self.config.min_delta
-                if higher_is_better
-                else score < best_score - self.config.min_delta
-            )
-            if improved:
-                best_score = score
-                best_state = self.model.state_dict()
-                result.best_epoch = epoch
-                stale = 0
-            else:
-                stale += 1
-                if stale > self.config.patience:
-                    result.stopped_early = True
-                    break
+                if validate is None:
+                    continue
+                score = float(validate(self.model))
+                result.valid_scores.append(score)
+                improved = (
+                    score > best_score + self.config.min_delta
+                    if higher_is_better
+                    else score < best_score - self.config.min_delta
+                )
+                if improved:
+                    best_score = score
+                    best_state = self.model.state_dict()
+                    result.best_epoch = epoch
+                    stale = 0
+                else:
+                    stale += 1
+                    if stale > self.config.patience:
+                        result.stopped_early = True
+                        break
 
         if best_state is not None:
             self.model.load_state_dict(best_state)
@@ -203,43 +220,44 @@ class Trainer:
         score_positive = self.model.batch_scorer(users, positives)
         score_negative = self.model.batch_scorer(users, negatives)
 
-        for epoch in range(self.config.epochs):
-            epoch_start = time.perf_counter()
-            self.model.train()
-            losses = []
-            for batch in minibatches(users.size, self.config.batch_size, rng=self._rng):
-                self._optimizer.zero_grad()
-                pos_scores = score_positive(batch)
-                neg_scores = score_negative(batch)
-                loss = bpr_loss(pos_scores, neg_scores)
-                loss.backward()
-                self._optimizer.step()
-                losses.append(loss.item())
-            result.train_losses.append(float(np.mean(losses)))
-            self._observe_epoch(time.perf_counter() - epoch_start,
-                                int(users.size), result.train_losses[-1])
-            if self.config.verbose:
-                print(f"epoch {epoch}: bpr={result.train_losses[-1]:.4f}")
+        with use_backend(self._backend):
+            for epoch in range(self.config.epochs):
+                epoch_start = time.perf_counter()
+                self.model.train()
+                losses = []
+                for batch in minibatches(users.size, self.config.batch_size, rng=self._rng):
+                    self._optimizer.zero_grad()
+                    pos_scores = score_positive(batch)
+                    neg_scores = score_negative(batch)
+                    loss = bpr_loss(pos_scores, neg_scores)
+                    loss.backward()
+                    self._optimizer.step()
+                    losses.append(loss.item())
+                result.train_losses.append(float(np.mean(losses)))
+                self._observe_epoch(time.perf_counter() - epoch_start,
+                                    int(users.size), result.train_losses[-1])
+                if self.config.verbose:
+                    print(f"epoch {epoch}: bpr={result.train_losses[-1]:.4f}")
 
-            if validate is None:
-                continue
-            score = float(validate(self.model))
-            result.valid_scores.append(score)
-            improved = (
-                score > best_score + self.config.min_delta
-                if higher_is_better
-                else score < best_score - self.config.min_delta
-            )
-            if improved:
-                best_score = score
-                best_state = self.model.state_dict()
-                result.best_epoch = epoch
-                stale = 0
-            else:
-                stale += 1
-                if stale > self.config.patience:
-                    result.stopped_early = True
-                    break
+                if validate is None:
+                    continue
+                score = float(validate(self.model))
+                result.valid_scores.append(score)
+                improved = (
+                    score > best_score + self.config.min_delta
+                    if higher_is_better
+                    else score < best_score - self.config.min_delta
+                )
+                if improved:
+                    best_score = score
+                    best_state = self.model.state_dict()
+                    result.best_epoch = epoch
+                    stale = 0
+                else:
+                    stale += 1
+                    if stale > self.config.patience:
+                        result.stopped_early = True
+                        break
 
         if best_state is not None:
             self.model.load_state_dict(best_state)

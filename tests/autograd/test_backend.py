@@ -1,0 +1,335 @@
+"""The backend seam: selection, chain fusion, and SparseRowGrad.
+
+Covers the machinery :mod:`repro.autograd.backend` adds around the
+engine — backend resolution and scoping, the fused tape topology, the
+sparse per-row gradient type, and the bugfix sweep that shipped with
+the seam (embedding bounds, n-ary ``sum_tensors``, optimizer state
+guards).
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import backend, ops
+from repro.autograd.backend import (BACKENDS, FUSED, REFERENCE, Backend,
+                                    SparseRowGrad, active_backend,
+                                    active_dtype, infer_backend,
+                                    resolve_backend, scatter_rows,
+                                    use_backend)
+from repro.autograd.optim import SGD, Adam
+from repro.autograd.tensor import Tensor
+
+FUSED64 = Backend("fused64", np.dtype(np.float64),
+                  fuse_elementwise=True, sparse_embedding_grad=True)
+
+
+class TestSelection:
+    def test_registry_names(self):
+        assert set(BACKENDS) == {"reference", "fused"}
+        assert resolve_backend("reference") is REFERENCE
+        assert resolve_backend("fused") is FUSED
+
+    def test_none_means_reference(self):
+        assert resolve_backend(None) is REFERENCE
+
+    def test_instances_pass_through(self):
+        assert resolve_backend(FUSED64) is FUSED64
+
+    def test_unknown_name_lists_options(self):
+        with pytest.raises(ValueError, match="fused.*reference|reference.*fused"):
+            resolve_backend("float16")
+
+    def test_use_backend_nests_and_restores(self):
+        assert active_backend() is REFERENCE
+        with use_backend("fused"):
+            assert active_backend() is FUSED
+            assert active_dtype() == np.float32
+            with use_backend("reference"):
+                assert active_backend() is REFERENCE
+            assert active_backend() is FUSED
+        assert active_backend() is REFERENCE
+
+    def test_use_backend_restores_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with use_backend("fused"):
+                raise RuntimeError("boom")
+        assert active_backend() is REFERENCE
+
+    def test_infer_backend_from_parameter_dtype(self):
+        f32 = Tensor._from_data(np.zeros(3, dtype=np.float32))
+        f64 = Tensor._from_data(np.zeros(3, dtype=np.float64))
+        assert infer_backend([f64, f32]) is FUSED
+        assert infer_backend([f64]) is REFERENCE
+        assert infer_backend([]) is REFERENCE
+
+    def test_tensor_creation_follows_the_active_dtype(self):
+        with use_backend("fused"):
+            assert Tensor([1.0, 2.0]).data.dtype == np.float32
+        assert Tensor([1.0, 2.0]).data.dtype == np.float64
+
+
+class TestChainFusion:
+    def test_unary_chain_collapses_to_one_node(self):
+        with use_backend(FUSED64):
+            x = Tensor(np.linspace(-1, 1, 6).reshape(2, 3),
+                       requires_grad=True)
+            y = x.sigmoid().relu().tanh()
+        # The tape edge skips the intermediates: y's only parent is x.
+        assert y._parents == (x,)
+        assert y._chain_root is x
+
+    def test_reference_backend_keeps_per_op_nodes(self):
+        x = Tensor(np.linspace(-1, 1, 6).reshape(2, 3), requires_grad=True)
+        y = x.sigmoid().relu()
+        assert y._parents != (x,)
+        assert y._chain_root is None
+
+    def test_chain_breaks_at_non_elementwise_ops(self):
+        with use_backend(FUSED64):
+            x = Tensor(np.ones((2, 3)), requires_grad=True)
+            y = x.sigmoid().sum(axis=0).relu()
+        # sum() is a fresh tape node; relu starts a new chain there.
+        assert y._chain_root is not x
+
+    def test_fused_gradients_match_reference(self):
+        data = np.linspace(-2, 2, 12).reshape(3, 4)
+
+        def run(bknd):
+            with use_backend(bknd):
+                x = Tensor(data, requires_grad=True)
+                ((x.sigmoid() * 2.0 + 0.25).relu().tanh()).sum().backward()
+                return x.grad
+
+        np.testing.assert_allclose(run(FUSED64), run(REFERENCE),
+                                   rtol=1e-12, atol=1e-12)
+
+
+class TestSparseRowGrad:
+    def _grad(self):
+        return SparseRowGrad((5, 2), np.array([1, 3]),
+                             np.array([[1.0, 2.0], [3.0, 4.0]]))
+
+    def test_to_dense(self):
+        dense = self._grad().to_dense()
+        assert dense.shape == (5, 2)
+        np.testing.assert_array_equal(dense[1], [1.0, 2.0])
+        np.testing.assert_array_equal(dense[0], 0.0)
+
+    def test_sparse_plus_sparse_merges_rows(self):
+        other = SparseRowGrad((5, 2), np.array([3, 4]),
+                              np.array([[10.0, 10.0], [5.0, 5.0]]))
+        merged = self._grad() + other
+        assert isinstance(merged, SparseRowGrad)
+        np.testing.assert_array_equal(merged.rows, [1, 3, 4])
+        np.testing.assert_array_equal(
+            merged.to_dense(), self._grad().to_dense() + other.to_dense())
+
+    def test_sparse_plus_dense_densifies_without_mutation(self):
+        dense = np.ones((5, 2))
+        out = self._grad() + dense
+        assert isinstance(out, np.ndarray)
+        np.testing.assert_array_equal(dense, 1.0)   # input untouched
+        np.testing.assert_array_equal(out, self._grad().to_dense() + 1.0)
+        np.testing.assert_array_equal(dense + self._grad(), out)  # __radd__
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="shape"):
+            self._grad() + np.ones((4, 2))
+        with pytest.raises(ValueError, match="shape"):
+            self._grad() + SparseRowGrad((4, 2), np.array([0]),
+                                         np.ones((1, 2)))
+
+    def test_getitem_matches_dense_indexing(self):
+        grad = self._grad()
+        index = np.array([0, 1, 3, 3, 4])
+        np.testing.assert_array_equal(grad[index], grad.to_dense()[index])
+
+    def test_getitem_rejects_non_integer_indices(self):
+        with pytest.raises(TypeError, match="integer"):
+            self._grad()[np.array([0.5, 1.5])]
+
+    def test_add_scaled_rows_decays_touched_rows_only(self):
+        table = np.full((5, 2), 10.0)
+        decayed = self._grad().add_scaled_rows(table, 0.1)
+        assert isinstance(decayed, SparseRowGrad)
+        np.testing.assert_array_equal(decayed.rows, [1, 3])
+        np.testing.assert_allclose(decayed.values,
+                                   self._grad().values + 1.0)
+
+    def test_scatter_rows_accumulates_duplicates(self):
+        grad = scatter_rows(np.array([2, 0, 2, 2]),
+                            np.array([[1.0], [5.0], [10.0], [100.0]]),
+                            (4, 1))
+        np.testing.assert_array_equal(grad.rows, [0, 2])
+        np.testing.assert_allclose(grad.values, [[5.0], [111.0]])
+
+    def test_embedding_backward_is_sparse_under_fused(self):
+        indices = np.array([1, 1, 3])
+        with use_backend(FUSED64):
+            table = Tensor(np.arange(10.0).reshape(5, 2),
+                           requires_grad=True)
+            ops.embedding(table, indices).sum().backward()
+        assert isinstance(table.grad, SparseRowGrad)
+        np.testing.assert_array_equal(table.grad.rows, [1, 3])
+        np.testing.assert_allclose(table.grad.values,
+                                   [[2.0, 2.0], [1.0, 1.0]])
+
+    def test_embedding_backward_is_dense_under_reference(self):
+        table = Tensor(np.arange(10.0).reshape(5, 2), requires_grad=True)
+        ops.embedding(table, np.array([1, 1, 3])).sum().backward()
+        assert isinstance(table.grad, np.ndarray)
+
+
+class TestEmbeddingBounds:
+    """Regression: numpy fancy indexing wraps negative indices, so a
+    corrupt ``-1`` silently trained the *last* table row."""
+
+    def test_negative_index_raises(self):
+        table = Tensor(np.zeros((4, 2)), requires_grad=True)
+        with pytest.raises(IndexError, match="-1"):
+            ops.embedding(table, np.array([0, -1]))
+
+    def test_index_past_the_end_raises(self):
+        table = Tensor(np.zeros((4, 2)), requires_grad=True)
+        with pytest.raises(IndexError, match="4"):
+            ops.embedding(table, np.array([0, 4]))
+
+    def test_bounds_checked_on_both_backends(self):
+        with use_backend(FUSED64):
+            table = Tensor(np.zeros((4, 2)), requires_grad=True)
+            with pytest.raises(IndexError):
+                ops.embedding(table, np.array([7]))
+
+    def test_full_range_is_accepted(self):
+        table = Tensor(np.arange(8.0).reshape(4, 2))
+        out = ops.embedding(table, np.array([0, 3]))
+        np.testing.assert_array_equal(out.data, table.data[[0, 3]])
+
+
+class TestSumTensors:
+    """Regression: the old implementation folded with binary ``+``,
+    building an O(n)-deep graph; now one n-ary node, same numbers."""
+
+    def _terms(self, n, shape=(3, 2)):
+        rng = np.random.default_rng(42)
+        return [Tensor(rng.standard_normal(shape), requires_grad=True)
+                for _ in range(n)]
+
+    def test_byte_equivalent_to_the_binary_chain(self):
+        terms = self._terms(9)
+        chain = terms[0]
+        for term in terms[1:]:
+            chain = chain + term
+        nary = ops.sum_tensors(terms)
+        np.testing.assert_array_equal(nary.data, chain.data)
+
+        chain.sum().backward()
+        chain_grads = [t.grad.copy() for t in terms]
+        for t in terms:
+            t.zero_grad()
+        nary.sum().backward()
+        for t, expected in zip(terms, chain_grads):
+            np.testing.assert_array_equal(t.grad, expected)
+
+    def test_single_graph_node(self):
+        terms = self._terms(9)
+        out = ops.sum_tensors(terms)
+        assert out._parents == tuple(terms)
+
+    def test_single_tensor_passes_through(self):
+        t = self._terms(1)[0]
+        assert ops.sum_tensors([t]) is t
+
+    def test_empty_list_raises(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ops.sum_tensors([])
+
+    def test_shape_mismatch_raises(self):
+        a = Tensor(np.zeros((2, 2)))
+        b = Tensor(np.zeros((3, 2)))
+        with pytest.raises(ValueError, match="shape"):
+            ops.sum_tensors([a, b])
+
+
+class TestOptimizerStateGuards:
+    """Regression: swapping ``param.data`` after the optimizer captured
+    its buffers silently broadcast/NaN'd; now a clear error."""
+
+    def _param(self, dtype=np.float64):
+        p = Tensor(np.zeros((3, 2)), requires_grad=True)
+        p.data = p.data.astype(dtype)
+        p.grad = np.ones((3, 2), dtype=dtype)
+        return p
+
+    @pytest.mark.parametrize("make", [
+        lambda p: SGD([p], lr=0.1, momentum=0.9),
+        lambda p: Adam([p], lr=0.1),
+    ], ids=["sgd", "adam"])
+    def test_shape_swap_raises(self, make):
+        param = self._param()
+        optimizer = make(param)
+        optimizer.step()    # capture buffers at (3, 2)
+        param.data = np.zeros((4, 2))
+        param.grad = np.ones((4, 2))
+        with pytest.raises(RuntimeError, match="rebuild the optimizer"):
+            optimizer.step()
+
+    @pytest.mark.parametrize("make", [
+        lambda p: SGD([p], lr=0.1, momentum=0.9),
+        lambda p: Adam([p], lr=0.1),
+    ], ids=["sgd", "adam"])
+    def test_dtype_swap_raises(self, make):
+        param = self._param()
+        optimizer = make(param)
+        optimizer.step()
+        param.data = param.data.astype(np.float32)
+        param.grad = np.ones((3, 2), dtype=np.float32)
+        with pytest.raises(RuntimeError, match="rebuild the optimizer"):
+            optimizer.step()
+
+
+class TestSparseOptimizerSteps:
+    def _table(self):
+        p = Tensor(np.arange(10.0).reshape(5, 2), requires_grad=True)
+        return p
+
+    def _sparse(self):
+        return SparseRowGrad((5, 2), np.array([1, 3]),
+                             np.array([[1.0, 1.0], [2.0, 2.0]]))
+
+    def test_sgd_updates_touched_rows_only(self):
+        param = self._table()
+        before = param.data.copy()
+        param.grad = self._sparse()
+        SGD([param], lr=0.5).step()
+        np.testing.assert_array_equal(param.data[[0, 2, 4]],
+                                      before[[0, 2, 4]])
+        np.testing.assert_allclose(param.data[1], before[1] - 0.5)
+        np.testing.assert_allclose(param.data[3], before[3] - 1.0)
+
+    def test_sgd_sparse_matches_dense_step(self):
+        sparse_p, dense_p = self._table(), self._table()
+        sparse_p.grad = self._sparse()
+        dense_p.grad = self._sparse().to_dense()
+        SGD([sparse_p], lr=0.3, momentum=0.9).step()
+        SGD([dense_p], lr=0.3, momentum=0.9).step()
+        np.testing.assert_allclose(sparse_p.data, dense_p.data)
+
+    def test_adam_updates_touched_rows_only(self):
+        param = self._table()
+        before = param.data.copy()
+        param.grad = self._sparse()
+        Adam([param], lr=0.1).step()
+        np.testing.assert_array_equal(param.data[[0, 2, 4]],
+                                      before[[0, 2, 4]])
+        assert not np.allclose(param.data[[1, 3]], before[[1, 3]])
+
+    def test_sparse_weight_decay_decays_touched_rows_only(self):
+        param = self._table()
+        before = param.data.copy()
+        param.grad = SparseRowGrad((5, 2), np.array([1]),
+                                   np.zeros((1, 2)))
+        SGD([param], lr=0.5, weight_decay=0.1).step()
+        np.testing.assert_array_equal(param.data[[0, 2, 3, 4]],
+                                      before[[0, 2, 3, 4]])
+        np.testing.assert_allclose(param.data[1], before[1] * (1 - 0.05))

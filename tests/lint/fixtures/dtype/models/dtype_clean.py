@@ -1,0 +1,12 @@
+"""Clean twin: dtypes derived from the backend seam or existing arrays."""
+
+import numpy as np
+
+from repro.autograd.backend import active_dtype
+
+
+def build_tables(param, n):
+    fresh = np.zeros(n, dtype=active_dtype())
+    follow = np.ones(n, dtype=param.data.dtype)
+    integers = np.arange(n, dtype=np.int64)
+    return fresh, follow, integers

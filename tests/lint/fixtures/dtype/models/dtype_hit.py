@@ -1,0 +1,15 @@
+"""Seeded violations for dtype-hardcoded in a models-scoped file
+(four findings: np.float64, np.float32, numpy.float64, DTYPE)."""
+
+import numpy
+import numpy as np
+
+from repro.autograd.tensor import DTYPE
+
+
+def build_tables(n):
+    scores = np.zeros(n, dtype=np.float64)
+    weights = np.ones(n, dtype=np.float32)
+    bias = numpy.empty(n, dtype=numpy.float64)
+    legacy = np.full(n, 0.0, dtype=DTYPE)
+    return scores, weights, bias, legacy

@@ -1,0 +1,8 @@
+"""Out-of-scope twin: hard-coded dtypes outside models/ and training/
+(serving/analysis planes pin float64 deliberately)."""
+
+import numpy as np
+
+
+def pinned_scores(n):
+    return np.empty(n, dtype=np.float64)

@@ -1,0 +1,30 @@
+"""dtype-hardcoded: precision literals stay behind the backend seam."""
+
+import pytest
+
+from tests.lint.helpers import lint_fixture, rule_ids
+
+pytestmark = pytest.mark.lint
+
+
+def test_hardcoded_dtype_scoped_to_models_and_training():
+    report = lint_fixture("dtype")
+    assert set(rule_ids(report)) == {"dtype-hardcoded"}
+    # Four findings, all in the models-scoped hit file: np.float64,
+    # np.float32, numpy.float64 and the legacy DTYPE constant.  The
+    # clean twin (active_dtype()/param dtype/int dtype) and the
+    # out-of-scope file contribute nothing.
+    assert len(report.findings) == 4
+    assert all(f.path.endswith("models/dtype_hit.py")
+               for f in report.findings)
+
+
+def test_clean_twin_is_silent():
+    assert lint_fixture("dtype", "models", "dtype_clean.py").ok
+
+
+def test_integer_dtypes_are_exempt():
+    # np.int64 in the clean twin must not fire: the rule names only
+    # float precision literals.
+    report = lint_fixture("dtype", "models", "dtype_clean.py")
+    assert rule_ids(report) == []
