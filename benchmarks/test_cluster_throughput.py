@@ -3,14 +3,15 @@
 Two records land in ``benchmarks/results/cluster_throughput.json``
 (or ``REPRO_BENCH_JSON``):
 
-- ``cluster_throughput`` — a live single-process HTTP server vs a
-  sharded :class:`~repro.serving.cluster.ServingCluster` under the
+- ``cluster_throughput`` — a live single-process threaded HTTP server
+  vs a sharded :class:`~repro.serving.cluster.ServingCluster` behind
+  the async micro-batching frontend (the cluster default) under the
   seeded Zipf load harness (:mod:`tests.serving.loadgen`): req/s and
   p50/p99 latency for both deployments.  **Gate**: sharded ≥ 2× the
-  single process's req/s — enforced only when the runner has ≥ 2 CPU
-  cores (shard workers are processes; a single-core box caps the whole
-  fleet at one core of scoring, so the record is still written but the
-  gate is marked skipped).
+  single process's req/s on runners with ≥ 2 CPU cores; on a low-core
+  box (shard workers are processes, so the fleet is capped at one core
+  of scoring) the gate drops to ≥ 1× — the sharded async deployment
+  must still *beat* the single threaded process, never merely skip.
 - ``ann_retrieval`` — IVF candidate retrieval vs exact full-grid
   scoring on the large synthetic corpus: candidate recall@10 against
   the exact top-10 and the end-to-end scoring speedup
@@ -49,6 +50,7 @@ N_CLIENTS = 8
 ANN_CLUSTERS = 40
 ANN_PROBES = 3
 SHARD_GATE = 2.0
+LOW_CORE_SHARD_GATE = 1.0
 ANN_RECALL_GATE = 0.95
 ANN_SPEEDUP_GATE = 5.0
 
@@ -60,8 +62,8 @@ def _cores() -> int:
         return os.cpu_count() or 1
 
 
-def _drive_deployment(front, schedule) -> dict:
-    server = build_server(front)
+def _drive_deployment(front, schedule, frontend="threaded") -> dict:
+    server = build_server(front, frontend=frontend)
     accept = threading.Thread(target=server.serve_forever, daemon=True)
     accept.start()
     try:
@@ -80,11 +82,16 @@ def measure_sharded(model, dataset, cores) -> dict:
     factory = lambda: RecommendationService(  # noqa: E731
         model, dataset, top_k=TOP_K, cache_size=0)
 
-    single = _drive_deployment(factory(), schedule)
+    single = _drive_deployment(factory(), schedule, frontend="threaded")
     n_shards = min(4, cores) if cores >= 2 else 2
+    # The sharded deployment rides the async micro-batching frontend —
+    # the `repro serve --shards N` default — so this record measures
+    # the shipped configuration, not a synthetic one.
     with ServingCluster(factory, n_shards=n_shards) as cluster:
-        sharded = _drive_deployment(cluster, schedule)
+        sharded = _drive_deployment(cluster, schedule, frontend="async")
 
+    gate_ratio = SHARD_GATE if cores >= 2 else LOW_CORE_SHARD_GATE
+    speedup = sharded["req_per_sec"] / single["req_per_sec"]
     record = {
         "benchmark": "cluster_throughput",
         "model": MODEL,
@@ -94,12 +101,15 @@ def measure_sharded(model, dataset, cores) -> dict:
         "clients": N_CLIENTS,
         "cores": cores,
         "shards": n_shards,
+        "frontends": {"single": "threaded", "sharded": "async"},
         "single": single,
         "sharded": sharded,
-        "speedup_req_per_sec": sharded["req_per_sec"] / single["req_per_sec"],
-        "gate": (f">= {SHARD_GATE}x req/s" if cores >= 2
-                 else "skipped (single-core runner: worker counts are "
-                      "capped by available cores)"),
+        "speedup_req_per_sec": speedup,
+        "gate": (f">= {gate_ratio}x req/s" if cores >= 2
+                 else f">= {gate_ratio}x req/s (low-core floor: the "
+                      f"sharded async deployment must still beat the "
+                      f"single threaded process)"),
+        "gate_passed": bool(speedup >= gate_ratio),
     }
     return record
 
@@ -177,10 +187,10 @@ def test_cluster_throughput(benchmark):
           f"({ann['speedup']:.1f}x, scans "
           f"{ann['scanned_fraction']:.0%} of the catalogue)")
 
-    if cores >= 2:
-        assert sharded["speedup_req_per_sec"] >= SHARD_GATE, (
-            f"sharded serving only {sharded['speedup_req_per_sec']:.2f}x "
-            f"the single process's req/s on {cores} cores")
+    assert sharded["gate_passed"], (
+        f"sharded async serving only {sharded['speedup_req_per_sec']:.2f}x "
+        f"the single threaded process's req/s on {cores} core(s); "
+        f"gate: {sharded['gate']}")
     assert ann["recall_at_10"] >= ANN_RECALL_GATE, (
         f"ANN candidate recall@10 {ann['recall_at_10']:.3f} below "
         f"{ANN_RECALL_GATE}")

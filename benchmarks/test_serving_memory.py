@@ -1,0 +1,206 @@
+"""Memory-mapped artifact sharing across serving replicas: RSS records
+and gate.
+
+One record lands in ``benchmarks/results/serving_memory.json`` (or
+``REPRO_BENCH_JSON``): a user-heavy BPR-MF model is saved as a
+manifest-layout artifact, then four *independent* replica processes
+load it with ``mmap=True`` and touch every parameter page (a full
+``np.sum`` over each table — the worst case, every page faulted in).
+With all four replicas holding the mapping concurrently, the faulted
+pages are file-backed and shared, so each replica's *private* RSS
+delta (``Private_Clean + Private_Dirty`` from
+``/proc/self/smaps_rollup``) stays a small fraction of the model.
+
+**Gate**: per-replica private-RSS delta ≤ 0.25× the model's parameter
+bytes, for every one of the four replicas.  A control replica loading
+the same bundle with ``mmap=False`` is recorded ungated — it pays the
+full copy and shows the delta the mapping avoids.
+
+Linux-only (``smaps_rollup``); the benchmark skips elsewhere.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import RecDataset
+from repro.experiments.registry import build_model
+from repro.serving.artifact import save_artifact
+from conftest import emit_bench_records
+
+pytestmark = [pytest.mark.serving, pytest.mark.cluster]
+
+MODEL = "BPR-MF"
+N_USERS = 60_000
+N_ITEMS = 600
+N_EVENTS = 6_000
+K = 32
+N_REPLICAS = 4
+RSS_GATE_FRACTION = 0.25
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Runs in each replica subprocess.  Imports happen before the baseline
+#: sample so the delta isolates the artifact load + page touch; the
+#: READY/GO handshake keeps all replicas mapped while any of them
+#: measures, which is what makes the touched pages *shared*.
+_REPLICA_SCRIPT = r"""
+import json, sys
+
+def rollup():
+    vals = {}
+    with open("/proc/self/smaps_rollup") as fh:
+        for line in fh:
+            parts = line.split()
+            if len(parts) >= 2 and parts[0].endswith(":"):
+                try:
+                    vals[parts[0][:-1]] = int(parts[1])
+                except ValueError:
+                    pass
+    return vals
+
+path, use_mmap = sys.argv[1], sys.argv[2] == "1"
+import numpy as np
+from repro.serving.artifact import load_artifact
+import repro.experiments.registry  # noqa: F401  (load_artifact defers this
+                                   # import; pull it before the baseline so
+                                   # the delta measures data, not modules)
+
+before = rollup()
+loaded = load_artifact(path, mmap=use_mmap)
+model_bytes = 0
+checksum = 0.0
+for name, param in sorted(loaded.model.named_parameters()):
+    checksum += float(np.sum(param.data))   # faults in every page
+    model_bytes += param.data.nbytes
+print("READY", flush=True)
+sys.stdin.readline()                        # wait for GO
+after = rollup()
+private_kb = ((after.get("Private_Clean", 0) + after.get("Private_Dirty", 0))
+              - (before.get("Private_Clean", 0)
+                 + before.get("Private_Dirty", 0)))
+anonymous_kb = after.get("Anonymous", 0) - before.get("Anonymous", 0)
+print(json.dumps({
+    "private_kb": private_kb,
+    "anonymous_kb": anonymous_kb,
+    "model_bytes": model_bytes,
+    "checksum": checksum,
+}), flush=True)
+sys.stdin.readline()                        # hold the mapping until EXIT
+"""
+
+
+def make_user_heavy_dataset() -> RecDataset:
+    """Many users, few interactions: parameter bytes dominated by the
+    user embedding table, artifact metadata kept tiny."""
+    rng = np.random.default_rng(0)
+    users = rng.integers(0, N_USERS, size=N_EVENTS)
+    items = rng.integers(0, N_ITEMS, size=N_EVENTS)
+    return RecDataset(
+        name="user-heavy",
+        n_users=N_USERS,
+        n_items=N_ITEMS,
+        users=users,
+        items=items,
+        timestamps=np.arange(N_EVENTS, dtype=np.int64),
+        user_attrs={},
+        item_attrs={},
+    )
+
+
+def _spawn_replica(bundle, mmap):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (os.path.join(REPO_ROOT, "src") + os.pathsep
+                         + env.get("PYTHONPATH", ""))
+    return subprocess.Popen(
+        [sys.executable, "-c", _REPLICA_SCRIPT, bundle, "1" if mmap else "0"],
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE, text=True, env=env, cwd=REPO_ROOT)
+
+
+def _measure_group(procs) -> list[dict]:
+    """READY → GO → report → EXIT, with every process still holding its
+    mapping while any of them samples smaps (that concurrency is what
+    makes the touched file pages *shared*, not private)."""
+    for proc in procs:
+        assert proc.stdout.readline().strip() == "READY"
+    for proc in procs:
+        proc.stdin.write("GO\n")
+        proc.stdin.flush()
+    reports = [json.loads(proc.stdout.readline()) for proc in procs]
+    for proc in procs:
+        _, err = proc.communicate(input="EXIT\n", timeout=180)
+        assert proc.returncode == 0, err
+    return reports
+
+
+def measure_replica_rss(bundle) -> dict:
+    replicas = [_spawn_replica(bundle, mmap=True)
+                for _ in range(N_REPLICAS)]
+    reports = _measure_group(replicas)
+
+    # Control: one replica paying the full copy (mmap=False).
+    control, = _measure_group([_spawn_replica(bundle, mmap=False)])
+
+    model_bytes = reports[0]["model_bytes"]
+    assert all(r["model_bytes"] == model_bytes for r in reports)
+    # Every replica read the same mapped parameters.
+    assert len({r["checksum"] for r in reports + [control]}) == 1
+
+    limit_kb = RSS_GATE_FRACTION * model_bytes / 1024
+    worst_kb = max(r["private_kb"] for r in reports)
+    return {
+        "benchmark": "serving_memory",
+        "model": MODEL,
+        "n_users": N_USERS,
+        "n_items": N_ITEMS,
+        "k": K,
+        "replicas": N_REPLICAS,
+        "model_mb": model_bytes / 2 ** 20,
+        "replica_private_kb": [r["private_kb"] for r in reports],
+        "replica_anonymous_kb": [r["anonymous_kb"] for r in reports],
+        "worst_replica_private_kb": worst_kb,
+        "control_private_kb": control["private_kb"],
+        "control_anonymous_kb": control["anonymous_kb"],
+        # Headline for `repro bench report`: how many times less private
+        # memory the worst mmap replica holds than the full-copy control.
+        "rss_sharing_speedup": control["private_kb"] / max(worst_kb, 1),
+        "gate": f"per-replica private RSS delta <= "
+                f"{RSS_GATE_FRACTION}x model bytes "
+                f"({limit_kb:.0f} kB) with {N_REPLICAS} mmap replicas",
+        "gate_passed": bool(worst_kb <= limit_kb),
+    }
+
+
+@pytest.mark.skipif(not os.path.exists("/proc/self/smaps_rollup"),
+                    reason="needs /proc smaps_rollup (Linux)")
+def test_serving_memory(benchmark, tmp_path):
+    dataset = make_user_heavy_dataset()
+    model = build_model(MODEL, dataset, k=K, seed=0)
+    bundle = save_artifact(model, dataset, str(tmp_path / "bundle"), MODEL,
+                           {"k": K}, layout="dir")
+
+    def run_sweep():
+        return [measure_replica_rss(bundle)]
+
+    records = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit_bench_records(records, "serving_memory.json")
+
+    record = records[0]
+    print(f"\nServing memory, {MODEL} {N_USERS} users x k={K} "
+          f"({record['model_mb']:.1f} MB of parameters), "
+          f"{N_REPLICAS} mmap replicas")
+    print(f"  per-replica private RSS: "
+          f"{record['replica_private_kb']} kB "
+          f"(worst {record['worst_replica_private_kb']} kB)")
+    print(f"  mmap=False control     : "
+          f"{record['control_private_kb']} kB private, "
+          f"{record['control_anonymous_kb']} kB anonymous")
+
+    assert record["gate_passed"], (
+        f"worst replica gained {record['worst_replica_private_kb']} kB "
+        f"private RSS; gate: {record['gate']}")

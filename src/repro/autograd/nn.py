@@ -102,18 +102,35 @@ class Module:
         """Copy of all parameter arrays keyed by dotted name."""
         return {name: p.data.copy() for name, p in self.named_parameters()}
 
-    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+    def load_state_dict(self, state: dict[str, np.ndarray],
+                        assign: bool = False) -> None:
+        """Load parameter arrays keyed by dotted name.
+
+        With ``assign=False`` (default) values are copied into the
+        existing parameter buffers, preserving their dtype and memory.
+        With ``assign=True`` each ``Tensor``'s ``.data`` is *rebound* to
+        the given array without copying — tensor identities survive, the
+        old buffers are dropped, and the incoming arrays (dtype,
+        flags and all) become the live parameters.  That is the
+        zero-copy path the serving stack uses to run models directly
+        over memory-mapped read-only artifact views; such parameters
+        report ``writeable=False`` and reject in-place updates.
+        """
         params = dict(self.named_parameters())
         missing = set(params) - set(state)
         if missing:
             raise KeyError(f"state_dict missing parameters: {sorted(missing)}")
         for name, param in params.items():
-            value = np.asarray(state[name])
+            value = state[name] if assign else np.asarray(state[name])
             if value.shape != param.data.shape:
                 raise ValueError(
                     f"shape mismatch for {name}: {value.shape} vs {param.data.shape}"
                 )
-            param.data[...] = value
+            if assign:
+                param.data = value
+                param.grad = None
+            else:
+                param.data[...] = value
 
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)

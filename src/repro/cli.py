@@ -20,6 +20,8 @@ the ``slow`` benchmarks, e.g. ``pytest -m slow benchmarks/``.)
     python -m repro serve --shards 4 --replicas 2  # sharded worker fleet
     python -m repro serve --ann      # IVF candidate retrieval (sub-linear)
     python -m repro serve --trace    # per-request tracing (GET /trace)
+    python -m repro serve --frontend async  # event loop + micro-batching
+    python -m repro serve --artifact b --mmap  # zero-copy read-only model
     python -m repro serve --selfcheck # boot + one query + exit 0 (CI gate)
 
     # Observability consoles (repro.obs): watch a live server, or
@@ -141,6 +143,21 @@ def _build_parser() -> argparse.ArgumentParser:
                        dest="ann_probes",
                        help="clusters scanned per query (default: half — "
                             "recall-safe; lower for throughput)")
+    serve.add_argument("--frontend", default="auto",
+                       choices=["auto", "threaded", "async"],
+                       help="HTTP transport: 'threaded' is the stdlib "
+                            "thread-per-request server, 'async' the "
+                            "selector event loop that coalesces concurrent "
+                            "/recommend calls into micro-batches "
+                            "(byte-identical responses); 'auto' (default) "
+                            "picks async for --shards > 1, threaded "
+                            "otherwise")
+    serve.add_argument("--mmap", action="store_true",
+                       help="memory-map the --artifact bundle read-only "
+                            "(dir-layout bundles only): replicas share one "
+                            "page cache instead of copying the model; "
+                            "incompatible with --online fold-in unless the "
+                            "trainer copies on first write")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request")
     serve.add_argument("--online", action="store_true",

@@ -73,6 +73,7 @@ def register(rule_cls: type) -> type:
 
 def load_rules() -> dict[str, Rule]:
     """Import every rule module (idempotent) and return the catalog."""
-    from repro.lint import contracts, determinism, dtype, locks  # noqa: F401
+    from repro.lint import (contracts, determinism, dtype,  # noqa: F401
+                            locks, mmapwrite)
 
     return RULES

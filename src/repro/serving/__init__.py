@@ -3,7 +3,9 @@
 The research side trains and evaluates; this package turns a trained
 model into a service.  Module map::
 
-    artifact.py   self-describing model bundles (save/load one archive)
+    artifact.py   self-describing model bundles: legacy .npz archives
+                  and the mmap-able manifest/dir layout (zero-copy,
+                  read-only, page-cache-shared across processes)
     scorer.py     vectorized [users, catalogue] grid scoring (+ ANN)
     ann.py        seeded IVF candidate index (k-means codebook, probes)
     index.py      CSR seen-item masking + argpartition top-k ranking
@@ -11,6 +13,8 @@ model into a service.  Module map::
     service.py    RecommendationService facade (micro-batching, stats)
     cluster.py    user-sharded multi-process fleet (replicas, failover)
     server.py     stdlib-http JSON endpoint + `repro serve` backing
+    frontend.py   selector event loop coalescing /recommend requests
+                  into recommend_batch micro-batches
 
 Typical flow::
 
@@ -30,8 +34,10 @@ from repro.serving.artifact import (
     load_artifact,
     save_artifact,
 )
+from repro.serving.artifact import convert_artifact
 from repro.serving.cache import LRUCache
 from repro.serving.cluster import NoLiveReplicaError, ServingCluster
+from repro.serving.frontend import AsyncFrontend
 from repro.serving.index import TopKIndex
 from repro.serving.scorer import BatchScorer
 from repro.serving.server import RecommendationServer, build_server, selfcheck
@@ -42,6 +48,8 @@ __all__ = [
     "LoadedArtifact",
     "save_artifact",
     "load_artifact",
+    "convert_artifact",
+    "AsyncFrontend",
     "ANNConfig",
     "IVFIndex",
     "kmeans",

@@ -34,101 +34,213 @@ import numpy as np
 
 from repro.serving.service import RecommendationService
 
+#: Status lines http.server knows; the async frontend reuses them so
+#: both frontends emit identical reason phrases.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4"
+JSON_CONTENT_TYPE = "application/json"
 
-class RecommendHandler(BaseHTTPRequestHandler):
-    """Routes GET requests onto the server's attached service."""
+#: Default per-connection socket timeout (seconds).  A client that
+#: stalls mid-request used to pin a handler thread (and, behind a
+#: cluster, a replica RPC slot) forever; now the read trips, the
+#: connection gets a 408 (or a plain close when not even the request
+#: line arrived) and the thread is reclaimed.
+DEFAULT_REQUEST_TIMEOUT = 30.0
 
-    server: "RecommendationServer"
 
-    def _reply(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+# ----------------------------------------------------------------------
+# Request semantics shared by the threaded and async frontends.
+#
+# Both frontends answer every endpoint through these helpers, so the
+# response bodies are byte-identical by construction — the frontends
+# differ only in transport (thread-per-request blocking I/O vs one
+# selector loop) and in how /recommend calls are batched.
+# ----------------------------------------------------------------------
+def json_response(status: int, payload: dict) -> tuple[int, str, bytes]:
+    return status, JSON_CONTENT_TYPE, json.dumps(payload).encode("utf-8")
 
-    def _reply_text(self, status: int, text: str,
-                    content_type: str = "text/plain; version=0.0.4") -> None:
-        body = text.encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
 
-    def do_GET(self) -> None:  # noqa: N802 (http.server API)
-        url = urlsplit(self.path)
-        try:
-            if url.path == "/healthz":
-                self._reply(200, {"status": "ok"})
-            elif url.path == "/stats":
-                self._reply(200, self.server.service.stats())
-            elif url.path == "/metrics":
-                self._metrics(parse_qs(url.query))
-            elif url.path == "/trace":
-                self._trace(parse_qs(url.query))
-            elif url.path == "/recommend":
-                self._recommend(parse_qs(url.query))
-            else:
-                self._reply(404, {"error": f"unknown path {url.path!r}"})
-        # OverflowError: ids that pass the int checks but overflow the
-        # int64 arrays — client input invalidity, not a server fault.
-        except (ValueError, OverflowError) as exc:
-            self._reply(400, {"error": str(exc)})
-        except Exception as exc:  # pragma: no cover - defensive
-            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+def error_response(exc: BaseException) -> tuple[int, str, bytes]:
+    """The shared exception → HTTP status mapping.
 
-    def _recommend(self, query: dict) -> None:
-        if "user" not in query:
-            raise ValueError("missing required query parameter 'user'")
-        try:
-            user = int(query["user"][0])
-            k = int(query["k"][0]) if "k" in query else None
-        except ValueError:
-            raise ValueError("'user' and 'k' must be integers") from None
-        exclude_seen = None
-        if "exclude_seen" in query:
-            exclude_seen = (query["exclude_seen"][0].strip().lower()
-                            not in ("0", "false", "no"))
-        rec = self.server.service.recommend(user, k=k, exclude_seen=exclude_seen)
-        self._reply(200, rec.to_dict())
+    ``ValueError``/``OverflowError`` are client-input invalidity (ids
+    that overflow the int64 arrays included) → 400; anything else is a
+    server fault → 500.
+    """
+    if isinstance(exc, (ValueError, OverflowError)):
+        return json_response(400, {"error": str(exc)})
+    return json_response(500, {"error": f"{type(exc).__name__}: {exc}"})
 
-    def _metrics(self, query: dict) -> None:
-        """Prometheus text by default; ``?format=json`` for entries."""
+
+def parse_recommend_query(query: dict) -> tuple[int, Optional[int],
+                                                Optional[bool]]:
+    """``(user, k, exclude_seen)`` from a parsed query string.
+
+    ``None`` means "service default" for ``k``/``exclude_seen``.
+    """
+    if "user" not in query:
+        raise ValueError("missing required query parameter 'user'")
+    try:
+        user = int(query["user"][0])
+        k = int(query["k"][0]) if "k" in query else None
+    except ValueError:
+        raise ValueError("'user' and 'k' must be integers") from None
+    exclude_seen = None
+    if "exclude_seen" in query:
+        exclude_seen = (query["exclude_seen"][0].strip().lower()
+                        not in ("0", "false", "no"))
+    return user, k, exclude_seen
+
+
+def parse_update_payload(payload: dict,
+                         max_update_batch: int) -> tuple[list, list]:
+    """Validate an /update body into parallel ``(users, items)`` lists."""
+    if "events" in payload:
+        events = payload["events"]
+        if not isinstance(events, list) or not events:
+            raise ValueError("'events' must be a non-empty list")
+        if len(events) > max_update_batch:
+            raise ValueError(
+                f"batch of {len(events)} events exceeds the limit of "
+                f"{max_update_batch} per request")
+    elif "user" in payload and "item" in payload:
+        # A single event is just a batch of one: share the
+        # validation below.
+        events = [payload]
+    else:
+        raise ValueError(
+            "body must carry 'user' + 'item' or an 'events' list")
+    users, items = [], []
+    for event in events:
+        if isinstance(event, dict):
+            pair = (event.get("user"), event.get("item"))
+        elif isinstance(event, (list, tuple)) and len(event) == 2:
+            pair = tuple(event)
+        else:
+            raise ValueError(
+                "each event must be {'user': u, 'item': i} or [u, i]")
+        if not all(isinstance(v, int) and not isinstance(v, bool)
+                   for v in pair):
+            raise ValueError("'user' and 'item' must be integers")
+        users.append(pair[0])
+        items.append(pair[1])
+    return users, items
+
+
+def decode_json_body(body: bytes) -> dict:
+    """Parse a request body as a JSON object (ValueError on anything else)."""
+    if not body:
+        raise ValueError("empty request body (expected JSON)")
+    try:
+        payload = json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"malformed JSON body: {exc.msg}") from None
+    if not isinstance(payload, dict):
+        raise ValueError("JSON body must be an object")
+    return payload
+
+
+def oversized_body_error(length: int, limit: int) -> ValueError:
+    return ValueError(f"request body of {length} bytes exceeds the limit of "
+                      f"{limit} bytes")
+
+
+def respond_get(service, target: str) -> tuple[int, str, bytes]:
+    """Answer any GET endpoint; raises for the error mapping to catch."""
+    url = urlsplit(target)
+    query = parse_qs(url.query)
+    if url.path == "/healthz":
+        return json_response(200, {"status": "ok"})
+    if url.path == "/stats":
+        return json_response(200, service.stats())
+    if url.path == "/metrics":
         fmt = query.get("format", ["text"])[0].strip().lower()
         if fmt == "json":
-            self._reply(200, {"metrics": self.server.service.metrics_snapshot()})
-        elif fmt == "text":
-            self._reply_text(200, self.server.service.metrics_text())
-        else:
-            raise ValueError(f"unknown metrics format {fmt!r} "
-                             f"(options: text, json)")
-
-    def _trace(self, query: dict) -> None:
+            return json_response(200, {"metrics": service.metrics_snapshot()})
+        if fmt == "text":
+            return (200, METRICS_CONTENT_TYPE,
+                    service.metrics_text().encode("utf-8"))
+        raise ValueError(f"unknown metrics format {fmt!r} "
+                         f"(options: text, json)")
+    if url.path == "/trace":
         try:
             n = int(query["n"][0]) if "n" in query else 20
         except ValueError:
             raise ValueError("'n' must be an integer") from None
         if n < 0:
             raise ValueError("'n' must be non-negative")
-        self._reply(200, {"traces": self.server.service.traces(n)})
+        return json_response(200, {"traces": service.traces(n)})
+    if url.path == "/recommend":
+        user, k, exclude_seen = parse_recommend_query(query)
+        rec = service.recommend(user, k=k, exclude_seen=exclude_seen)
+        return json_response(200, rec.to_dict())
+    return json_response(404, {"error": f"unknown path {url.path!r}"})
+
+
+def respond_post(service, target: str, body: bytes,
+                 max_update_batch: int) -> tuple[int, str, bytes]:
+    """Answer any POST endpoint; raises for the error mapping to catch."""
+    url = urlsplit(target)
+    if url.path == "/update":
+        users, items = parse_update_payload(decode_json_body(body),
+                                            max_update_batch)
+        return json_response(200, service.update_interactions(users, items))
+    return json_response(404, {"error": f"unknown path {url.path!r}"})
+
+
+class RecommendHandler(BaseHTTPRequestHandler):
+    """Routes GET requests onto the server's attached service."""
+
+    server: "RecommendationServer"
+
+    def setup(self) -> None:
+        # Applied before any read: StreamRequestHandler.setup calls
+        # settimeout with this value, so even the request line cannot
+        # stall the thread past the budget.
+        self.timeout = self.server.request_timeout
+        super().setup()
+
+    def _send(self, response: tuple[int, str, bytes]) -> None:
+        status, content_type, body = response
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply(self, status: int, payload: dict) -> None:
+        self._send(json_response(status, payload))
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        try:
+            self._send(respond_get(self.server.service, self.path))
+        except TimeoutError:
+            self._timed_out()
+        except Exception as exc:
+            self._send(error_response(exc))
 
     # ------------------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
-        url = urlsplit(self.path)
         try:
-            if url.path == "/update":
-                self._update(self._read_json())
-            else:
-                self._reply(404, {"error": f"unknown path {url.path!r}"})
-        except (ValueError, OverflowError) as exc:
-            self._reply(400, {"error": str(exc)})
-        except Exception as exc:  # pragma: no cover - defensive
-            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+            self._send(respond_post(self.server.service, self.path,
+                                    self._read_body(),
+                                    self.server.max_update_batch))
+        except TimeoutError:
+            self._timed_out()
+        except Exception as exc:
+            self._send(error_response(exc))
 
-    def _read_json(self) -> dict:
-        """Parse the request body as a JSON object (400 on anything else)."""
+    def _timed_out(self) -> None:
+        """The client stalled mid-body: answer 408 and drop the socket.
+
+        (A stall before the headers completed never reaches a handler
+        method — ``handle_one_request`` hits the same socket timeout on
+        its first read and closes the connection without a response.)
+        """
+        self._reply(408, {"error": "request timed out"})
+        self.close_connection = True
+
+    def _read_body(self) -> bytes:
+        """Read the request body (raises the shared oversize ValueError)."""
         try:
             length = int(self.headers.get("Content-Length", 0))
         except (TypeError, ValueError):
@@ -143,19 +255,8 @@ class RecommendHandler(BaseHTTPRequestHandler):
             # abusive declarations fall past the drain ceiling and get
             # the reset they deserve.
             self._discard_body(length)
-            raise ValueError(
-                f"request body of {length} bytes exceeds the limit of "
-                f"{limit} bytes")
-        body = self.rfile.read(length) if length > 0 else b""
-        if not body:
-            raise ValueError("empty request body (expected JSON)")
-        try:
-            payload = json.loads(body)
-        except json.JSONDecodeError as exc:
-            raise ValueError(f"malformed JSON body: {exc.msg}") from None
-        if not isinstance(payload, dict):
-            raise ValueError("JSON body must be an object")
-        return payload
+            raise oversized_body_error(length, limit)
+        return self.rfile.read(length) if length > 0 else b""
 
     def _discard_body(self, length: int, ceiling: int = 16 << 20) -> None:
         """Read and drop an oversized request body in bounded chunks."""
@@ -165,41 +266,6 @@ class RecommendHandler(BaseHTTPRequestHandler):
             if not chunk:
                 break
             remaining -= len(chunk)
-
-    def _update(self, payload: dict) -> None:
-        """Ingest one event or a batch through the attached service."""
-        if "events" in payload:
-            events = payload["events"]
-            if not isinstance(events, list) or not events:
-                raise ValueError("'events' must be a non-empty list")
-            limit = self.server.max_update_batch
-            if len(events) > limit:
-                raise ValueError(
-                    f"batch of {len(events)} events exceeds the limit of "
-                    f"{limit} per request")
-        elif "user" in payload and "item" in payload:
-            # A single event is just a batch of one: share the
-            # validation below.
-            events = [payload]
-        else:
-            raise ValueError(
-                "body must carry 'user' + 'item' or an 'events' list")
-        users, items = [], []
-        for event in events:
-            if isinstance(event, dict):
-                pair = (event.get("user"), event.get("item"))
-            elif isinstance(event, (list, tuple)) and len(event) == 2:
-                pair = tuple(event)
-            else:
-                raise ValueError(
-                    "each event must be {'user': u, 'item': i} or [u, i]")
-            if not all(isinstance(v, int) and not isinstance(v, bool)
-                       for v in pair):
-                raise ValueError("'user' and 'item' must be integers")
-            users.append(pair[0])
-            items.append(pair[1])
-        report = self.server.service.update_interactions(users, items)
-        self._reply(200, report)
 
     def log_message(self, format: str, *args) -> None:
         if getattr(self.server, "verbose", False):
@@ -220,16 +286,20 @@ class RecommendationServer(ThreadingHTTPServer):
     def __init__(self, service: "RecommendationService",
                  host: str = "127.0.0.1", port: int = 0,
                  verbose: bool = False, max_update_batch: int = 1024,
-                 max_body_bytes: int = 1 << 20):
+                 max_body_bytes: int = 1 << 20,
+                 request_timeout: float = DEFAULT_REQUEST_TIMEOUT):
         if max_update_batch <= 0:
             raise ValueError("max_update_batch must be positive")
         if max_body_bytes <= 0:
             raise ValueError("max_body_bytes must be positive")
+        if request_timeout is not None and request_timeout <= 0:
+            raise ValueError("request_timeout must be positive (or None)")
         super().__init__((host, port), RecommendHandler)
         self.service = service
         self.verbose = verbose
         self.max_update_batch = max_update_batch
         self.max_body_bytes = max_body_bytes
+        self.request_timeout = request_timeout
 
     @property
     def url(self) -> str:
@@ -237,14 +307,42 @@ class RecommendationServer(ThreadingHTTPServer):
         return f"http://{host}:{port}"
 
 
+FRONTENDS = ("threaded", "async")
+
+
 def build_server(service: RecommendationService, host: str = "127.0.0.1",
                  port: int = 0, verbose: bool = False,
                  max_update_batch: int = 1024,
-                 max_body_bytes: int = 1 << 20) -> RecommendationServer:
-    """Bind (port 0 = ephemeral) without starting the accept loop."""
-    return RecommendationServer(service, host=host, port=port, verbose=verbose,
-                                max_update_batch=max_update_batch,
-                                max_body_bytes=max_body_bytes)
+                 max_body_bytes: int = 1 << 20,
+                 request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+                 frontend: str = "threaded", **frontend_kwargs):
+    """Bind (port 0 = ephemeral) without starting the accept loop.
+
+    ``frontend`` picks the transport: ``"threaded"`` is the stdlib
+    thread-per-request server, ``"async"`` the selector-based
+    micro-batching event loop (:class:`repro.serving.frontend.AsyncFrontend`).
+    Both return an object with the same operational surface
+    (``url`` / ``serve_forever`` / ``shutdown`` / ``server_close``) and
+    byte-identical response bodies.
+    """
+    if frontend == "threaded":
+        if frontend_kwargs:
+            raise TypeError(f"threaded frontend does not accept "
+                            f"{sorted(frontend_kwargs)}")
+        return RecommendationServer(service, host=host, port=port,
+                                    verbose=verbose,
+                                    max_update_batch=max_update_batch,
+                                    max_body_bytes=max_body_bytes,
+                                    request_timeout=request_timeout)
+    if frontend == "async":
+        from repro.serving.frontend import AsyncFrontend
+
+        return AsyncFrontend(service, host=host, port=port, verbose=verbose,
+                             max_update_batch=max_update_batch,
+                             max_body_bytes=max_body_bytes,
+                             request_timeout=request_timeout,
+                             **frontend_kwargs)
+    raise ValueError(f"unknown frontend {frontend!r}; options: {FRONTENDS}")
 
 
 # ----------------------------------------------------------------------
@@ -281,7 +379,8 @@ def _build_service(args) -> RecommendationService:
     tracing = getattr(args, "trace", False)
     if args.artifact:
         service = RecommendationService.from_artifact(
-            args.artifact, top_k=args.top_k, cache_size=args.cache_size,
+            args.artifact, mmap=getattr(args, "mmap", False),
+            top_k=args.top_k, cache_size=args.cache_size,
             ann=ann_config(), tracing=tracing)
         # The objective depends on the bundled model's name, which is
         # only known after loading — attach the trainer afterwards.
@@ -391,6 +490,14 @@ def serve_main(args) -> int:
     shards = getattr(args, "shards", 1)
     if shards < 1 or getattr(args, "replicas", 1) < 1:
         raise SystemExit("--shards and --replicas must be >= 1")
+    if getattr(args, "mmap", False) and not args.artifact:
+        raise SystemExit("--mmap requires --artifact (a dir-layout bundle)")
+    frontend = getattr(args, "frontend", "auto") or "auto"
+    if frontend == "auto":
+        # Clusters default to the async frontend: one event loop in
+        # front of N replica processes beats a thread herd contending
+        # for the shard RPC locks.
+        frontend = "async" if shards > 1 else "threaded"
     service = _build_service(args)
     cluster = None
     front = service
@@ -411,13 +518,13 @@ def serve_main(args) -> int:
             log=JsonLogger(min_level="info") if args.verbose else None)
         front = cluster
     server = build_server(front, host=args.host, port=args.port,
-                          verbose=args.verbose)
+                          verbose=args.verbose, frontend=frontend)
     stats = front.stats()
     # Printed (and flushed) before blocking so callers binding port 0
     # can discover the ephemeral port.
     print(f"serving {stats['model']} on {server.url} "
           f"(dataset={stats['dataset']}, items={stats['n_items']}, "
-          f"shards={shards})",
+          f"shards={shards}, frontend={frontend})",
           flush=True)
     try:
         server.serve_forever()

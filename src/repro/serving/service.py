@@ -169,11 +169,20 @@ class RecommendationService:
         return int(self._m_ann_fallbacks.value)
 
     @classmethod
-    def from_artifact(cls, path: str, **kwargs) -> "RecommendationService":
-        """Boot a service straight from a saved artifact bundle."""
+    def from_artifact(cls, path: str, mmap: bool = False,
+                      **kwargs) -> "RecommendationService":
+        """Boot a service straight from a saved artifact bundle.
+
+        ``mmap=True`` (manifest-layout bundles only) maps the parameter
+        arrays read-only instead of copying them into the process:
+        every service booted from the same bundle — including forked
+        cluster replicas — shares one page cache.  Read-only models
+        serve normally; fold-in needs ``mmap=False`` or an
+        ``OnlineConfig(on_readonly="copy")`` trainer.
+        """
         from repro.serving.artifact import load_artifact
 
-        loaded = load_artifact(path)
+        loaded = load_artifact(path, mmap=mmap)
         service = cls(loaded.model, loaded.dataset, **kwargs)
         service.model_name = loaded.model_name
         return service

@@ -7,9 +7,11 @@ from repro.training.online import (
     FoldInDivergedError,
     IncrementalTrainer,
     OnlineConfig,
+    ReadOnlyModelError,
     UpdateReport,
 )
-from repro.training.persistence import load_model, save_model
+from repro.training.persistence import (load_model, save_model,
+                                        write_npz_deterministic)
 from repro.training.recommend import recommend
 from repro.training.evaluation import (
     RatingEvaluation,
@@ -31,9 +33,11 @@ __all__ = [
     "Trainer",
     "TrainConfig",
     "FoldInDivergedError",
+    "ReadOnlyModelError",
     "IncrementalTrainer",
     "OnlineConfig",
     "UpdateReport",
+    "write_npz_deterministic",
     "build_rating_instances",
     "evaluate_rating",
     "evaluate_topn",

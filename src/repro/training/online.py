@@ -57,6 +57,21 @@ class FoldInDivergedError(RuntimeError):
     """
 
 
+class ReadOnlyModelError(RuntimeError):
+    """Fold-in targets a read-only (memory-mapped) parameter.
+
+    Models rebuilt over ``load_artifact(..., mmap=True)`` views hold
+    ``writeable=False`` arrays; an SGD step into them would die inside
+    numpy with an opaque ``ValueError: assignment destination is
+    read-only``.  This error replaces that with the actual remedy:
+    load the artifact with ``mmap=False`` for online updates, or opt
+    into ``OnlineConfig(on_readonly="copy")`` to privatize touched
+    tables on first write.  A ``RuntimeError`` (not ``ValueError``) so
+    transport layers report a server-side configuration fault (HTTP
+    500), not client-input invalidity (400).
+    """
+
+
 @dataclass(frozen=True)
 class OnlineConfig:
     """Hyper-parameters of the incremental update path.
@@ -80,6 +95,15 @@ class OnlineConfig:
     parameters (fused training) keep the fused strategy, anything else
     stays on the float64 reference path — so a reference-trained
     model's fold-in numerics are untouched by the backend seam.
+
+    ``on_readonly`` decides what happens when a fold-in target is a
+    read-only array (a memory-mapped serving artifact).  ``"error"``
+    (default) refuses at trainer construction with a
+    :class:`ReadOnlyModelError` naming the remedy; ``"copy"``
+    privatizes each touched table on its first write (copy-on-first-
+    write) — the process keeps serving zero-copy for every table
+    fold-in never touches, and pays one table copy for the ones it
+    does.
     """
 
     lr: float = 0.05
@@ -90,6 +114,7 @@ class OnlineConfig:
     seed: int = 0
     refresh_every: int = 0
     backend: str = "auto"
+    on_readonly: str = "error"
 
     def __post_init__(self):
         if self.backend != "auto":
@@ -112,6 +137,9 @@ class OnlineConfig:
                 f"sides must be a non-empty subset of {_SIDES}, got {self.sides}")
         if self.refresh_every < 0:
             raise ValueError("refresh_every must be non-negative")
+        if self.on_readonly not in ("error", "copy"):
+            raise ValueError(f"unknown on_readonly {self.on_readonly!r}; "
+                             f"options: ('error', 'copy')")
 
 
 @dataclass
@@ -171,10 +199,20 @@ class IncrementalTrainer:
         self.log = log if log is not None else InteractionLog.from_dataset(dataset)
         self.refresh_fn = refresh_fn
         empty = np.empty(0, dtype=np.int64)
-        if not model.fold_in_targets(empty, empty, sides=self.config.sides):
+        targets = model.fold_in_targets(empty, empty, sides=self.config.sides)
+        if not targets:
             raise ValueError(
                 f"{type(model).__name__} exposes no fold-in targets for "
                 f"sides={self.config.sides}; incremental updates unsupported")
+        # Fail at construction, not on the first /update: a read-only
+        # (mmapped) serving model cannot take in-place SGD steps.
+        if (self.config.on_readonly == "error"
+                and any(not p.data.flags.writeable for p, _ in targets)):
+            raise ReadOnlyModelError(
+                "serving artifact is read-only (memory-mapped parameters); "
+                "load with mmap=False for online updates, or opt into "
+                "OnlineConfig(on_readonly='copy') to privatize touched "
+                "tables on first write")
         self._sampler = NegativeSampler(dataset, seed=self.config.seed)
         if self.config.backend == "auto":
             self._backend = infer_backend(model.parameters())
@@ -360,6 +398,20 @@ class IncrementalTrainer:
             grad = param.grad
             if grad is None or rows.size == 0:
                 continue
+            if not param.data.flags.writeable:
+                if config.on_readonly != "copy":
+                    # Normally unreachable (the constructor refuses),
+                    # but a parameter rebound to an mmap view after
+                    # construction must not crash with numpy's opaque
+                    # "assignment destination is read-only".
+                    raise ReadOnlyModelError(
+                        "serving artifact is read-only (memory-mapped "
+                        "parameters); load with mmap=False for online "
+                        "updates, or opt into "
+                        "OnlineConfig(on_readonly='copy')")
+                # Copy-on-first-write: privatize this table, leaving
+                # every untouched table zero-copy on the shared map.
+                param.data = param.data.copy()
             param.data[rows] -= config.lr * np.clip(
                 grad[rows], -config.max_grad, config.max_grad)
         model.zero_grad()

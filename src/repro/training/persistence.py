@@ -5,13 +5,29 @@ Only parameter arrays are stored (keyed by the dotted names of
 caller, which keeps the format trivially portable.  For a
 self-describing bundle that also reconstructs the architecture, see
 :mod:`repro.serving.artifact`.
+
+Archives are written through :func:`write_npz_deterministic` rather
+than ``np.savez``: the stdlib zip writer stamps every member with the
+current wall-clock time, so two saves of a byte-identical model used to
+produce byte-different files — which breaks any content-addressed
+artifact fingerprinting or cache keyed on file bytes.  The
+deterministic writer pins member timestamps to the zip epoch and sorts
+member order, so ``save → save`` is byte-equal whenever the arrays are.
+``np.load`` reads both formats identically.
 """
 
 from __future__ import annotations
 
+import io
+import zipfile
+
 import numpy as np
 
 from repro.autograd.nn import Module
+
+#: The zip format's epoch — the fixed member timestamp deterministic
+#: archives are stamped with (zip cannot represent anything earlier).
+_ZIP_EPOCH = (1980, 1, 1, 0, 0, 0)
 
 
 def normalize_npz_path(path: str) -> str:
@@ -24,6 +40,23 @@ def normalize_npz_path(path: str) -> str:
     return path if path.endswith(".npz") else path + ".npz"
 
 
+def write_npz_deterministic(path: str, arrays: dict) -> None:
+    """Write an ``np.load``-compatible ``.npz`` with reproducible bytes.
+
+    Members are stored uncompressed (like ``np.savez``) in sorted key
+    order with their timestamps pinned to the zip epoch, so the file's
+    bytes are a pure function of the array contents.
+    """
+    with zipfile.ZipFile(path, "w", zipfile.ZIP_STORED) as archive:
+        for name in sorted(arrays):
+            buf = io.BytesIO()
+            np.lib.format.write_array(buf, np.asarray(arrays[name]),
+                                      allow_pickle=False)
+            info = zipfile.ZipInfo(name + ".npy", date_time=_ZIP_EPOCH)
+            info.compress_type = zipfile.ZIP_STORED
+            archive.writestr(info, buf.getvalue())
+
+
 def save_model(model: Module, path: str) -> str:
     """Write a model's parameters to ``path`` and return the real path
     (with the ``.npz`` extension ``np.savez`` would have appended)."""
@@ -31,7 +64,7 @@ def save_model(model: Module, path: str) -> str:
     if not state:
         raise ValueError("model has no parameters to save")
     path = normalize_npz_path(path)
-    np.savez(path, **state)
+    write_npz_deterministic(path, state)
     return path
 
 

@@ -81,6 +81,41 @@ class TestStateDict:
         with pytest.raises(ValueError):
             a.load_state_dict(state)
 
+    def test_assign_rebinds_without_copy(self):
+        a = nn.Linear(3, 2)
+        state = {name: arr for name, arr in a.state_dict().items()}
+        a.load_state_dict(state, assign=True)
+        # The incoming arrays *are* the live parameters now.
+        assert a.weight.data is state["weight"]
+        assert a.bias.data is state["bias"]
+
+    def test_assign_preserves_readonly_flag(self):
+        a = nn.Linear(3, 2)
+        state = a.state_dict()
+        for arr in state.values():
+            arr.setflags(write=False)
+        a.load_state_dict(state, assign=True)
+        assert not a.weight.data.flags.writeable
+        with pytest.raises(ValueError):
+            a.weight.data[0, 0] = 1.0
+        # The copy path would have mutated the read-only target; assign
+        # is the only way to adopt read-only (e.g. mmapped) storage.
+
+    def test_assign_clears_grad(self):
+        a = nn.Linear(3, 2)
+        a.weight.grad = np.ones_like(a.weight.data)
+        a.load_state_dict(a.state_dict(), assign=True)
+        assert a.weight.grad is None
+
+    def test_assign_still_validates_shape_and_keys(self):
+        a = nn.Linear(3, 2)
+        with pytest.raises(KeyError):
+            a.load_state_dict({}, assign=True)
+        state = a.state_dict()
+        state["weight"] = np.zeros((5, 5))
+        with pytest.raises(ValueError):
+            a.load_state_dict(state, assign=True)
+
 
 class TestLinear:
     def test_forward_shape(self):

@@ -1,0 +1,6 @@
+"""Fixture: the same mutations outside ``serving/`` are in scope for
+the training fold-in path and must not be flagged."""
+
+
+def fold_in_step(param, rows, grad, lr):
+    param.data[rows] -= lr * grad[rows]

@@ -1,0 +1,28 @@
+"""Fixture: sanctioned patterns that must NOT trip ``mmap-write``.
+
+Rebinding ``.data`` (the copy-on-first-write pattern), mutating arrays
+that are not parameter storage, and read-only uses of ``.data``.
+"""
+
+import numpy as np
+
+
+def rebind_private_copy(param):
+    param.data = param.data.copy()
+
+
+def rebind_computed(param, delta):
+    param.data = param.data + delta
+
+
+def mutate_own_scores(scores, mask):
+    # Scratch arrays the serving code itself allocated are fair game.
+    scores[mask] = -np.inf
+    scores += 1.0
+    return scores
+
+
+def read_only_uses(param, rows):
+    norm = float(np.linalg.norm(param.data))
+    gathered = param.data[rows]
+    return norm, gathered.copy()

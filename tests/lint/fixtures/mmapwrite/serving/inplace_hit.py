@@ -1,0 +1,23 @@
+"""Fixture: every in-place parameter-storage mutation form is flagged."""
+
+import numpy as np
+
+
+def subscript_store(param, rows, values):
+    param.data[rows] = values
+
+
+def subscript_augmented(param, rows, grad, lr):
+    param.data[rows] -= lr * grad[rows]
+
+
+def augmented_whole_table(param, delta):
+    param.data += delta
+
+
+def method_mutation(param):
+    param.data.fill(0.0)
+
+
+def numpy_helper(param, values):
+    np.copyto(param.data, values)

@@ -1,0 +1,29 @@
+"""Mmap-write rule family: in-place parameter-storage mutation inside
+``serving/`` is flagged; rebinding and scratch-array mutation are not."""
+
+import pytest
+
+from tests.lint.helpers import lint_fixture, rule_ids
+
+pytestmark = pytest.mark.lint
+
+
+def test_every_inplace_form_hits_and_scope_is_serving_only():
+    report = lint_fixture("mmapwrite")
+    assert set(rule_ids(report)) == {"mmap-write"}
+    # Five findings — subscript store, subscript augmented store,
+    # whole-table augmented assignment, .fill(), np.copyto — all in the
+    # serving-scoped hit file.  The clean twin and the identical
+    # fold-in mutation outside serving/ contribute nothing.
+    assert len(report.findings) == 5
+    assert all(f.path.endswith("serving/inplace_hit.py")
+               for f in report.findings)
+    messages = " ".join(f.message for f in report.findings)
+    assert "subscript store" in messages
+    assert "augmented assignment" in messages
+    assert ".data.fill" in messages
+    assert "np.copyto" in messages
+
+
+def test_clean_twin_is_silent():
+    assert lint_fixture("mmapwrite", "serving", "inplace_clean.py").ok

@@ -1,0 +1,231 @@
+"""Cross-layout artifact guarantees: legacy ``.npz`` bundles convert to
+the manifest layout and serve identical ranked lists (memory-mapped or
+not), saves are byte-deterministic, and pre-manifest bundles written
+before the layout existed keep loading."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.registry import (RATING_MODELS, SERVING_ONLY_MODELS,
+                                        TOPN_MODELS, build_model)
+from repro.serving.artifact import (ARTIFACT_VERSION, MANIFEST_NAME,
+                                    convert_artifact, detect_layout,
+                                    load_artifact, save_artifact)
+from repro.serving.service import RecommendationService
+from tests.helpers import make_tiny_dataset
+
+pytestmark = pytest.mark.serving
+
+ALL_MODELS = sorted(set(RATING_MODELS) | set(TOPN_MODELS)
+                    | set(SERVING_ONLY_MODELS))
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return make_tiny_dataset(n_users=14, n_items=22)
+
+
+def ranked_lists(model, ds, n_users=5):
+    """Full descending item ranking per user — exact, not approximate."""
+    items = np.arange(ds.n_items, dtype=np.int64)
+    out = []
+    for user in range(n_users):
+        scores = model.predict(np.full(ds.n_items, user, dtype=np.int64),
+                               items)
+        # Stable sort so equal scores break ties identically.
+        out.append(np.argsort(-scores, kind="stable").tolist())
+    return out
+
+
+class TestNpzToManifestMigration:
+    @pytest.mark.parametrize("name", ALL_MODELS)
+    def test_converted_bundle_serves_identical_rankings(self, name, ds,
+                                                        tmp_path):
+        model = build_model(name, ds, k=8, seed=0,
+                            train_users=ds.users, train_items=ds.items)
+        npz = save_artifact(model, ds, str(tmp_path / "legacy"), name,
+                            {"k": 8})
+        assert detect_layout(npz) == "npz"
+
+        converted = convert_artifact(npz, str(tmp_path / "bundle"))
+        assert detect_layout(converted) == "dir"
+
+        want = ranked_lists(model, ds)
+        for mmap in (False, True):
+            loaded = load_artifact(converted, mmap=mmap)
+            assert loaded.layout == "dir"
+            assert loaded.mmap is mmap
+            assert ranked_lists(loaded.model, ds) == want
+
+    def test_graph_split_survives_conversion(self, ds, tmp_path):
+        half = ds.n_interactions // 2
+        model = build_model("NGCF", ds, k=8, seed=0,
+                            train_users=ds.users[:half],
+                            train_items=ds.items[:half])
+        npz = save_artifact(
+            model, ds, str(tmp_path / "legacy"), "NGCF", {"k": 8},
+            train_interactions=(ds.users[:half], ds.items[:half]))
+        converted = convert_artifact(npz, str(tmp_path / "bundle"))
+        loaded = load_artifact(converted, mmap=True)
+        assert ranked_lists(loaded.model, ds) == ranked_lists(model, ds)
+
+    def test_mmap_parameters_are_readonly_views(self, ds, tmp_path):
+        model = build_model("BPR-MF", ds, k=8, seed=0)
+        path = save_artifact(model, ds, str(tmp_path / "b"), "BPR-MF",
+                             {"k": 8}, layout="dir")
+        loaded = load_artifact(path, mmap=True)
+        params = dict(loaded.model.named_parameters())
+        assert params
+        for param in params.values():
+            assert not param.data.flags.writeable
+        with pytest.raises(ValueError):
+            next(iter(params.values())).data[...] = 0.0
+
+    def test_service_boots_from_mmap_bundle(self, ds, tmp_path):
+        model = build_model("MF", ds, k=8, seed=0)
+        path = save_artifact(model, ds, str(tmp_path / "b"), "MF", {"k": 8},
+                             layout="dir")
+        plain = RecommendationService.from_artifact(path, top_k=5,
+                                                    cache_size=0)
+        mapped = RecommendationService.from_artifact(path, mmap=True,
+                                                     top_k=5, cache_size=0)
+        for user in range(5):
+            assert (mapped.recommend(user).to_dict()
+                    == plain.recommend(user).to_dict())
+
+
+class TestDeterministicSaves:
+    def test_npz_save_is_byte_identical(self, ds, tmp_path):
+        model = build_model("GML-FMmd", ds, k=8, seed=1)
+        a = save_artifact(model, ds, str(tmp_path / "a"), "GML-FMmd",
+                          {"k": 8, "seed": 1})
+        b = save_artifact(model, ds, str(tmp_path / "b"), "GML-FMmd",
+                          {"k": 8, "seed": 1})
+        with open(a, "rb") as fa, open(b, "rb") as fb:
+            assert fa.read() == fb.read()
+
+    def test_dir_save_is_byte_identical(self, ds, tmp_path):
+        model = build_model("GML-FMmd", ds, k=8, seed=1)
+        paths = [save_artifact(model, ds, str(tmp_path / sub), "GML-FMmd",
+                               {"k": 8, "seed": 1}, layout="dir")
+                 for sub in ("a", "b")]
+        from pathlib import Path
+
+        files = [sorted(p.relative_to(root) for p in Path(root).rglob("*")
+                        if p.is_file()) for root in paths]
+        assert files[0] == files[1]
+        for rel in files[0]:
+            assert ((Path(paths[0]) / rel).read_bytes()
+                    == (Path(paths[1]) / rel).read_bytes()), rel
+
+    def test_resave_drops_stale_arrays(self, ds, tmp_path):
+        big = build_model("MF", ds, k=8, seed=0)
+        small = build_model("MF", ds, k=4, seed=0)
+        root = str(tmp_path / "b")
+        save_artifact(big, ds, root, "MF", {"k": 8}, layout="dir")
+        save_artifact(small, ds, root, "MF", {"k": 4}, layout="dir")
+        loaded = load_artifact(root, mmap=True)
+        assert loaded.hyperparams["k"] == 4
+        # No stale files: a third save changes nothing on disk.
+        from pathlib import Path
+
+        before = {p: p.read_bytes() for p in Path(root).rglob("*")
+                  if p.is_file()}
+        save_artifact(small, ds, root, "MF", {"k": 4}, layout="dir")
+        after = {p: p.read_bytes() for p in Path(root).rglob("*")
+                 if p.is_file()}
+        assert before == after
+
+
+class TestBackwardCompat:
+    def test_pre_manifest_bundle_still_loads(self, ds, tmp_path):
+        """A version-1 bundle written before this layout existed (plain
+        ``np.savez``, no graph split, no determinism) must keep loading
+        through the service entry point."""
+        model = build_model("MF", ds, k=8, seed=0)
+        state = model.state_dict()
+        meta = {
+            "format": "repro-artifact",
+            "version": 1,
+            "model": "MF",
+            "hyperparams": {"k": 8, "seed": 0},
+            "dataset": {
+                "name": ds.name,
+                "n_users": ds.n_users,
+                "n_items": ds.n_items,
+                "user_attrs": list(ds.user_attrs),
+                "item_attrs": list(ds.item_attrs),
+            },
+            "parameters": sorted(state),
+        }
+        arrays = {
+            "interactions::users": ds.users,
+            "interactions::items": ds.items,
+            "interactions::timestamps": ds.timestamps,
+        }
+        for side, attrs in (("user", ds.user_attrs), ("item", ds.item_attrs)):
+            for name, (idx, val) in attrs.items():
+                arrays[f"attr::{side}::{name}::indices"] = idx
+                arrays[f"attr::{side}::{name}::values"] = val
+        for name, value in state.items():
+            arrays[f"param::{name}"] = value
+        path = str(tmp_path / "old.npz")
+        np.savez(path, __meta__=np.array(json.dumps(meta)), **arrays)
+
+        service = RecommendationService.from_artifact(path, top_k=5,
+                                                      cache_size=0)
+        direct = RecommendationService(model, ds, top_k=5, cache_size=0)
+        for user in range(5):
+            assert (service.recommend(user).to_dict()
+                    == direct.recommend(user).to_dict())
+
+    def test_future_version_rejected(self, ds, tmp_path):
+        model = build_model("MF", ds, k=8, seed=0)
+        path = save_artifact(model, ds, str(tmp_path / "b"), "MF", {"k": 8},
+                             layout="dir")
+        from pathlib import Path
+
+        manifest_path = Path(path) / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["version"] = ARTIFACT_VERSION + 1
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="newer than supported"):
+            load_artifact(path)
+
+
+class TestErrorPaths:
+    def test_mmap_on_npz_has_migration_hint(self, ds, tmp_path):
+        model = build_model("MF", ds, k=8, seed=0)
+        path = save_artifact(model, ds, str(tmp_path / "b"), "MF", {"k": 8})
+        with pytest.raises(ValueError, match="convert_artifact"):
+            load_artifact(path, mmap=True)
+
+    def test_foreign_directory_refused_at_save(self, ds, tmp_path):
+        target = tmp_path / "precious"
+        target.mkdir()
+        (target / "notes.txt").write_text("do not clobber")
+        model = build_model("MF", ds, k=8, seed=0)
+        with pytest.raises(ValueError, match="refusing to overwrite"):
+            save_artifact(model, ds, str(target), "MF", {"k": 8},
+                          layout="dir")
+        assert (target / "notes.txt").read_text() == "do not clobber"
+
+    def test_directory_without_manifest_rejected_at_load(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(ValueError, match="not a repro artifact"):
+            load_artifact(str(tmp_path / "empty"))
+
+    def test_convert_requires_distinct_paths(self, ds, tmp_path):
+        model = build_model("MF", ds, k=8, seed=0)
+        path = save_artifact(model, ds, str(tmp_path / "b"), "MF", {"k": 8},
+                             layout="dir")
+        with pytest.raises(ValueError, match="distinct"):
+            convert_artifact(path, path)
+
+    def test_unknown_layout_rejected(self, ds, tmp_path):
+        model = build_model("MF", ds, k=8, seed=0)
+        with pytest.raises(ValueError, match="unknown layout"):
+            save_artifact(model, ds, str(tmp_path / "b"), "MF", {"k": 8},
+                          layout="tar")

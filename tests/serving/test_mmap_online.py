@@ -1,0 +1,159 @@
+"""Online fold-in over memory-mapped (read-only) artifacts — S3.
+
+``--artifact b --mmap --online`` is a contradiction the stack must
+resolve loudly or deliberately: by default the trainer refuses at
+construction (:class:`ReadOnlyModelError` naming both remedies), and
+with ``OnlineConfig(on_readonly="copy")`` the first fold-in privatizes
+exactly the touched tables (copy-on-first-write) while everything the
+trainer never writes stays a shared read-only mapping."""
+
+import json
+
+import pytest
+
+from repro.experiments.registry import build_model
+from repro.serving.artifact import save_artifact
+from repro.serving.service import RecommendationService
+from repro.training.online import (IncrementalTrainer, OnlineConfig,
+                                   ReadOnlyModelError)
+from tests.helpers import make_tiny_dataset
+
+pytestmark = [pytest.mark.serving, pytest.mark.streaming]
+
+
+@pytest.fixture(scope="module")
+def bundle(tmp_path_factory):
+    ds = make_tiny_dataset(seed=0, n_users=12, n_items=15)
+    model = build_model("MF", ds, k=4, seed=0)
+    path = tmp_path_factory.mktemp("artifact") / "bundle"
+    return save_artifact(model, ds, str(path), "MF", {"k": 4}, layout="dir")
+
+
+class TestErrorMode:
+    def test_online_on_mmap_artifact_refuses_at_boot(self, bundle):
+        with pytest.raises(ReadOnlyModelError) as excinfo:
+            RecommendationService.from_artifact(
+                bundle, mmap=True, top_k=5, cache_size=0,
+                online_config=OnlineConfig(seed=0))
+        # The error must name both ways out.
+        message = str(excinfo.value)
+        assert "mmap=False" in message
+        assert "on_readonly='copy'" in message
+
+    def test_error_is_a_runtime_error_not_a_value_error(self):
+        # ValueError would map to HTTP 400 (client fault); a read-only
+        # model is a deployment fault and must surface as 500.
+        assert issubclass(ReadOnlyModelError, RuntimeError)
+        assert not issubclass(ReadOnlyModelError, ValueError)
+
+    def test_mmap_without_online_serves_fine(self, bundle):
+        service = RecommendationService.from_artifact(
+            bundle, mmap=True, top_k=5, cache_size=0)
+        rec = service.recommend(3)
+        assert len(rec.items) == 5
+
+
+class TestCopyOnFirstWrite:
+    def test_fold_in_privatizes_only_touched_tables(self, bundle):
+        service = RecommendationService.from_artifact(
+            bundle, mmap=True, top_k=5, cache_size=0,
+            online_config=OnlineConfig(seed=0, on_readonly="copy"))
+        params = dict(service.model.named_parameters())
+        assert all(not p.data.flags.writeable for p in params.values())
+
+        report = service.update_interactions([1], [2])
+        assert report["folded_in"] is True
+        assert "loss" in report
+
+        touched = {name for name, p in params.items()
+                   if p.data.flags.writeable}
+        untouched = set(params) - touched
+        # The fold-in targets were copied into private writable arrays;
+        # everything else still aliases the read-only mapping.
+        assert touched, "fold-in wrote nothing"
+        assert untouched, "fold-in privatized tables it never writes"
+
+    def test_updates_shift_recommendations(self, bundle):
+        service = RecommendationService.from_artifact(
+            bundle, mmap=True, top_k=5, cache_size=0,
+            online_config=OnlineConfig(seed=0, on_readonly="copy"))
+        before = service.recommend(4).items
+        target = before[0]
+        for _ in range(3):
+            service.update_interactions([4], [target])
+        after = service.recommend(4).items
+        # Seen-masking alone guarantees the consumed item drops out.
+        assert target not in after
+
+    def test_matches_unmapped_fold_in(self, bundle):
+        """Copy-on-first-write must not change the math: the same event
+        stream over a private (mmap=False) load lands on the same
+        parameters."""
+        import numpy as np
+
+        services = [
+            RecommendationService.from_artifact(
+                bundle, mmap=mmap, top_k=5, cache_size=0,
+                online_config=OnlineConfig(seed=0, on_readonly="copy"))
+            for mmap in (True, False)
+        ]
+        for service in services:
+            service.update_interactions([1, 2], [3, 4])
+            service.update_interactions([1], [5])
+        mapped, private = services
+        for (name, a), (_, b) in zip(
+                sorted(mapped.model.named_parameters()),
+                sorted(private.model.named_parameters())):
+            np.testing.assert_allclose(a.data, b.data, rtol=1e-12,
+                                       atol=1e-12, err_msg=name)
+
+
+class TestOverHttp:
+    def test_update_endpoint_works_on_mmap_service(self, bundle):
+        import threading
+
+        from repro.serving.server import build_server
+
+        service = RecommendationService.from_artifact(
+            bundle, mmap=True, top_k=5, cache_size=0,
+            online_config=OnlineConfig(seed=0, on_readonly="copy"))
+        server = build_server(service, frontend="async")
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            import urllib.request
+
+            request = urllib.request.Request(
+                server.url + "/update",
+                data=json.dumps({"user": 2, "item": 3}).encode(),
+                method="POST",
+                headers={"Content-Type": "application/json"})
+            with urllib.request.urlopen(request, timeout=10) as resp:
+                report = json.loads(resp.read())
+            assert resp.status == 200
+            assert report["folded_in"] is True
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+
+class TestTrainerDirect:
+    def test_trainer_refuses_readonly_targets(self, bundle):
+        from repro.serving.artifact import load_artifact
+
+        loaded = load_artifact(bundle, mmap=True)
+        with pytest.raises(ReadOnlyModelError):
+            IncrementalTrainer(loaded.model, loaded.dataset,
+                               OnlineConfig(seed=0))
+
+    def test_writable_model_unaffected_by_the_check(self, bundle):
+        from repro.serving.artifact import load_artifact
+
+        loaded = load_artifact(bundle, mmap=False)
+        trainer = IncrementalTrainer(loaded.model, loaded.dataset,
+                                     OnlineConfig(seed=0))
+        import numpy as np
+
+        report = trainer.update(np.array([1]), np.array([2]))
+        assert report.events == 1
